@@ -1,0 +1,222 @@
+//! Boomerang: metadata-free control-flow delivery (Kumar, Huang, Grot
+//! & Nagarajan, HPCA'17) — FDIP extended with reactive BTB prefill.
+//!
+//! On a BTB miss, prediction *stalls* while the cache line containing
+//! the missed basic block is fetched from the hierarchy and predecoded
+//! (§2.2). The missing branch fills the BTB; the line's other branches
+//! park in a 32-entry BTB prefetch buffer and are promoted on first
+//! use. This removes FDIP's wrong-path excursions, at the price the
+//! paper's §3.2 analysis identifies: on workloads whose branch working
+//! set dwarfs the BTB, the prefetcher repeatedly stalls mid-region,
+//! serializing the very misses Shotgun's footprints batch.
+
+use fe_model::{Addr, BasicBlock, RetiredBlock};
+use fe_uarch::predecode;
+use fe_uarch::scheme::{predict_conventional, BpuOutcome, ControlFlowDelivery, FrontEndCtx};
+use fe_uarch::{Btb, SetAssocMap};
+
+/// An in-flight reactive BTB fill.
+#[derive(Clone, Copy, Debug)]
+struct Resolving {
+    pc: Addr,
+    ready: u64,
+}
+
+/// Boomerang: FDIP + reactive BTB fill + BTB prefetch buffer.
+#[derive(Debug)]
+pub struct Boomerang {
+    btb: Btb,
+    /// Predecoded branches awaiting first use (32 entries, §5.2).
+    prefetch_buffer: SetAssocMap<BasicBlock>,
+    resolving: Option<Resolving>,
+    lookups: u64,
+    retire_misses: u64,
+    reactive_fills: u64,
+}
+
+impl Boomerang {
+    /// Creates Boomerang with a BTB of `entries` x `ways` and a BTB
+    /// prefetch buffer of `buffer` entries.
+    pub fn new(entries: usize, ways: usize, buffer: usize) -> Self {
+        Boomerang {
+            btb: Btb::new(entries, ways),
+            prefetch_buffer: SetAssocMap::new(buffer, buffer),
+            resolving: None,
+            lookups: 0,
+            retire_misses: 0,
+            reactive_fills: 0,
+        }
+    }
+
+    /// Reactive fills started (diagnostic).
+    pub fn reactive_fills(&self) -> u64 {
+        self.reactive_fills
+    }
+
+    fn complete_resolution(&mut self, pc: Addr, ctx: &mut FrontEndCtx) {
+        let Some((block, _)) = predecode::resolve_block(ctx.program, pc) else {
+            return;
+        };
+        self.btb.insert(&block);
+        for other in predecode::branches_in_line(ctx.program, pc.line()) {
+            if other.start != block.start && !self.btb.contains(other.start) {
+                self.prefetch_buffer.insert(other.start.get() >> 2, other);
+            }
+        }
+    }
+}
+
+impl ControlFlowDelivery for Boomerang {
+    fn name(&self) -> &'static str {
+        "boomerang"
+    }
+
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        if let Some(r) = self.resolving {
+            if ctx.now < r.ready {
+                return BpuOutcome::Stall;
+            }
+            self.resolving = None;
+            self.complete_resolution(r.pc, ctx);
+        }
+
+        self.lookups += 1;
+        // BTB first, then the prefetch buffer (promote on hit).
+        if let Some(p) = predict_conventional(&mut self.btb, pc, ctx) {
+            return BpuOutcome::Predicted(p);
+        }
+        if let Some(block) = self.prefetch_buffer.remove(pc.get() >> 2) {
+            self.btb.insert(&block);
+            if let Some(p) = predict_conventional(&mut self.btb, pc, ctx) {
+                return BpuOutcome::Predicted(p);
+            }
+        }
+
+        // BTB miss: stall prediction and fetch the block's line(s) for
+        // predecode (§2.2).
+        let Some((block, extra)) = predecode::resolve_block(ctx.program, pc) else {
+            // No branch discoverable at this address (wrong-path
+            // garbage): fall through sequentially rather than stalling
+            // forever.
+            let (start, end) = crate::noprefetch::straight_line(pc);
+            return BpuOutcome::StraightLine { pc: start, end };
+        };
+        self.reactive_fills += 1;
+        let mut ready = ctx.fetch_for_fill(pc.line());
+        for i in 1..=extra as i64 {
+            ready = ready.max(ctx.fetch_for_fill(block.start.line().offset(i)));
+        }
+        self.resolving =
+            Some(Resolving { pc, ready: ready + predecode::PREDECODE_LATENCY as u64 });
+        BpuOutcome::Stall
+    }
+
+    fn on_retire(&mut self, rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {
+        if !self.btb.contains(rb.block.start) {
+            self.retire_misses += 1;
+        }
+        self.btb.insert(&rb.block);
+    }
+
+    fn on_redirect(&mut self, _pc: Addr, _ctx: &mut FrontEndCtx) {
+        self.resolving = None;
+    }
+
+    fn btb_misses(&self) -> u64 {
+        self.retire_misses
+    }
+
+    fn btb_lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reactive_fills", self.reactive_fills),
+            ("buffer_resident", self.prefetch_buffer.len() as u64),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Rig;
+
+    #[test]
+    fn miss_stalls_until_resolution() {
+        let mut rig = Rig::new();
+        let mut s = Boomerang::new(64, 4, 32);
+        // Miss on a real block start (the program entry).
+        let entry = rig.program.entry();
+        let outcome = {
+            let mut ctx = rig.ctx(0);
+            s.predict(entry, &mut ctx)
+        };
+        assert_eq!(outcome, BpuOutcome::Stall, "BTB miss must stall");
+        // Still stalled shortly after.
+        let outcome2 = {
+            let mut ctx = rig.ctx(1);
+            s.predict(entry, &mut ctx)
+        };
+        assert_eq!(outcome2, BpuOutcome::Stall);
+        // After the fill latency, prediction proceeds with the resolved
+        // block.
+        let outcome3 = {
+            let mut ctx = rig.ctx(100_000);
+            s.predict(entry, &mut ctx)
+        };
+        match outcome3 {
+            BpuOutcome::Predicted(p) => assert_eq!(p.block.start, entry),
+            other => panic!("resolution must produce a prediction, got {other:?}"),
+        }
+        assert_eq!(s.reactive_fills(), 1);
+    }
+
+    #[test]
+    fn resolution_parks_line_neighbours_in_buffer() {
+        let mut rig = Rig::new();
+        let mut s = Boomerang::new(512, 4, 32);
+        let entry = rig.program.entry();
+        {
+            let mut ctx = rig.ctx(0);
+            s.predict(entry, &mut ctx);
+        }
+        {
+            let mut ctx = rig.ctx(100_000);
+            s.predict(entry, &mut ctx);
+        }
+        // Dispatcher blocks are 3 instructions (12 B): several share the
+        // entry line, so the buffer should have caught some.
+        assert!(s.prefetch_buffer.len() > 0, "same-line branches parked in buffer");
+    }
+
+    #[test]
+    fn redirect_cancels_resolution() {
+        let mut rig = Rig::new();
+        let mut s = Boomerang::new(64, 4, 32);
+        let entry = rig.program.entry();
+        {
+            let mut ctx = rig.ctx(0);
+            s.predict(entry, &mut ctx);
+        }
+        {
+            let mut ctx = rig.ctx(1);
+            s.on_redirect(entry, &mut ctx);
+        }
+        // A new predict at a warm time restarts resolution rather than
+        // completing the cancelled one.
+        let outcome = {
+            let mut ctx = rig.ctx(2);
+            s.predict(entry, &mut ctx)
+        };
+        assert_eq!(outcome, BpuOutcome::Stall);
+        assert_eq!(s.reactive_fills(), 2);
+    }
+
+    #[test]
+    fn prefetches_from_ftq_like_fdip() {
+        let s = Boomerang::new(64, 4, 32);
+        assert!(s.ftq_prefetch());
+    }
+}

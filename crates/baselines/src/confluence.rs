@@ -1,0 +1,394 @@
+//! Confluence: unified temporal-streaming front-end prefetching
+//! (Kaynak, Grot & Falsafi, MICRO'15), built on SHIFT's shared,
+//! LLC-virtualized instruction history (MICRO'13).
+//!
+//! One history of retired L1-I line accesses serves both the
+//! instruction cache and the BTB: on an L1-I miss, the index table
+//! locates the miss in the history and replay begins — but first the
+//! history metadata must be *read from the LLC*, costing a round trip
+//! (§2.1, §5.2). Replay then streams prefetches a fixed lookahead
+//! ahead of the demand stream; prefetched lines are predecoded into a
+//! 16K-entry BTB (the paper's generous upper bound for Confluence's
+//! BTB benefit). Whenever the demand stream diverges from the recorded
+//! sequence, replay restarts with a fresh metadata read — the start-up
+//! delay that costs Confluence coverage on Nutch, Apache and Streaming
+//! (§6.1).
+//!
+//! Storage note: the paper charges Confluence ~240 KB of LLC tag
+//! extensions plus a 204 KB history carved out of LLC capacity per
+//! workload — two orders of magnitude more than Shotgun's 23.77 KB.
+//! We model the performance side; the storage numbers are reproduced
+//! in `fe-model::storage` tests and EXPERIMENTS.md.
+
+use fe_model::{Addr, LineAddr, RetiredBlock};
+use fe_uarch::predecode;
+use fe_uarch::scheme::{predict_conventional, BpuOutcome, ControlFlowDelivery, FrontEndCtx};
+use fe_uarch::{Btb, SetAssocMap};
+
+use crate::noprefetch::straight_line;
+
+/// Confluence sizing (§5.2: 32K-entry history, 8K-entry index,
+/// 16K-entry BTB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfluenceConfig {
+    /// BTB entries (16K models the paper's upper bound).
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// History buffer entries (line addresses).
+    pub history_entries: usize,
+    /// Index table entries.
+    pub index_entries: usize,
+    /// How many lines replay keeps in flight ahead of the demand
+    /// stream.
+    pub lookahead: usize,
+    /// How far ahead in the recorded stream a demand access may land
+    /// and still count as following the replay.
+    pub resync_window: usize,
+    /// Non-matching demand accesses tolerated before the replay is
+    /// declared mispredicted and dropped (the paper describes the
+    /// reset-and-refetch behaviour on *every* sequence misprediction;
+    /// a small tolerance models minor reordering in the access stream).
+    pub max_strikes: u32,
+}
+
+impl Default for ConfluenceConfig {
+    fn default() -> Self {
+        ConfluenceConfig {
+            btb_entries: 16 * 1024,
+            btb_ways: 8,
+            history_entries: 32 * 1024,
+            index_entries: 8 * 1024,
+            lookahead: 10,
+            resync_window: 4,
+            max_strikes: 2,
+        }
+    }
+}
+
+/// Active replay state.
+#[derive(Clone, Copy, Debug)]
+struct Replay {
+    /// Absolute history position the demand stream is expected at.
+    expect: u64,
+    /// Absolute history position of the next line to prefetch.
+    cursor: u64,
+    /// Cycle the metadata read completes; no prefetches before this.
+    ready: u64,
+    /// Consecutive demand accesses that failed to match the stream.
+    strikes: u32,
+}
+
+/// The Confluence temporal-streaming front end.
+#[derive(Debug)]
+pub struct Confluence {
+    cfg: ConfluenceConfig,
+    btb: Btb,
+    /// Ring buffer of retired L1-I line accesses (absolute positions
+    /// map to `pos % history_entries`).
+    history: Vec<u64>,
+    /// Total lines ever recorded (absolute position counter).
+    recorded: u64,
+    /// line -> most recent absolute position.
+    index: SetAssocMap<u64>,
+    last_recorded: Option<u64>,
+    replay: Option<Replay>,
+    lookups: u64,
+    retire_misses: u64,
+    activations: u64,
+    divergences: u64,
+}
+
+impl Confluence {
+    /// Creates a Confluence instance.
+    pub fn new(cfg: ConfluenceConfig) -> Self {
+        Confluence {
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            history: vec![u64::MAX; cfg.history_entries],
+            recorded: 0,
+            index: SetAssocMap::new(cfg.index_entries, 8),
+            last_recorded: None,
+            replay: None,
+            lookups: 0,
+            retire_misses: 0,
+            activations: 0,
+            divergences: 0,
+            cfg,
+        }
+    }
+
+    /// Replay activations (metadata reads) so far.
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Replay divergences (stream mispredictions) so far.
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    fn history_at(&self, pos: u64) -> Option<LineAddr> {
+        if pos >= self.recorded || self.recorded - pos > self.history.len() as u64 {
+            return None;
+        }
+        let v = self.history[(pos % self.history.len() as u64) as usize];
+        (v != u64::MAX).then(|| LineAddr::from_index(v))
+    }
+
+    fn record(&mut self, line: LineAddr) {
+        if self.last_recorded == Some(line.get()) {
+            return;
+        }
+        self.last_recorded = Some(line.get());
+        let slot = (self.recorded % self.history.len() as u64) as usize;
+        self.history[slot] = line.get();
+        self.index.insert(line.get(), self.recorded);
+        self.recorded += 1;
+    }
+
+    /// Streams prefetches up to `lookahead` beyond the expected demand
+    /// position.
+    fn pump(&mut self, ctx: &mut FrontEndCtx) {
+        let Some(r) = self.replay else { return };
+        if ctx.now < r.ready {
+            return;
+        }
+        let mut cursor = r.cursor;
+        let limit = r.expect + self.cfg.lookahead as u64;
+        let mut issued = 0;
+        while cursor < limit && issued < 4 {
+            match self.history_at(cursor) {
+                Some(line) => {
+                    ctx.prefetch_line(line);
+                    issued += 1;
+                    cursor += 1;
+                }
+                None => break,
+            }
+        }
+        if let Some(r) = &mut self.replay {
+            r.cursor = cursor.max(r.cursor);
+        }
+    }
+
+    fn activate(&mut self, line: LineAddr, ctx: &mut FrontEndCtx) {
+        if let Some(&pos) = self.index.peek(line.get()) {
+            self.activations += 1;
+            // History metadata lives in the LLC (SHIFT): pay the round
+            // trip before any replay prefetch can issue.
+            let ready = ctx.mem.request_metadata(ctx.now);
+            self.replay =
+                Some(Replay { expect: pos + 1, cursor: pos + 1, ready, strikes: 0 });
+        } else {
+            self.replay = None;
+        }
+    }
+}
+
+impl ControlFlowDelivery for Confluence {
+    fn name(&self) -> &'static str {
+        "confluence"
+    }
+
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        // Keep the replay stream flowing regardless of BPU activity.
+        self.pump(ctx);
+        self.lookups += 1;
+        match predict_conventional(&mut self.btb, pc, ctx) {
+            Some(p) => BpuOutcome::Predicted(p),
+            None => {
+                let (start, end) = straight_line(pc);
+                BpuOutcome::StraightLine { pc: start, end }
+            }
+        }
+    }
+
+    fn on_demand_access(&mut self, line: LineAddr, ctx: &mut FrontEndCtx) {
+        let Some(mut r) = self.replay else { return };
+        if ctx.now < r.ready {
+            return;
+        }
+        // Does this access follow the recorded stream (within the
+        // resync window)?
+        let mut matched = None;
+        for ahead in 0..self.cfg.resync_window as u64 {
+            if self.history_at(r.expect + ahead) == Some(line) {
+                matched = Some(r.expect + ahead + 1);
+                break;
+            }
+        }
+        match matched {
+            Some(next) => {
+                r.expect = next;
+                r.cursor = r.cursor.max(next);
+                r.strikes = 0;
+                self.replay = Some(r);
+                self.pump(ctx);
+            }
+            None => {
+                r.strikes += 1;
+                if r.strikes > self.cfg.max_strikes {
+                    // Stream misprediction: drop the replay; the next
+                    // miss restarts it with a fresh metadata read —
+                    // the start-up delay §6.1 blames for Confluence's
+                    // coverage loss on Nutch/Apache/Streaming.
+                    self.divergences += 1;
+                    self.replay = None;
+                } else {
+                    self.replay = Some(r);
+                }
+            }
+        }
+    }
+
+    fn on_demand_miss(&mut self, line: LineAddr, ctx: &mut FrontEndCtx) {
+        let restart = match self.replay {
+            None => true,
+            // A miss while replay is active and flowing means the
+            // stream failed to cover us: restart from here.
+            Some(r) => ctx.now >= r.ready && r.strikes > 0,
+        };
+        if restart {
+            self.activate(line, ctx);
+        }
+    }
+
+    fn on_fill(&mut self, line: LineAddr, _was_prefetch: bool, ctx: &mut FrontEndCtx) {
+        // Unified metadata: prefetched lines are predecoded into the
+        // BTB, giving BTB prefill "for free" (§2.1).
+        for block in predecode::branches_in_line(ctx.program, line) {
+            self.btb.insert(&block);
+        }
+    }
+
+    fn on_retire(&mut self, rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {
+        if !self.btb.contains(rb.block.start) {
+            self.retire_misses += 1;
+        }
+        self.btb.insert(&rb.block);
+        for line in rb.block.lines() {
+            self.record(line);
+        }
+    }
+
+    fn on_redirect(&mut self, _pc: Addr, _ctx: &mut FrontEndCtx) {
+        // Wrong-path fetches polluted the match state; keep the replay
+        // but forgive accumulated strikes.
+        if let Some(r) = &mut self.replay {
+            r.strikes = 0;
+        }
+    }
+
+    fn ftq_prefetch(&self) -> bool {
+        false
+    }
+
+    fn btb_misses(&self) -> u64 {
+        self.retire_misses
+    }
+
+    fn btb_lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("replay_activations", self.activations), ("replay_divergences", self.divergences)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Rig;
+    use fe_model::{BasicBlock, BranchKind};
+
+    fn retire_line_sequence(s: &mut Confluence, rig: &mut Rig, starts: &[u64]) {
+        for &a in starts {
+            let b = BasicBlock::new(Addr::new(a), 4, BranchKind::Jump, Addr::new(a + 0x40));
+            let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(a + 0x40) };
+            let mut ctx = rig.ctx(0);
+            s.on_retire(&rb, &mut ctx);
+        }
+    }
+
+    #[test]
+    fn records_deduplicated_history() {
+        let mut rig = Rig::new();
+        let mut s = Confluence::new(ConfluenceConfig::default());
+        // Two blocks in the same line record one history entry.
+        retire_line_sequence(&mut s, &mut rig, &[0x1000, 0x1010, 0x2000]);
+        assert_eq!(s.recorded, 2, "consecutive same-line accesses dedup");
+    }
+
+    #[test]
+    fn miss_activates_replay_with_metadata_latency() {
+        let mut rig = Rig::new();
+        let mut s = Confluence::new(ConfluenceConfig::default());
+        retire_line_sequence(&mut s, &mut rig, &[0x1000, 0x2000, 0x3000, 0x4000]);
+        let mut ctx = rig.ctx(100);
+        s.on_demand_miss(LineAddr::containing(0x1000), &mut ctx);
+        assert_eq!(s.activations(), 1);
+        let r = s.replay.expect("replay active");
+        assert!(r.ready >= 100 + 21, "metadata read pays an LLC round trip");
+    }
+
+    #[test]
+    fn replay_prefetches_recorded_successors() {
+        let mut rig = Rig::new();
+        let mut s = Confluence::new(ConfluenceConfig::default());
+        let seq: Vec<u64> = (0..16).map(|i| 0x1_0000 + i * 0x40).collect();
+        retire_line_sequence(&mut s, &mut rig, &seq);
+        {
+            let mut ctx = rig.ctx(100);
+            s.on_demand_miss(LineAddr::containing(0x1_0000), &mut ctx);
+        }
+        // After the metadata arrives, pumping issues prefetches for the
+        // successor lines.
+        let issued_before = rig.issued;
+        {
+            let mut ctx = rig.ctx(10_000);
+            s.pump(&mut ctx);
+            s.pump(&mut ctx);
+            s.pump(&mut ctx);
+        }
+        assert!(rig.issued > issued_before, "replay must stream prefetches");
+        assert!(rig.inflight.contains(LineAddr::containing(0x1_0040)));
+    }
+
+    #[test]
+    fn divergence_drops_replay_for_restart() {
+        let mut rig = Rig::new();
+        let mut s = Confluence::new(ConfluenceConfig::default());
+        let seq: Vec<u64> = (0..16).map(|i| 0x1_0000 + i * 0x40).collect();
+        retire_line_sequence(&mut s, &mut rig, &seq);
+        {
+            let mut ctx = rig.ctx(100);
+            s.on_demand_miss(LineAddr::containing(0x1_0000), &mut ctx);
+        }
+        // Feed accesses that do not follow the stream.
+        for i in 0..8 {
+            let mut ctx = rig.ctx(10_000 + i);
+            s.on_demand_access(LineAddr::containing(0x9_0000 + i * 0x40), &mut ctx);
+        }
+        assert!(s.replay.is_none(), "stream misprediction resets the prefetcher");
+        assert_eq!(s.divergences(), 1);
+    }
+
+    #[test]
+    fn fills_btb_from_prefetched_lines() {
+        let mut rig = Rig::new();
+        let mut s = Confluence::new(ConfluenceConfig::default());
+        let entry = rig.program.entry();
+        {
+            let mut ctx = rig.ctx(0);
+            s.on_fill(entry.line(), true, &mut ctx);
+        }
+        assert!(s.btb.contains(entry), "predecode prefills the BTB");
+    }
+
+    #[test]
+    fn does_not_use_ftq_prefetching() {
+        let s = Confluence::new(ConfluenceConfig::default());
+        assert!(!s.ftq_prefetch());
+    }
+}

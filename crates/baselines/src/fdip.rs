@@ -1,0 +1,111 @@
+//! FDIP: fetch-directed instruction prefetching (Reinman, Calder &
+//! Austin, MICRO'99).
+//!
+//! The decoupled BPU runs ahead of fetch filling the FTQ, and every
+//! address entering the FTQ is a prefetch candidate (the simulator
+//! issues the probes — [`ControlFlowDelivery::ftq_prefetch`] is left
+//! at its default `true`). The scheme's defining weakness (§3.2): on a
+//! BTB miss it *speculates straight-line*, so any undetected taken
+//! branch sends the prefetcher down the wrong path until the misfetch
+//! resolves — which is exactly what large server branch working sets
+//! provoke, and what Boomerang/Shotgun fix.
+
+use fe_model::{Addr, RetiredBlock};
+use fe_uarch::scheme::{predict_conventional, BpuOutcome, ControlFlowDelivery, FrontEndCtx};
+use fe_uarch::Btb;
+
+use crate::noprefetch::straight_line;
+
+/// Fetch-directed instruction prefetching with a conventional BTB.
+#[derive(Debug)]
+pub struct Fdip {
+    btb: Btb,
+    lookups: u64,
+    retire_misses: u64,
+}
+
+impl Fdip {
+    /// Creates FDIP with a BTB of `entries` x `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        Fdip { btb: Btb::new(entries, ways), lookups: 0, retire_misses: 0 }
+    }
+}
+
+impl ControlFlowDelivery for Fdip {
+    fn name(&self) -> &'static str {
+        "fdip"
+    }
+
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        self.lookups += 1;
+        match predict_conventional(&mut self.btb, pc, ctx) {
+            Some(p) => BpuOutcome::Predicted(p),
+            None => {
+                let (start, end) = straight_line(pc);
+                BpuOutcome::StraightLine { pc: start, end }
+            }
+        }
+    }
+
+    fn on_retire(&mut self, rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {
+        if !self.btb.contains(rb.block.start) {
+            self.retire_misses += 1;
+        }
+        self.btb.insert(&rb.block);
+    }
+
+    fn btb_misses(&self) -> u64 {
+        self.retire_misses
+    }
+
+    fn btb_lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Rig;
+    use fe_model::{BasicBlock, BranchKind};
+
+    #[test]
+    fn prefetches_from_ftq() {
+        let s = Fdip::new(64, 4);
+        assert!(s.ftq_prefetch(), "FDIP's whole point");
+    }
+
+    #[test]
+    fn speculates_through_misses_without_stalling() {
+        let mut rig = Rig::new();
+        let mut s = Fdip::new(64, 4);
+        let mut ctx = rig.ctx(0);
+        let outcome = s.predict(Addr::new(0x5000), &mut ctx);
+        assert!(
+            matches!(outcome, BpuOutcome::StraightLine { .. }),
+            "FDIP never stalls on BTB misses",
+        );
+    }
+
+    #[test]
+    fn predicts_after_training() {
+        let mut rig = Rig::new();
+        let mut s = Fdip::new(64, 4);
+        let call = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+        {
+            let mut ctx = rig.ctx(0);
+            s.on_retire(
+                &RetiredBlock { block: call, taken: true, next_pc: Addr::new(0x8000) },
+                &mut ctx,
+            );
+        }
+        let mut ctx = rig.ctx(1);
+        match s.predict(Addr::new(0x1000), &mut ctx) {
+            BpuOutcome::Predicted(p) => {
+                assert_eq!(p.next_pc, Addr::new(0x8000));
+                assert_eq!(ctx.spec_ras.len(), 1, "call pushed the RAS");
+            }
+            other => panic!("expected prediction, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # fe-baselines — the published schemes Shotgun is evaluated against
+//!
+//! Every control-flow-delivery mechanism from the paper's §5.2 except
+//! Shotgun itself (which lives in the `shotgun` crate):
+//!
+//! * [`NoPrefetch`] — a conventional front end: 2K-entry basic-block
+//!   BTB, no prefetching; the normalization baseline of every figure.
+//! * [`Fdip`] — fetch-directed instruction prefetching (Reinman,
+//!   Calder & Austin): prefetches from the FTQ but *speculates
+//!   straight-line through BTB misses*, losing the prefetch path
+//!   whenever an undetected branch diverts control.
+//! * [`Boomerang`] — FDIP plus reactive BTB fill (Kumar et al.,
+//!   HPCA'17): BTB misses stall prediction while the missing branch's
+//!   cache line is fetched and predecoded; discovered branches fill the
+//!   BTB and a 32-entry BTB prefetch buffer.
+//! * [`Confluence`] — the temporal-streaming state of the art (Kaynak,
+//!   Grot & Falsafi, MICRO'15): SHIFT's LLC-virtualized instruction
+//!   history replayed on L1-I misses, with prefetched lines predecoded
+//!   into a 16K-entry BTB. Metadata reads pay an LLC round trip, and
+//!   every replay divergence re-pays it — the start-up delay that costs
+//!   Confluence on Nutch/Apache/Streaming (§6.1).
+//!
+//! The ideal front end of Fig. 1 requires oracle trace lookahead and is
+//! implemented inside the simulator (`fe-sim`), not here.
+
+pub mod boomerang;
+pub mod confluence;
+pub mod fdip;
+pub mod noprefetch;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use boomerang::Boomerang;
+pub use confluence::{Confluence, ConfluenceConfig};
+pub use fdip::Fdip;
+pub use noprefetch::NoPrefetch;

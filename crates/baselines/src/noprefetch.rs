@@ -1,0 +1,134 @@
+//! The no-prefetch baseline: a conventional decoupled front end with a
+//! 2K-entry basic-block BTB and nothing else.
+//!
+//! On a BTB miss the fetch unit streams sequential lines (there is no
+//! information saying otherwise); the first *taken* branch on that path
+//! misfetches and redirects the pipeline when it resolves. Every figure
+//! in the paper normalizes to this design.
+
+use fe_model::{Addr, RetiredBlock, LINE_BYTES};
+use fe_uarch::scheme::{predict_conventional, BpuOutcome, ControlFlowDelivery, FrontEndCtx};
+use fe_uarch::Btb;
+
+/// Conventional front end without prefetching.
+#[derive(Debug)]
+pub struct NoPrefetch {
+    btb: Btb,
+    lookups: u64,
+    retire_misses: u64,
+}
+
+impl NoPrefetch {
+    /// Creates the baseline with a BTB of `entries` x `ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        NoPrefetch { btb: Btb::new(entries, ways), lookups: 0, retire_misses: 0 }
+    }
+
+    /// Read access to the BTB (tests).
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+}
+
+impl ControlFlowDelivery for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "no-prefetch"
+    }
+
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        self.lookups += 1;
+        match predict_conventional(&mut self.btb, pc, ctx) {
+            Some(p) => BpuOutcome::Predicted(p),
+            None => {
+                // No BTB information: fetch to the end of the line and
+                // continue sequentially.
+                let end = Addr::new((pc.line().get() + 1) * LINE_BYTES);
+                BpuOutcome::StraightLine { pc, end }
+            }
+        }
+    }
+
+    fn on_retire(&mut self, rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {
+        if !self.btb.contains(rb.block.start) {
+            self.retire_misses += 1;
+        }
+        // Demand fill at execute: the BTB learns every retired branch.
+        self.btb.insert(&rb.block);
+    }
+
+    fn ftq_prefetch(&self) -> bool {
+        false
+    }
+
+    fn btb_misses(&self) -> u64 {
+        self.retire_misses
+    }
+
+    fn btb_lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// Shared straight-line helper for schemes that speculate through BTB
+/// misses: the rest of the current line, continuing at the next line.
+pub(crate) fn straight_line(pc: Addr) -> (Addr, Addr) {
+    let end = Addr::new((pc.line().get() + 1) * LINE_BYTES);
+    (pc, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Rig;
+    use fe_model::{BasicBlock, BranchKind};
+
+    #[test]
+    fn miss_speculates_straight_line() {
+        let mut rig = Rig::new();
+        let mut s = NoPrefetch::new(64, 4);
+        let mut ctx = rig.ctx(0);
+        match s.predict(Addr::new(0x1008), &mut ctx) {
+            BpuOutcome::StraightLine { pc, end } => {
+                assert_eq!(pc, Addr::new(0x1008));
+                assert_eq!(end, Addr::new(0x1040), "to the end of the line");
+            }
+            other => panic!("expected straight line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retire_fills_and_counts_misses() {
+        let mut rig = Rig::new();
+        let mut s = NoPrefetch::new(64, 4);
+        let b = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(0x2000));
+        let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(0x2000) };
+        let mut ctx = rig.ctx(0);
+        s.on_retire(&rb, &mut ctx);
+        assert_eq!(s.btb_misses(), 1, "first retirement is an architectural miss");
+        s.on_retire(&rb, &mut ctx);
+        assert_eq!(s.btb_misses(), 1, "second retirement hits");
+    }
+
+    #[test]
+    fn hit_after_fill_predicts_target() {
+        let mut rig = Rig::new();
+        let mut s = NoPrefetch::new(64, 4);
+        let b = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(0x2000));
+        let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(0x2000) };
+        {
+            let mut ctx = rig.ctx(0);
+            s.on_retire(&rb, &mut ctx);
+        }
+        let mut ctx = rig.ctx(1);
+        match s.predict(Addr::new(0x1000), &mut ctx) {
+            BpuOutcome::Predicted(p) => assert_eq!(p.next_pc, Addr::new(0x2000)),
+            other => panic!("expected prediction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_prefetches() {
+        let s = NoPrefetch::new(64, 4);
+        assert!(!s.ftq_prefetch());
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared test fixture: a minimal front-end hardware rig.
+
+use fe_cfg::{LayerSpec, Program, WorkloadSpec};
+use fe_model::config::{CacheConfig, TageConfig};
+use fe_model::MachineConfig;
+use fe_uarch::scheme::FrontEndCtx;
+use fe_uarch::{InflightFills, LineCache, MemorySystem, ReturnAddressStack, Tage};
+
+pub(crate) struct Rig {
+    pub l1i: LineCache,
+    pub mem: MemorySystem,
+    pub tage: Tage,
+    pub ras: ReturnAddressStack,
+    pub inflight: InflightFills,
+    pub program: Program,
+    pub issued: u64,
+    pub pred_trace: std::collections::VecDeque<fe_uarch::scheme::PredRecord>,
+}
+
+impl Rig {
+    pub fn new() -> Self {
+        let cfg = MachineConfig::table3();
+        Rig {
+            l1i: LineCache::new(CacheConfig::default()),
+            mem: MemorySystem::new(&cfg),
+            tage: Tage::new(TageConfig::default()),
+            ras: ReturnAddressStack::new(32),
+            inflight: InflightFills::new(16),
+            program: WorkloadSpec {
+                name: "baseline-test".into(),
+                seed: 5,
+                layers: vec![LayerSpec::grouped(2, 2.0), LayerSpec::shared(8, 0.5)],
+                kernel_entries: 2,
+                kernel_helpers: 4,
+                ..WorkloadSpec::default()
+            }
+            .build(),
+            issued: 0,
+            pred_trace: std::collections::VecDeque::new(),
+        }
+    }
+
+    pub fn ctx(&mut self, now: u64) -> FrontEndCtx<'_> {
+        FrontEndCtx {
+            now,
+            l1i: &mut self.l1i,
+            mem: &mut self.mem,
+            tage: &mut self.tage,
+            spec_ras: &mut self.ras,
+            inflight: &mut self.inflight,
+            program: &self.program,
+            prefetches_issued: &mut self.issued,
+            pred_trace: &mut self.pred_trace,
+        }
+    }
+}

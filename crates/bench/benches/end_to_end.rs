@@ -1,0 +1,31 @@
+//! End-to-end simulation throughput: wall-time per simulated run for
+//! each control-flow-delivery scheme on a mid-sized workload. Guards
+//! against regressions that would make the figure binaries impractical.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fe_cfg::workloads;
+use fe_model::MachineConfig;
+use fe_sim::{run_scheme, RunLength, SchemeSpec};
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let program = workloads::zeus().scaled(0.15).build();
+    let machine = MachineConfig::table3();
+    let len = RunLength { warmup: 50_000, measure: 150_000 };
+    for spec in [
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::boomerang(),
+        SchemeSpec::Confluence,
+        SchemeSpec::shotgun(),
+        SchemeSpec::Ideal,
+    ] {
+        group.bench_function(spec.label(), |bench| {
+            bench.iter(|| black_box(run_scheme(&program, &spec, &machine, len, 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

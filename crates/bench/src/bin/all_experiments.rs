@@ -1,0 +1,188 @@
+//! Runs every table/figure experiment in sequence — the full
+//! reproduction pass behind EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin all_experiments
+//! # faster, noisier:
+//! SHOTGUN_INSTRS=3000000 SHOTGUN_WARMUP=1000000 cargo run --release -p fe-bench --bin all_experiments
+//! ```
+//!
+//! The heavy sweeps share one `run_suite` invocation per scheme set so
+//! the whole pass stays within minutes.
+
+use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
+use fe_cfg::{analytics, workloads};
+use fe_model::stats::speedup;
+use fe_sim::{
+    coverage_series, metric_series, render_table, run_scheme, run_suite, speedup_series,
+    SchemeSpec,
+};
+use shotgun::{RegionPolicy, ShotgunConfig};
+
+fn main() {
+    let machine = machine();
+    let len = default_len();
+    let t0 = std::time::Instant::now();
+
+    // ---- Characterization (Table 1, Figs. 3-4) -----------------------
+    banner("Table 1", "BTB MPKI of a 2K-entry BTB, no prefetching");
+    let presets = suite();
+    println!("{:12} {:>12}", "workload", "measured");
+    for wl in &presets {
+        let program = wl.build();
+        let stats = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
+        println!("{:12} {:>12.1}", wl.name, stats.btb_mpki());
+    }
+
+    banner("Figure 3", "region spatial locality (within-10-lines mass)");
+    for wl in &presets {
+        let program = wl.build();
+        let loc = analytics::region_locality(&program, 1, len.measure.min(4_000_000));
+        println!(
+            "{:12} within10 {:>5.1}%  within16 {:>5.1}%",
+            wl.name,
+            100.0 * loc.within(10),
+            100.0 * loc.within(16)
+        );
+    }
+
+    banner("Figure 4", "branch coverage at 2K static branches");
+    for wl in [workloads::oracle(), workloads::db2()] {
+        let program = wl.build();
+        let prof = analytics::branch_profile(&program, 2, len.measure);
+        println!(
+            "{:12} all@2K {:>5.1}%  uncond@2K {:>5.1}%  ({} statics, {} uncond)",
+            wl.name,
+            100.0 * prof.coverage_all(2048),
+            100.0 * prof.coverage_uncond(2048),
+            prof.static_branches(),
+            prof.static_uncond(),
+        );
+    }
+
+    // ---- Main comparison (Figs. 1, 6, 7) ------------------------------
+    banner("Figures 1/6/7", "scheme comparison sweep");
+    let main_schemes = [
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::Confluence,
+        SchemeSpec::boomerang(),
+        SchemeSpec::shotgun(),
+        SchemeSpec::Ideal,
+    ];
+    let results = run_suite(&presets, &main_schemes, &machine, len, SEED);
+    let spd = speedup_series(
+        &results,
+        &WORKLOAD_ORDER,
+        "no-prefetch",
+        &["confluence", "boomerang", "shotgun", "ideal"],
+    );
+    print!("{}", render_table("Fig 1+7: speedup over no-prefetch", &spd, "gmean", false));
+    let cov = coverage_series(
+        &results,
+        &WORKLOAD_ORDER,
+        "no-prefetch",
+        &["confluence", "boomerang", "shotgun", "ideal"],
+    );
+    print!("{}", render_table("\nFig 6: stall-cycle coverage", &cov, "avg", true));
+
+    // ---- Region policy study (Figs. 8-11) -----------------------------
+    banner("Figures 8-11", "region prefetch mechanism study");
+    let mut policy_schemes = vec![SchemeSpec::NoPrefetch];
+    for policy in RegionPolicy::ALL {
+        policy_schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(policy)));
+    }
+    let policy_results = run_suite(&presets, &policy_schemes, &machine, len, SEED);
+    let labels: Vec<String> = policy_schemes[1..].iter().map(|s| s.label()).collect();
+    let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 8: coverage by policy",
+            &coverage_series(&policy_results, &WORKLOAD_ORDER, "no-prefetch", &refs),
+            "avg",
+            true,
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "\nFig 9: speedup by policy",
+            &speedup_series(&policy_results, &WORKLOAD_ORDER, "no-prefetch", &refs),
+            "gmean",
+            false,
+        )
+    );
+    let acc_refs: Vec<&str> =
+        refs.iter().filter(|l| !l.contains("No bit") && !l.contains("32-bit")).copied().collect();
+    print!(
+        "{}",
+        render_table(
+            "\nFig 10: prefetch accuracy",
+            &metric_series(&policy_results, &WORKLOAD_ORDER, &acc_refs, |s| s.prefetch_accuracy(), false),
+            "avg",
+            true,
+        )
+    );
+    print!(
+        "{}",
+        render_table(
+            "\nFig 11: L1-D fill latency (cycles)",
+            &metric_series(
+                &policy_results,
+                &WORKLOAD_ORDER,
+                &acc_refs,
+                |s| s.avg_l1d_fill_latency(),
+                false,
+            ),
+            "avg",
+            false,
+        )
+    );
+
+    // ---- C-BTB sensitivity (Fig. 12) ----------------------------------
+    banner("Figure 12", "C-BTB size sensitivity");
+    let mut cbtb_schemes = vec![SchemeSpec::NoPrefetch];
+    for entries in [64u32, 128, 1024] {
+        cbtb_schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(entries)));
+    }
+    let cbtb_results = run_suite(&presets, &cbtb_schemes, &machine, len, SEED);
+    let cbtb_labels: Vec<String> = cbtb_schemes[1..].iter().map(|s| s.label()).collect();
+    let cbtb_refs: Vec<&str> = cbtb_labels.iter().map(|s| s.as_str()).collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig 12: speedup by C-BTB entries (64/128/1K)",
+            &speedup_series(&cbtb_results, &WORKLOAD_ORDER, "no-prefetch", &cbtb_refs),
+            "gmean",
+            false,
+        )
+    );
+
+    // ---- BTB budget sweep (Fig. 13) -----------------------------------
+    banner("Figure 13", "BTB storage budget sweep (oracle, db2)");
+    for wl in [workloads::oracle(), workloads::db2()] {
+        let program = wl.build();
+        let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
+        println!("{}", wl.name);
+        println!("{:>8} {:>12} {:>12}", "budget", "boomerang", "shotgun");
+        for budget in [512u32, 1024, 2048, 4096, 8192] {
+            let boom = run_scheme(
+                &program,
+                &SchemeSpec::Boomerang { btb_entries: budget },
+                &machine,
+                len,
+                SEED,
+            );
+            let shot = run_scheme(
+                &program,
+                &SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)),
+                &machine,
+                len,
+                SEED,
+            );
+            println!("{:>8} {:>12.3} {:>12.3}", budget, speedup(&base, &boom), speedup(&base, &shot));
+        }
+    }
+
+    println!("\nall experiments done in {:.0}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,32 @@
+//! Figure 1: speedup of the state-of-the-art unified front-end
+//! prefetchers (Confluence, Boomerang) and an ideal front end over a
+//! no-prefetch baseline.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin fig1
+//! ```
+
+use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
+use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+
+fn main() {
+    banner("Figure 1", "Confluence / Boomerang / Ideal speedup over no-prefetch");
+    let schemes = [
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::Confluence,
+        SchemeSpec::boomerang(),
+        SchemeSpec::Ideal,
+    ];
+    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
+    let series = speedup_series(
+        &results,
+        &WORKLOAD_ORDER,
+        "no-prefetch",
+        &["confluence", "boomerang", "ideal"],
+    );
+    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    println!(
+        "\npaper shape: Boomerang >= Confluence on small-footprint workloads \
+         (nutch, zeus); Confluence wins on oracle/db2; ideal on top everywhere."
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 4: contribution of the hottest static branches to dynamic
+//! branch execution — all branches vs unconditional-only — for Oracle
+//! and DB2.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin fig4
+//! ```
+
+use fe_bench::banner;
+use fe_cfg::{analytics, workloads};
+
+fn main() {
+    banner("Figure 4", "dynamic coverage of the K hottest static branches");
+    let instructions: u64 = std::env::var("SHOTGUN_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8_000_000);
+
+    let ks = [1024usize, 2048, 3072, 4096, 5120, 6144, 7168, 8192];
+    for wl in [workloads::oracle(), workloads::db2()] {
+        let program = wl.build();
+        let prof = analytics::branch_profile(&program, 2, instructions);
+        println!(
+            "{} — {} static branches executed ({} unconditional)",
+            wl.name,
+            prof.static_branches(),
+            prof.static_uncond(),
+        );
+        println!("{:>8} {:>14} {:>18}", "K", "all branches", "unconditional");
+        for k in ks {
+            println!(
+                "{:>8} {:>13.1}% {:>17.1}%",
+                k,
+                100.0 * prof.coverage_all(k),
+                100.0 * prof.coverage_uncond(k),
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: a 2K-entry budget covers only ~65-75% of all dynamic \
+         branches but ~85-95% of unconditional executions; unconditional \
+         curves saturate by ~3K static branches."
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 7: speedup of Confluence, Boomerang and Shotgun over the
+//! no-prefetch baseline — the paper's headline result.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin fig7
+//! ```
+
+use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
+use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+
+fn main() {
+    banner("Figure 7", "speedup over no-prefetch (headline result)");
+    let schemes = [
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::Confluence,
+        SchemeSpec::boomerang(),
+        SchemeSpec::shotgun(),
+    ];
+    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
+    let series = speedup_series(
+        &results,
+        &WORKLOAD_ORDER,
+        "no-prefetch",
+        &["confluence", "boomerang", "shotgun"],
+    );
+    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    println!(
+        "\npaper shape: Shotgun ~32% average speedup, ~5% over each of \
+         Boomerang and Confluence; beats Boomerang everywhere (most on \
+         oracle/db2); beats Confluence on the web workloads but trails it \
+         on oracle."
+    );
+}

@@ -1,0 +1,34 @@
+use fe_cfg::workloads;
+use fe_model::{stats, MachineConfig};
+use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use std::time::Instant;
+
+fn main() {
+    let machine = MachineConfig::table3();
+    let len = RunLength { warmup: 2_000_000, measure: 6_000_000 };
+    println!("{:10} {:12} {:>6} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6}",
+        "workload","scheme","ipc","l1iMPKI","btbMPKI","feSt%","ic%","btb%","rdr%","acc%","l1dF","spd");
+    for wl in workloads::all() {
+        let program = wl.build();
+        let t = Instant::now();
+        let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 7);
+        for (label, spec) in [
+            ("no-prefetch", SchemeSpec::NoPrefetch),
+            ("boomerang", SchemeSpec::boomerang()),
+            ("confluence", SchemeSpec::Confluence),
+            ("shotgun", SchemeSpec::shotgun()),
+            ("ideal", SchemeSpec::Ideal),
+        ] {
+            let s = if label == "no-prefetch" { base.clone() } else { run_scheme(&program, &spec, &machine, len, 7) };
+            println!("{:10} {:12} {:>6.3} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.3}",
+                wl.name, label, s.ipc(), s.l1i_mpki(), s.btb_mpki(),
+                100.0*s.front_end_stall_fraction(),
+                100.0*s.stalls.icache_miss as f64/s.cycles as f64,
+                100.0*s.stalls.btb_resolve as f64/s.cycles as f64,
+                100.0*s.stalls.redirect as f64/s.cycles as f64,
+                100.0*s.prefetch_accuracy(), s.avg_l1d_fill_latency(),
+                stats::speedup(&base, &s));
+        }
+        eprintln!("[{}: {:.0}s]", wl.name, t.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 1: BTB miss rate (MPKI) of a 2K-entry BTB without
+//! prefetching, per workload.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin table1 [-- --config]
+//! ```
+//!
+//! `--config` additionally prints the Table 2 workload inventory and
+//! the Table 3 machine parameters in use.
+
+use fe_bench::{banner, default_len, machine, suite, SEED};
+use fe_cfg::analytics;
+use fe_sim::{run_scheme, SchemeSpec};
+
+fn main() {
+    let show_config = std::env::args().any(|a| a == "--config");
+    banner("Table 1", "BTB MPKI of a 2K-entry BTB, no prefetching");
+
+    let machine = machine();
+    let len = default_len();
+    let paper = [("nutch", 2.5), ("streaming", 14.5), ("apache", 23.7), ("zeus", 14.6), ("oracle", 45.1), ("db2", 40.2)];
+
+    println!("{:12} {:>10} {:>12}", "workload", "paper", "measured");
+    for wl in suite() {
+        let program = wl.build();
+        let stats = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
+        let paper_v = paper.iter().find(|(n, _)| *n == wl.name).map(|(_, v)| *v).unwrap_or(f64::NAN);
+        println!("{:12} {:>10.1} {:>12.1}", wl.name, paper_v, stats.btb_mpki());
+    }
+
+    if show_config {
+        println!("\n--- Table 2 stand-ins (synthetic workload presets)");
+        println!(
+            "{:12} {:>10} {:>10} {:>10} {:>10}",
+            "workload", "functions", "blocks", "code KB", "lines"
+        );
+        for wl in suite() {
+            let program = wl.build();
+            let fp = analytics::footprint(&program);
+            println!(
+                "{:12} {:>10} {:>10} {:>10} {:>10}",
+                wl.name,
+                fp.functions,
+                fp.blocks,
+                fp.bytes / 1024,
+                fp.lines
+            );
+        }
+        println!("\n--- Table 3 machine parameters\n{:#?}", machine);
+    }
+}

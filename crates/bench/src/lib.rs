@@ -1,0 +1,58 @@
+//! # fe-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! DESIGN.md's per-experiment index), plus Criterion microbenchmarks of
+//! the core structures. Shared setup lives here.
+//!
+//! Every binary accepts the environment knobs:
+//!
+//! * `SHOTGUN_INSTRS` — measured instructions per (workload, scheme)
+//!   cell (default per binary, typically 8M);
+//! * `SHOTGUN_WARMUP` — warmup instructions (default 2-3M);
+//! * `SHOTGUN_SCALE` — workload scale factor (default 1.0; use e.g.
+//!   0.25 for quick shape checks).
+
+use fe_cfg::{workloads, WorkloadSpec};
+use fe_model::MachineConfig;
+use fe_sim::RunLength;
+
+/// Workload presentation order used by every figure (the paper's
+/// left-to-right order).
+pub const WORKLOAD_ORDER: [&str; 6] =
+    ["nutch", "streaming", "apache", "zeus", "oracle", "db2"];
+
+/// The evaluation seed: all experiments run the same retired streams.
+pub const SEED: u64 = 0x5407;
+
+/// Default per-cell run length for figure binaries.
+pub fn default_len() -> RunLength {
+    RunLength { warmup: 2_000_000, measure: 8_000_000 }.from_env()
+}
+
+/// The six Table 2 workloads, scaled by `SHOTGUN_SCALE` if set.
+pub fn suite() -> Vec<WorkloadSpec> {
+    let scale: f64 = std::env::var("SHOTGUN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    workloads::all()
+        .into_iter()
+        .map(|w| if (scale - 1.0).abs() < 1e-9 { w } else { w.scaled(scale) })
+        .collect()
+}
+
+/// The Table 3 machine.
+pub fn machine() -> MachineConfig {
+    MachineConfig::table3()
+}
+
+/// Prints the standard experiment header.
+pub fn banner(experiment: &str, what: &str) {
+    let len = default_len();
+    println!("=== {experiment} — {what}");
+    println!(
+        "    machine: Table 3 | warmup {}M, measure {}M instructions per cell\n",
+        len.warmup / 1_000_000,
+        len.measure / 1_000_000,
+    );
+}

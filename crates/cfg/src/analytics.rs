@@ -1,0 +1,252 @@
+//! Control-flow analytics reproducing the paper's characterization
+//! figures (Figs. 3 and 4) directly from a workload's retired stream.
+//!
+//! These run the [`Executor`] standalone — no timing simulation — so
+//! they are cheap enough to sweep all six workloads in seconds.
+
+use std::collections::HashMap;
+
+use fe_model::LineAddr;
+
+use crate::exec::Executor;
+use crate::program::Program;
+
+/// Fig. 3: distribution of instruction-cache-line accesses inside code
+/// regions, by distance from the region entry point.
+///
+/// A *code region* is the dynamic span between two unconditional
+/// branches (§3.1); the entry point is the line holding the target of
+/// the region-opening branch. Distances are absolute line offsets; the
+/// final bucket aggregates everything beyond 16 lines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionLocality {
+    /// `counts[d]` = accesses at distance `d` for `d in 0..=16`;
+    /// `counts[17]` = accesses farther than 16 lines.
+    pub counts: [u64; 18],
+    /// Number of regions observed.
+    pub regions: u64,
+}
+
+impl RegionLocality {
+    /// Cumulative access probability by distance — the curve Fig. 3
+    /// plots. Index `d` holds P(distance ≤ d) for `d in 0..=16`;
+    /// index 17 is 1.0 by construction.
+    pub fn cumulative(&self) -> [f64; 18] {
+        let total: u64 = self.counts.iter().sum();
+        let mut out = [0.0; 18];
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            out[i] = if total == 0 { 0.0 } else { acc as f64 / total as f64 };
+        }
+        out
+    }
+
+    /// Probability mass within `d` lines of the entry point.
+    pub fn within(&self, d: usize) -> f64 {
+        self.cumulative()[d.min(17)]
+    }
+}
+
+/// Measures region spatial locality over `instructions` retired
+/// instructions (Fig. 3).
+pub fn region_locality(program: &Program, seed: u64, instructions: u64) -> RegionLocality {
+    let mut exec = Executor::new(program, seed);
+    let mut counts = [0u64; 18];
+    let mut regions = 0u64;
+    let mut entry_line: LineAddr = program.entry().line();
+    let mut last_line: Option<LineAddr> = None;
+
+    while exec.instructions() < instructions {
+        let r = exec.next_block();
+        for line in r.block.lines() {
+            // Count each line once per touch-run, mirroring how the
+            // footprint recorder deduplicates consecutive accesses.
+            if last_line == Some(line) {
+                continue;
+            }
+            last_line = Some(line);
+            let d = (line.get() as i64 - entry_line.get() as i64).unsigned_abs() as usize;
+            counts[d.min(17)] += 1;
+        }
+        if r.block.kind.is_unconditional() {
+            regions += 1;
+            entry_line = r.next_pc.line();
+        }
+    }
+    RegionLocality { counts, regions }
+}
+
+/// Fig. 4: how much of the dynamic branch stream the `k` hottest static
+/// branches cover, for all branches and for unconditional branches
+/// separately.
+#[derive(Clone, Debug, Default)]
+pub struct BranchProfile {
+    /// Per-static-branch dynamic execution counts, all branches,
+    /// sorted descending.
+    pub all_desc: Vec<u64>,
+    /// Same, unconditional branches only.
+    pub uncond_desc: Vec<u64>,
+}
+
+impl BranchProfile {
+    /// Fraction of dynamic branch executions covered by the `k` hottest
+    /// static branches.
+    pub fn coverage_all(&self, k: usize) -> f64 {
+        coverage(&self.all_desc, k)
+    }
+
+    /// Fraction of dynamic *unconditional* executions covered by the
+    /// `k` hottest static unconditional branches.
+    pub fn coverage_uncond(&self, k: usize) -> f64 {
+        coverage(&self.uncond_desc, k)
+    }
+
+    /// Distinct static branches that executed at least once.
+    pub fn static_branches(&self) -> usize {
+        self.all_desc.len()
+    }
+
+    /// Distinct static unconditional branches that executed.
+    pub fn static_uncond(&self) -> usize {
+        self.uncond_desc.len()
+    }
+}
+
+fn coverage(desc: &[u64], k: usize) -> f64 {
+    let total: u64 = desc.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let top: u64 = desc.iter().take(k).sum();
+    top as f64 / total as f64
+}
+
+/// Profiles dynamic branch popularity over `instructions` retired
+/// instructions (Fig. 4's input).
+pub fn branch_profile(program: &Program, seed: u64, instructions: u64) -> BranchProfile {
+    let mut exec = Executor::new(program, seed);
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    while exec.instructions() < instructions {
+        let r = exec.next_block();
+        *counts.entry(r.block.branch_pc().get()).or_insert(0) += 1;
+    }
+    let mut all_desc = Vec::with_capacity(counts.len());
+    let mut uncond_desc = Vec::new();
+    for (&pc, &count) in &counts {
+        all_desc.push(count);
+        let id = program
+            .block_containing(fe_model::Addr::new(pc))
+            .expect("profiled branch must belong to a block");
+        if program.block(id).kind.is_unconditional() {
+            uncond_desc.push(count);
+        }
+    }
+    all_desc.sort_unstable_by(|a, b| b.cmp(a));
+    uncond_desc.sort_unstable_by(|a, b| b.cmp(a));
+    BranchProfile { all_desc, uncond_desc }
+}
+
+/// Static footprint summary used in workload tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FootprintSummary {
+    /// Functions, dispatcher included.
+    pub functions: usize,
+    /// Static basic blocks (= static branches).
+    pub blocks: usize,
+    /// Code bytes.
+    pub bytes: u64,
+    /// Distinct code lines.
+    pub lines: u64,
+}
+
+/// Summarizes a program's static footprint.
+pub fn footprint(program: &Program) -> FootprintSummary {
+    FootprintSummary {
+        functions: program.function_count(),
+        blocks: program.block_count(),
+        bytes: program.code_bytes(),
+        lines: program.code_lines(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{LayerSpec, WorkloadSpec};
+
+    fn program() -> Program {
+        WorkloadSpec {
+            name: "analytics".into(),
+            seed: 31,
+            layers: vec![
+                LayerSpec::grouped(4, 4.0),
+                LayerSpec::grouped(24, 2.2),
+                LayerSpec::shared(32, 0.5),
+            ],
+            kernel_entries: 4,
+            kernel_helpers: 8,
+            ..WorkloadSpec::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn locality_is_cumulative_and_complete() {
+        let p = program();
+        let loc = region_locality(&p, 1, 400_000);
+        let cum = loc.cumulative();
+        for pair in cum.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+        assert!((cum[17] - 1.0).abs() < 1e-9);
+        assert!(loc.regions > 1000);
+    }
+
+    #[test]
+    fn locality_is_spatially_concentrated() {
+        // The paper's Fig. 3 finding: ~90% of accesses within 10 lines.
+        // Synthetic functions are small, so the shape must reproduce.
+        let p = program();
+        let loc = region_locality(&p, 1, 400_000);
+        assert!(loc.within(10) > 0.75, "within-10 locality {}", loc.within(10));
+        assert!(loc.within(0) > 0.2, "entry line itself dominates");
+        assert!(loc.within(2) < 1.0, "some accesses must spread past the entry line");
+    }
+
+    #[test]
+    fn branch_profile_counts_everything() {
+        let p = program();
+        let prof = branch_profile(&p, 2, 200_000);
+        assert!(prof.static_branches() > prof.static_uncond());
+        assert!(prof.static_uncond() > 10);
+        // Coverage is monotone in k and reaches 1.
+        let k_all = prof.static_branches();
+        assert!(prof.coverage_all(k_all) > 0.999);
+        assert!(prof.coverage_all(10) < prof.coverage_all(100));
+    }
+
+    #[test]
+    fn uncond_working_set_is_smaller() {
+        // Fig. 4's key claim: unconditional coverage saturates with far
+        // fewer static branches than total coverage.
+        let p = program();
+        let prof = branch_profile(&p, 2, 400_000);
+        let k = prof.static_uncond() / 2;
+        assert!(
+            prof.coverage_uncond(k) > prof.coverage_all(k),
+            "uncond {} vs all {}",
+            prof.coverage_uncond(k),
+            prof.coverage_all(k),
+        );
+    }
+
+    #[test]
+    fn footprint_summary_consistent() {
+        let p = program();
+        let f = footprint(&p);
+        assert_eq!(f.functions, p.function_count());
+        assert_eq!(f.blocks, p.block_count());
+        assert!(f.bytes / 64 <= f.lines, "lines lower-bounded by bytes/64");
+    }
+}

@@ -1,0 +1,419 @@
+//! The static program artifact produced by the synthesizer.
+//!
+//! [`Program`] is the synthetic equivalent of the server binary the
+//! paper traces: an address-sorted array of basic blocks grouped into
+//! functions, plus the lookup operations hardware components perform
+//! against code:
+//!
+//! * [`Program::block_id_at`] — exact block-start lookup, what a
+//!   basic-block-oriented BTB is indexed by;
+//! * [`Program::branches_in_line`] — the predecoder's view: which branch
+//!   instructions live in a fetched cache line (§4.2.3 step 4);
+//! * [`Program::block_containing`] — scan-forward discovery used when a
+//!   reactive BTB fill resolves a miss from a fetched line (§4.2.3).
+//!
+//! Dynamic behaviour annotations ([`Behavior`]) ride along with each
+//! block; they drive the [`crate::Executor`]'s outcome draws and are
+//! *not* visible to any modeled hardware.
+
+use fe_model::{Addr, BasicBlock, LineAddr};
+
+use crate::zipf::ZipfTable;
+
+/// Index of a basic block within its [`Program`].
+pub type BlockId = u32;
+
+/// How the executor resolves the terminating branch of a block.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behavior {
+    /// Unconditional branch: always taken.
+    Uncond,
+    /// Conditional with an independent per-execution taken probability.
+    Biased {
+        /// Probability the branch is taken.
+        taken: f32,
+    },
+    /// Backward conditional closing a loop.
+    Loop {
+        /// Mean iterations per visit.
+        mean_trips: f32,
+        /// `true`: the trip count is the same on every visit (a
+        /// TAGE-learnable counted loop); `false`: drawn geometrically
+        /// per visit (data-dependent loop).
+        fixed: bool,
+    },
+    /// Dispatcher test block: taken exactly when the current
+    /// transaction targets `handler`.
+    Dispatch {
+        /// Request-handler index this test selects.
+        handler: u32,
+    },
+    /// Periodic outcome pattern (e.g. even/odd element processing):
+    /// taken on iterations where `(count % period) < taken_count`.
+    /// Fully learnable by a history-based predictor.
+    Pattern {
+        /// Pattern period (2..=8).
+        period: u8,
+        /// Taken outcomes per period.
+        taken_count: u8,
+    },
+}
+
+/// Role of a function in the synthetic server stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FunctionKind {
+    /// The top-level request dispatch loop (function 0).
+    Dispatcher,
+    /// User-level function in call-graph layer `n` (0 = request
+    /// handler, increasing = deeper library layers).
+    User(u8),
+    /// Kernel trap handler (entered via `Trap`, exits via `TrapReturn`).
+    KernelEntry,
+    /// Kernel-internal helper (ordinary call/return).
+    KernelHelper,
+}
+
+impl FunctionKind {
+    /// `true` for kernel-side code.
+    pub fn is_kernel(self) -> bool {
+        matches!(self, FunctionKind::KernelEntry | FunctionKind::KernelHelper)
+    }
+}
+
+/// A contiguous run of basic blocks forming one function.
+#[derive(Clone, Copy, Debug)]
+pub struct Function {
+    /// Id of the entry block.
+    pub first_block: BlockId,
+    /// Number of blocks in the function.
+    pub block_count: u32,
+    /// Role in the stack.
+    pub kind: FunctionKind,
+    /// Handler-affinity group used during synthesis (which request
+    /// type's working set this function predominantly belongs to).
+    pub group: u32,
+}
+
+impl Function {
+    /// Block ids belonging to this function.
+    pub fn block_ids(&self) -> std::ops::Range<BlockId> {
+        self.first_block..self.first_block + self.block_count
+    }
+}
+
+/// An immutable synthetic program.
+///
+/// Blocks are sorted by start address, do not overlap, and every
+/// control-flow target (branch target, fall-through, return address)
+/// is the start of some block — the invariant that makes basic-block-
+/// oriented BTB lookups well defined.
+#[derive(Clone, Debug)]
+pub struct Program {
+    blocks: Vec<BasicBlock>,
+    behaviors: Vec<Behavior>,
+    fn_of: Vec<u32>,
+    functions: Vec<Function>,
+    entry: Addr,
+    handler_table: ZipfTable,
+    name: String,
+    /// Pre-resolved taken-target block id per block (`NO_TARGET` for
+    /// returns); keeps the executor's hot path free of binary searches.
+    target_ids: Vec<BlockId>,
+}
+
+/// Sentinel target id for blocks whose target is dynamic (returns).
+pub const NO_TARGET: BlockId = BlockId::MAX;
+
+impl Program {
+    /// Assembles a program from synthesizer output, checking the block
+    /// invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks are unsorted/overlapping or array lengths
+    /// disagree — synthesis bugs, not user errors.
+    pub(crate) fn from_parts(
+        name: String,
+        blocks: Vec<BasicBlock>,
+        behaviors: Vec<Behavior>,
+        fn_of: Vec<u32>,
+        functions: Vec<Function>,
+        entry: Addr,
+        handler_table: ZipfTable,
+    ) -> Self {
+        assert_eq!(blocks.len(), behaviors.len());
+        assert_eq!(blocks.len(), fn_of.len());
+        assert!(!blocks.is_empty(), "program must contain code");
+        for pair in blocks.windows(2) {
+            assert!(
+                pair[0].end() <= pair[1].start,
+                "blocks must be sorted and disjoint: {:?} then {:?}",
+                pair[0],
+                pair[1],
+            );
+        }
+        let target_ids = blocks
+            .iter()
+            .map(|b| {
+                if !b.kind.has_btb_target() {
+                    NO_TARGET
+                } else {
+                    blocks
+                        .binary_search_by(|probe| probe.start.cmp(&b.target))
+                        .map(|i| i as BlockId)
+                        .unwrap_or_else(|_| {
+                            panic!("branch target {} is not a block start", b.target)
+                        })
+                }
+            })
+            .collect();
+        Program { blocks, behaviors, fn_of, functions, entry, handler_table, name, target_ids }
+    }
+
+    /// Workload name this program was synthesized for.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Address of the first dispatcher block — where execution starts.
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Number of basic blocks (= static branch count: every block ends
+    /// in exactly one branch).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of functions, dispatcher included.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The static block descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id as usize]
+    }
+
+    /// Executor-facing branch behaviour of a block.
+    #[inline]
+    pub fn behavior(&self, id: BlockId) -> Behavior {
+        self.behaviors[id as usize]
+    }
+
+    /// Pre-resolved taken-target block id, or [`NO_TARGET`] for blocks
+    /// whose target is dynamic (returns).
+    #[inline]
+    pub fn target_id(&self, id: BlockId) -> BlockId {
+        self.target_ids[id as usize]
+    }
+
+    /// The function owning a block.
+    #[inline]
+    pub fn function_of(&self, id: BlockId) -> &Function {
+        &self.functions[self.fn_of[id as usize] as usize]
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// All blocks, address-sorted.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Id of the block that *starts* exactly at `pc`, if any — the
+    /// lookup a basic-block-oriented BTB performs.
+    pub fn block_id_at(&self, pc: Addr) -> Option<BlockId> {
+        self.blocks
+            .binary_search_by(|b| b.start.cmp(&pc))
+            .ok()
+            .map(|i| i as BlockId)
+    }
+
+    /// Id of the block whose byte range contains `pc`, if any.
+    pub fn block_containing(&self, pc: Addr) -> Option<BlockId> {
+        let idx = self.blocks.partition_point(|b| b.start <= pc);
+        if idx == 0 {
+            return None;
+        }
+        let cand = idx - 1;
+        self.blocks[cand].contains(pc).then_some(cand as BlockId)
+    }
+
+    /// The first block starting at or after `pc` — what a predecoder
+    /// scanning forward from a miss address discovers.
+    pub fn block_at_or_after(&self, pc: Addr) -> Option<BlockId> {
+        let idx = self.blocks.partition_point(|b| b.start < pc);
+        (idx < self.blocks.len()).then_some(idx as BlockId)
+    }
+
+    /// Ids of blocks whose terminating *branch instruction* lies within
+    /// cache line `line` — the metadata a predecoder extracts from a
+    /// fetched line (§4.2.3, Fig. 5b steps 4–5).
+    ///
+    /// Branch PCs are strictly increasing across blocks, so this is a
+    /// binary-searched contiguous id range.
+    pub fn branches_in_line(&self, line: LineAddr) -> std::ops::Range<BlockId> {
+        let lo_addr = line.base();
+        let hi_addr = line.offset(1).base();
+        let lo = self.blocks.partition_point(|b| b.branch_pc() < lo_addr) as BlockId;
+        let hi = self.blocks.partition_point(|b| b.branch_pc() < hi_addr) as BlockId;
+        lo..hi
+    }
+
+    /// The fall-through successor block of `id` (next block in layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the last block of the address space, which the
+    /// synthesizer never produces on an executable path.
+    pub fn fall_through_id(&self, id: BlockId) -> BlockId {
+        debug_assert!(
+            (id as usize) < self.blocks.len() - 1,
+            "fall-through off the end of the program",
+        );
+        id + 1
+    }
+
+    /// Popularity distribution over request handlers, drawn by the
+    /// executor at each transaction start.
+    pub fn handler_table(&self) -> &ZipfTable {
+        &self.handler_table
+    }
+
+    /// Total static instruction bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.byte_len()).sum()
+    }
+
+    /// Number of distinct cache lines holding code (static instruction
+    /// footprint at line granularity, counting layout padding gaps as
+    /// boundaries).
+    pub fn code_lines(&self) -> u64 {
+        let mut lines = 0u64;
+        let mut last = None;
+        for b in &self.blocks {
+            for l in b.lines() {
+                if last != Some(l) {
+                    lines += 1;
+                    last = Some(l);
+                }
+            }
+        }
+        lines
+    }
+
+    /// Count of static branches by unconditional-ness:
+    /// `(conditional, unconditional)`.
+    pub fn static_branch_mix(&self) -> (u64, u64) {
+        let uncond = self.blocks.iter().filter(|b| b.kind.is_unconditional()).count() as u64;
+        (self.blocks.len() as u64 - uncond, uncond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_model::BranchKind;
+
+    fn tiny_program() -> Program {
+        // Two blocks at 0x1000 (4 instrs, cond -> 0x1020) and 0x1010
+        // (2 instrs, return), one block at 0x1020 (1 instr, jump->0x1000).
+        let blocks = vec![
+            BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Conditional, Addr::new(0x1020)),
+            BasicBlock::new(Addr::new(0x1010), 2, BranchKind::Return, Addr::NULL),
+            BasicBlock::new(Addr::new(0x1020), 1, BranchKind::Jump, Addr::new(0x1000)),
+        ];
+        let behaviors = vec![Behavior::Biased { taken: 0.5 }, Behavior::Uncond, Behavior::Uncond];
+        let fn_of = vec![0, 0, 0];
+        let functions =
+            vec![Function { first_block: 0, block_count: 3, kind: FunctionKind::Dispatcher, group: 0 }];
+        Program::from_parts(
+            "tiny".into(),
+            blocks,
+            behaviors,
+            fn_of,
+            functions,
+            Addr::new(0x1000),
+            ZipfTable::new(1, 0.0),
+        )
+    }
+
+    #[test]
+    fn exact_start_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.block_id_at(Addr::new(0x1000)), Some(0));
+        assert_eq!(p.block_id_at(Addr::new(0x1010)), Some(1));
+        assert_eq!(p.block_id_at(Addr::new(0x1004)), None);
+    }
+
+    #[test]
+    fn containing_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.block_containing(Addr::new(0x1004)), Some(0));
+        assert_eq!(p.block_containing(Addr::new(0x1011)), Some(1));
+        assert_eq!(p.block_containing(Addr::new(0x1018)), None, "gap between blocks");
+        assert_eq!(p.block_containing(Addr::new(0x0fff)), None);
+    }
+
+    #[test]
+    fn at_or_after_lookup() {
+        let p = tiny_program();
+        assert_eq!(p.block_at_or_after(Addr::new(0x0000)), Some(0));
+        assert_eq!(p.block_at_or_after(Addr::new(0x1001)), Some(1));
+        assert_eq!(p.block_at_or_after(Addr::new(0x1021)), None);
+    }
+
+    #[test]
+    fn branches_in_line_ranges() {
+        let p = tiny_program();
+        // Line 0x1000 holds branch PCs 0x100c and 0x1014 (blocks 0, 1)
+        // and the jump at 0x1020.
+        let line = LineAddr::containing(0x1000);
+        assert_eq!(p.branches_in_line(line), 0..3);
+        assert_eq!(p.branches_in_line(LineAddr::containing(0x1040)), 3..3);
+    }
+
+    #[test]
+    fn target_ids_preresolved() {
+        let p = tiny_program();
+        assert_eq!(p.target_id(0), 2, "cond targets the jump block");
+        assert_eq!(p.target_id(1), NO_TARGET, "returns have no static target");
+        assert_eq!(p.target_id(2), 0, "jump loops to the first block");
+    }
+
+    #[test]
+    fn static_mix_counts() {
+        let p = tiny_program();
+        assert_eq!(p.static_branch_mix(), (1, 2));
+        assert_eq!(p.block_count(), 3);
+        assert_eq!(p.code_bytes(), 4 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn rejects_overlapping_blocks() {
+        let blocks = vec![
+            BasicBlock::new(Addr::new(0x1000), 8, BranchKind::Jump, Addr::new(0x1000)),
+            BasicBlock::new(Addr::new(0x1010), 2, BranchKind::Jump, Addr::new(0x1000)),
+        ];
+        Program::from_parts(
+            "bad".into(),
+            blocks,
+            vec![Behavior::Uncond; 2],
+            vec![0, 0],
+            vec![],
+            Addr::new(0x1000),
+            ZipfTable::new(1, 0.0),
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Workload specification: the knobs of the program synthesizer.
+//!
+//! A [`WorkloadSpec`] describes the *shape* of a server stack — how many
+//! request types, how the call graph fans out through library layers,
+//! how big functions are, how branchy and loopy the code is, and how
+//! often it traps into the kernel. The six presets in
+//! [`crate::workloads`] instantiate these knobs to approximate the
+//! workloads of Table 2.
+
+use crate::program::Program;
+use crate::synth;
+
+/// One layer of the user-level call graph.
+///
+/// Layer 0 is the request handlers; each deeper layer is called by the
+/// one above it (the call graph is a DAG by construction, so the
+/// executor needs no recursion guard).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// Number of functions in the layer.
+    pub functions: u32,
+    /// Mean number of call sites placed per function of this layer
+    /// (Poisson). The sites target the next layer down.
+    pub mean_fanout: f64,
+    /// Whether this layer's functions are partitioned into per-handler
+    /// affinity groups (module code private to a request type) or
+    /// shared across all handlers (library code).
+    pub partitioned: bool,
+}
+
+impl LayerSpec {
+    /// A partitioned (per-request-type) layer.
+    pub fn grouped(functions: u32, mean_fanout: f64) -> Self {
+        LayerSpec { functions, mean_fanout, partitioned: true }
+    }
+
+    /// A shared-library layer.
+    pub fn shared(functions: u32, mean_fanout: f64) -> Self {
+        LayerSpec { functions, mean_fanout, partitioned: false }
+    }
+}
+
+/// Full description of a synthetic workload.
+///
+/// Use a preset from [`crate::workloads`] and tweak fields, or build
+/// one from scratch; [`WorkloadSpec::build`] runs the synthesizer.
+///
+/// ```
+/// use fe_cfg::{LayerSpec, WorkloadSpec};
+///
+/// let spec = WorkloadSpec {
+///     name: "custom".into(),
+///     layers: vec![LayerSpec::grouped(8, 6.0), LayerSpec::shared(64, 0.4)],
+///     ..WorkloadSpec::default()
+/// };
+/// let program = spec.build();
+/// assert!(program.function_count() > 64);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Workload name (appears in reports).
+    pub name: String,
+    /// Synthesis seed; two specs differing only in seed produce
+    /// structurally similar but distinct programs.
+    pub seed: u64,
+    /// Popularity skew across request handlers (Zipf theta). Higher
+    /// values concentrate transactions on few request types, shrinking
+    /// the active working set.
+    pub handler_zipf: f64,
+    /// User-level call-graph layers; layer 0 must be the handlers.
+    pub layers: Vec<LayerSpec>,
+    /// Probability that a call from a partitioned layer stays within
+    /// the caller's handler group (vs. a global Zipf draw).
+    pub group_affinity: f64,
+    /// Zipf skew of global callee selection within a layer.
+    pub callee_zipf: f64,
+    /// Number of kernel trap-entry routines (syscall handlers).
+    pub kernel_entries: u32,
+    /// Number of kernel-internal helper functions.
+    pub kernel_helpers: u32,
+    /// Mean call sites per kernel entry routine (targets helpers).
+    pub kernel_fanout: f64,
+    /// Fraction of user call sites that are traps into the kernel
+    /// instead of ordinary calls.
+    pub trap_rate: f64,
+    /// Mean basic blocks per function (lognormal).
+    pub mean_blocks: f64,
+    /// Lognormal sigma of the function size distribution; larger
+    /// values produce a heavier tail of big functions.
+    pub block_sigma: f64,
+    /// Probability that a non-call body block ends in an intra-function
+    /// unconditional jump (region break inside the function).
+    pub jump_density: f64,
+    /// Fraction of conditionals that are loop back-edges.
+    pub loop_fraction: f64,
+    /// Mean loop trip count per loop visit (geometric).
+    pub mean_loop_trips: f64,
+    /// Mean forward skip distance of conditionals/jumps, in blocks.
+    pub mean_skip: f64,
+    /// Fraction of non-handler functions that are "straight-line
+    /// compute" bodies: roughly double-length, call-free, and nearly
+    /// jump-free (hashing, compression, media kernels, memcpy-style
+    /// loops). These produce the long intra-region spatial runs behind
+    /// Fig. 3's tail beyond 10 lines.
+    pub straightline_fraction: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "default".into(),
+            seed: 0xC0FFEE,
+            handler_zipf: 0.6,
+            layers: vec![
+                LayerSpec::grouped(16, 8.0),
+                LayerSpec::grouped(256, 3.0),
+                LayerSpec::shared(512, 1.8),
+                LayerSpec::shared(384, 0.3),
+            ],
+            group_affinity: 0.75,
+            callee_zipf: 0.7,
+            kernel_entries: 48,
+            kernel_helpers: 192,
+            kernel_fanout: 1.5,
+            trap_rate: 0.06,
+            mean_blocks: 11.0,
+            block_sigma: 0.95,
+            jump_density: 0.08,
+            loop_fraction: 0.14,
+            mean_loop_trips: 4.0,
+            mean_skip: 2.5,
+            straightline_fraction: 0.08,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Number of request handlers (layer 0 functions).
+    pub fn handlers(&self) -> u32 {
+        self.layers.first().map_or(0, |l| l.functions)
+    }
+
+    /// Total user+kernel function count the synthesizer will emit
+    /// (excluding the dispatcher).
+    pub fn total_functions(&self) -> u64 {
+        self.layers.iter().map(|l| l.functions as u64).sum::<u64>()
+            + self.kernel_entries as u64
+            + self.kernel_helpers as u64
+    }
+
+    /// Returns a copy with every layer's function count (and the kernel
+    /// population) scaled by `factor` — handy for fast tests that only
+    /// need a structurally similar, smaller program.
+    pub fn scaled(&self, factor: f64) -> WorkloadSpec {
+        let scale = |v: u32| -> u32 { ((v as f64 * factor).round() as u32).max(2) };
+        let mut out = self.clone();
+        for layer in &mut out.layers {
+            layer.functions = scale(layer.functions);
+        }
+        out.kernel_entries = scale(out.kernel_entries);
+        out.kernel_helpers = scale(out.kernel_helpers);
+        out
+    }
+
+    /// Runs the synthesizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is structurally invalid (no layers, zero
+    /// functions in a layer, or out-of-range probabilities); see
+    /// [`WorkloadSpec::validate`].
+    pub fn build(&self) -> Program {
+        self.validate().expect("invalid workload spec");
+        synth::synthesize(self)
+    }
+
+    /// Checks the spec for structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers.is_empty() {
+            return Err("at least one layer (the handlers) is required".into());
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.functions == 0 {
+                return Err(format!("layer {i} has zero functions"));
+            }
+            if layer.mean_fanout < 0.0 {
+                return Err(format!("layer {i} fanout is negative"));
+            }
+        }
+        if self.kernel_entries == 0 && self.trap_rate > 0.0 {
+            return Err("trap_rate > 0 requires kernel entries".into());
+        }
+        for (v, what) in [
+            (self.group_affinity, "group_affinity"),
+            (self.trap_rate, "trap_rate"),
+            (self.jump_density, "jump_density"),
+            (self.loop_fraction, "loop_fraction"),
+            (self.straightline_fraction, "straightline_fraction"),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{what} must be a probability, got {v}"));
+            }
+        }
+        if self.mean_blocks < 1.0 {
+            return Err("mean_blocks must be >= 1".into());
+        }
+        if self.mean_loop_trips < 1.0 {
+            return Err("mean_loop_trips must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        assert!(WorkloadSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_shrinks_layers() {
+        let spec = WorkloadSpec::default();
+        let small = spec.scaled(0.25);
+        assert_eq!(small.layers[1].functions, 64);
+        assert!(small.total_functions() < spec.total_functions());
+        // Structural knobs are untouched.
+        assert_eq!(small.mean_blocks, spec.mean_blocks);
+    }
+
+    #[test]
+    fn scaled_never_reaches_zero() {
+        let small = WorkloadSpec::default().scaled(0.0001);
+        assert!(small.layers.iter().all(|l| l.functions >= 2));
+    }
+
+    #[test]
+    fn validation_rejects_empty_layers() {
+        let spec = WorkloadSpec { layers: vec![], ..Default::default() };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_trap_without_kernel() {
+        let spec = WorkloadSpec { kernel_entries: 0, trap_rate: 0.1, ..Default::default() };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_probability() {
+        let spec = WorkloadSpec { group_affinity: 1.5, ..Default::default() };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn handlers_reads_layer_zero() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(spec.handlers(), 16);
+    }
+}

@@ -1,0 +1,612 @@
+//! Program synthesis: turning a [`WorkloadSpec`] into a [`Program`].
+//!
+//! The synthesizer emits a dispatcher loop (the server's accept/dispatch
+//! outer loop) plus a layered DAG of user functions and a two-level
+//! kernel (trap entries calling helpers). Every function is a contiguous
+//! run of small basic blocks; call sites are fixed at synthesis time
+//! (direct calls, as in the paper's SPARC workloads), while conditional
+//! branches carry the stochastic behaviour the executor draws from.
+//!
+//! Layout invariants relied on elsewhere:
+//!
+//! * blocks are address-sorted and disjoint; every branch target and
+//!   fall-through is a block start;
+//! * a function's blocks are contiguous in id space, so the fall-through
+//!   of block `i` is block `i + 1`;
+//! * the last block of a function is its only `Return`/`TrapReturn`, and
+//!   conditionals/calls never occupy the last slot, so execution cannot
+//!   fall off the end;
+//! * user code and kernel code live in disjoint address ranges
+//!   (`USER_BASE`, `KERNEL_BASE`), like a real virtual address space.
+
+use fe_model::{Addr, BasicBlock, BranchKind, LINE_BYTES};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{Behavior, BlockId, Function, FunctionKind, Program};
+use crate::spec::WorkloadSpec;
+use crate::zipf::{sample_geometric, ZipfTable};
+
+/// Base address of user-level code.
+pub const USER_BASE: u64 = 0x0001_0000;
+/// Base address of kernel code (trap routines).
+pub const KERNEL_BASE: u64 = 0x4000_0000;
+
+/// Block-count cap per function (keeps regions within the Fig. 3 scale
+/// while leaving a tail past 16 lines).
+const MAX_BLOCKS: u32 = 160;
+/// Instruction-count floor/ceiling per block (must fit the 5-bit BTB
+/// size field).
+const MIN_INSTRS: u8 = 3;
+const MAX_INSTRS: u8 = 14;
+
+/// Internal per-block plan before addresses exist.
+#[derive(Clone, Copy, Debug)]
+enum PlanKind {
+    /// Conditional with an intra-function target index.
+    Cond { target_idx: u32, behavior: Behavior },
+    /// Unconditional jump with an intra-function target index.
+    Jump { target_idx: u32 },
+    /// Call (or trap) to the entry of another function.
+    Call { callee: u32, trap: bool },
+    /// Function-terminating return.
+    Ret { trap: bool },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BlockPlan {
+    instrs: u8,
+    kind: PlanKind,
+}
+
+struct FnPlan {
+    kind: FunctionKind,
+    group: u32,
+    blocks: Vec<BlockPlan>,
+    /// Assigned at layout time.
+    entry: Addr,
+    first_block: BlockId,
+}
+
+/// Runs the synthesizer. Deterministic in `spec` (including its seed).
+pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+
+    // ---- population bookkeeping -------------------------------------
+    let handlers = spec.handlers();
+    let user_layers = spec.layers.len();
+    // Global function ids: 0 = dispatcher, then user layers in order,
+    // then kernel entries, then kernel helpers.
+    let mut layer_base = Vec::with_capacity(user_layers);
+    let mut next_id = 1u32;
+    for layer in &spec.layers {
+        layer_base.push(next_id);
+        next_id += layer.functions;
+    }
+    let kernel_entry_base = next_id;
+    next_id += spec.kernel_entries;
+    let kernel_helper_base = next_id;
+    next_id += spec.kernel_helpers;
+    let total_fns = next_id;
+
+    let layer_zipf: Vec<ZipfTable> = spec
+        .layers
+        .iter()
+        .map(|l| ZipfTable::new(l.functions as usize, spec.callee_zipf))
+        .collect();
+    let kernel_entry_zipf = if spec.kernel_entries > 0 {
+        Some(ZipfTable::new(spec.kernel_entries as usize, spec.callee_zipf))
+    } else {
+        None
+    };
+    let kernel_helper_zipf = if spec.kernel_helpers > 0 {
+        Some(ZipfTable::new(spec.kernel_helpers as usize, spec.callee_zipf))
+    } else {
+        None
+    };
+
+    // ---- plan every function ----------------------------------------
+    let mut plans: Vec<FnPlan> = Vec::with_capacity(total_fns as usize);
+    plans.push(plan_dispatcher(handlers, layer_base[0]));
+
+    for (layer_idx, layer) in spec.layers.iter().enumerate() {
+        for i in 0..layer.functions {
+            let group = if layer.partitioned { i % handlers } else { u32::MAX };
+            let callee_pick = |rng: &mut SmallRng| -> Option<(u32, bool)> {
+                // Trap into the kernel?
+                if spec.kernel_entries > 0 && rng.gen::<f64>() < spec.trap_rate {
+                    let k = kernel_entry_zipf.as_ref().unwrap().sample(rng) as u32;
+                    return Some((kernel_entry_base + k, true));
+                }
+                // Ordinary call into the next layer down.
+                let next_layer = layer_idx + 1;
+                if next_layer >= user_layers {
+                    return None;
+                }
+                let target_layer = &spec.layers[next_layer];
+                let idx = if target_layer.partitioned && rng.gen::<f64>() < spec.group_affinity {
+                    // Stay within the caller's handler group: functions
+                    // with index ≡ group (mod handlers).
+                    let per_group =
+                        (target_layer.functions + handlers - 1 - group % handlers) / handlers;
+                    if per_group == 0 {
+                        layer_zipf[next_layer].sample(rng) as u32
+                    } else {
+                        let k = rng.gen_range(0..per_group);
+                        group % handlers + k * handlers
+                    }
+                } else {
+                    layer_zipf[next_layer].sample(rng) as u32
+                };
+                Some((layer_base[next_layer] + idx.min(target_layer.functions - 1), false))
+            };
+            plans.push(plan_function(
+                spec,
+                &mut rng,
+                FunctionKind::User(layer_idx as u8),
+                group,
+                layer.mean_fanout,
+                callee_pick,
+            ));
+        }
+    }
+
+    for _ in 0..spec.kernel_entries {
+        let callee_pick = |rng: &mut SmallRng| -> Option<(u32, bool)> {
+            kernel_helper_zipf
+                .as_ref()
+                .map(|z| (kernel_helper_base + z.sample(rng) as u32, false))
+        };
+        plans.push(plan_function(
+            spec,
+            &mut rng,
+            FunctionKind::KernelEntry,
+            u32::MAX,
+            spec.kernel_fanout,
+            callee_pick,
+        ));
+    }
+    for _ in 0..spec.kernel_helpers {
+        plans.push(plan_function(
+            spec,
+            &mut rng,
+            FunctionKind::KernelHelper,
+            u32::MAX,
+            0.0,
+            |_| None,
+        ));
+    }
+
+    // ---- lay out addresses ------------------------------------------
+    let mut user_cursor = USER_BASE;
+    let mut kernel_cursor = KERNEL_BASE;
+    let mut block_counter: BlockId = 0;
+    for plan in &mut plans {
+        let cursor =
+            if plan.kind.is_kernel() { &mut kernel_cursor } else { &mut user_cursor };
+        // Line-align function entries, as linkers commonly do.
+        *cursor = (*cursor + LINE_BYTES - 1) / LINE_BYTES * LINE_BYTES;
+        plan.entry = Addr::new(*cursor);
+        plan.first_block = block_counter;
+        for b in &plan.blocks {
+            *cursor += b.instrs as u64 * fe_model::INSTR_BYTES;
+            block_counter += 1;
+        }
+    }
+    assert!(user_cursor < KERNEL_BASE, "user code overflowed into the kernel range");
+
+    // ---- materialize blocks -----------------------------------------
+    let total_blocks = block_counter as usize;
+    let mut blocks = Vec::with_capacity(total_blocks);
+    let mut behaviors = Vec::with_capacity(total_blocks);
+    let mut fn_of = Vec::with_capacity(total_blocks);
+    let mut functions = Vec::with_capacity(plans.len());
+
+    // Precompute intra-function block start addresses.
+    for (fn_id, plan) in plans.iter().enumerate() {
+        let mut starts = Vec::with_capacity(plan.blocks.len());
+        let mut addr = plan.entry;
+        for b in &plan.blocks {
+            starts.push(addr);
+            addr = addr + b.instrs as u64 * fe_model::INSTR_BYTES;
+        }
+        for (j, b) in plan.blocks.iter().enumerate() {
+            let (kind, target, behavior) = match b.kind {
+                PlanKind::Cond { target_idx, behavior } => {
+                    (BranchKind::Conditional, starts[target_idx as usize], behavior)
+                }
+                PlanKind::Jump { target_idx } => {
+                    (BranchKind::Jump, starts[target_idx as usize], Behavior::Uncond)
+                }
+                PlanKind::Call { callee, trap } => {
+                    let kind = if trap { BranchKind::Trap } else { BranchKind::Call };
+                    (kind, plans[callee as usize].entry, Behavior::Uncond)
+                }
+                PlanKind::Ret { trap } => {
+                    let kind = if trap { BranchKind::TrapReturn } else { BranchKind::Return };
+                    (kind, Addr::NULL, Behavior::Uncond)
+                }
+            };
+            blocks.push(BasicBlock::new(starts[j], b.instrs, kind, target));
+            behaviors.push(behavior);
+            fn_of.push(fn_id as u32);
+        }
+        functions.push(Function {
+            first_block: plan.first_block,
+            block_count: plan.blocks.len() as u32,
+            kind: plan.kind,
+            group: plan.group,
+        });
+    }
+
+    let entry = plans[0].entry;
+    Program::from_parts(
+        spec.name.clone(),
+        blocks,
+        behaviors,
+        fn_of,
+        functions,
+        entry,
+        ZipfTable::new(handlers as usize, spec.handler_zipf),
+    )
+}
+
+/// The dispatcher: `H` chained tests, each selecting one handler, then
+/// per-handler call blocks that jump back to the top of the loop.
+fn plan_dispatcher(handlers: u32, handler_fn_base: u32) -> FnPlan {
+    let h = handlers;
+    let mut blocks = Vec::with_capacity((3 * h) as usize);
+    // D_i: test for handler i; taken -> C_i at local index h + 2*i.
+    for i in 0..h {
+        blocks.push(BlockPlan {
+            instrs: 3,
+            kind: PlanKind::Cond {
+                target_idx: h + 2 * i,
+                behavior: Behavior::Dispatch { handler: i },
+            },
+        });
+    }
+    // C_i / R_i pairs: call handler i, then loop back to D_0.
+    for i in 0..h {
+        blocks.push(BlockPlan {
+            instrs: 4,
+            kind: PlanKind::Call { callee: handler_fn_base + i, trap: false },
+        });
+        blocks.push(BlockPlan { instrs: 2, kind: PlanKind::Jump { target_idx: 0 } });
+    }
+    FnPlan {
+        kind: FunctionKind::Dispatcher,
+        group: u32::MAX,
+        blocks,
+        entry: Addr::NULL,
+        first_block: 0,
+    }
+}
+
+/// Plans one ordinary function body.
+fn plan_function(
+    spec: &WorkloadSpec,
+    rng: &mut SmallRng,
+    kind: FunctionKind,
+    group: u32,
+    mean_fanout: f64,
+    mut callee_pick: impl FnMut(&mut SmallRng) -> Option<(u32, bool)>,
+) -> FnPlan {
+    // A slice of deeper-layer functions are straight-line compute
+    // bodies: longer, call-free, nearly jump-free. They generate the
+    // long intra-region runs of Fig. 3's tail.
+    let straightline = !matches!(kind, FunctionKind::User(0))
+        && rng.gen::<f64>() < spec.straightline_fraction;
+    let (mean_blocks, mean_fanout, jump_density, loop_fraction) = if straightline {
+        (spec.mean_blocks * 2.5, 0.0, spec.jump_density / 4.0, spec.loop_fraction / 2.0)
+    } else {
+        (spec.mean_blocks, mean_fanout, spec.jump_density, spec.loop_fraction)
+    };
+
+    let n_blocks = sample_block_count(rng, mean_blocks, spec.block_sigma);
+    let last = n_blocks - 1;
+    let mut kinds: Vec<Option<PlanKind>> = vec![None; n_blocks as usize];
+
+    // Terminator.
+    kinds[last as usize] =
+        Some(PlanKind::Ret { trap: kind == FunctionKind::KernelEntry });
+
+    // Call sites at random non-terminator positions.
+    if n_blocks > 1 && mean_fanout > 0.0 {
+        let slots = sample_poisson(rng, mean_fanout).min(last as u64) as u32;
+        let mut placed = 0;
+        let mut guard = 0;
+        while placed < slots && guard < 10 * slots + 16 {
+            guard += 1;
+            let j = rng.gen_range(0..last);
+            if kinds[j as usize].is_none() {
+                if let Some((callee, trap)) = callee_pick(rng) {
+                    kinds[j as usize] = Some(PlanKind::Call { callee, trap });
+                    placed += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Fill the rest with local control flow.
+    for j in 0..last {
+        if kinds[j as usize].is_some() {
+            continue;
+        }
+        let plan = if rng.gen::<f64>() < jump_density {
+            let skip = sample_geometric(rng, spec.mean_skip, 16);
+            PlanKind::Jump { target_idx: (j + skip).min(last) }
+        } else if j > 0 && rng.gen::<f64>() < loop_fraction {
+            let back = sample_geometric(rng, 2.0, 8).min(j);
+            let mean_trips =
+                (spec.mean_loop_trips * rng.gen_range(0.5..2.0)).max(1.0) as f32;
+            // Most loops are counted (fixed bounds a history predictor
+            // can learn); the rest are data-dependent.
+            let fixed = rng.gen::<f64>() < 0.85;
+            PlanKind::Cond {
+                target_idx: j - back,
+                behavior: Behavior::Loop { mean_trips, fixed },
+            }
+        } else {
+            let behavior = sample_cond_behavior(rng);
+            // Usually-taken conditionals are if/else hammocks skipping a
+            // short alternate path; rarely-taken ones guard longer
+            // fall-through bodies. Keeping taken skips short preserves
+            // the function's call sites on the hot path.
+            let usually_taken = matches!(behavior, Behavior::Biased { taken } if taken > 0.5);
+            let mean = if usually_taken { 1.2 } else { spec.mean_skip };
+            let skip = 1 + sample_geometric(rng, mean, 16);
+            PlanKind::Cond { target_idx: (j + skip).min(last), behavior }
+        };
+        kinds[j as usize] = Some(plan);
+    }
+
+    let blocks = kinds
+        .into_iter()
+        .map(|k| BlockPlan { instrs: sample_instr_count(rng), kind: k.unwrap() })
+        .collect();
+    FnPlan { kind, group, blocks, entry: Addr::NULL, first_block: 0 }
+}
+
+/// Lognormal function size with mean `mean_blocks`.
+fn sample_block_count(rng: &mut SmallRng, mean_blocks: f64, sigma: f64) -> u32 {
+    let z = sample_standard_normal(rng);
+    let n = mean_blocks * (sigma * z - sigma * sigma / 2.0).exp();
+    (n.round() as u32).clamp(1, MAX_BLOCKS)
+}
+
+/// Block instruction count: floor of 3 plus a short geometric tail,
+/// giving a mean around 5–6 instructions (~22 bytes) per block.
+fn sample_instr_count(rng: &mut SmallRng) -> u8 {
+    let extra = sample_geometric(rng, 3.0, (MAX_INSTRS - MIN_INSTRS) as u32 + 1) - 1;
+    MIN_INSTRS + extra as u8
+}
+
+/// Mixture of conditional behaviours targeting the ~3-6% conditional
+/// misprediction rates server workloads show under a TAGE-class
+/// predictor: mostly strongly biased skips (fall-through dominates or
+/// guard-always-taken), a slice of periodic patterns TAGE can learn
+/// from history, and a thin slice of genuinely data-dependent ones
+/// that form the irreducible floor.
+fn sample_cond_behavior(rng: &mut SmallRng) -> Behavior {
+    let class: f64 = rng.gen();
+    if class < 0.60 {
+        Behavior::Biased { taken: rng.gen_range(0.005..0.06) }
+    } else if class < 0.93 {
+        Behavior::Biased { taken: rng.gen_range(0.94..0.995) }
+    } else if class < 0.97 {
+        let period = rng.gen_range(2..=6u8);
+        let taken_count = rng.gen_range(1..period);
+        Behavior::Pattern { period, taken_count }
+    } else {
+        Behavior::Biased { taken: rng.gen_range(0.25..0.75) }
+    }
+}
+
+fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
+    // Box-Muller; `u` bounded away from zero to keep ln finite.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let v: f64 = rng.gen();
+    (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+}
+
+fn sample_poisson(rng: &mut SmallRng, mean: f64) -> u64 {
+    // Knuth's method; fine for the small means used here.
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // numeric safety valve; unreachable for sane means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LayerSpec;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "synthtest".into(),
+            seed: 7,
+            layers: vec![
+                LayerSpec::grouped(4, 4.0),
+                LayerSpec::grouped(16, 2.0),
+                LayerSpec::shared(24, 0.5),
+            ],
+            kernel_entries: 4,
+            kernel_helpers: 8,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthesize(&small_spec());
+        let b = synthesize(&small_spec());
+        assert_eq!(a.block_count(), b.block_count());
+        assert_eq!(a.blocks()[10], b.blocks()[10]);
+        let mut c_spec = small_spec();
+        c_spec.seed = 8;
+        let c = synthesize(&c_spec);
+        assert!(a.block_count() != c.block_count() || a.blocks()[10] != c.blocks()[10]);
+    }
+
+    #[test]
+    fn function_population_matches_spec() {
+        let spec = small_spec();
+        let p = synthesize(&spec);
+        // dispatcher + users + kernel
+        assert_eq!(p.function_count() as u64, 1 + spec.total_functions());
+    }
+
+    #[test]
+    fn every_function_ends_in_return() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            if f.kind == FunctionKind::Dispatcher {
+                continue;
+            }
+            let last = f.first_block + f.block_count - 1;
+            let kind = p.block(last).kind;
+            if f.kind == FunctionKind::KernelEntry {
+                assert_eq!(kind, BranchKind::TrapReturn);
+            } else {
+                assert_eq!(kind, BranchKind::Return);
+            }
+            // No stray returns inside the body.
+            for id in f.first_block..last {
+                assert!(!p.block(id).kind.is_return(), "return in the middle of a function");
+            }
+        }
+    }
+
+    #[test]
+    fn calls_respect_the_layer_dag() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            for id in f.block_ids() {
+                let b = p.block(id);
+                if b.kind == BranchKind::Call || b.kind == BranchKind::Trap {
+                    let callee = p.function_of(p.target_id(id));
+                    match (f.kind, b.kind) {
+                        (FunctionKind::Dispatcher, _) => {
+                            assert_eq!(callee.kind, FunctionKind::User(0))
+                        }
+                        (FunctionKind::User(_), BranchKind::Trap) => {
+                            assert_eq!(callee.kind, FunctionKind::KernelEntry)
+                        }
+                        (FunctionKind::User(l), BranchKind::Call) => {
+                            assert_eq!(callee.kind, FunctionKind::User(l + 1))
+                        }
+                        (FunctionKind::KernelEntry, _) => {
+                            assert_eq!(callee.kind, FunctionKind::KernelHelper)
+                        }
+                        (k, b) => panic!("unexpected call {b:?} from {k:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_function_targets_stay_inside() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            for id in f.block_ids() {
+                let b = p.block(id);
+                if b.kind == BranchKind::Conditional || b.kind == BranchKind::Jump {
+                    let t = p.target_id(id);
+                    assert!(
+                        f.block_ids().contains(&t),
+                        "local branch escaping its function",
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conditionals_never_terminate_functions() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            if f.kind == FunctionKind::Dispatcher {
+                continue;
+            }
+            let last = f.first_block + f.block_count - 1;
+            assert!(p.block(last).kind.is_return());
+        }
+    }
+
+    #[test]
+    fn kernel_and_user_spaces_are_disjoint() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            for id in f.block_ids() {
+                let addr = p.block(id).start.get();
+                if f.kind.is_kernel() {
+                    assert!(addr >= KERNEL_BASE);
+                } else {
+                    assert!(addr < KERNEL_BASE);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn function_entries_are_line_aligned() {
+        let p = synthesize(&small_spec());
+        for f in p.functions() {
+            let entry = p.block(f.first_block).start;
+            assert_eq!(entry.line_offset(), 0, "function entry {entry} not line aligned");
+        }
+    }
+
+    #[test]
+    fn dispatcher_tests_cover_all_handlers() {
+        let spec = small_spec();
+        let p = synthesize(&spec);
+        let dispatcher = &p.functions()[0];
+        let mut seen = vec![false; spec.handlers() as usize];
+        for id in dispatcher.block_ids() {
+            if let Behavior::Dispatch { handler } = p.behavior(id) {
+                seen[handler as usize] = true;
+                // The taken path of D_i must be a call to handler i.
+                let call_block = p.target_id(id);
+                assert_eq!(p.block(call_block).kind, BranchKind::Call);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every handler reachable from dispatch");
+    }
+
+    #[test]
+    fn poisson_mean_roughly_held() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| sample_poisson(&mut rng, 3.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn block_count_distribution_sane() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<u32> =
+            (0..n).map(|_| sample_block_count(&mut rng, 11.0, 0.75)).collect();
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        assert!((mean - 11.0).abs() < 1.0, "lognormal mean {mean}");
+        assert!(samples.iter().all(|&v| (1..=MAX_BLOCKS).contains(&v)));
+        // Heavy-ish tail exists but is bounded.
+        assert!(samples.iter().any(|&v| v > 30));
+    }
+}

@@ -1,0 +1,224 @@
+//! The six named workload presets standing in for Table 2.
+//!
+//! Each preset parameterizes the synthesizer to approximate the
+//! corresponding commercial workload's *front-end-relevant* statistics:
+//! instruction footprint, BTB-vs-working-set pressure (Table 1's
+//! ordering: Oracle ≈ DB2 ≫ Apache > Zeus ≈ Streaming ≫ Nutch),
+//! request-type skew, kernel time, and loopiness. Absolute MPKI values
+//! depend on the timing model; what these presets pin down is the
+//! ordering and the roughly order-of-magnitude gaps the paper's
+//! analysis builds on.
+//!
+//! | Preset | Stands in for | Character |
+//! |---|---|---|
+//! | [`oracle`] | Oracle 10g TPC-C | biggest footprint, flat request mix |
+//! | [`db2`] | IBM DB2 v8 ESE TPC-C | near-Oracle footprint |
+//! | [`apache`] | Apache HTTP (SPECweb99) | mid footprint, kernel-heavy |
+//! | [`zeus`] | Zeus web server | mid footprint, kernel-heavy |
+//! | [`streaming`] | Darwin Streaming | smaller code, loopy media paths |
+//! | [`nutch`] | Apache Nutch search | small hot set, highly skewed |
+
+use crate::spec::{LayerSpec, WorkloadSpec};
+
+/// All six presets in the paper's presentation order.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![nutch(), streaming(), apache(), zeus(), oracle(), db2()]
+}
+
+/// Looks a preset up by its (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    let lower = name.to_ascii_lowercase();
+    all().into_iter().find(|w| w.name == lower)
+}
+
+/// Web Search (Apache Nutch v1.2): modest code base and a highly
+/// skewed query mix keep the active working set small — the lowest
+/// BTB MPKI of the suite (Table 1: 2.5).
+pub fn nutch() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "nutch".into(),
+        seed: 0x6e757463,
+        handler_zipf: 1.05,
+        layers: vec![
+            LayerSpec::grouped(12, 7.0),
+            LayerSpec::grouped(220, 2.6),
+            LayerSpec::shared(450, 1.4),
+            LayerSpec::shared(400, 0.3),
+        ],
+        kernel_entries: 48,
+        kernel_helpers: 192,
+        kernel_fanout: 1.5,
+        trap_rate: 0.05,
+        mean_blocks: 10.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Media Streaming (Darwin Streaming Server): mid-sized code with long
+/// media-processing loops and frequent kernel I/O (Table 1: 14.5).
+pub fn streaming() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "streaming".into(),
+        // Chosen (like oracle's) for a representative topology draw:
+        // this seed's hot request mix matches Zeus-level BTB pressure,
+        // as Table 1 reports for Streaming.
+        seed: 31,
+        handler_zipf: 0.25,
+        layers: vec![
+            LayerSpec::grouped(22, 8.5),
+            LayerSpec::grouped(640, 3.0),
+            LayerSpec::shared(1400, 1.6),
+            LayerSpec::shared(1050, 0.3),
+        ],
+        kernel_entries: 80,
+        kernel_helpers: 320,
+        kernel_fanout: 2.2,
+        trap_rate: 0.12,
+        mean_blocks: 12.0,
+        mean_loop_trips: 6.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Web Frontend (Apache HTTP Server v2.0, SPECweb99): many connection
+/// states and kernel-heavy request handling (Table 1: 23.7).
+pub fn apache() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "apache".into(),
+        seed: 0x61706163,
+        handler_zipf: 0.38,
+        layers: vec![
+            LayerSpec::grouped(32, 9.0),
+            LayerSpec::grouped(760, 3.0),
+            LayerSpec::shared(1750, 1.5),
+            LayerSpec::shared(1250, 0.3),
+        ],
+        kernel_entries: 64,
+        kernel_helpers: 256,
+        kernel_fanout: 2.0,
+        trap_rate: 0.10,
+        mean_blocks: 11.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Web Frontend (Zeus Web Server, SPECweb99): similar scale to Apache
+/// with a slightly hotter request mix (Table 1: 14.6).
+pub fn zeus() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "zeus".into(),
+        seed: 0x7a657573,
+        handler_zipf: 0.68,
+        layers: vec![
+            LayerSpec::grouped(20, 8.5),
+            LayerSpec::grouped(320, 2.9),
+            LayerSpec::shared(740, 1.5),
+            LayerSpec::shared(560, 0.3),
+        ],
+        kernel_entries: 64,
+        kernel_helpers: 256,
+        kernel_fanout: 2.0,
+        trap_rate: 0.10,
+        mean_blocks: 11.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// OLTP (Oracle 10g, TPC-C 100 warehouses): the largest instruction
+/// footprint of the suite with a flat transaction mix — the workload
+/// that thrashes a 2K-entry BTB hardest (Table 1: 45.1).
+pub fn oracle() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "oracle".into(),
+        // Synthesis topology varies with seed (the hot handlers' call
+        // trees dominate the dynamic stream); this seed lands the
+        // largest BTB working set of the suite, as Table 1 requires.
+        seed: 4,
+        handler_zipf: 0.40,
+        layers: vec![
+            LayerSpec::grouped(52, 10.0),
+            LayerSpec::grouped(1300, 3.0),
+            LayerSpec::shared(3100, 1.6),
+            LayerSpec::shared(2600, 0.25),
+        ],
+        kernel_entries: 104,
+        kernel_helpers: 416,
+        kernel_fanout: 1.8,
+        trap_rate: 0.08,
+        mean_blocks: 13.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// OLTP (IBM DB2 v8 ESE, TPC-C 100 warehouses): near-Oracle footprint
+/// with a somewhat more concentrated unconditional working set
+/// (Table 1: 40.2, Fig. 4).
+pub fn db2() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "db2".into(),
+        seed: 0x64623278,
+        handler_zipf: 0.45,
+        layers: vec![
+            LayerSpec::grouped(40, 10.0),
+            LayerSpec::grouped(1000, 3.0),
+            LayerSpec::shared(2400, 1.6),
+            LayerSpec::shared(2000, 0.25),
+        ],
+        kernel_entries: 80,
+        kernel_helpers: 320,
+        kernel_fanout: 1.8,
+        trap_rate: 0.08,
+        mean_blocks: 13.0,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_presets_with_unique_names() {
+        let presets = all();
+        assert_eq!(presets.len(), 6);
+        let mut names: Vec<_> = presets.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for preset in all() {
+            assert!(preset.validate().is_ok(), "{} invalid", preset.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("Oracle").unwrap().name, "oracle");
+        assert_eq!(by_name("DB2").unwrap().name, "db2");
+        assert!(by_name("postgres").is_none());
+    }
+
+    #[test]
+    fn oltp_footprints_dominate() {
+        let oracle_fns = oracle().total_functions();
+        let db2_fns = db2().total_functions();
+        let apache_fns = apache().total_functions();
+        let nutch_fns = nutch().total_functions();
+        assert!(oracle_fns > db2_fns);
+        assert!(db2_fns > apache_fns);
+        assert!(apache_fns > nutch_fns);
+    }
+
+    #[test]
+    fn scaled_presets_build_quickly() {
+        // The full presets are exercised by integration tests; here we
+        // only verify each downsized preset synthesizes cleanly.
+        for preset in all() {
+            let p = preset.scaled(0.05).build();
+            assert!(p.block_count() > 100, "{} too small", preset.name);
+        }
+    }
+}

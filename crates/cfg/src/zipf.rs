@@ -1,0 +1,157 @@
+//! Zipf-distributed sampling over ranked populations.
+//!
+//! Server code popularity is heavily skewed: a few shared-library
+//! functions and request types dominate dynamic execution while a long
+//! tail executes rarely — precisely the structure behind Fig. 4's
+//! static-to-dynamic branch coverage curves. [`ZipfTable`] precomputes
+//! the CDF of `p(rank) ∝ 1 / rank^theta` once and samples by binary
+//! search, which is fast enough to sit inside the synthesizer's
+//! call-site assignment loop and the executor's dispatch draw.
+
+use rand::Rng;
+
+/// Precomputed Zipf(θ) distribution over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for `n` ranks with exponent `theta`.
+    ///
+    /// `theta == 0` degenerates to the uniform distribution; larger
+    /// values concentrate probability on low ranks. Typical server-code
+    /// skews are 0.6–1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf population must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when the population has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects n == 0
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// Draws from a geometric distribution with the given mean (support
+/// `1..`), clamped to `max`. Used for loop trip counts and skip
+/// distances.
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64, max: u32) -> u32 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let draw = (u.ln() / (1.0 - p).ln()).ceil() as u32;
+    draw.clamp(1, max.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let t = ZipfTable::new(4, 0.0);
+        for rank in 0..4 {
+            assert!((t.pmf(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let t = ZipfTable::new(100, 1.0);
+        assert!(t.pmf(0) > t.pmf(1));
+        assert!(t.pmf(1) > t.pmf(50));
+        // rank 0 of Zipf(1.0, 100) holds ~1/H(100) ≈ 19% of the mass.
+        assert!(t.pmf(0) > 0.15 && t.pmf(0) < 0.25);
+    }
+
+    #[test]
+    fn sample_distribution_matches_pmf() {
+        let t = ZipfTable::new(10, 0.8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for rank in 0..10 {
+            let observed = counts[rank] as f64 / draws as f64;
+            let expected = t.pmf(rank);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {rank}: observed {observed} expected {expected}",
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_is_complete() {
+        let t = ZipfTable::new(17, 0.9);
+        assert!((t.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(t.len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_population() {
+        ZipfTable::new(0, 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 100_000;
+        let mean = 6.0;
+        let sum: u64 = (0..n).map(|_| sample_geometric(&mut rng, mean, 1000) as u64).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - mean).abs() < 0.2, "observed mean {observed}");
+    }
+
+    #[test]
+    fn geometric_clamps() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(sample_geometric(&mut rng, 50.0, 8) <= 8);
+        }
+        assert_eq!(sample_geometric(&mut rng, 0.5, 8), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the workload substrate: any structurally valid
+//! spec must synthesize a semantically closed program, and execution
+//! must be a contiguous walk over it.
+
+use fe_cfg::{Executor, LayerSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2u32..8,     // handlers
+        4u32..40,    // layer-1 functions
+        8u32..60,    // layer-2 functions
+        0.0f64..1.2, // handler zipf
+        1u64..1000,  // seed
+        0.0f64..0.15, // trap rate
+        4.0f64..16.0, // mean blocks
+    )
+        .prop_map(|(h, l1, l2, zipf, seed, trap, mean_blocks)| WorkloadSpec {
+            name: "prop".into(),
+            seed,
+            handler_zipf: zipf,
+            layers: vec![
+                LayerSpec::grouped(h, 4.0),
+                LayerSpec::grouped(l1, 2.0),
+                LayerSpec::shared(l2, 0.5),
+            ],
+            kernel_entries: 3,
+            kernel_helpers: 6,
+            trap_rate: trap,
+            mean_blocks,
+            ..WorkloadSpec::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesized_programs_are_wellformed(spec in arb_spec()) {
+        let program = spec.build();
+        // Every block's taken target resolves (checked at build), and
+        // blocks are disjoint and sorted (also checked); verify the
+        // public view agrees.
+        prop_assert!(program.block_count() > 10);
+        let blocks = program.blocks();
+        for pair in blocks.windows(2) {
+            prop_assert!(pair[0].end() <= pair[1].start);
+        }
+        // Every function ends in a return except the dispatcher.
+        for f in program.functions().iter().skip(1) {
+            let last = f.first_block + f.block_count - 1;
+            prop_assert!(program.block(last).kind.is_return());
+        }
+    }
+
+    #[test]
+    fn execution_is_contiguous_and_balanced(spec in arb_spec()) {
+        let program = spec.build();
+        let mut exec = Executor::new(&program, spec.seed ^ 0xABCD);
+        let mut prev_next = program.entry();
+        let mut depth = 0i64;
+        for _ in 0..30_000 {
+            let rb = exec.next_block();
+            prop_assert_eq!(rb.block.start, prev_next);
+            prev_next = rb.next_pc;
+            match rb.block.kind {
+                fe_model::BranchKind::Call | fe_model::BranchKind::Trap => depth += 1,
+                fe_model::BranchKind::Return | fe_model::BranchKind::TrapReturn => depth -= 1,
+                _ => {}
+            }
+            prop_assert!(depth >= 0);
+            prop_assert!(depth <= 32, "layered DAG bounds depth");
+        }
+    }
+
+    #[test]
+    fn executor_streams_are_seed_deterministic(spec in arb_spec(), seed in any::<u64>()) {
+        let program = spec.build();
+        let a: Vec<_> = Executor::new(&program, seed).take(5_000).collect();
+        let b: Vec<_> = Executor::new(&program, seed).take(5_000).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_preserves_validity(spec in arb_spec(), factor in 0.1f64..2.0) {
+        let scaled = spec.scaled(factor);
+        prop_assert!(scaled.validate().is_ok());
+        let program = scaled.build();
+        prop_assert!(program.block_count() > 0);
+    }
+}

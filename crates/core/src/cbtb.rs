@@ -1,0 +1,134 @@
+//! C-BTB: the small conditional-branch BTB (§4.2.1).
+//!
+//! Tracks only the local control flow of currently-active code regions;
+//! kept effective at just 128 entries because Shotgun prefills it by
+//! predecoding the lines its spatial footprints prefetch (§4.2.3).
+//! Entries are 70 bits (§5.2): 41-bit tag + 22-bit PC-relative target
+//! offset + 5-bit size + 2-bit direction (direction delegated to TAGE
+//! in this model). No type field — everything here is conditional.
+
+use fe_model::{Addr, BasicBlock, BranchKind};
+use fe_uarch::SetAssocMap;
+
+#[derive(Clone, Copy, Debug)]
+struct CBtbPayload {
+    instr_count: u8,
+    /// PC-relative offset (22-bit in hardware); stored resolved.
+    target: Addr,
+}
+
+/// The conditional-branch BTB.
+///
+/// ```
+/// use fe_model::{Addr, BasicBlock, BranchKind};
+/// use shotgun::cbtb::CBtb;
+///
+/// let mut c = CBtb::new(128, 4);
+/// let bb = BasicBlock::new(Addr::new(0x1000), 6, BranchKind::Conditional, Addr::new(0x1100));
+/// c.install(&bb);
+/// assert_eq!(c.lookup(Addr::new(0x1000)), Some(bb));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CBtb {
+    map: SetAssocMap<CBtbPayload>,
+}
+
+impl CBtb {
+    /// Creates a C-BTB with `entries` entries of `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        CBtb { map: SetAssocMap::new(entries, ways) }
+    }
+
+    /// Looks up the conditional block starting at `pc`.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BasicBlock> {
+        self.map.get(pc.get() >> 2).map(|p| BasicBlock {
+            start: pc,
+            instr_count: p.instr_count,
+            kind: BranchKind::Conditional,
+            target: p.target,
+        })
+    }
+
+    /// Installs a predecoded conditional block (§4.2.3 step 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on non-conditional blocks.
+    pub fn install(&mut self, block: &BasicBlock) {
+        debug_assert_eq!(block.kind, BranchKind::Conditional, "C-BTB holds conditionals only");
+        self.map.insert(
+            block.start.get() >> 2,
+            CBtbPayload { instr_count: block.instr_count, target: block.target },
+        );
+    }
+
+    /// Non-promoting residency probe.
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.map.peek(pc.get() >> 2).is_some()
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(start: u64, target: u64) -> BasicBlock {
+        BasicBlock::new(Addr::new(start), 5, BranchKind::Conditional, Addr::new(target))
+    }
+
+    #[test]
+    fn install_lookup_roundtrip() {
+        let mut c = CBtb::new(128, 4);
+        let b = cond(0x1000, 0x1080);
+        c.install(&b);
+        assert_eq!(c.lookup(b.start), Some(b));
+        assert_eq!(c.lookup(Addr::new(0x1004)), None);
+    }
+
+    #[test]
+    fn small_capacity_thrashes_without_prefill() {
+        // The design premise: 128 entries cannot hold a large working
+        // set on their own.
+        let mut c = CBtb::new(128, 4);
+        // Stride co-prime with the set count so keys spread.
+        for i in 0..512u64 {
+            c.install(&cond(0x1000 + i * 68, 0x1000));
+        }
+        assert_eq!(c.len(), 128, "capacity bounded");
+        assert!(c.lookup(Addr::new(0x1000)).is_none(), "early entries evicted");
+    }
+
+    #[test]
+    fn reinstall_updates() {
+        let mut c = CBtb::new(16, 4);
+        c.install(&cond(0x2000, 0x2040));
+        let updated = cond(0x2000, 0x2100);
+        c.install(&updated);
+        assert_eq!(c.lookup(Addr::new(0x2000)), Some(updated));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "conditionals only")]
+    fn rejects_unconditional() {
+        let mut c = CBtb::new(16, 4);
+        let call = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+        c.install(&call);
+    }
+}

@@ -1,0 +1,225 @@
+//! Spatial footprints: compact bit-vector encodings of a code region's
+//! cache-line working set (§4.2.2).
+//!
+//! A footprint records which lines around a region's entry point were
+//! touched during the region's last execution — one bit per line,
+//! positioned by signed distance from the entry (target) line. The
+//! paper's production design uses 8 bits: 6 for lines *after* the
+//! target and 2 for lines *before* it (loop headers reached by backward
+//! branches shortly after entry). The §6.3 sensitivity study also
+//! evaluates a 32-bit variant (24 after / 8 before), encoded by the
+//! same machinery via [`FootprintLayout`].
+
+use fe_model::LineAddr;
+
+/// Geometry of a footprint bit-vector: how many line slots before and
+/// after the region entry line it covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FootprintLayout {
+    /// Slots for lines at negative distances (-1 ..= -before).
+    pub before: u8,
+    /// Slots for lines at positive distances (+1 ..= +after).
+    pub after: u8,
+}
+
+impl FootprintLayout {
+    /// The paper's 8-bit production layout: 6 after + 2 before (§5.2).
+    pub const BITS8: FootprintLayout = FootprintLayout { before: 2, after: 6 };
+    /// The §6.3 sensitivity layout: 32 bits as 24 after + 8 before.
+    pub const BITS32: FootprintLayout = FootprintLayout { before: 8, after: 24 };
+
+    /// Total vector width in bits.
+    pub const fn bits(&self) -> u32 {
+        self.before as u32 + self.after as u32
+    }
+
+    /// Bit index encoding `delta` (signed line distance from the entry
+    /// line), or `None` when the distance falls outside the window.
+    /// Distance 0 (the entry line itself) is implicit — it is always
+    /// prefetched and consumes no bit, matching Fig. 5b's example.
+    pub fn bit_for(&self, delta: i64) -> Option<u32> {
+        if delta >= 1 && delta <= self.after as i64 {
+            Some(delta as u32 - 1)
+        } else if delta <= -1 && delta >= -(self.before as i64) {
+            Some(self.after as u32 + (-delta) as u32 - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Inverse of [`FootprintLayout::bit_for`].
+    pub fn delta_for(&self, bit: u32) -> i64 {
+        if bit < self.after as u32 {
+            bit as i64 + 1
+        } else {
+            -((bit - self.after as u32) as i64 + 1)
+        }
+    }
+}
+
+/// A recorded spatial footprint (up to 32 bits of line presence).
+///
+/// ```
+/// use fe_model::LineAddr;
+/// use shotgun::footprint::{FootprintLayout, SpatialFootprint};
+///
+/// let layout = FootprintLayout::BITS8;
+/// let mut fp = SpatialFootprint::EMPTY;
+/// fp.record(2, layout);
+/// fp.record(5, layout);
+/// fp.record(9, layout); // outside the 6-after window: dropped
+/// let entry = LineAddr::from_index(100);
+/// let lines: Vec<u64> = fp.lines(entry, layout).map(|l| l.get()).collect();
+/// assert_eq!(lines, vec![102, 105]);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpatialFootprint(u32);
+
+impl SpatialFootprint {
+    /// No lines recorded.
+    pub const EMPTY: SpatialFootprint = SpatialFootprint(0);
+
+    /// Constructs from raw bits (for tests and serialization).
+    pub const fn from_raw(bits: u32) -> Self {
+        SpatialFootprint(bits)
+    }
+
+    /// Raw bit-vector value.
+    pub const fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// Records an access at signed line distance `delta` from the
+    /// region entry line. Returns `false` when the distance falls
+    /// outside the layout's window (the access goes unrecorded — the
+    /// precision/storage trade-off of §4.2.2).
+    pub fn record(&mut self, delta: i64, layout: FootprintLayout) -> bool {
+        match layout.bit_for(delta) {
+            Some(bit) => {
+                self.0 |= 1 << bit;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` when the line at `delta` was recorded.
+    pub fn contains(&self, delta: i64, layout: FootprintLayout) -> bool {
+        layout.bit_for(delta).is_some_and(|bit| self.0 & (1 << bit) != 0)
+    }
+
+    /// Number of recorded lines.
+    pub const fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` when no lines are recorded.
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The recorded signed distances, nearest-forward first.
+    pub fn deltas(&self, layout: FootprintLayout) -> impl Iterator<Item = i64> + '_ {
+        (0..layout.bits()).filter(|b| self.0 & (1 << b) != 0).map(move |b| layout.delta_for(b))
+    }
+
+    /// The absolute lines to prefetch around `entry` (§4.2.3 step 1 —
+    /// the entry line itself is not included; callers prefetch it
+    /// unconditionally).
+    pub fn lines(
+        &self,
+        entry: LineAddr,
+        layout: FootprintLayout,
+    ) -> impl Iterator<Item = LineAddr> + '_ {
+        self.deltas(layout).map(move |d| entry.offset(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_round_trips() {
+        // Fig. 5b: footprint selecting target+2 and target+5.
+        let layout = FootprintLayout::BITS8;
+        let mut fp = SpatialFootprint::EMPTY;
+        assert!(fp.record(2, layout));
+        assert!(fp.record(5, layout));
+        let entry = LineAddr::from_index(0x40);
+        let lines: Vec<_> = fp.lines(entry, layout).map(|l| l.get()).collect();
+        assert_eq!(lines, vec![0x42, 0x45]);
+    }
+
+    #[test]
+    fn window_bounds_8bit() {
+        let layout = FootprintLayout::BITS8;
+        let mut fp = SpatialFootprint::EMPTY;
+        assert!(fp.record(1, layout));
+        assert!(fp.record(6, layout));
+        assert!(!fp.record(7, layout), "beyond +6 must drop");
+        assert!(fp.record(-1, layout));
+        assert!(fp.record(-2, layout));
+        assert!(!fp.record(-3, layout), "beyond -2 must drop");
+        assert!(!fp.record(0, layout), "entry line is implicit");
+        assert_eq!(fp.count(), 4);
+    }
+
+    #[test]
+    fn window_bounds_32bit() {
+        let layout = FootprintLayout::BITS32;
+        let mut fp = SpatialFootprint::EMPTY;
+        assert!(fp.record(24, layout));
+        assert!(!fp.record(25, layout));
+        assert!(fp.record(-8, layout));
+        assert!(!fp.record(-9, layout));
+        assert_eq!(layout.bits(), 32);
+    }
+
+    #[test]
+    fn bit_positions_are_unique() {
+        for layout in [FootprintLayout::BITS8, FootprintLayout::BITS32] {
+            let mut seen = std::collections::HashSet::new();
+            for delta in -(layout.before as i64)..=(layout.after as i64) {
+                if delta == 0 {
+                    continue;
+                }
+                let bit = layout.bit_for(delta).expect("delta inside window");
+                assert!(bit < layout.bits());
+                assert!(seen.insert(bit), "bit {bit} assigned twice");
+                assert_eq!(layout.delta_for(bit), delta, "round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_matches_record() {
+        let layout = FootprintLayout::BITS8;
+        let mut fp = SpatialFootprint::EMPTY;
+        fp.record(3, layout);
+        fp.record(-1, layout);
+        assert!(fp.contains(3, layout));
+        assert!(fp.contains(-1, layout));
+        assert!(!fp.contains(2, layout));
+        assert!(!fp.contains(0, layout));
+    }
+
+    #[test]
+    fn negative_deltas_enumerate() {
+        let layout = FootprintLayout::BITS8;
+        let mut fp = SpatialFootprint::EMPTY;
+        fp.record(-2, layout);
+        fp.record(4, layout);
+        let deltas: Vec<_> = fp.deltas(layout).collect();
+        assert_eq!(deltas, vec![4, -2]);
+        let lines: Vec<_> = fp.lines(LineAddr::from_index(10), layout).map(|l| l.get()).collect();
+        assert_eq!(lines, vec![14, 8]);
+    }
+
+    #[test]
+    fn empty_footprint() {
+        let fp = SpatialFootprint::EMPTY;
+        assert!(fp.is_empty());
+        assert_eq!(fp.deltas(FootprintLayout::BITS8).count(), 0);
+    }
+}

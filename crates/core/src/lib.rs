@@ -1,0 +1,48 @@
+//! # shotgun — the ASPLOS'18 BTB-directed front-end prefetcher
+//!
+//! Reproduction of the primary contribution of *"Blasting Through The
+//! Front-End Bottleneck With Shotgun"* (Kumar, Grot & Nagarajan,
+//! ASPLOS 2018): a unified L1-I and BTB prefetcher powered by a BTB
+//! organization that maintains a logical map of the application's
+//! instruction footprint.
+//!
+//! The key insight (§3): an instruction footprint can be summarized as
+//! the *unconditional branch working set* (global control flow —
+//! calls, jumps, returns, traps) plus a compact *spatial footprint* of
+//! the code region around each unconditional branch's target. Shotgun
+//! therefore splits the conventional BTB's storage budget into:
+//!
+//! * [`ubtb::UBtb`] — bulk of the budget: unconditional branches with
+//!   two 8-bit spatial footprints each ([`footprint::SpatialFootprint`]);
+//! * [`cbtb::CBtb`] — a tiny conditional BTB kept hot by predecoding
+//!   prefetched lines;
+//! * [`rib::Rib`] — returns, which need neither targets nor footprints.
+//!
+//! [`prefetcher::ShotgunPrefetcher`] composes these into a
+//! `ControlFlowDelivery` scheme runnable by the `fe-sim` timing
+//! simulator; [`region::RegionPolicy`] exposes the §6.3 design points
+//! (no-bit-vector / 8-bit / 32-bit / entire-region / 5-blocks), and
+//! [`budget::ShotgunConfig`] derives storage-equivalent configurations
+//! for the §6.5 BTB budget sweep.
+//!
+//! ```
+//! use shotgun::{ShotgunConfig, ShotgunPrefetcher};
+//!
+//! let shotgun = ShotgunPrefetcher::new(ShotgunConfig::default(), 32);
+//! assert!((shotgun.config().storage_kib() - 23.78).abs() < 0.02); // §5.2
+//! ```
+
+pub mod budget;
+pub mod cbtb;
+pub mod footprint;
+pub mod prefetcher;
+pub mod recorder;
+pub mod region;
+pub mod rib;
+pub mod ubtb;
+
+pub use budget::ShotgunConfig;
+pub use footprint::{FootprintLayout, SpatialFootprint};
+pub use prefetcher::{ShotgunCounters, ShotgunPrefetcher};
+pub use recorder::{FootprintRecorder, RegionOwner, RegionRecord};
+pub use region::RegionPolicy;

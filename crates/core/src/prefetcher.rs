@@ -1,0 +1,329 @@
+//! The Shotgun front end: a unified L1-I + BTB prefetcher driven by the
+//! split U-BTB / C-BTB / RIB organization (§4).
+//!
+//! Per-prediction flow (§4.2.3):
+//!
+//! 1. All three BTBs are probed in parallel for the block at the
+//!    speculative PC (they are disjoint by branch kind, so at most one
+//!    hits).
+//! 2. On a **U-BTB hit**, the spatial footprint of the target region is
+//!    read and bulk prefetch probes are issued for its lines — the
+//!    mechanism that lets Shotgun race through code regions without
+//!    waiting on per-branch BTB discoveries.
+//! 3. On a **RIB hit**, the extended RAS supplies both the return
+//!    target and the basic-block address of the matching call; the
+//!    latter indexes the U-BTB to retrieve the *Return Footprint*.
+//! 4. On a **triple miss**, Boomerang's reactive mechanism kicks in:
+//!    prediction stalls, the line containing the missed block is
+//!    fetched and predecoded, the missing branch fills its home
+//!    structure and the other predecoded branches park in the BTB
+//!    prefetch buffer.
+//! 5. When prefetched lines arrive at the L1-I, a predecoder extracts
+//!    their conditional branches into the C-BTB (step 5 of Fig. 5b) —
+//!    which is why 128 entries suffice (§6.4).
+
+use fe_cfg::Program;
+use fe_model::{Addr, BasicBlock, BranchKind, LineAddr, RetiredBlock};
+use fe_uarch::predecode;
+use fe_uarch::scheme::{follow_block, BpuOutcome, ControlFlowDelivery, FrontEndCtx};
+use fe_uarch::SetAssocMap;
+
+use crate::budget::ShotgunConfig;
+use crate::cbtb::CBtb;
+use crate::footprint::FootprintLayout;
+use crate::recorder::{FootprintRecorder, RegionOwner};
+use crate::rib::Rib;
+use crate::ubtb::UBtb;
+
+/// An in-flight reactive BTB fill (§4.2.3's Boomerang fallback).
+#[derive(Clone, Copy, Debug)]
+struct Resolving {
+    pc: Addr,
+    ready: u64,
+}
+
+/// Per-structure hit counters (diagnostics beyond the paper's figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShotgunCounters {
+    /// U-BTB hits.
+    pub ubtb_hits: u64,
+    /// C-BTB hits.
+    pub cbtb_hits: u64,
+    /// RIB hits.
+    pub rib_hits: u64,
+    /// Hits in the BTB prefetch buffer (entry promoted to its home).
+    pub buffer_hits: u64,
+    /// Reactive resolutions started (triple misses).
+    pub reactive_fills: u64,
+    /// Region prefetch bursts issued on U-BTB/RIB hits.
+    pub region_prefetches: u64,
+}
+
+/// The Shotgun control-flow-delivery engine.
+pub struct ShotgunPrefetcher {
+    cfg: ShotgunConfig,
+    ubtb: UBtb,
+    cbtb: CBtb,
+    rib: Rib,
+    /// Predecoded branches awaiting first use (32 entries, §5.2).
+    prefetch_buffer: SetAssocMap<BasicBlock>,
+    recorder: FootprintRecorder,
+    resolving: Option<Resolving>,
+    lookups: u64,
+    misses: u64,
+    retire_misses: u64,
+    counters: ShotgunCounters,
+}
+
+impl ShotgunPrefetcher {
+    /// Builds a Shotgun instance. `ras_entries` sizes the recorder's
+    /// retire-side call-stack mirror (matching the machine's RAS).
+    pub fn new(cfg: ShotgunConfig, ras_entries: usize) -> Self {
+        let layout = cfg.policy.layout().unwrap_or(FootprintLayout::BITS8);
+        ShotgunPrefetcher {
+            ubtb: UBtb::new(cfg.sizing.ubtb as usize, cfg.ways as usize),
+            cbtb: CBtb::new(cfg.sizing.cbtb as usize, cfg.ways as usize),
+            rib: Rib::new(cfg.sizing.rib as usize, cfg.ways as usize),
+            prefetch_buffer: SetAssocMap::new(cfg.prefetch_buffer as usize, cfg.prefetch_buffer as usize),
+            recorder: FootprintRecorder::new(layout, ras_entries),
+            resolving: None,
+            lookups: 0,
+            misses: 0,
+            retire_misses: 0,
+            counters: ShotgunCounters::default(),
+            cfg,
+        }
+    }
+
+    /// `true` when `pc`'s block is resident in any of the three
+    /// structures (non-promoting).
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.ubtb.contains(pc) || self.cbtb.contains(pc) || self.rib.contains(pc)
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &ShotgunConfig {
+        &self.cfg
+    }
+
+    /// Diagnostic counters.
+    pub fn counters(&self) -> ShotgunCounters {
+        self.counters
+    }
+
+    /// Structure occupancy `(u, c, rib)` for tests.
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        (self.ubtb.len(), self.cbtb.len(), self.rib.len())
+    }
+
+    /// Issues the bulk region prefetch for a region entered at `entry`.
+    ///
+    /// Lines the probes find already resident are run through the
+    /// predecoder immediately: the footprint-driven C-BTB prefill of
+    /// §4.2.3 must work whether the region's lines arrive from the LLC
+    /// or are still warm in the L1-I, or the 128-entry C-BTB could not
+    /// sustain its hit rate across region revisits (Fig. 12).
+    fn issue_region_prefetch(
+        &mut self,
+        ctx: &mut FrontEndCtx,
+        entry: LineAddr,
+        footprint: crate::footprint::SpatialFootprint,
+        extent: u8,
+    ) {
+        self.counters.region_prefetches += 1;
+        for line in self.cfg.policy.prefetch_lines(entry, footprint, extent) {
+            let issued = ctx.prefetch_line(line);
+            if !issued && ctx.l1i.probe(line) {
+                for block in predecode::branches_in_line(ctx.program, line) {
+                    if block.kind == BranchKind::Conditional {
+                        self.cbtb.install(&block);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inserts a discovered block into its home structure.
+    fn install_home(&mut self, block: &BasicBlock) {
+        match block.kind {
+            BranchKind::Conditional => self.cbtb.install(block),
+            BranchKind::Return | BranchKind::TrapReturn => self.rib.install(block),
+            _ => self.ubtb.install_block(block),
+        }
+    }
+
+    /// Completes a reactive fill: predecode the fetched line, install
+    /// the missing branch, park the line's other branches in the BTB
+    /// prefetch buffer (§4.2.3).
+    fn complete_resolution(&mut self, pc: Addr, program: &Program) {
+        let Some((block, _extra_lines)) = predecode::resolve_block(program, pc) else {
+            return;
+        };
+        self.install_home(&block);
+        for other in predecode::branches_in_line(program, pc.line()) {
+            if other.start != block.start {
+                self.prefetch_buffer.insert(other.start.get() >> 2, other);
+            }
+        }
+    }
+
+    /// The three-way parallel lookup plus prefetch-buffer fallback.
+    fn lookup_block(&mut self, pc: Addr) -> Option<LookupHit> {
+        if let Some((block, entry)) = self.ubtb.lookup(pc) {
+            self.counters.ubtb_hits += 1;
+            return Some(LookupHit { block, call_footprint: Some((entry.call_footprint, entry.call_extent)) });
+        }
+        if let Some(block) = self.cbtb.lookup(pc) {
+            self.counters.cbtb_hits += 1;
+            return Some(LookupHit { block, call_footprint: None });
+        }
+        if let Some(block) = self.rib.lookup(pc) {
+            self.counters.rib_hits += 1;
+            return Some(LookupHit { block, call_footprint: None });
+        }
+        if let Some(block) = self.prefetch_buffer.remove(pc.get() >> 2) {
+            self.counters.buffer_hits += 1;
+            self.install_home(&block);
+            // Re-read through the home structure (mirrors hardware's
+            // move-then-hit behaviour); footprints are fresh/empty.
+            return self.lookup_block(pc);
+        }
+        None
+    }
+}
+
+struct LookupHit {
+    block: BasicBlock,
+    /// Target-region footprint when the hit came from the U-BTB.
+    call_footprint: Option<(crate::footprint::SpatialFootprint, u8)>,
+}
+
+impl ControlFlowDelivery for ShotgunPrefetcher {
+    fn name(&self) -> &'static str {
+        "shotgun"
+    }
+
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        // A reactive fill in flight stalls prediction (§2.2's Boomerang
+        // behaviour, retained as Shotgun's fallback).
+        if let Some(r) = self.resolving {
+            if ctx.now < r.ready {
+                return BpuOutcome::Stall;
+            }
+            self.resolving = None;
+            self.complete_resolution(r.pc, ctx.program);
+        }
+
+        self.lookups += 1;
+        let Some(hit) = self.lookup_block(pc) else {
+            // Triple miss: start the reactive fill (Boomerang fallback).
+            let Some((block, extra)) = predecode::resolve_block(ctx.program, pc) else {
+                // No branch discoverable at this address (wrong-path
+                // garbage): proceed sequentially instead of stalling.
+                let end = Addr::new((pc.line().get() + 1) * fe_model::LINE_BYTES);
+                return BpuOutcome::StraightLine { pc, end };
+            };
+            self.misses += 1;
+            self.counters.reactive_fills += 1;
+            let mut ready = ctx.fetch_for_fill(pc.line());
+            // If the block's branch lies beyond this line, the
+            // predecoder needs the follow-on lines too. The static map
+            // tells us how many; hardware discovers it by scanning.
+            for i in 1..=extra as u64 {
+                ready = ready.max(ctx.fetch_for_fill(block.start.line().offset(i as i64)));
+            }
+            self.resolving =
+                Some(Resolving { pc, ready: ready + predecode::PREDECODE_LATENCY as u64 });
+            return BpuOutcome::Stall;
+        };
+
+        let block = hit.block;
+        let predicted = match block.kind {
+            // RIB hit: the extended RAS supplies both the return target
+            // and the call block whose U-BTB entry holds the Return
+            // Footprint (§4.2.3).
+            BranchKind::Return | BranchKind::TrapReturn => {
+                let ras_entry = ctx.spec_ras.pop();
+                let next_pc = ras_entry.map_or(block.fall_through(), |e| e.ret);
+                if let Some(e) = ras_entry {
+                    if let Some((fp, extent)) =
+                        self.ubtb.peek(e.call_block).map(|u| (u.ret_footprint, u.ret_extent))
+                    {
+                        self.issue_region_prefetch(ctx, next_pc.line(), fp, extent);
+                    }
+                }
+                fe_uarch::PredictedBlock { block, taken: true, next_pc }
+            }
+            // U-BTB hit: bulk-prefetch the target region's footprint.
+            BranchKind::Call | BranchKind::Trap | BranchKind::Jump => {
+                let p = follow_block(&block, ctx);
+                if let Some((fp, extent)) = hit.call_footprint {
+                    self.issue_region_prefetch(ctx, block.target.line(), fp, extent);
+                }
+                p
+            }
+            BranchKind::Conditional => follow_block(&block, ctx),
+        };
+
+        BpuOutcome::Predicted(predicted)
+    }
+
+    fn on_fill(&mut self, line: LineAddr, _was_prefetch: bool, ctx: &mut FrontEndCtx) {
+        // Predecode arriving lines into the C-BTB (Fig. 5b steps 4–5).
+        for block in predecode::branches_in_line(ctx.program, line) {
+            if block.kind == BranchKind::Conditional {
+                self.cbtb.install(&block);
+            }
+        }
+    }
+
+    fn on_retire(&mut self, rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {
+        if !self.contains(rb.block.start) {
+            self.retire_misses += 1;
+        }
+        if !self.cfg.policy.records() {
+            // Even metadata-free policies keep the U-BTB warm from the
+            // retire stream (the unconditional working set is the map).
+            if rb.block.kind.is_unconditional() {
+                self.install_home(&rb.block);
+            }
+            return;
+        }
+        if let Some(record) = self.recorder.observe(rb) {
+            match record.owner {
+                RegionOwner::CallLike { block } => {
+                    self.ubtb.record_call_region(&block, record.footprint, record.extent)
+                }
+                RegionOwner::ReturnLike { call_block } => {
+                    self.ubtb.record_return_region(&call_block, record.footprint, record.extent)
+                }
+            }
+        }
+        if rb.block.kind.is_return() {
+            self.rib.install(&rb.block);
+        }
+    }
+
+    fn on_redirect(&mut self, _pc: Addr, _ctx: &mut FrontEndCtx) {
+        self.resolving = None;
+    }
+
+    fn btb_misses(&self) -> u64 {
+        self.retire_misses
+    }
+
+    fn btb_lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ubtb_hits", self.counters.ubtb_hits),
+            ("cbtb_hits", self.counters.cbtb_hits),
+            ("rib_hits", self.counters.rib_hits),
+            ("buffer_hits", self.counters.buffer_hits),
+            ("reactive_fills", self.counters.reactive_fills),
+            ("region_prefetches", self.counters.region_prefetches),
+        ]
+    }
+}

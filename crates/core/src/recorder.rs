@@ -1,0 +1,310 @@
+//! Retire-stream spatial-footprint recording (§4.2.2).
+//!
+//! Shotgun monitors retired instructions: an unconditional branch opens
+//! a new code region (its target is the entry point), subsequent
+//! accesses accumulate into a footprint, and the *next* unconditional
+//! branch closes the region — at which point the footprint is stored
+//! into the U-BTB entry of the branch that opened it.
+//!
+//! Return regions are the subtle case: a return's target region is the
+//! fall-through of the *corresponding call*, so its footprint belongs in
+//! that call's U-BTB entry (the Return Footprint field). The recorder
+//! mirrors the retire-side call stack to make that association, keeping
+//! the full call block descriptor so a recording can allocate the U-BTB
+//! entry if it was evicted.
+
+use std::collections::VecDeque;
+
+use fe_model::{BasicBlock, LineAddr, RetiredBlock};
+
+use crate::footprint::{FootprintLayout, SpatialFootprint};
+
+/// Whose U-BTB entry a finished region's footprint belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionOwner {
+    /// Region entered via call/jump/trap: footprint goes to the
+    /// branch's own entry (Call Footprint field).
+    CallLike {
+        /// The unconditional branch block that opened the region.
+        block: BasicBlock,
+    },
+    /// Region entered via return: footprint goes to the corresponding
+    /// call's entry (Return Footprint field).
+    ReturnLike {
+        /// The call block whose fall-through region this is.
+        call_block: BasicBlock,
+    },
+}
+
+/// A completed region recording, ready to store into the U-BTB.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionRecord {
+    /// Destination entry.
+    pub owner: RegionOwner,
+    /// Lines accessed, relative to the entry line.
+    pub footprint: SpatialFootprint,
+    /// Farthest forward line touched (entry = 0), saturating at 255 —
+    /// the extent the §6.3 "Entire Region" design point prefetches.
+    pub extent: u8,
+}
+
+/// The retire-stream monitor.
+///
+/// Feed every retired block to [`FootprintRecorder::observe`]; a
+/// `Some(RegionRecord)` pops out each time a region closes.
+#[derive(Clone, Debug)]
+pub struct FootprintRecorder {
+    layout: FootprintLayout,
+    /// Retire-side call stack mirror: call blocks awaiting their
+    /// return, bounded like the RAS.
+    calls: VecDeque<BasicBlock>,
+    call_depth_limit: usize,
+    owner: Option<RegionOwner>,
+    entry_line: LineAddr,
+    acc: SpatialFootprint,
+    extent: u8,
+    last_line: Option<LineAddr>,
+    /// Accesses that fell outside the footprint window (diagnostic for
+    /// the window-sizing experiments).
+    overflow_accesses: u64,
+    regions_recorded: u64,
+}
+
+impl FootprintRecorder {
+    /// Creates a recorder using `layout` for footprints and mirroring a
+    /// call stack of `ras_entries`.
+    pub fn new(layout: FootprintLayout, ras_entries: usize) -> Self {
+        FootprintRecorder {
+            layout,
+            calls: VecDeque::with_capacity(ras_entries),
+            call_depth_limit: ras_entries.max(1),
+            owner: None,
+            entry_line: LineAddr::from_index(0),
+            acc: SpatialFootprint::EMPTY,
+            extent: 0,
+            last_line: None,
+            overflow_accesses: 0,
+            regions_recorded: 0,
+        }
+    }
+
+    /// Footprint geometry in use.
+    pub fn layout(&self) -> FootprintLayout {
+        self.layout
+    }
+
+    /// Regions completed so far.
+    pub fn regions_recorded(&self) -> u64 {
+        self.regions_recorded
+    }
+
+    /// Accesses that missed the footprint window (precision loss of the
+    /// chosen encoding).
+    pub fn overflow_accesses(&self) -> u64 {
+        self.overflow_accesses
+    }
+
+    /// Observes one retired block; returns a finished region record
+    /// when this block's unconditional branch closes the current region.
+    pub fn observe(&mut self, rb: &RetiredBlock) -> Option<RegionRecord> {
+        // Accumulate this block's lines into the current region —
+        // including the region-closing branch's own lines, which are
+        // executed before control transfers. Ownerless regions (before
+        // the first unconditional, or after an unmatched return) have
+        // nowhere to store a footprint, so they are not measured.
+        if self.owner.is_some() {
+            for line in rb.block.lines() {
+                if self.last_line == Some(line) {
+                    continue;
+                }
+                self.last_line = Some(line);
+                let delta = line.get() as i64 - self.entry_line.get() as i64;
+                if delta != 0 && !self.acc.record(delta, self.layout) {
+                    self.overflow_accesses += 1;
+                }
+                if delta > 0 {
+                    self.extent = self.extent.max(delta.min(255) as u8);
+                }
+            }
+        }
+
+        if !rb.block.kind.is_unconditional() {
+            return None;
+        }
+
+        // Region closes: emit the record for the current owner.
+        let record = self.owner.map(|owner| RegionRecord {
+            owner,
+            footprint: self.acc,
+            extent: self.extent,
+        });
+        if record.is_some() {
+            self.regions_recorded += 1;
+        }
+
+        // The new region is owned by this unconditional branch.
+        use fe_model::BranchKind::*;
+        self.owner = match rb.block.kind {
+            Call | Trap => {
+                if self.calls.len() == self.call_depth_limit {
+                    self.calls.pop_front();
+                }
+                self.calls.push_back(rb.block);
+                Some(RegionOwner::CallLike { block: rb.block })
+            }
+            Jump => Some(RegionOwner::CallLike { block: rb.block }),
+            Return | TrapReturn => self
+                .calls
+                .pop_back()
+                .map(|call_block| RegionOwner::ReturnLike { call_block }),
+            Conditional => unreachable!("conditional cannot close a region"),
+        };
+        self.entry_line = rb.next_pc.line();
+        self.acc = SpatialFootprint::EMPTY;
+        self.extent = 0;
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_model::{Addr, BranchKind};
+
+    fn block(start: u64, instrs: u8, kind: BranchKind, target: u64) -> BasicBlock {
+        BasicBlock::new(Addr::new(start), instrs, kind, Addr::new(target))
+    }
+
+    fn retired(b: BasicBlock, taken: bool, next: u64) -> RetiredBlock {
+        RetiredBlock { block: b, taken, next_pc: Addr::new(next) }
+    }
+
+    fn recorder() -> FootprintRecorder {
+        FootprintRecorder::new(FootprintLayout::BITS8, 32)
+    }
+
+    #[test]
+    fn call_region_footprint_lands_on_the_call() {
+        let mut r = recorder();
+        // Call at 0x1000 targeting 0x8000 opens a region.
+        let call = block(0x1000, 4, BranchKind::Call, 0x8000);
+        assert!(r.observe(&retired(call, true, 0x8000)).is_none());
+        // Region touches entry line (0x8000), +1 (0x8040) and +3 (0x80c0).
+        let c1 = block(0x8000, 8, BranchKind::Conditional, 0x80c0);
+        assert!(r.observe(&retired(c1, true, 0x80c0)).is_none());
+        let c2 = block(0x80c0, 4, BranchKind::Conditional, 0x8040);
+        assert!(r.observe(&retired(c2, true, 0x8040)).is_none());
+        // Next unconditional (a jump in line +1) closes the region.
+        let jump = block(0x8040, 4, BranchKind::Jump, 0x9000);
+        let rec = r.observe(&retired(jump, true, 0x9000)).expect("region closed");
+        match rec.owner {
+            RegionOwner::CallLike { block } => assert_eq!(block, call),
+            other => panic!("wrong owner {other:?}"),
+        }
+        assert!(rec.footprint.contains(3, FootprintLayout::BITS8));
+        assert!(rec.footprint.contains(1, FootprintLayout::BITS8));
+        assert!(!rec.footprint.contains(2, FootprintLayout::BITS8));
+        assert_eq!(rec.extent, 3);
+    }
+
+    #[test]
+    fn return_region_lands_on_matching_call() {
+        let mut r = recorder();
+        let call = block(0x1000, 4, BranchKind::Call, 0x8000);
+        r.observe(&retired(call, true, 0x8000));
+        // Callee body: straight to return.
+        let ret = block(0x8000, 4, BranchKind::Return, 0);
+        let rec = r.observe(&retired(ret, true, 0x1010)).expect("callee region closes");
+        assert!(matches!(rec.owner, RegionOwner::CallLike { block } if block == call));
+        // Return region: touch fall-through lines, then a jump closes it.
+        let body = block(0x1010, 12, BranchKind::Conditional, 0x1040);
+        r.observe(&retired(body, false, 0x1040));
+        let jump = block(0x1040, 4, BranchKind::Jump, 0x2000);
+        let rec2 = r.observe(&retired(jump, true, 0x2000)).expect("return region closes");
+        match rec2.owner {
+            RegionOwner::ReturnLike { call_block } => assert_eq!(call_block, call),
+            other => panic!("expected return owner, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_calls_pair_correctly() {
+        let mut r = recorder();
+        let outer = block(0x1000, 4, BranchKind::Call, 0x8000);
+        let inner = block(0x8000, 4, BranchKind::Call, 0x9000);
+        r.observe(&retired(outer, true, 0x8000));
+        r.observe(&retired(inner, true, 0x9000));
+        // Inner returns first.
+        let ret1 = block(0x9000, 2, BranchKind::Return, 0);
+        r.observe(&retired(ret1, true, 0x8010));
+        // Region after inner return is owned by `inner` (ReturnLike).
+        let ret2 = block(0x8010, 2, BranchKind::Return, 0);
+        let rec = r.observe(&retired(ret2, true, 0x1010)).unwrap();
+        assert!(matches!(rec.owner, RegionOwner::ReturnLike { call_block } if call_block == inner));
+    }
+
+    #[test]
+    fn trap_behaves_like_call() {
+        let mut r = recorder();
+        let trap = block(0x1000, 4, BranchKind::Trap, 0x4000_0000);
+        r.observe(&retired(trap, true, 0x4000_0000));
+        let tret = block(0x4000_0000, 4, BranchKind::TrapReturn, 0);
+        let rec = r.observe(&retired(tret, true, 0x1010)).unwrap();
+        assert!(matches!(rec.owner, RegionOwner::CallLike { block } if block == trap));
+    }
+
+    #[test]
+    fn backward_access_recorded_in_before_bits() {
+        let mut r = recorder();
+        let jump = block(0x1000, 4, BranchKind::Jump, 0x8080); // entry at line 0x8080
+        r.observe(&retired(jump, true, 0x8080));
+        // Loop head one line before the entry.
+        let body = block(0x8080, 4, BranchKind::Conditional, 0x8040);
+        r.observe(&retired(body, true, 0x8040));
+        let head = block(0x8040, 4, BranchKind::Conditional, 0x8080);
+        r.observe(&retired(head, true, 0x8080));
+        let close = block(0x8080, 4, BranchKind::Jump, 0x9000);
+        let rec = r.observe(&retired(close, true, 0x9000)).unwrap();
+        assert!(rec.footprint.contains(-1, FootprintLayout::BITS8));
+    }
+
+    #[test]
+    fn overflow_accesses_counted() {
+        let mut r = recorder();
+        let jump = block(0x1000, 4, BranchKind::Jump, 0x8000);
+        r.observe(&retired(jump, true, 0x8000));
+        // Access 20 lines forward: outside the 6-line window.
+        let far = block(0x8000 + 20 * 64, 4, BranchKind::Conditional, 0x8000);
+        r.observe(&retired(far, true, 0x8000));
+        assert_eq!(r.overflow_accesses(), 1);
+    }
+
+    #[test]
+    fn extent_tracks_farthest_forward_line() {
+        let mut r = recorder();
+        let jump = block(0x1000, 4, BranchKind::Jump, 0x8000);
+        r.observe(&retired(jump, true, 0x8000));
+        let far = block(0x8000 + 12 * 64, 4, BranchKind::Conditional, 0x8000);
+        r.observe(&retired(far, true, 0x8000));
+        let close = block(0x8000, 4, BranchKind::Jump, 0x9000);
+        let rec = r.observe(&retired(close, true, 0x9000)).unwrap();
+        assert_eq!(rec.extent, 12, "extent survives even outside the bit window");
+    }
+
+    #[test]
+    fn unmatched_return_yields_no_owner() {
+        let mut r = recorder();
+        let ret = block(0x1000, 2, BranchKind::Return, 0);
+        assert!(r.observe(&retired(ret, true, 0x2000)).is_none(), "no prior region");
+        // Next region has no owner (the return had no matching call).
+        let jump = block(0x2000, 4, BranchKind::Jump, 0x3000);
+        assert!(r.observe(&retired(jump, true, 0x3000)).is_none());
+    }
+
+    #[test]
+    fn first_region_has_no_owner() {
+        let mut r = recorder();
+        let jump = block(0x1000, 4, BranchKind::Jump, 0x2000);
+        assert!(r.observe(&retired(jump, true, 0x2000)).is_none(), "nothing before entry");
+    }
+}

@@ -1,0 +1,178 @@
+//! Region prefetch policies: the §6.3 design-space of *what to fetch*
+//! when entering a code region.
+//!
+//! The paper compares five mechanisms (Figs. 8–11):
+//!
+//! | Policy | Fetches | Trade-off |
+//! |---|---|---|
+//! | No bit vector | target line only | footprint storage converts to extra U-BTB entries, but no bulk prefetch |
+//! | 8-bit vector | target + recorded lines (6 after / 2 before) | the production design |
+//! | 32-bit vector | target + recorded lines (24 / 8) | upper-bounds wider windows |
+//! | Entire Region | every line from entry to recorded exit | over-fetches unaccessed lines |
+//! | 5-Blocks | target + next 4 lines, unconditionally | metadata-free but inaccurate |
+
+use fe_model::LineAddr;
+
+use crate::footprint::{FootprintLayout, SpatialFootprint};
+
+/// Which spatial region prefetching mechanism Shotgun uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RegionPolicy {
+    /// No region prefetching: target line only.
+    NoBitVector,
+    /// The production 8-bit footprint (§5.2).
+    #[default]
+    Bit8,
+    /// The 32-bit sensitivity design point.
+    Bit32,
+    /// Prefetch every line between region entry and recorded exit.
+    EntireRegion,
+    /// Always prefetch five consecutive lines from the target.
+    FiveBlocks,
+}
+
+impl RegionPolicy {
+    /// All policies, in the paper's Fig. 8/9 presentation order.
+    pub const ALL: [RegionPolicy; 5] = [
+        RegionPolicy::NoBitVector,
+        RegionPolicy::Bit8,
+        RegionPolicy::Bit32,
+        RegionPolicy::EntireRegion,
+        RegionPolicy::FiveBlocks,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RegionPolicy::NoBitVector => "No bit vector",
+            RegionPolicy::Bit8 => "8-bit vector",
+            RegionPolicy::Bit32 => "32-bit vector",
+            RegionPolicy::EntireRegion => "Entire Region",
+            RegionPolicy::FiveBlocks => "5-Blocks",
+        }
+    }
+
+    /// Footprint layout this policy records with; `None` when no
+    /// bit-vector metadata is kept.
+    pub fn layout(&self) -> Option<FootprintLayout> {
+        match self {
+            RegionPolicy::Bit8 => Some(FootprintLayout::BITS8),
+            RegionPolicy::Bit32 => Some(FootprintLayout::BITS32),
+            // Entire Region still needs the recorder for region extents;
+            // the bit vector itself is unused.
+            RegionPolicy::EntireRegion => Some(FootprintLayout::BITS8),
+            RegionPolicy::NoBitVector | RegionPolicy::FiveBlocks => None,
+        }
+    }
+
+    /// Whether the recorder must run at retire (any policy that stores
+    /// per-region metadata).
+    pub fn records(&self) -> bool {
+        self.layout().is_some()
+    }
+
+    /// The lines to prefetch on entering a region at `entry`, given the
+    /// owning U-BTB entry's recorded `footprint` and `extent`. The
+    /// entry line itself is always first.
+    pub fn prefetch_lines(
+        &self,
+        entry: LineAddr,
+        footprint: SpatialFootprint,
+        extent: u8,
+    ) -> Vec<LineAddr> {
+        let mut lines = vec![entry];
+        match self {
+            RegionPolicy::NoBitVector => {}
+            RegionPolicy::Bit8 => {
+                lines.extend(footprint.lines(entry, FootprintLayout::BITS8));
+            }
+            RegionPolicy::Bit32 => {
+                lines.extend(footprint.lines(entry, FootprintLayout::BITS32));
+            }
+            RegionPolicy::EntireRegion => {
+                lines.extend((1..=extent as i64).map(|d| entry.offset(d)));
+            }
+            RegionPolicy::FiveBlocks => {
+                lines.extend((1..5).map(|d| entry.offset(d)));
+            }
+        }
+        lines
+    }
+}
+
+impl std::fmt::Display for RegionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(deltas: &[i64], layout: FootprintLayout) -> SpatialFootprint {
+        let mut f = SpatialFootprint::EMPTY;
+        for &d in deltas {
+            assert!(f.record(d, layout));
+        }
+        f
+    }
+
+    fn as_indices(lines: Vec<LineAddr>) -> Vec<u64> {
+        lines.into_iter().map(|l| l.get()).collect()
+    }
+
+    #[test]
+    fn no_bit_vector_fetches_entry_only() {
+        let entry = LineAddr::from_index(100);
+        let f = fp(&[1, 2], FootprintLayout::BITS8);
+        let lines = RegionPolicy::NoBitVector.prefetch_lines(entry, f, 9);
+        assert_eq!(as_indices(lines), vec![100]);
+    }
+
+    #[test]
+    fn bit8_fetches_recorded_lines() {
+        let entry = LineAddr::from_index(100);
+        let f = fp(&[2, 5, -1], FootprintLayout::BITS8);
+        let lines = RegionPolicy::Bit8.prefetch_lines(entry, f, 9);
+        assert_eq!(as_indices(lines), vec![100, 102, 105, 99]);
+    }
+
+    #[test]
+    fn bit32_reaches_farther() {
+        let entry = LineAddr::from_index(100);
+        let f = fp(&[20], FootprintLayout::BITS32);
+        let lines = RegionPolicy::Bit32.prefetch_lines(entry, f, 25);
+        assert_eq!(as_indices(lines), vec![100, 120]);
+    }
+
+    #[test]
+    fn entire_region_fetches_contiguously() {
+        let entry = LineAddr::from_index(100);
+        let lines = RegionPolicy::EntireRegion.prefetch_lines(entry, SpatialFootprint::EMPTY, 3);
+        assert_eq!(as_indices(lines), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn five_blocks_ignores_metadata() {
+        let entry = LineAddr::from_index(100);
+        let f = fp(&[6], FootprintLayout::BITS8);
+        let lines = RegionPolicy::FiveBlocks.prefetch_lines(entry, f, 1);
+        assert_eq!(as_indices(lines), vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn recording_requirements() {
+        assert!(!RegionPolicy::NoBitVector.records());
+        assert!(RegionPolicy::Bit8.records());
+        assert!(RegionPolicy::Bit32.records());
+        assert!(RegionPolicy::EntireRegion.records());
+        assert!(!RegionPolicy::FiveBlocks.records());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(RegionPolicy::Bit8.label(), "8-bit vector");
+        assert_eq!(RegionPolicy::EntireRegion.to_string(), "Entire Region");
+    }
+}

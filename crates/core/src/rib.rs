@@ -1,0 +1,141 @@
+//! RIB: the return instruction buffer (§4.2.1).
+//!
+//! Returns read their target from the RAS and their footprint from the
+//! corresponding call's U-BTB entry, so storing them in the U-BTB would
+//! waste the Target and two Footprint fields — more than half the
+//! entry. The RIB stores just what a return needs: 45 bits (§5.2) of
+//! tag + 5-bit size + 1-bit type (return vs. trap-return).
+
+use fe_model::{Addr, BasicBlock, BranchKind};
+use fe_uarch::SetAssocMap;
+
+#[derive(Clone, Copy, Debug)]
+struct RibPayload {
+    instr_count: u8,
+    /// `true` for trap returns (the 1-bit type field).
+    trap: bool,
+}
+
+/// The return instruction buffer.
+///
+/// ```
+/// use fe_model::{Addr, BasicBlock, BranchKind};
+/// use shotgun::rib::Rib;
+///
+/// let mut rib = Rib::new(512, 4);
+/// let ret = BasicBlock::new(Addr::new(0x8000), 2, BranchKind::Return, Addr::NULL);
+/// rib.install(&ret);
+/// assert_eq!(rib.lookup(Addr::new(0x8000)), Some(ret));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rib {
+    map: SetAssocMap<RibPayload>,
+}
+
+impl Rib {
+    /// Creates a RIB with `entries` entries of `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        Rib { map: SetAssocMap::new(entries, ways) }
+    }
+
+    /// Looks up the return block starting at `pc`. The reconstructed
+    /// block carries a null target — the RAS supplies it at prediction
+    /// time.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BasicBlock> {
+        self.map.get(pc.get() >> 2).map(|p| BasicBlock {
+            start: pc,
+            instr_count: p.instr_count,
+            kind: if p.trap { BranchKind::TrapReturn } else { BranchKind::Return },
+            target: Addr::NULL,
+        })
+    }
+
+    /// Installs a return block.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on non-return blocks.
+    pub fn install(&mut self, block: &BasicBlock) {
+        debug_assert!(block.kind.is_return(), "RIB holds returns only, got {:?}", block.kind);
+        self.map.insert(
+            block.start.get() >> 2,
+            RibPayload {
+                instr_count: block.instr_count,
+                trap: block.kind == BranchKind::TrapReturn,
+            },
+        );
+    }
+
+    /// Non-promoting residency probe.
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.map.peek(pc.get() >> 2).is_some()
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn return_roundtrip() {
+        let mut r = Rib::new(64, 4);
+        let ret = BasicBlock::new(Addr::new(0x8000), 3, BranchKind::Return, Addr::NULL);
+        r.install(&ret);
+        assert_eq!(r.lookup(ret.start), Some(ret));
+    }
+
+    #[test]
+    fn trap_return_kind_preserved() {
+        let mut r = Rib::new(64, 4);
+        let tret = BasicBlock::new(Addr::new(0x4000_0000), 2, BranchKind::TrapReturn, Addr::NULL);
+        r.install(&tret);
+        assert_eq!(r.lookup(tret.start).unwrap().kind, BranchKind::TrapReturn);
+    }
+
+    #[test]
+    fn reconstructed_target_is_null() {
+        let mut r = Rib::new(64, 4);
+        let ret = BasicBlock::new(Addr::new(0x9000), 2, BranchKind::Return, Addr::NULL);
+        r.install(&ret);
+        assert!(r.lookup(ret.start).unwrap().target.is_null());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "returns only")]
+    fn rejects_calls() {
+        let mut r = Rib::new(64, 4);
+        let call = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+        r.install(&call);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut r = Rib::new(8, 4);
+        // Stride co-prime with the set count so keys spread.
+        for i in 0..32u64 {
+            r.install(&BasicBlock::new(
+                Addr::new(0x1000 + i * 36),
+                2,
+                BranchKind::Return,
+                Addr::NULL,
+            ));
+        }
+        assert_eq!(r.len(), 8);
+    }
+}

@@ -1,0 +1,274 @@
+//! U-BTB: the unconditional-branch BTB with spatial footprints — the
+//! heart of Shotgun (§4.2.1).
+//!
+//! Entries track calls, jumps and traps (returns live in the RIB) and
+//! carry *two* footprints: the Call Footprint for the branch's target
+//! region, and the Return Footprint for the fall-through region resumed
+//! when the callee returns (associated here because a return's region
+//! is call-site-dependent, §4.2.1). Entry storage is 106 bits (§5.2):
+//! 38-bit tag + 46-bit target + 5-bit size + 1-bit type + 2 x 8-bit
+//! footprints.
+
+use fe_model::{Addr, BasicBlock, BranchKind};
+use fe_uarch::SetAssocMap;
+
+use crate::footprint::SpatialFootprint;
+
+/// Payload of one U-BTB entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UBtbEntry {
+    /// Basic-block size in instructions (5-bit field).
+    pub instr_count: u8,
+    /// Call / Jump / Trap (1-bit type field in hardware: call-like or
+    /// not; we keep the full kind for simulation fidelity).
+    pub kind: BranchKind,
+    /// Taken target.
+    pub target: Addr,
+    /// Spatial footprint of the target region.
+    pub call_footprint: SpatialFootprint,
+    /// Spatial footprint of the return (fall-through) region; only
+    /// meaningful for calls and traps.
+    pub ret_footprint: SpatialFootprint,
+    /// Farthest forward line of the target region (Entire Region
+    /// design point, §6.3).
+    pub call_extent: u8,
+    /// Farthest forward line of the return region.
+    pub ret_extent: u8,
+}
+
+/// The unconditional-branch BTB.
+///
+/// ```
+/// use fe_model::{Addr, BasicBlock, BranchKind};
+/// use shotgun::ubtb::UBtb;
+///
+/// let mut u = UBtb::new(1536, 4);
+/// let call = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+/// u.install_block(&call);
+/// let (block, entry) = u.lookup(Addr::new(0x1000)).unwrap();
+/// assert_eq!(block, call);
+/// assert!(entry.call_footprint.is_empty(), "footprint arrives via recording");
+/// ```
+#[derive(Clone, Debug)]
+pub struct UBtb {
+    map: SetAssocMap<UBtbEntry>,
+}
+
+impl UBtb {
+    /// Creates a U-BTB with `entries` entries of `ways` associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        UBtb { map: SetAssocMap::new(entries, ways) }
+    }
+
+    /// Looks up the unconditional block starting at `pc`, promoting it.
+    pub fn lookup(&mut self, pc: Addr) -> Option<(BasicBlock, UBtbEntry)> {
+        self.map.get(key(pc)).map(|e| {
+            (
+                BasicBlock {
+                    start: pc,
+                    instr_count: e.instr_count,
+                    kind: e.kind,
+                    target: e.target,
+                },
+                *e,
+            )
+        })
+    }
+
+    /// Non-promoting footprint read by call-block address — the RIB-hit
+    /// path that retrieves a Return Footprint via the RAS (§4.2.3).
+    pub fn peek(&self, call_block: Addr) -> Option<&UBtbEntry> {
+        self.map.peek(key(call_block))
+    }
+
+    /// Installs a block discovered by the reactive fill path, with
+    /// empty footprints (they arrive later via recording).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the block is conditional or a return — those
+    /// belong to the C-BTB / RIB.
+    pub fn install_block(&mut self, block: &BasicBlock) {
+        debug_assert!(
+            block.kind.is_unconditional() && !block.kind.is_return(),
+            "U-BTB only holds calls/jumps/traps, got {:?}",
+            block.kind,
+        );
+        if self.map.get(key(block.start)).is_none() {
+            self.map.insert(key(block.start), fresh_entry(block));
+        }
+    }
+
+    /// Stores a recorded target-region footprint into `block`'s entry
+    /// (allocating it if evicted) — §4.2.2's "store the footprint in
+    /// the U-BTB entry corresponding to the unconditional branch that
+    /// triggered the recording". The footprint replaces the previous
+    /// one: the paper records the region's *last* execution.
+    pub fn record_call_region(
+        &mut self,
+        block: &BasicBlock,
+        footprint: SpatialFootprint,
+        extent: u8,
+    ) {
+        let k = key(block.start);
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.call_footprint = footprint;
+                e.call_extent = extent;
+            }
+            None => {
+                let mut e = fresh_entry(block);
+                e.call_footprint = footprint;
+                e.call_extent = extent;
+                self.map.insert(k, e);
+            }
+        }
+    }
+
+    /// Stores a recorded return-region footprint into the matching
+    /// *call's* entry.
+    pub fn record_return_region(
+        &mut self,
+        call_block: &BasicBlock,
+        footprint: SpatialFootprint,
+        extent: u8,
+    ) {
+        let k = key(call_block.start);
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.ret_footprint = footprint;
+                e.ret_extent = extent;
+            }
+            None => {
+                let mut e = fresh_entry(call_block);
+                e.ret_footprint = footprint;
+                e.ret_extent = extent;
+                self.map.insert(k, e);
+            }
+        }
+    }
+
+    /// Non-promoting residency probe.
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.map.peek(key(pc)).is_some()
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+}
+
+fn fresh_entry(block: &BasicBlock) -> UBtbEntry {
+    UBtbEntry {
+        instr_count: block.instr_count,
+        kind: block.kind,
+        target: block.target,
+        call_footprint: SpatialFootprint::EMPTY,
+        ret_footprint: SpatialFootprint::EMPTY,
+        call_extent: 0,
+        ret_extent: 0,
+    }
+}
+
+#[inline]
+fn key(pc: Addr) -> u64 {
+    pc.get() >> 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintLayout;
+
+    fn call(start: u64, target: u64) -> BasicBlock {
+        BasicBlock::new(Addr::new(start), 4, BranchKind::Call, Addr::new(target))
+    }
+
+    #[test]
+    fn install_then_lookup() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        u.install_block(&b);
+        let (block, entry) = u.lookup(Addr::new(0x1000)).unwrap();
+        assert_eq!(block, b);
+        assert_eq!(entry.kind, BranchKind::Call);
+        assert!(u.lookup(Addr::new(0x2000)).is_none());
+    }
+
+    #[test]
+    fn recording_updates_call_footprint() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        let mut fp = SpatialFootprint::EMPTY;
+        fp.record(2, FootprintLayout::BITS8);
+        u.record_call_region(&b, fp, 5);
+        let (_, entry) = u.lookup(b.start).unwrap();
+        assert_eq!(entry.call_footprint, fp);
+        assert_eq!(entry.call_extent, 5);
+        assert!(entry.ret_footprint.is_empty(), "return footprint untouched");
+    }
+
+    #[test]
+    fn recording_allocates_when_evicted() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        let fp = SpatialFootprint::from_raw(0b11);
+        u.record_call_region(&b, fp, 2);
+        assert_eq!(u.len(), 1, "recording allocates the entry");
+    }
+
+    #[test]
+    fn return_footprint_is_separate() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        let call_fp = SpatialFootprint::from_raw(0b01);
+        let ret_fp = SpatialFootprint::from_raw(0b10);
+        u.record_call_region(&b, call_fp, 1);
+        u.record_return_region(&b, ret_fp, 3);
+        let entry = u.peek(b.start).unwrap();
+        assert_eq!(entry.call_footprint, call_fp);
+        assert_eq!(entry.ret_footprint, ret_fp);
+        assert_eq!(entry.ret_extent, 3);
+    }
+
+    #[test]
+    fn last_execution_replaces_footprint() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        u.record_call_region(&b, SpatialFootprint::from_raw(0b111), 3);
+        u.record_call_region(&b, SpatialFootprint::from_raw(0b001), 1);
+        let entry = u.peek(b.start).unwrap();
+        assert_eq!(entry.call_footprint.raw(), 0b001, "replace, not OR");
+        assert_eq!(entry.call_extent, 1);
+    }
+
+    #[test]
+    fn install_does_not_clobber_footprints() {
+        let mut u = UBtb::new(64, 4);
+        let b = call(0x1000, 0x8000);
+        u.record_call_region(&b, SpatialFootprint::from_raw(0b101), 3);
+        u.install_block(&b); // reactive fill rediscovers the block
+        let entry = u.peek(b.start).unwrap();
+        assert_eq!(entry.call_footprint.raw(), 0b101, "reactive fill must not erase footprints");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "U-BTB only holds")]
+    fn rejects_conditional_blocks() {
+        let mut u = UBtb::new(64, 4);
+        let bad = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Conditional, Addr::new(0x2000));
+        u.install_block(&bad);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for Shotgun's footprint machinery: the encode/decode
+//! round trip and the recorder's region bookkeeping.
+
+use fe_model::{Addr, BasicBlock, BranchKind, LineAddr, RetiredBlock};
+use proptest::prelude::*;
+use shotgun::footprint::{FootprintLayout, SpatialFootprint};
+use shotgun::recorder::{FootprintRecorder, RegionOwner};
+use shotgun::RegionPolicy;
+
+fn layouts() -> impl Strategy<Value = FootprintLayout> {
+    prop_oneof![Just(FootprintLayout::BITS8), Just(FootprintLayout::BITS32)]
+}
+
+proptest! {
+    #[test]
+    fn footprint_roundtrip_within_window(
+        layout in layouts(),
+        deltas in prop::collection::vec(-10i64..=30, 0..20),
+    ) {
+        let mut fp = SpatialFootprint::EMPTY;
+        let mut kept: std::collections::BTreeSet<i64> = Default::default();
+        for &d in &deltas {
+            if d == 0 {
+                continue;
+            }
+            let in_window =
+                (1..=layout.after as i64).contains(&d) || (-(layout.before as i64)..=-1).contains(&d);
+            prop_assert_eq!(fp.record(d, layout), in_window);
+            if in_window {
+                kept.insert(d);
+            }
+        }
+        // Decoded deltas = exactly the in-window recorded set.
+        let decoded: std::collections::BTreeSet<i64> = fp.deltas(layout).collect();
+        prop_assert_eq!(decoded, kept);
+    }
+
+    #[test]
+    fn footprint_lines_offset_correctly(
+        layout in layouts(),
+        entry in 64u64..(1 << 30),
+        deltas in prop::collection::vec(1i64..=6, 1..6),
+    ) {
+        let mut fp = SpatialFootprint::EMPTY;
+        for &d in &deltas {
+            fp.record(d, layout);
+        }
+        let entry_line = LineAddr::from_index(entry);
+        for line in fp.lines(entry_line, layout) {
+            let delta = line.get() as i64 - entry as i64;
+            prop_assert!(fp.contains(delta, layout));
+        }
+    }
+
+    #[test]
+    fn policies_always_include_entry_line(
+        entry in 64u64..(1 << 30),
+        raw in any::<u32>(),
+        extent in 0u8..40,
+    ) {
+        let fp = SpatialFootprint::from_raw(raw & 0xff);
+        let entry_line = LineAddr::from_index(entry);
+        for policy in RegionPolicy::ALL {
+            let lines = policy.prefetch_lines(entry_line, fp, extent);
+            prop_assert_eq!(lines[0], entry_line, "{} must fetch the target first", policy);
+            // No policy fetches an absurd amount.
+            prop_assert!(lines.len() <= 1 + extent.max(32) as usize);
+        }
+    }
+
+    #[test]
+    fn recorder_calls_own_their_target_regions(
+        call_targets in prop::collection::vec(1u64..1000, 1..20),
+    ) {
+        // Build a chain: call -> (region body) -> return, repeatedly.
+        let mut rec = FootprintRecorder::new(FootprintLayout::BITS8, 64);
+        let mut expected_owner: Option<BasicBlock> = None;
+        for (i, &t) in call_targets.iter().enumerate() {
+            let call_addr = 0x10_0000 + (i as u64) * 0x100;
+            let target = 0x80_0000 + t * 64;
+            let call = BasicBlock::new(Addr::new(call_addr), 4, BranchKind::Call, Addr::new(target));
+            let record = rec.observe(&RetiredBlock {
+                block: call,
+                taken: true,
+                next_pc: Addr::new(target),
+            });
+            // The record closed the previous call's region.
+            match (record, expected_owner) {
+                (Some(r), Some(prev)) => match r.owner {
+                    RegionOwner::CallLike { block } => prop_assert_eq!(block, prev),
+                    other => prop_assert!(false, "wrong owner {:?}", other),
+                },
+                (None, None) => {}
+                (r, e) => prop_assert!(false, "record {:?} vs expected {:?}", r, e),
+            }
+            // Body: one conditional block inside the region.
+            let body = BasicBlock::new(
+                Addr::new(target),
+                6,
+                BranchKind::Conditional,
+                Addr::new(target + 0x40),
+            );
+            let rb = RetiredBlock { block: body, taken: false, next_pc: body.fall_through() };
+            let body_record = rec.observe(&rb);
+            prop_assert!(body_record.is_none());
+            expected_owner = Some(call);
+        }
+    }
+
+    #[test]
+    fn recorder_extent_bounds_footprint(
+        forward_lines in prop::collection::vec(0i64..12, 1..10),
+    ) {
+        let mut rec = FootprintRecorder::new(FootprintLayout::BITS8, 16);
+        let entry = 0x40_0000u64;
+        let opener =
+            BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(entry));
+        rec.observe(&RetiredBlock { block: opener, taken: true, next_pc: Addr::new(entry) });
+        for &d in &forward_lines {
+            let addr = entry + (d as u64) * 64;
+            let b = BasicBlock::new(Addr::new(addr), 4, BranchKind::Conditional, Addr::new(entry));
+            rec.observe(&RetiredBlock { block: b, taken: false, next_pc: b.fall_through() });
+        }
+        let closer = BasicBlock::new(
+            Addr::new(entry + 63 * 64),
+            4,
+            BranchKind::Jump,
+            Addr::new(0x1000),
+        );
+        let record = rec
+            .observe(&RetiredBlock { block: closer, taken: true, next_pc: Addr::new(0x1000) })
+            .expect("region closes");
+        let max_fwd = *forward_lines.iter().max().unwrap() as u8;
+        prop_assert!(record.extent >= max_fwd, "extent covers the farthest access");
+        // Every decoded footprint delta lies within the observed span.
+        for d in record.footprint.deltas(FootprintLayout::BITS8) {
+            prop_assert!(d <= max_fwd as i64 && d >= -2);
+        }
+    }
+}

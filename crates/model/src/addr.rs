@@ -1,0 +1,293 @@
+//! Instruction and cache-line addresses.
+//!
+//! The modeled ISA uses fixed 4-byte instructions ([`INSTR_BYTES`]) and a
+//! 64-byte cache line ([`LINE_BYTES`]), matching the granularity at which
+//! the paper records spatial footprints (one bit per cache block). The
+//! paper assumes a 48-bit virtual address space (§5.1); addresses here are
+//! stored in a `u64` and masked to 48 bits on construction.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Bytes per instruction in the modeled RISC-like ISA.
+pub const INSTR_BYTES: u64 = 4;
+/// Bytes per cache line / "cache block" in the paper's terminology.
+pub const LINE_BYTES: u64 = 64;
+/// Instructions that fit in one cache line.
+pub const LINE_INSTRS: u64 = LINE_BYTES / INSTR_BYTES;
+/// Virtual address space width assumed by the paper (§5.1).
+pub const VA_BITS: u32 = 48;
+const VA_MASK: u64 = (1 << VA_BITS) - 1;
+
+/// A 48-bit virtual instruction address.
+///
+/// `Addr` is a transparent newtype over `u64`; arithmetic that would be
+/// meaningful on raw program counters (adding a byte offset, subtracting
+/// two addresses) is provided directly, everything else requires an
+/// explicit [`Addr::get`].
+///
+/// ```
+/// use fe_model::{Addr, LINE_BYTES};
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line().base().get(), 0x1040 / LINE_BYTES * LINE_BYTES);
+/// assert_eq!((a + 8).get(), 0x1048);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The zero address; used as an "invalid / not applicable" sentinel
+    /// (e.g. the target field of a return, which reads the RAS instead).
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address, masking to the 48-bit virtual address space.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw & VA_MASK)
+    }
+
+    /// Raw numeric value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// `true` for the [`Addr::NULL`] sentinel.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Signed distance in whole cache lines from `other`'s line to this
+    /// address's line (positive when `self` is at a higher address).
+    #[inline]
+    pub fn line_distance(self, other: Addr) -> i64 {
+        self.line().get() as i64 - other.line().get() as i64
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = i64;
+    #[inline]
+    fn sub(self, rhs: Addr) -> i64 {
+        self.0 as i64 - rhs.0 as i64
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Addr::new(raw)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+///
+/// Caches, prefetchers and spatial footprints all operate at this
+/// granularity. Stored as a line *index*, not a byte address, so
+/// consecutive lines differ by 1 — convenient for footprint bit offsets.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Line containing byte address `raw`.
+    #[inline]
+    pub const fn containing(raw: u64) -> Self {
+        LineAddr((raw & VA_MASK) / LINE_BYTES)
+    }
+
+    /// Creates a line address directly from a line index.
+    #[inline]
+    pub const fn from_index(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    #[inline]
+    pub const fn base(self) -> Addr {
+        Addr::new(self.0 * LINE_BYTES)
+    }
+
+    /// The line `delta` lines away (saturating at zero).
+    #[inline]
+    pub fn offset(self, delta: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add_signed(delta).min(VA_MASK / LINE_BYTES))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0 * LINE_BYTES)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0 * LINE_BYTES)
+    }
+}
+
+/// Iterator over the cache lines covered by a byte range. See
+/// [`lines_covering`].
+#[derive(Debug, Clone)]
+pub struct Lines {
+    next: u64,
+    last: u64,
+}
+
+impl Iterator for Lines {
+    type Item = LineAddr;
+
+    fn next(&mut self) -> Option<LineAddr> {
+        if self.next > self.last {
+            None
+        } else {
+            let line = LineAddr(self.next);
+            self.next += 1;
+            Some(line)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last + 1).saturating_sub(self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lines {}
+
+/// All cache lines touched by the half-open byte range `[start, end)`.
+///
+/// An empty range yields no lines.
+///
+/// ```
+/// use fe_model::addr::{lines_covering, Addr};
+/// let ls: Vec<_> = lines_covering(Addr::new(0x1030), Addr::new(0x1090)).collect();
+/// assert_eq!(ls.len(), 3); // lines 0x1000, 0x1040, 0x1080
+/// ```
+pub fn lines_covering(start: Addr, end: Addr) -> Lines {
+    if end.get() <= start.get() {
+        Lines { next: 1, last: 0 }
+    } else {
+        Lines {
+            next: start.line().get(),
+            last: Addr::new(end.get() - 1).line().get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_masks_to_48_bits() {
+        let a = Addr::new(u64::MAX);
+        assert_eq!(a.get(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn line_of_address() {
+        assert_eq!(Addr::new(0).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(63).line(), LineAddr::from_index(0));
+        assert_eq!(Addr::new(64).line(), LineAddr::from_index(1));
+        assert_eq!(Addr::new(0x1040).line().base(), Addr::new(0x1040));
+    }
+
+    #[test]
+    fn line_offset_within_line() {
+        assert_eq!(Addr::new(0x1044).line_offset(), 4);
+        assert_eq!(Addr::new(0x1040).line_offset(), 0);
+    }
+
+    #[test]
+    fn line_distance_signed() {
+        let entry = Addr::new(0x1000);
+        assert_eq!(Addr::new(0x1080).line_distance(entry), 2);
+        assert_eq!(Addr::new(0x0fc0).line_distance(entry), -1);
+        assert_eq!(Addr::new(0x103c).line_distance(entry), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(0x1000);
+        assert_eq!((a + 0x20).get(), 0x1020);
+        assert_eq!(Addr::new(0x1100) - a, 0x100);
+        assert_eq!(a - Addr::new(0x1100), -0x100);
+    }
+
+    #[test]
+    fn lines_covering_ranges() {
+        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1000)).count(), 0);
+        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1001)).count(), 1);
+        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1040)).count(), 1);
+        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1041)).count(), 2);
+        assert_eq!(lines_covering(Addr::new(0x103c), Addr::new(0x1044)).count(), 2);
+    }
+
+    #[test]
+    fn line_offset_saturates_at_zero_boundary() {
+        let l = LineAddr::from_index(1);
+        assert_eq!(l.offset(-1), LineAddr::from_index(0));
+        assert_eq!(l.offset(2), LineAddr::from_index(3));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(format!("{}", Addr::new(0x1a40)), "0x1a40");
+        assert_eq!(format!("{}", LineAddr::containing(0x1a40)), "0x1a40");
+    }
+}

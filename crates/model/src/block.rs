@@ -1,0 +1,220 @@
+//! Basic blocks and the retired-control-flow stream.
+//!
+//! The paper uses a *basic-block-oriented* BTB (Yeh & Patt, footnote 1):
+//! a basic block is a run of straight-line instructions ending with a
+//! branch — slightly weaker than the compiler definition because a block
+//! may be entered in the middle. [`BasicBlock`] is the static descriptor;
+//! [`RetiredBlock`] is one dynamic execution of a block as observed in
+//! the retire stream, which is what trains predictors and the spatial
+//! footprint recorder (§4.2.2).
+
+use crate::addr::{lines_covering, Addr, Lines, INSTR_BYTES};
+use crate::branch::BranchKind;
+
+/// Static descriptor of a basic block: where it starts, how many
+/// instructions it holds, and the branch that terminates it.
+///
+/// ```
+/// use fe_model::{Addr, BasicBlock, BranchKind};
+/// let bb = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(0x2000));
+/// assert_eq!(bb.byte_len(), 16);
+/// assert_eq!(bb.branch_pc(), Addr::new(0x100c));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// Number of instructions including the terminating branch (>= 1).
+    /// Fits the 5-bit "size" BTB field of §5.2 (max 31).
+    pub instr_count: u8,
+    /// Kind of the terminating branch.
+    pub kind: BranchKind,
+    /// Taken target of the terminating branch. [`Addr::NULL`] for
+    /// returns, whose target is supplied by the RAS at run time.
+    pub target: Addr,
+}
+
+impl BasicBlock {
+    /// Maximum instructions per block representable in the 5-bit BTB
+    /// size field (§5.2).
+    pub const MAX_INSTRS: u8 = 31;
+
+    /// Creates a block descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr_count` is zero or exceeds [`Self::MAX_INSTRS`].
+    pub fn new(start: Addr, instr_count: u8, kind: BranchKind, target: Addr) -> Self {
+        assert!(
+            (1..=Self::MAX_INSTRS).contains(&instr_count),
+            "basic block instruction count {instr_count} out of range 1..=31",
+        );
+        BasicBlock { start, instr_count, kind, target }
+    }
+
+    /// Size of the block in bytes.
+    #[inline]
+    pub fn byte_len(&self) -> u64 {
+        self.instr_count as u64 * INSTR_BYTES
+    }
+
+    /// Address one past the last instruction; also the fall-through
+    /// successor for not-taken conditionals.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.start + self.byte_len()
+    }
+
+    /// Address of the terminating branch instruction.
+    #[inline]
+    pub fn branch_pc(&self) -> Addr {
+        self.start + (self.instr_count as u64 - 1) * INSTR_BYTES
+    }
+
+    /// Fall-through successor (next sequential instruction after the
+    /// block); where a not-taken conditional, or the return of a call
+    /// made by this block, resumes.
+    #[inline]
+    pub fn fall_through(&self) -> Addr {
+        self.end()
+    }
+
+    /// Cache lines this block's instructions touch.
+    #[inline]
+    pub fn lines(&self) -> Lines {
+        lines_covering(self.start, self.end())
+    }
+
+    /// `true` if the byte range of this block covers `pc`.
+    #[inline]
+    pub fn contains(&self, pc: Addr) -> bool {
+        pc >= self.start && pc < self.end()
+    }
+}
+
+/// One dynamic execution of a basic block, as seen at retirement.
+///
+/// The workload executor (`fe-cfg`) yields a stream of these; the
+/// simulator's backend consumes them as the oracle of actual control
+/// flow, and every scheme trains on them (BTB fills on misfetch
+/// discovery, TAGE update, footprint recording).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetiredBlock {
+    /// The static block that executed.
+    pub block: BasicBlock,
+    /// Outcome of the terminating branch. Always `true` for
+    /// unconditional kinds.
+    pub taken: bool,
+    /// Start address of the *next* block actually executed (taken
+    /// target, fall-through, or RAS-supplied return address).
+    pub next_pc: Addr,
+}
+
+impl RetiredBlock {
+    /// Creates a retired record, computing `next_pc` from the outcome
+    /// for branches whose target is statically known.
+    ///
+    /// For returns, pass the dynamic return address in `ras_target`.
+    pub fn resolve(block: BasicBlock, taken: bool, ras_target: Option<Addr>) -> Self {
+        debug_assert!(taken || !block.kind.is_unconditional(), "unconditional branches are always taken");
+        let next_pc = if !taken {
+            block.fall_through()
+        } else if block.kind.is_return() {
+            ras_target.expect("return must carry its RAS target")
+        } else {
+            block.target
+        };
+        RetiredBlock { block, taken, next_pc }
+    }
+
+    /// Number of instructions this record retires.
+    #[inline]
+    pub fn instr_count(&self) -> u64 {
+        self.block.instr_count as u64
+    }
+
+    /// `true` when control leaves the fall-through path (taken branch).
+    #[inline]
+    pub fn diverts(&self) -> bool {
+        self.next_pc != self.block.fall_through()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+
+    fn bb(start: u64, n: u8, kind: BranchKind, target: u64) -> BasicBlock {
+        BasicBlock::new(Addr::new(start), n, kind, Addr::new(target))
+    }
+
+    #[test]
+    fn geometry() {
+        let b = bb(0x1000, 5, BranchKind::Conditional, 0x1100);
+        assert_eq!(b.byte_len(), 20);
+        assert_eq!(b.end(), Addr::new(0x1014));
+        assert_eq!(b.branch_pc(), Addr::new(0x1010));
+        assert_eq!(b.fall_through(), Addr::new(0x1014));
+        assert!(b.contains(Addr::new(0x1010)));
+        assert!(!b.contains(Addr::new(0x1014)));
+    }
+
+    #[test]
+    fn lines_spanning() {
+        // Block straddling a line boundary: starts at 0x103c, 4 instrs = 16B,
+        // ends 0x104c -> lines 0x1000 and 0x1040.
+        let b = bb(0x103c, 4, BranchKind::Jump, 0x2000);
+        let lines: Vec<LineAddr> = b.lines().collect();
+        assert_eq!(lines, vec![LineAddr::containing(0x1000), LineAddr::containing(0x1040)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_len_block_rejected() {
+        bb(0x1000, 0, BranchKind::Jump, 0x2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversize_block_rejected() {
+        bb(0x1000, 32, BranchKind::Jump, 0x2000);
+    }
+
+    #[test]
+    fn resolve_not_taken_falls_through() {
+        let b = bb(0x1000, 4, BranchKind::Conditional, 0x2000);
+        let r = RetiredBlock::resolve(b, false, None);
+        assert_eq!(r.next_pc, Addr::new(0x1010));
+        assert!(!r.diverts());
+    }
+
+    #[test]
+    fn resolve_taken_goes_to_target() {
+        let b = bb(0x1000, 4, BranchKind::Conditional, 0x2000);
+        let r = RetiredBlock::resolve(b, true, None);
+        assert_eq!(r.next_pc, Addr::new(0x2000));
+        assert!(r.diverts());
+    }
+
+    #[test]
+    fn resolve_return_uses_ras() {
+        let b = bb(0x1000, 2, BranchKind::Return, 0);
+        let r = RetiredBlock::resolve(b, true, Some(Addr::new(0x5008)));
+        assert_eq!(r.next_pc, Addr::new(0x5008));
+    }
+
+    #[test]
+    #[should_panic(expected = "RAS target")]
+    fn resolve_return_without_ras_panics() {
+        let b = bb(0x1000, 2, BranchKind::Return, 0);
+        let _ = RetiredBlock::resolve(b, true, None);
+    }
+
+    #[test]
+    fn instr_count_matches_block() {
+        let b = bb(0x1000, 7, BranchKind::Call, 0x4000);
+        let r = RetiredBlock::resolve(b, true, None);
+        assert_eq!(r.instr_count(), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! Branch classification.
+//!
+//! The paper partitions control flow into *local* (conditional branches
+//! with short displacements, steering execution within a code region) and
+//! *global* (unconditional branches — calls, jumps, returns and traps —
+//! transferring execution between regions, §3.1). Shotgun's three BTBs
+//! split along exactly these lines: U-BTB for calls/jumps/traps, RIB for
+//! returns, C-BTB for conditionals.
+
+use std::fmt;
+
+/// The kind of the branch instruction terminating a basic block.
+///
+/// Every basic block in the model ends with a branch; a block whose code
+/// merely falls into its successor is modeled as ending in a
+/// never-taken [`BranchKind::Conditional`] for BTB purposes (the paper's
+/// basic-block-oriented BTB from Yeh & Patt behaves the same way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// Direct conditional branch (short PC-relative displacement).
+    Conditional,
+    /// Direct unconditional jump.
+    Jump,
+    /// Direct function call; pushes a return address on the RAS.
+    Call,
+    /// Function return; target comes from the RAS, not the BTB.
+    Return,
+    /// Software trap into a kernel routine; behaves like a call
+    /// (pushes the RAS) with the trap handler as the target.
+    Trap,
+    /// Return from a trap routine; like [`BranchKind::Return`].
+    TrapReturn,
+}
+
+impl BranchKind {
+    /// All branch kinds, in a stable order (useful for per-kind stats).
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::Conditional,
+        BranchKind::Jump,
+        BranchKind::Call,
+        BranchKind::Return,
+        BranchKind::Trap,
+        BranchKind::TrapReturn,
+    ];
+
+    /// `true` for every kind except [`BranchKind::Conditional`].
+    ///
+    /// Unconditional branches delimit code regions and constitute the
+    /// *global* control flow the U-BTB/RIB track (§3.1).
+    #[inline]
+    pub const fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+
+    /// `true` for returns and trap-returns — the branches Shotgun stores
+    /// in the dedicated RIB because they need neither a target field nor
+    /// footprints of their own (§4.2.1).
+    #[inline]
+    pub const fn is_return(self) -> bool {
+        matches!(self, BranchKind::Return | BranchKind::TrapReturn)
+    }
+
+    /// `true` for calls and traps — the branches that push the RAS and
+    /// own a *return footprint* in the U-BTB (§4.2.1).
+    #[inline]
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchKind::Call | BranchKind::Trap)
+    }
+
+    /// `true` when the branch's taken-target is read from the BTB entry
+    /// (everything except returns, which read the RAS).
+    #[inline]
+    pub const fn has_btb_target(self) -> bool {
+        !self.is_return()
+    }
+
+    /// `true` when the branch terminates spatial-footprint recording and
+    /// starts a new code region (§4.2.2): exactly the unconditional set.
+    #[inline]
+    pub const fn ends_region(self) -> bool {
+        self.is_unconditional()
+    }
+
+    /// Which Shotgun BTB structure holds this branch kind.
+    #[inline]
+    pub const fn shotgun_home(self) -> ShotgunStructure {
+        match self {
+            BranchKind::Conditional => ShotgunStructure::CBtb,
+            BranchKind::Return | BranchKind::TrapReturn => ShotgunStructure::Rib,
+            _ => ShotgunStructure::UBtb,
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "cond",
+            BranchKind::Jump => "jump",
+            BranchKind::Call => "call",
+            BranchKind::Return => "ret",
+            BranchKind::Trap => "trap",
+            BranchKind::TrapReturn => "tret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three BTB structures of Shotgun's split organization (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShotgunStructure {
+    /// Unconditional-branch BTB with spatial footprints.
+    UBtb,
+    /// Conditional-branch BTB.
+    CBtb,
+    /// Return instruction buffer.
+    Rib,
+}
+
+impl fmt::Display for ShotgunStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ShotgunStructure::UBtb => "U-BTB",
+            ShotgunStructure::CBtb => "C-BTB",
+            ShotgunStructure::Rib => "RIB",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_is_local_control_flow() {
+        assert!(!BranchKind::Conditional.is_unconditional());
+        assert!(!BranchKind::Conditional.ends_region());
+        assert_eq!(BranchKind::Conditional.shotgun_home(), ShotgunStructure::CBtb);
+    }
+
+    #[test]
+    fn unconditional_partition() {
+        for k in BranchKind::ALL {
+            if k == BranchKind::Conditional {
+                continue;
+            }
+            assert!(k.is_unconditional(), "{k} must be unconditional");
+            assert!(k.ends_region(), "{k} must end a region");
+        }
+    }
+
+    #[test]
+    fn returns_live_in_rib_and_read_ras() {
+        for k in [BranchKind::Return, BranchKind::TrapReturn] {
+            assert!(k.is_return());
+            assert!(!k.has_btb_target());
+            assert_eq!(k.shotgun_home(), ShotgunStructure::Rib);
+        }
+    }
+
+    #[test]
+    fn calls_push_ras_and_live_in_ubtb() {
+        for k in [BranchKind::Call, BranchKind::Trap] {
+            assert!(k.is_call());
+            assert!(k.has_btb_target());
+            assert_eq!(k.shotgun_home(), ShotgunStructure::UBtb);
+        }
+    }
+
+    #[test]
+    fn jumps_live_in_ubtb_without_ras() {
+        assert!(!BranchKind::Jump.is_call());
+        assert!(!BranchKind::Jump.is_return());
+        assert_eq!(BranchKind::Jump.shotgun_home(), ShotgunStructure::UBtb);
+    }
+}

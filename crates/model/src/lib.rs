@@ -1,0 +1,34 @@
+//! # fe-model — common vocabulary for the Shotgun front-end reproduction
+//!
+//! This crate defines the types shared by every other crate in the
+//! workspace: instruction [`Addr`]esses and cache [`LineAddr`]esses,
+//! [`BranchKind`]s and [`BasicBlock`] descriptors, the retired-stream
+//! record ([`RetiredBlock`]) that flows from the workload executor into
+//! the timing simulator, the machine configuration mirroring Table 3 of
+//! the paper ([`config::MachineConfig`]), bit-exact storage accounting
+//! for every BTB organization evaluated in §5.2 ([`storage`]), and the
+//! statistics the experiments report ([`stats::SimStats`]).
+//!
+//! It has no dependencies and no I/O; everything here is plain data.
+//!
+//! ```
+//! use fe_model::{Addr, BranchKind, BasicBlock};
+//!
+//! let bb = BasicBlock::new(Addr::new(0x1000), 6, BranchKind::Call, Addr::new(0x8000));
+//! assert_eq!(bb.branch_pc(), Addr::new(0x1014));
+//! assert_eq!(bb.fall_through(), Addr::new(0x1018));
+//! assert!(bb.kind.is_unconditional());
+//! ```
+
+pub mod addr;
+pub mod block;
+pub mod branch;
+pub mod config;
+pub mod stats;
+pub mod storage;
+
+pub use addr::{Addr, LineAddr, INSTR_BYTES, LINE_BYTES, LINE_INSTRS};
+pub use block::{BasicBlock, RetiredBlock};
+pub use branch::BranchKind;
+pub use config::MachineConfig;
+pub use stats::SimStats;

@@ -1,0 +1,365 @@
+//! Simulation statistics and the derived metrics the paper reports.
+//!
+//! The evaluation uses three headline metrics:
+//!
+//! * **speedup** over a no-prefetch baseline (Figs. 1, 7, 9, 12, 13) —
+//!   [`speedup`];
+//! * **front-end stall-cycle coverage** (Figs. 6, 8): the fraction of the
+//!   baseline's front-end stall cycles a scheme removes, counting only
+//!   correct-path stalls so in-flight (late) prefetches are captured
+//!   precisely (§6.1) — [`coverage`];
+//! * **prefetch accuracy** (Fig. 10) and **L1-D fill latency** (Fig. 11)
+//!   for the over-prefetching analysis — [`SimStats::prefetch_accuracy`]
+//!   and [`SimStats::avg_l1d_fill_latency`].
+
+use std::fmt;
+
+/// Why the front end failed to supply instructions on a given cycle.
+///
+/// A cycle is classified by the dominant blocker; the sum over variants
+/// equals total zero-supply cycles on the correct path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Fetch blocked on an L1-I miss (the stalls prefetching targets).
+    pub icache_miss: u64,
+    /// Branch-prediction unit stalled resolving a BTB miss
+    /// (Boomerang/Shotgun reactive fill in flight).
+    pub btb_resolve: u64,
+    /// FTQ ran dry for any other reason.
+    pub ftq_empty: u64,
+    /// Pipeline-refill bubble after a mispredict/misfetch redirect.
+    pub redirect: u64,
+}
+
+impl StallBreakdown {
+    /// Total front-end stall cycles.
+    pub fn front_end_total(&self) -> u64 {
+        self.icache_miss + self.btb_resolve + self.ftq_empty + self.redirect
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.icache_miss += other.icache_miss;
+        self.btb_resolve += other.btb_resolve;
+        self.ftq_empty += other.ftq_empty;
+        self.redirect += other.redirect;
+    }
+}
+
+/// Prefetch effectiveness accounting.
+///
+/// A prefetched line is **useful** when a demand fetch hits it before
+/// eviction; **late** when the demand arrives while the prefetch is
+/// still in flight (partial benefit — the stall shrinks but does not
+/// vanish); **wasted** when the line is evicted untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch probes issued to the L1-I (after in-cache/in-flight
+    /// filtering).
+    pub issued: u64,
+    /// Prefetched lines hit by a demand access before eviction.
+    pub useful: u64,
+    /// Demand accesses that merged with an in-flight prefetch.
+    pub late: u64,
+    /// Prefetched lines evicted without a demand hit.
+    pub wasted: u64,
+}
+
+impl PrefetchStats {
+    /// Useful / (useful + wasted): the paper's Fig. 10 accuracy metric,
+    /// ignoring lines still resident at measurement end.
+    pub fn accuracy(&self) -> f64 {
+        let judged = self.useful + self.wasted;
+        if judged == 0 { 0.0 } else { self.useful as f64 / judged as f64 }
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.issued += other.issued;
+        self.useful += other.useful;
+        self.late += other.late;
+        self.wasted += other.wasted;
+    }
+}
+
+/// Full statistics of one measured simulation phase.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles elapsed in the measured phase.
+    pub cycles: u64,
+    /// Instructions retired (application throughput numerator, §5.1).
+    pub instructions: u64,
+    /// Retired branch instructions.
+    pub branches: u64,
+    /// Retired unconditional branches.
+    pub unconditional_branches: u64,
+
+    /// Front-end stall classification.
+    pub stalls: StallBreakdown,
+    /// Cycles retirement was blocked on data misses (backend stalls;
+    /// not part of front-end coverage).
+    pub backend_stall_cycles: u64,
+
+    /// Demand L1-I lookups (per fetched line).
+    pub l1i_accesses: u64,
+    /// Demand L1-I misses.
+    pub l1i_misses: u64,
+    /// BTB lookups by the branch prediction unit.
+    pub btb_lookups: u64,
+    /// BTB misses observed by the branch prediction unit.
+    pub btb_misses: u64,
+    /// Conditional-branch direction mispredictions.
+    pub direction_mispredicts: u64,
+    /// Misfetches: wrong next-block because control flow was unknown
+    /// (BTB miss) or target was stale.
+    pub misfetches: u64,
+    /// Misfetches whose triggering retired branch was conditional
+    /// (direction mispredicts discovered as divergence).
+    pub misfetch_cond: u64,
+    /// Misfetches triggered by returns (RAS mispredictions or unknown
+    /// returns).
+    pub misfetch_return: u64,
+    /// Misfetches triggered by calls/jumps/traps (undetected or stale
+    /// targets).
+    pub misfetch_uncond: u64,
+
+    /// Prefetch effectiveness.
+    pub prefetch: PrefetchStats,
+
+    /// Retired loads.
+    pub loads: u64,
+    /// L1-D load misses.
+    pub l1d_misses: u64,
+    /// Sum of L1-D miss fill latencies in cycles (Fig. 11 numerator).
+    pub l1d_fill_cycles: u64,
+
+    /// Messages the detailed core injected into the NoC.
+    pub noc_messages: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 { 0.0 } else { self.instructions as f64 / self.cycles as f64 }
+    }
+
+    /// Misses per kilo-instruction for an arbitrary miss counter.
+    pub fn mpki(&self, misses: u64) -> f64 {
+        if self.instructions == 0 { 0.0 } else { misses as f64 * 1000.0 / self.instructions as f64 }
+    }
+
+    /// L1-I demand misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.mpki(self.l1i_misses)
+    }
+
+    /// BTB misses per kilo-instruction (Table 1's metric).
+    pub fn btb_mpki(&self) -> f64 {
+        self.mpki(self.btb_misses)
+    }
+
+    /// Fraction of cycles lost to front-end stalls.
+    pub fn front_end_stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stalls.front_end_total() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fig. 10's prefetch accuracy.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        self.prefetch.accuracy()
+    }
+
+    /// Fig. 11's average cycles to fill an L1-D miss.
+    pub fn avg_l1d_fill_latency(&self) -> f64 {
+        if self.l1d_misses == 0 {
+            0.0
+        } else {
+            self.l1d_fill_cycles as f64 / self.l1d_misses as f64
+        }
+    }
+
+    /// Element-wise accumulation (for aggregating sampled phases).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.branches += other.branches;
+        self.unconditional_branches += other.unconditional_branches;
+        self.stalls.merge(&other.stalls);
+        self.backend_stall_cycles += other.backend_stall_cycles;
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1i_misses += other.l1i_misses;
+        self.btb_lookups += other.btb_lookups;
+        self.btb_misses += other.btb_misses;
+        self.direction_mispredicts += other.direction_mispredicts;
+        self.misfetches += other.misfetches;
+        self.misfetch_cond += other.misfetch_cond;
+        self.misfetch_return += other.misfetch_return;
+        self.misfetch_uncond += other.misfetch_uncond;
+        self.prefetch.merge(&other.prefetch);
+        self.loads += other.loads;
+        self.l1d_misses += other.l1d_misses;
+        self.l1d_fill_cycles += other.l1d_fill_cycles;
+        self.noc_messages += other.noc_messages;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles            {:>14}", self.cycles)?;
+        writeln!(f, "instructions      {:>14}", self.instructions)?;
+        writeln!(f, "IPC               {:>14.3}", self.ipc())?;
+        writeln!(f, "L1-I MPKI         {:>14.2}", self.l1i_mpki())?;
+        writeln!(f, "BTB MPKI          {:>14.2}", self.btb_mpki())?;
+        writeln!(
+            f,
+            "FE stalls         {:>14}  (icache {}, btb {}, ftq {}, redirect {})",
+            self.stalls.front_end_total(),
+            self.stalls.icache_miss,
+            self.stalls.btb_resolve,
+            self.stalls.ftq_empty,
+            self.stalls.redirect
+        )?;
+        writeln!(f, "prefetch accuracy {:>14.1}%", self.prefetch_accuracy() * 100.0)?;
+        write!(f, "L1-D fill latency {:>14.1}", self.avg_l1d_fill_latency())
+    }
+}
+
+/// Speedup of `scheme` over `baseline` at equal instruction counts
+/// (Figs. 1, 7, 9, 12, 13). Uses the paper's throughput metric —
+/// instructions per cycle ratio.
+pub fn speedup(baseline: &SimStats, scheme: &SimStats) -> f64 {
+    if scheme.cycles == 0 || baseline.cycles == 0 {
+        return 0.0;
+    }
+    scheme.ipc() / baseline.ipc()
+}
+
+/// Front-end stall-cycle coverage of `scheme` relative to `baseline`
+/// (Figs. 6, 8): the fraction of baseline front-end stall cycles
+/// eliminated, per retired instruction.
+pub fn coverage(baseline: &SimStats, scheme: &SimStats) -> f64 {
+    let base = baseline.stalls.front_end_total() as f64 / baseline.instructions.max(1) as f64;
+    let new = scheme.stalls.front_end_total() as f64 / scheme.instructions.max(1) as f64;
+    if base <= 0.0 {
+        return 0.0;
+    }
+    1.0 - new / base
+}
+
+/// Geometric mean of a slice of ratios (the paper's cross-workload
+/// aggregate for speedups).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean (the paper's aggregate for coverages).
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, instrs: u64) -> SimStats {
+        SimStats { cycles, instructions: instrs, ..Default::default() }
+    }
+
+    #[test]
+    fn ipc_and_mpki() {
+        let mut s = stats(2000, 1000);
+        s.l1i_misses = 50;
+        s.btb_misses = 20;
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.l1i_mpki() - 50.0).abs() < 1e-12);
+        assert!((s.btb_mpki() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_ipc_ratio() {
+        let base = stats(2000, 1000);
+        let fast = stats(1000, 1000);
+        assert!((speedup(&base, &fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_full_and_none() {
+        let mut base = stats(1000, 1000);
+        base.stalls.icache_miss = 400;
+        let mut none = base.clone();
+        none.stalls.icache_miss = 400;
+        let mut all = stats(600, 1000);
+        all.stalls = StallBreakdown::default();
+        assert!((coverage(&base, &none) - 0.0).abs() < 1e-12);
+        assert!((coverage(&base, &all) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_is_per_instruction() {
+        // Same stall count but double the instructions means half the
+        // per-instruction stalls: 50% coverage.
+        let mut base = stats(1000, 1000);
+        base.stalls.icache_miss = 400;
+        let mut scheme = stats(1500, 2000);
+        scheme.stalls.icache_miss = 400;
+        assert!((coverage(&base, &scheme) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_ignores_resident() {
+        let p = PrefetchStats { issued: 100, useful: 60, late: 10, wasted: 20 };
+        assert!((p.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(PrefetchStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn fill_latency_average() {
+        let mut s = stats(100, 100);
+        s.l1d_misses = 4;
+        s.l1d_fill_cycles = 216;
+        assert!((s.avg_l1d_fill_latency() - 54.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = stats(10, 20);
+        a.l1i_misses = 1;
+        a.prefetch.issued = 5;
+        let mut b = stats(30, 40);
+        b.l1i_misses = 2;
+        b.prefetch.issued = 7;
+        a.merge(&b);
+        assert_eq!(a.cycles, 40);
+        assert_eq!(a.instructions, 60);
+        assert_eq!(a.l1i_misses, 3);
+        assert_eq!(a.prefetch.issued, 12);
+    }
+
+    #[test]
+    fn geometric_mean_of_speedups() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn stall_totals() {
+        let s = StallBreakdown { icache_miss: 1, btb_resolve: 2, ftq_empty: 3, redirect: 4 };
+        assert_eq!(s.front_end_total(), 10);
+    }
+
+    #[test]
+    fn display_contains_key_metrics() {
+        let s = stats(100, 300);
+        let text = format!("{s}");
+        assert!(text.contains("IPC"));
+        assert!(text.contains("BTB MPKI"));
+    }
+}

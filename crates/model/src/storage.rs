@@ -1,0 +1,219 @@
+//! Bit-exact storage accounting for every BTB organization of §5.2.
+//!
+//! The paper's central fairness claim is that Shotgun's three structures
+//! (U-BTB + C-BTB + RIB, 23.77 KB) fit in the storage budget of
+//! Boomerang's conventional 2K-entry basic-block BTB (23.25 KB, within
+//! ~2%). This module reproduces the per-entry field math so the claim
+//! is checkable in tests and so budget-equivalent configurations can be
+//! derived for the Fig. 13 sweep.
+
+/// Per-entry field widths, in bits, of a BTB-like structure.
+///
+/// Summing the fields gives the entry cost; multiplying by the entry
+/// count gives the structure cost. All §5.2 organizations are expressed
+/// as constants below.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryLayout {
+    /// Partial tag.
+    pub tag: u32,
+    /// Full target address or PC-relative offset.
+    pub target: u32,
+    /// Basic-block size field.
+    pub size: u32,
+    /// Branch type field.
+    pub branch_type: u32,
+    /// Conditional direction hysteresis.
+    pub direction: u32,
+    /// Spatial footprint bits (call + return vectors for the U-BTB).
+    pub footprints: u32,
+}
+
+impl EntryLayout {
+    /// Total bits per entry.
+    pub const fn bits(&self) -> u32 {
+        self.tag + self.target + self.size + self.branch_type + self.direction + self.footprints
+    }
+}
+
+/// Conventional basic-block BTB entry used by Boomerang (§5.2):
+/// 37-bit tag, 46-bit target, 5-bit size, 3-bit type, 2-bit direction
+/// = 93 bits.
+pub const CONVENTIONAL_BTB: EntryLayout =
+    EntryLayout { tag: 37, target: 46, size: 5, branch_type: 3, direction: 2, footprints: 0 };
+
+/// Shotgun U-BTB entry (§5.2): 38-bit tag, 46-bit target, 5-bit size,
+/// 1-bit type (unconditional vs call), two 8-bit spatial footprints
+/// = 106 bits.
+pub const UBTB: EntryLayout =
+    EntryLayout { tag: 38, target: 46, size: 5, branch_type: 1, direction: 0, footprints: 16 };
+
+/// Shotgun C-BTB entry (§5.2): 41-bit tag, 22-bit PC-relative target
+/// offset (SPARC v9 conditional displacement limit), 5-bit size, 2-bit
+/// direction = 70 bits. No type field: everything in it is conditional.
+pub const CBTB: EntryLayout =
+    EntryLayout { tag: 41, target: 22, size: 5, branch_type: 0, direction: 2, footprints: 0 };
+
+/// Shotgun RIB entry (§5.2): 39-bit tag, 5-bit size, 1-bit type (return
+/// vs trap-return) = 45 bits. No target (RAS-supplied), no footprints
+/// (stored with the corresponding call).
+pub const RIB: EntryLayout =
+    EntryLayout { tag: 39, target: 0, size: 5, branch_type: 1, direction: 0, footprints: 0 };
+
+/// U-BTB entry layout with a widened footprint pair, for the §6.3
+/// "32-bit vector" design point (two 32-bit vectors instead of two
+/// 8-bit ones).
+pub const UBTB_WIDE32: EntryLayout = EntryLayout { footprints: 64, ..UBTB };
+
+/// U-BTB entry layout with the footprints removed, for the §6.3
+/// "no bit vector" design point (capacity is instead spent on more
+/// entries, see [`no_bit_vector_entries`]).
+pub const UBTB_NO_FOOTPRINT: EntryLayout = EntryLayout { footprints: 0, ..UBTB };
+
+/// Storage cost in bytes of `entries` entries with the given layout.
+pub const fn bytes(layout: EntryLayout, entries: u32) -> u64 {
+    entries as u64 * layout.bits() as u64 / 8
+}
+
+/// Storage cost in KiB (fractional) — the unit §5.2 reports.
+pub fn kib(layout: EntryLayout, entries: u32) -> f64 {
+    entries as f64 * layout.bits() as f64 / 8.0 / 1024.0
+}
+
+/// Entry counts of Shotgun's three structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShotgunSizing {
+    /// U-BTB entries.
+    pub ubtb: u32,
+    /// C-BTB entries.
+    pub cbtb: u32,
+    /// RIB entries.
+    pub rib: u32,
+}
+
+impl ShotgunSizing {
+    /// The paper's baseline sizing: 1.5K U-BTB, 128 C-BTB, 512 RIB.
+    pub const PAPER: ShotgunSizing = ShotgunSizing { ubtb: 1536, cbtb: 128, rib: 512 };
+
+    /// Combined storage in KiB with the standard 8-bit footprints.
+    pub fn total_kib(&self) -> f64 {
+        kib(UBTB, self.ubtb) + kib(CBTB, self.cbtb) + kib(RIB, self.rib)
+    }
+
+    /// Combined storage in bytes with the standard 8-bit footprints.
+    pub fn total_bytes(&self) -> u64 {
+        bytes(UBTB, self.ubtb) + bytes(CBTB, self.cbtb) + bytes(RIB, self.rib)
+    }
+}
+
+/// Storage budget of a conventional BTB with `entries` entries, in bytes.
+/// `conventional_budget_bytes(2048)` is Boomerang's 23.25 KB.
+pub const fn conventional_budget_bytes(entries: u32) -> u64 {
+    bytes(CONVENTIONAL_BTB, entries)
+}
+
+/// Shotgun sizing matched to the storage budget of a conventional BTB
+/// with `conventional_entries` entries, as evaluated in §6.5.
+///
+/// For 512-4K budgets the paper scales the baseline (1.5K/128/512)
+/// proportionally; at the 8K budget it caps the U-BTB at 4K entries
+/// (Fig. 4 shows 4K captures the whole unconditional working set) and
+/// spends the remainder on a 1K RIB and 4K C-BTB.
+pub fn sizing_for_budget(conventional_entries: u32) -> ShotgunSizing {
+    if conventional_entries >= 8192 {
+        return ShotgunSizing { ubtb: 4096, cbtb: 4096, rib: 1024 };
+    }
+    let scale = conventional_entries as f64 / 2048.0;
+    let round_pow2ish = |v: f64| -> u32 { (v.round() as u32).max(16) };
+    ShotgunSizing {
+        ubtb: round_pow2ish(ShotgunSizing::PAPER.ubtb as f64 * scale),
+        cbtb: round_pow2ish(ShotgunSizing::PAPER.cbtb as f64 * scale),
+        rib: round_pow2ish(ShotgunSizing::PAPER.rib as f64 * scale),
+    }
+}
+
+/// Number of footprint-free U-BTB entries affordable in the storage the
+/// baseline U-BTB spends on entries *with* footprints — the §6.3
+/// "no bit vector" design gives the U-BTB extra entries up to the same
+/// budget instead of footprint bits.
+pub fn no_bit_vector_entries(baseline_ubtb_entries: u32) -> u32 {
+    let budget_bits = baseline_ubtb_entries as u64 * UBTB.bits() as u64;
+    (budget_bits / UBTB_NO_FOOTPRINT.bits() as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_bit_counts_match_paper() {
+        assert_eq!(CONVENTIONAL_BTB.bits(), 93);
+        assert_eq!(UBTB.bits(), 106);
+        assert_eq!(CBTB.bits(), 70);
+        assert_eq!(RIB.bits(), 45);
+    }
+
+    #[test]
+    fn boomerang_btb_is_23_25_kib() {
+        assert!((kib(CONVENTIONAL_BTB, 2048) - 23.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn ubtb_is_19_87_kib() {
+        assert!((kib(UBTB, 1536) - 19.875).abs() < 0.01, "paper reports 19.87 KB");
+    }
+
+    #[test]
+    fn cbtb_is_1_1_kib() {
+        assert!((kib(CBTB, 128) - 1.09).abs() < 0.01, "paper reports 1.1 KB");
+    }
+
+    #[test]
+    fn rib_is_2_8_kib() {
+        assert!((kib(RIB, 512) - 2.81).abs() < 0.01, "paper reports 2.8 KB");
+    }
+
+    #[test]
+    fn shotgun_total_is_23_77_kib() {
+        let total = ShotgunSizing::PAPER.total_kib();
+        assert!((total - 23.78).abs() < 0.02, "paper reports 23.77 KB, got {total}");
+        // Within ~2.3% of the conventional 2K budget.
+        let conv = kib(CONVENTIONAL_BTB, 2048);
+        assert!((total - conv) / conv < 0.03);
+    }
+
+    #[test]
+    fn budget_scaling_matches_paper_sweep() {
+        assert_eq!(sizing_for_budget(512), ShotgunSizing { ubtb: 384, cbtb: 32, rib: 128 });
+        assert_eq!(sizing_for_budget(1024), ShotgunSizing { ubtb: 768, cbtb: 64, rib: 256 });
+        assert_eq!(sizing_for_budget(2048), ShotgunSizing::PAPER);
+        assert_eq!(sizing_for_budget(4096), ShotgunSizing { ubtb: 3072, cbtb: 256, rib: 1024 });
+        assert_eq!(sizing_for_budget(8192), ShotgunSizing { ubtb: 4096, cbtb: 4096, rib: 1024 });
+    }
+
+    #[test]
+    fn scaled_budgets_stay_near_conventional_budget() {
+        for entries in [512u32, 1024, 2048, 4096] {
+            let sizing = sizing_for_budget(entries);
+            let shotgun = sizing.total_bytes() as f64;
+            let conventional = conventional_budget_bytes(entries) as f64;
+            let ratio = shotgun / conventional;
+            assert!(
+                (0.9..=1.06).contains(&ratio),
+                "budget mismatch at {entries}: shotgun {shotgun} vs conventional {conventional}",
+            );
+        }
+    }
+
+    #[test]
+    fn no_bit_vector_trades_footprints_for_entries() {
+        let extra = no_bit_vector_entries(1536);
+        assert!(extra > 1536, "dropping 16 footprint bits must buy entries");
+        // 1536 * 106 / 90 = 1809.
+        assert_eq!(extra, 1809);
+    }
+
+    #[test]
+    fn wide_footprint_layout() {
+        assert_eq!(UBTB_WIDE32.bits(), 106 - 16 + 64);
+    }
+}

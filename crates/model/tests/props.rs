@@ -1,0 +1,81 @@
+//! Property tests for the core vocabulary types.
+
+use fe_model::addr::{lines_covering, Addr, LineAddr};
+use fe_model::storage::{self, conventional_budget_bytes, sizing_for_budget};
+use fe_model::{BasicBlock, BranchKind, LINE_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn addr_masks_and_roundtrips(raw in any::<u64>()) {
+        let a = Addr::new(raw);
+        prop_assert!(a.get() < (1u64 << 48));
+        prop_assert_eq!(Addr::new(a.get()), a, "idempotent");
+    }
+
+    #[test]
+    fn line_of_addr_contains_it(raw in 0u64..(1 << 48)) {
+        let a = Addr::new(raw);
+        let line = a.line();
+        prop_assert!(line.base().get() <= a.get());
+        prop_assert!(a.get() < line.base().get() + LINE_BYTES);
+        prop_assert_eq!(a.line_offset(), a.get() - line.base().get());
+    }
+
+    #[test]
+    fn lines_covering_is_exact(start in 0u64..(1 << 40), len in 0u64..4096) {
+        let s = Addr::new(start);
+        let e = Addr::new(start + len);
+        let lines: Vec<LineAddr> = lines_covering(s, e).collect();
+        if len == 0 {
+            prop_assert!(lines.is_empty());
+        } else {
+            // Exactly the distinct lines of the byte range, in order.
+            let first = s.line().get();
+            let last = Addr::new(start + len - 1).line().get();
+            prop_assert_eq!(lines.len() as u64, last - first + 1);
+            for (i, l) in lines.iter().enumerate() {
+                prop_assert_eq!(l.get(), first + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn block_geometry_consistent(
+        start in (0u64..(1 << 40)).prop_map(|v| v & !3),
+        n in 1u8..=31,
+    ) {
+        let b = BasicBlock::new(Addr::new(start), n, BranchKind::Jump, Addr::new(0x1000));
+        prop_assert_eq!(b.end().get() - b.start.get(), n as u64 * 4);
+        prop_assert_eq!(b.branch_pc().get(), b.end().get() - 4);
+        prop_assert!(b.contains(b.start));
+        prop_assert!(b.contains(b.branch_pc()));
+        prop_assert!(!b.contains(b.end()));
+        let line_count = b.lines().count() as u64;
+        let min_lines = (b.byte_len() + LINE_BYTES - 1) / LINE_BYTES;
+        prop_assert!(line_count >= min_lines.max(1) && line_count <= min_lines + 1);
+    }
+
+    #[test]
+    fn budget_scaling_monotone_and_equivalent(entries in 128u32..4096) {
+        let sizing = sizing_for_budget(entries);
+        prop_assert!(sizing.ubtb >= 16 && sizing.cbtb >= 16 && sizing.rib >= 16);
+        let ratio = sizing.total_bytes() as f64 / conventional_budget_bytes(entries) as f64;
+        prop_assert!((0.85..=1.15).contains(&ratio), "ratio {} at {}", ratio, entries);
+        // Larger budgets never shrink any structure.
+        let bigger = sizing_for_budget(entries + 128);
+        prop_assert!(bigger.ubtb >= sizing.ubtb);
+        prop_assert!(bigger.cbtb >= sizing.cbtb);
+        prop_assert!(bigger.rib >= sizing.rib);
+    }
+
+    #[test]
+    fn no_bit_vector_trade_never_loses_capacity(entries in 64u32..8192) {
+        let converted = storage::no_bit_vector_entries(entries);
+        prop_assert!(converted >= entries);
+        // And stays within the original bit budget.
+        let original_bits = entries as u64 * storage::UBTB.bits() as u64;
+        let converted_bits = converted as u64 * storage::UBTB_NO_FOOTPRINT.bits() as u64;
+        prop_assert!(converted_bits <= original_bits);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fe-sim — cycle-level front-end timing simulation
+//!
+//! Drives any control-flow-delivery scheme (the `shotgun` crate's
+//! prefetcher or any `fe-baselines` scheme) through a decoupled
+//! front-end pipeline against the synthetic server workloads of
+//! `fe-cfg`, producing the statistics the paper's evaluation reports:
+//! speedup over a no-prefetch baseline, front-end stall-cycle coverage,
+//! L1-I / BTB MPKI, prefetch accuracy, and L1-D fill latency.
+//!
+//! ```no_run
+//! use fe_cfg::workloads;
+//! use fe_model::MachineConfig;
+//! use fe_sim::{run_scheme, RunLength, SchemeSpec};
+//!
+//! let program = workloads::nutch().build();
+//! let machine = MachineConfig::table3();
+//! let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, RunLength::SMOKE, 7);
+//! let shot = run_scheme(&program, &SchemeSpec::shotgun(), &machine, RunLength::SMOKE, 7);
+//! println!("speedup {:.2}", fe_model::stats::speedup(&base, &shot));
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod runner;
+
+pub use engine::{EngineScheme, Simulator};
+pub use report::{coverage_series, metric_series, render_table, speedup_series, Series};
+pub use runner::{cell, run_scheme, run_suite, CellResult, RunLength, SchemeSpec};

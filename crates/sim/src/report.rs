@@ -1,0 +1,186 @@
+//! Report formatting: the tables the figure binaries print.
+
+use fe_model::stats::{arithmetic_mean, coverage, geometric_mean, speedup};
+use fe_model::SimStats;
+
+use crate::runner::{cell, CellResult};
+
+/// A named series of per-workload values plus an aggregate — one group
+/// of bars in a paper figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Scheme / design-point label.
+    pub label: String,
+    /// `(workload, value)` pairs in presentation order.
+    pub values: Vec<(String, f64)>,
+    /// Aggregate over workloads (gmean for speedups, mean for rates).
+    pub aggregate: f64,
+}
+
+/// Builds speedup-over-baseline series (Figs. 1, 7, 9, 12, 13).
+pub fn speedup_series(
+    results: &[CellResult],
+    workloads: &[&str],
+    baseline: &str,
+    schemes: &[&str],
+) -> Vec<Series> {
+    schemes
+        .iter()
+        .map(|scheme| {
+            let values: Vec<(String, f64)> = workloads
+                .iter()
+                .map(|wl| {
+                    let base = &cell(results, wl, baseline).stats;
+                    let s = &cell(results, wl, scheme).stats;
+                    (wl.to_string(), speedup(base, s))
+                })
+                .collect();
+            let aggregate = geometric_mean(&values.iter().map(|v| v.1).collect::<Vec<_>>());
+            Series { label: scheme.to_string(), values, aggregate }
+        })
+        .collect()
+}
+
+/// Builds front-end stall-cycle coverage series (Figs. 6, 8).
+pub fn coverage_series(
+    results: &[CellResult],
+    workloads: &[&str],
+    baseline: &str,
+    schemes: &[&str],
+) -> Vec<Series> {
+    schemes
+        .iter()
+        .map(|scheme| {
+            let values: Vec<(String, f64)> = workloads
+                .iter()
+                .map(|wl| {
+                    let base = &cell(results, wl, baseline).stats;
+                    let s = &cell(results, wl, scheme).stats;
+                    (wl.to_string(), coverage(base, s))
+                })
+                .collect();
+            let aggregate = arithmetic_mean(&values.iter().map(|v| v.1).collect::<Vec<_>>());
+            Series { label: scheme.to_string(), values, aggregate }
+        })
+        .collect()
+}
+
+/// Builds series from an arbitrary per-cell metric (accuracy, fill
+/// latency, MPKI, ...).
+pub fn metric_series(
+    results: &[CellResult],
+    workloads: &[&str],
+    schemes: &[&str],
+    metric: impl Fn(&SimStats) -> f64,
+    aggregate_geo: bool,
+) -> Vec<Series> {
+    schemes
+        .iter()
+        .map(|scheme| {
+            let values: Vec<(String, f64)> = workloads
+                .iter()
+                .map(|wl| (wl.to_string(), metric(&cell(results, wl, scheme).stats)))
+                .collect();
+            let vs: Vec<f64> = values.iter().map(|v| v.1).collect();
+            let aggregate = if aggregate_geo { geometric_mean(&vs) } else { arithmetic_mean(&vs) };
+            Series { label: scheme.to_string(), values, aggregate }
+        })
+        .collect()
+}
+
+/// Renders series as an aligned text table: workloads as rows, series
+/// as columns, aggregate as the last row.
+pub fn render_table(title: &str, series: &[Series], aggregate_name: &str, percent: bool) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    let scale = |v: f64| if percent { v * 100.0 } else { v };
+    let unit = if percent { "%" } else { "" };
+
+    out.push_str(&format!("{:12}", "workload"));
+    for s in series {
+        out.push_str(&format!(" {:>14}", s.label));
+    }
+    out.push('\n');
+    for (i, (wl, _)) in series[0].values.iter().enumerate() {
+        out.push_str(&format!("{wl:12}"));
+        for s in series {
+            out.push_str(&format!(" {:>13.2}{unit}", scale(s.values[i].1)));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{aggregate_name:12}"));
+    for s in series {
+        out.push_str(&format!(" {:>13.2}{unit}", scale(s.aggregate)));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, instrs: u64, icache_stalls: u64) -> SimStats {
+        let mut s = SimStats { cycles, instructions: instrs, ..Default::default() };
+        s.stalls.icache_miss = icache_stalls;
+        s
+    }
+
+    fn fake_results() -> Vec<CellResult> {
+        let mut out = Vec::new();
+        for (wl, base_cycles, fast_cycles) in
+            [("a", 2000u64, 1000u64), ("b", 3000, 1500)]
+        {
+            out.push(CellResult {
+                workload: wl.into(),
+                scheme: "base".into(),
+                stats: stats(base_cycles, 1000, 400),
+            });
+            out.push(CellResult {
+                workload: wl.into(),
+                scheme: "fast".into(),
+                stats: stats(fast_cycles, 1000, 100),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn speedup_series_computes_gmean() {
+        let results = fake_results();
+        let series = speedup_series(&results, &["a", "b"], "base", &["fast"]);
+        assert_eq!(series.len(), 1);
+        assert!((series[0].values[0].1 - 2.0).abs() < 1e-12);
+        assert!((series[0].aggregate - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_series_computes_mean() {
+        let results = fake_results();
+        let series = coverage_series(&results, &["a", "b"], "base", &["fast"]);
+        assert!((series[0].values[0].1 - 0.75).abs() < 1e-12);
+        assert!((series[0].aggregate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_series_applies_function() {
+        let results = fake_results();
+        let series =
+            metric_series(&results, &["a", "b"], &["base"], |s| s.ipc(), false);
+        assert!((series[0].values[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let results = fake_results();
+        let series = speedup_series(&results, &["a", "b"], "base", &["fast"]);
+        let table = render_table("Figure X", &series, "gmean", false);
+        assert!(table.contains("Figure X"));
+        assert!(table.contains("gmean"));
+        assert!(table.lines().count() >= 5);
+    }
+}

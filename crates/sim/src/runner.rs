@@ -1,0 +1,170 @@
+//! Experiment runner: schemes by name, run-length control, and the
+//! workload x scheme sweep harness every figure binary builds on.
+
+use fe_cfg::{Program, WorkloadSpec};
+use fe_model::{MachineConfig, SimStats};
+use shotgun::{ShotgunConfig, ShotgunPrefetcher};
+
+use fe_baselines::{Boomerang, Confluence, ConfluenceConfig, Fdip, NoPrefetch};
+
+use crate::engine::{EngineScheme, Simulator};
+
+/// A control-flow-delivery scheme to evaluate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchemeSpec {
+    /// Conventional front end, no prefetching (the baseline).
+    NoPrefetch,
+    /// Fetch-directed instruction prefetching.
+    Fdip,
+    /// Boomerang (FDIP + reactive BTB fill) with a conventional BTB of
+    /// the given entry count.
+    Boomerang {
+        /// BTB entries (2048 reproduces §5.2).
+        btb_entries: u32,
+    },
+    /// Confluence (SHIFT temporal streaming + 16K BTB).
+    Confluence,
+    /// The ideal front end of Fig. 1.
+    Ideal,
+    /// Shotgun with an explicit configuration.
+    Shotgun(ShotgunConfig),
+}
+
+impl SchemeSpec {
+    /// The paper's §5.2 Boomerang configuration.
+    pub fn boomerang() -> Self {
+        SchemeSpec::Boomerang { btb_entries: 2048 }
+    }
+
+    /// The paper's §5.2 Shotgun configuration.
+    pub fn shotgun() -> Self {
+        SchemeSpec::Shotgun(ShotgunConfig::default())
+    }
+
+    /// Display label used in the figures.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::NoPrefetch => "no-prefetch".into(),
+            SchemeSpec::Fdip => "fdip".into(),
+            SchemeSpec::Boomerang { btb_entries: 2048 } => "boomerang".into(),
+            SchemeSpec::Boomerang { btb_entries } => format!("boomerang-{btb_entries}"),
+            SchemeSpec::Confluence => "confluence".into(),
+            SchemeSpec::Ideal => "ideal".into(),
+            SchemeSpec::Shotgun(cfg) if *cfg == ShotgunConfig::default() => "shotgun".into(),
+            SchemeSpec::Shotgun(cfg) => format!("shotgun-{}", cfg.policy.label()),
+        }
+    }
+
+    /// Instantiates the scheme for a machine configuration.
+    pub fn build(&self, machine: &MachineConfig) -> EngineScheme {
+        let ways = machine.front_end.btb_ways as usize;
+        match self {
+            SchemeSpec::NoPrefetch => EngineScheme::Real(Box::new(NoPrefetch::new(
+                machine.front_end.btb_entries as usize,
+                ways,
+            ))),
+            SchemeSpec::Fdip => EngineScheme::Real(Box::new(Fdip::new(
+                machine.front_end.btb_entries as usize,
+                ways,
+            ))),
+            SchemeSpec::Boomerang { btb_entries } => EngineScheme::Real(Box::new(
+                Boomerang::new(*btb_entries as usize, ways, machine.front_end.btb_prefetch_buffer as usize),
+            )),
+            SchemeSpec::Confluence => {
+                EngineScheme::Real(Box::new(Confluence::new(ConfluenceConfig::default())))
+            }
+            SchemeSpec::Ideal => EngineScheme::Ideal,
+            SchemeSpec::Shotgun(cfg) => EngineScheme::Real(Box::new(ShotgunPrefetcher::new(
+                *cfg,
+                machine.front_end.ras_entries as usize,
+            ))),
+        }
+    }
+}
+
+/// How long to warm up and measure, in instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLength {
+    /// Instructions executed before measurement starts (cache, BTB and
+    /// predictor warmup — the paper's checkpoint warming, §5.1).
+    pub warmup: u64,
+    /// Instructions measured.
+    pub measure: u64,
+}
+
+impl RunLength {
+    /// Default experiment length: 3M warmup + 12M measured.
+    pub const DEFAULT: RunLength = RunLength { warmup: 3_000_000, measure: 12_000_000 };
+
+    /// Short length for tests.
+    pub const SMOKE: RunLength = RunLength { warmup: 200_000, measure: 500_000 };
+
+    /// Reads `SHOTGUN_WARMUP` / `SHOTGUN_INSTRS` from the environment,
+    /// falling back to `self` — the figure binaries' precision knob.
+    pub fn from_env(self) -> RunLength {
+        let parse = |name: &str| -> Option<u64> {
+            std::env::var(name).ok()?.replace('_', "").parse().ok()
+        };
+        RunLength {
+            warmup: parse("SHOTGUN_WARMUP").unwrap_or(self.warmup),
+            measure: parse("SHOTGUN_INSTRS").unwrap_or(self.measure),
+        }
+    }
+}
+
+/// Runs one scheme over one program.
+pub fn run_scheme(
+    program: &Program,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+) -> SimStats {
+    let scheme = spec.build(machine);
+    let mut sim = Simulator::new(program, machine.clone(), scheme, seed);
+    sim.run(len.warmup, len.measure)
+}
+
+/// Result of one (workload, scheme) cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Measured statistics.
+    pub stats: SimStats,
+}
+
+/// Runs a workload x scheme sweep. Programs are built once per
+/// workload; every scheme sees the same executor seed, hence the same
+/// retired instruction stream.
+pub fn run_suite(
+    workloads: &[WorkloadSpec],
+    schemes: &[SchemeSpec],
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+) -> Vec<CellResult> {
+    let mut out = Vec::with_capacity(workloads.len() * schemes.len());
+    for wl in workloads {
+        let program = wl.build();
+        for scheme in schemes {
+            let stats = run_scheme(&program, scheme, machine, len, seed);
+            out.push(CellResult {
+                workload: wl.name.clone(),
+                scheme: scheme.label(),
+                stats,
+            });
+        }
+    }
+    out
+}
+
+/// Finds a cell in a sweep result.
+pub fn cell<'a>(results: &'a [CellResult], workload: &str, scheme: &str) -> &'a CellResult {
+    results
+        .iter()
+        .find(|c| c.workload == workload && c.scheme == scheme)
+        .unwrap_or_else(|| panic!("missing cell {workload}/{scheme}"))
+}

@@ -1,0 +1,150 @@
+//! Conventional basic-block-oriented BTB (Yeh & Patt), as used by the
+//! no-prefetch baseline, FDIP, Boomerang and Confluence.
+//!
+//! Entries are keyed by basic-block start address and hold the §5.2
+//! payload: block size, branch type and taken target (93 bits per entry
+//! including the 2-bit direction hysteresis, which this model delegates
+//! to TAGE). A lookup hit reconstructs the full [`BasicBlock`]
+//! descriptor, which is everything the branch-prediction unit needs to
+//! form the next fetch range.
+
+use fe_model::{Addr, BasicBlock, BranchKind};
+
+use crate::setmap::SetAssocMap;
+
+#[derive(Clone, Copy, Debug)]
+struct BtbPayload {
+    instr_count: u8,
+    kind: BranchKind,
+    target: Addr,
+}
+
+/// Set-associative basic-block BTB.
+///
+/// ```
+/// use fe_model::{Addr, BasicBlock, BranchKind};
+/// use fe_uarch::Btb;
+///
+/// let mut btb = Btb::new(2048, 4);
+/// let bb = BasicBlock::new(Addr::new(0x1000), 5, BranchKind::Call, Addr::new(0x8000));
+/// btb.insert(&bb);
+/// assert_eq!(btb.lookup(Addr::new(0x1000)), Some(bb));
+/// assert_eq!(btb.lookup(Addr::new(0x1004)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    map: SetAssocMap<BtbPayload>,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `ways`
+    /// associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        Btb { map: SetAssocMap::new(entries, ways) }
+    }
+
+    /// Looks up the basic block starting at `pc`, promoting it in the
+    /// replacement order.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BasicBlock> {
+        self.map.get(key(pc)).map(|p| BasicBlock {
+            start: pc,
+            instr_count: p.instr_count,
+            kind: p.kind,
+            target: p.target,
+        })
+    }
+
+    /// Residency probe without LRU promotion.
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.map.peek(key(pc)).is_some()
+    }
+
+    /// Installs (or refreshes) the entry for `block`. Returns the start
+    /// address of an evicted victim, if any.
+    pub fn insert(&mut self, block: &BasicBlock) -> Option<Addr> {
+        let payload = BtbPayload {
+            instr_count: block.instr_count,
+            kind: block.kind,
+            target: block.target,
+        };
+        self.map.insert(key(block.start), payload).map(|(k, _)| Addr::new(k << 2))
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the BTB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[inline]
+fn key(pc: Addr) -> u64 {
+    // Instructions are 4-byte aligned; drop the always-zero bits so
+    // consecutive blocks spread across sets.
+    pc.get() >> 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(start: u64, target: u64) -> BasicBlock {
+        BasicBlock::new(Addr::new(start), 4, BranchKind::Conditional, Addr::new(target))
+    }
+
+    #[test]
+    fn lookup_reconstructs_block() {
+        let mut btb = Btb::new(64, 4);
+        let b = bb(0x1000, 0x2000);
+        btb.insert(&b);
+        assert_eq!(btb.lookup(Addr::new(0x1000)), Some(b));
+    }
+
+    #[test]
+    fn miss_on_absent_and_non_start() {
+        let mut btb = Btb::new(64, 4);
+        btb.insert(&bb(0x1000, 0x2000));
+        assert_eq!(btb.lookup(Addr::new(0x1010)), None);
+        assert!(!btb.contains(Addr::new(0x1010)));
+    }
+
+    #[test]
+    fn capacity_evictions_report_victim() {
+        // Fully associative 2-entry BTB.
+        let mut btb = Btb::new(2, 2);
+        btb.insert(&bb(0x1000, 0x2000));
+        btb.insert(&bb(0x2000, 0x3000));
+        let victim = btb.insert(&bb(0x3000, 0x4000));
+        assert_eq!(victim, Some(Addr::new(0x1000)));
+        assert!(btb.lookup(Addr::new(0x1000)).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_payload() {
+        let mut btb = Btb::new(64, 4);
+        btb.insert(&bb(0x1000, 0x2000));
+        let updated = BasicBlock::new(Addr::new(0x1000), 7, BranchKind::Jump, Addr::new(0x5000));
+        assert!(btb.insert(&updated).is_none(), "overwrite must not evict");
+        assert_eq!(btb.lookup(Addr::new(0x1000)), Some(updated));
+    }
+
+    #[test]
+    fn capacity_matches_request() {
+        let btb = Btb::new(2048, 4);
+        assert_eq!(btb.capacity(), 2048);
+    }
+}

@@ -1,0 +1,207 @@
+//! Line-granularity caches with prefetch effectiveness tracking.
+//!
+//! [`LineCache`] models the L1-I and L1-D of Table 3 (32 KB, 2-way,
+//! 64 B lines). Each resident line remembers whether it arrived via a
+//! prefetch and whether a demand access has touched it since — exactly
+//! the bookkeeping needed for the paper's Fig. 10 prefetch accuracy
+//! metric (useful vs. wasted prefetches) without any out-of-band state.
+
+use fe_model::config::CacheConfig;
+use fe_model::LineAddr;
+
+use crate::setmap::SetAssocMap;
+
+/// Per-line residency metadata.
+#[derive(Clone, Copy, Debug, Default)]
+struct LineMeta {
+    prefetched: bool,
+    demand_used: bool,
+}
+
+/// Result of a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Line resident. `first_use_of_prefetch` is `true` when this is
+    /// the first demand touch of a prefetched line — a *useful*
+    /// prefetch.
+    Hit {
+        /// First demand touch of a line a prefetcher brought in.
+        first_use_of_prefetch: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// A line evicted by [`LineCache::install`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// `true` when the line was prefetched and never demand-touched —
+    /// a *wasted* prefetch (Fig. 10's complement).
+    pub wasted_prefetch: bool,
+}
+
+/// Set-associative, LRU, line-granularity cache.
+///
+/// ```
+/// use fe_model::config::CacheConfig;
+/// use fe_model::LineAddr;
+/// use fe_uarch::{AccessOutcome, LineCache};
+///
+/// let mut c = LineCache::new(CacheConfig { kib: 1, ways: 2, latency: 2 });
+/// let line = LineAddr::containing(0x4000);
+/// assert_eq!(c.demand_access(line), AccessOutcome::Miss);
+/// c.install(line, false);
+/// assert_eq!(c.demand_access(line), AccessOutcome::Hit { first_use_of_prefetch: false });
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineCache {
+    map: SetAssocMap<LineMeta>,
+    latency: u32,
+}
+
+impl LineCache {
+    /// Builds a cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        LineCache {
+            map: SetAssocMap::new(cfg.lines() as usize, cfg.ways as usize),
+            latency: cfg.latency,
+        }
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Demand lookup: promotes the line and marks prefetched lines as
+    /// used.
+    pub fn demand_access(&mut self, line: LineAddr) -> AccessOutcome {
+        match self.map.get_mut(line.get()) {
+            Some(meta) => {
+                let first = meta.prefetched && !meta.demand_used;
+                meta.demand_used = true;
+                AccessOutcome::Hit { first_use_of_prefetch: first }
+            }
+            None => AccessOutcome::Miss,
+        }
+    }
+
+    /// Residency probe that does not disturb LRU or usage bits — what a
+    /// prefetch probe does before deciding to fetch (§4.2.3 step 1).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.map.peek(line.get()).is_some()
+    }
+
+    /// Installs a fill. `prefetched` tags lines brought in by a
+    /// prefetcher rather than a demand miss.
+    pub fn install(&mut self, line: LineAddr, prefetched: bool) -> Option<Evicted> {
+        let meta = LineMeta { prefetched, demand_used: false };
+        self.map.insert(line.get(), meta).map(|(key, old)| Evicted {
+            line: LineAddr::from_index(key),
+            wasted_prefetch: old.prefetched && !old.demand_used,
+        })
+    }
+
+    /// Resident line count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
+
+    /// Empties the cache (used between warmup configurations in tests).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LineCache {
+        // 1 KiB, 2-way, 64 B lines -> 16 lines, 8 sets.
+        LineCache::new(CacheConfig { kib: 1, ways: 2, latency: 2 })
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.demand_access(line(3)), AccessOutcome::Miss);
+        assert!(c.install(line(3), false).is_none());
+        assert_eq!(c.demand_access(line(3)), AccessOutcome::Hit { first_use_of_prefetch: false });
+    }
+
+    #[test]
+    fn prefetch_first_use_reported_once() {
+        let mut c = tiny();
+        c.install(line(5), true);
+        assert_eq!(c.demand_access(line(5)), AccessOutcome::Hit { first_use_of_prefetch: true });
+        assert_eq!(c.demand_access(line(5)), AccessOutcome::Hit { first_use_of_prefetch: false });
+    }
+
+    #[test]
+    fn wasted_prefetch_detected_on_eviction() {
+        let mut c = tiny();
+        // Same set: 8 sets, lines 0, 8, 16 collide.
+        c.install(line(0), true);
+        c.install(line(8), false);
+        let evicted = c.install(line(16), false).expect("two-way set overflows");
+        assert_eq!(evicted.line, line(0));
+        assert!(evicted.wasted_prefetch, "untouched prefetched line is wasted");
+    }
+
+    #[test]
+    fn used_prefetch_not_wasted() {
+        let mut c = tiny();
+        c.install(line(0), true);
+        c.demand_access(line(0));
+        c.install(line(8), false);
+        let evicted = c.install(line(16), false).unwrap();
+        assert!(!evicted.wasted_prefetch);
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut c = tiny();
+        c.install(line(0), true);
+        c.install(line(8), false);
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(16)));
+        // Probe must not promote line 0: inserting a conflicting line
+        // still evicts it (LRU order unchanged).
+        let evicted = c.install(line(16), false).unwrap();
+        assert_eq!(evicted.line, line(0));
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let c = tiny();
+        assert_eq!(c.capacity(), 16);
+        let big = LineCache::new(CacheConfig { kib: 32, ways: 2, latency: 2 });
+        assert_eq!(big.capacity(), 512);
+    }
+
+    #[test]
+    fn demand_fill_never_flags_waste() {
+        let mut c = tiny();
+        c.install(line(0), false);
+        c.install(line(8), false);
+        let evicted = c.install(line(16), false).unwrap();
+        assert!(!evicted.wasted_prefetch, "demand lines are never wasted prefetches");
+    }
+}

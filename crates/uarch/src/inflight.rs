@@ -1,0 +1,226 @@
+//! In-flight fill tracking (MSHRs) for the L1-I.
+//!
+//! Every outstanding line fetch — demand or prefetch — occupies a miss
+//! status holding register until its fill arrives. Demand accesses that
+//! find their line already in flight *merge* with the pending fill; when
+//! the original requester was a prefetcher, that merge is a **late**
+//! prefetch (issued, but not early enough to hide the full latency),
+//! which is exactly the in-flight case the paper's stall-cycle-coverage
+//! metric is designed to capture (§6.1).
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+use fe_model::LineAddr;
+
+/// State of one outstanding fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillInfo {
+    /// Cycle the line arrives at the L1-I.
+    pub ready: u64,
+    /// `true` when the original request was a prefetch.
+    pub prefetch: bool,
+    /// `true` when a demand access merged while the fill was in flight.
+    pub demand_merged: bool,
+}
+
+/// MSHR file: bounded set of outstanding line fills.
+///
+/// ```
+/// use fe_model::LineAddr;
+/// use fe_uarch::inflight::InflightFills;
+///
+/// let mut mshrs = InflightFills::new(4);
+/// let line = LineAddr::containing(0x1000);
+/// assert!(mshrs.request(line, 50, true));
+/// assert!(mshrs.contains(line));
+/// let done: Vec<_> = mshrs.pop_ready(50).collect();
+/// assert_eq!(done.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InflightFills {
+    by_line: HashMap<u64, FillInfo>,
+    ready_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    capacity: usize,
+}
+
+impl InflightFills {
+    /// Creates an MSHR file with `capacity` outstanding fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        InflightFills {
+            by_line: HashMap::with_capacity(capacity * 2),
+            ready_heap: BinaryHeap::with_capacity(capacity * 2),
+            capacity,
+        }
+    }
+
+    /// Registers a new outstanding fill completing at `ready`.
+    ///
+    /// Returns `false` — and records nothing — when the MSHR file is
+    /// full or the line is already in flight (callers should check
+    /// [`InflightFills::contains`] first to merge instead).
+    #[must_use]
+    pub fn request(&mut self, line: LineAddr, ready: u64, prefetch: bool) -> bool {
+        if self.by_line.len() >= self.capacity {
+            return false;
+        }
+        match self.by_line.entry(line.get()) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(FillInfo { ready, prefetch, demand_merged: false });
+                self.ready_heap.push(Reverse((ready, line.get())));
+                true
+            }
+        }
+    }
+
+    /// `true` when `line` has an outstanding fill.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.by_line.contains_key(&line.get())
+    }
+
+    /// The outstanding fill for `line`, if any.
+    pub fn lookup(&self, line: LineAddr) -> Option<&FillInfo> {
+        self.by_line.get(&line.get())
+    }
+
+    /// Merges a demand access into an outstanding fill, returning the
+    /// fill's ready cycle. Marks prefetch fills as demand-merged (late
+    /// prefetch accounting).
+    pub fn merge_demand(&mut self, line: LineAddr) -> Option<u64> {
+        self.by_line.get_mut(&line.get()).map(|f| {
+            f.demand_merged = true;
+            f.ready
+        })
+    }
+
+    /// Outstanding fill count.
+    pub fn len(&self) -> usize {
+        self.by_line.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.by_line.is_empty()
+    }
+
+    /// `true` when no new fills can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.by_line.len() >= self.capacity
+    }
+
+    /// Drains and yields every fill whose ready cycle is `<= now`, in
+    /// ready order.
+    pub fn pop_ready(&mut self, now: u64) -> PopReady<'_> {
+        PopReady { fills: self, now }
+    }
+}
+
+/// Iterator over completed fills; see [`InflightFills::pop_ready`].
+#[derive(Debug)]
+pub struct PopReady<'a> {
+    fills: &'a mut InflightFills,
+    now: u64,
+}
+
+impl Iterator for PopReady<'_> {
+    type Item = (LineAddr, FillInfo);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &Reverse((ready, line)) = self.fills.ready_heap.peek()?;
+            if ready > self.now {
+                return None;
+            }
+            self.fills.ready_heap.pop();
+            // Heap entries may be stale if a line was re-requested after
+            // completion; only lines still mapped are real completions.
+            if let Some(info) = self.fills.by_line.remove(&line) {
+                if info.ready <= self.now {
+                    return Some((LineAddr::from_index(line), info));
+                }
+                // Not yet ready (stale heap entry from an older fill):
+                // put it back and re-queue the real deadline.
+                self.fills.by_line.insert(line, info);
+                self.fills.ready_heap.push(Reverse((info.ready, line)));
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn request_and_complete() {
+        let mut m = InflightFills::new(4);
+        assert!(m.request(line(1), 10, false));
+        assert!(m.contains(line(1)));
+        assert_eq!(m.pop_ready(9).count(), 0);
+        let done: Vec<_> = m.pop_ready(10).collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, line(1));
+        assert!(!m.contains(line(1)));
+    }
+
+    #[test]
+    fn duplicate_requests_rejected() {
+        let mut m = InflightFills::new(4);
+        assert!(m.request(line(1), 10, true));
+        assert!(!m.request(line(1), 20, false), "second request must merge, not re-issue");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = InflightFills::new(2);
+        assert!(m.request(line(1), 10, true));
+        assert!(m.request(line(2), 10, true));
+        assert!(m.is_full());
+        assert!(!m.request(line(3), 10, true));
+        m.pop_ready(10).count();
+        assert!(m.request(line(3), 20, true), "capacity frees after completion");
+    }
+
+    #[test]
+    fn demand_merge_marks_late_prefetch() {
+        let mut m = InflightFills::new(4);
+        assert!(m.request(line(7), 30, true));
+        assert_eq!(m.merge_demand(line(7)), Some(30));
+        let (_, info) = m.pop_ready(30).next().unwrap();
+        assert!(info.prefetch);
+        assert!(info.demand_merged, "merge must be visible at completion");
+    }
+
+    #[test]
+    fn completions_in_ready_order() {
+        let mut m = InflightFills::new(8);
+        assert!(m.request(line(1), 30, false));
+        assert!(m.request(line(2), 10, false));
+        assert!(m.request(line(3), 20, false));
+        let order: Vec<_> = m.pop_ready(100).map(|(l, _)| l.get()).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn reuse_line_after_completion() {
+        let mut m = InflightFills::new(4);
+        assert!(m.request(line(5), 10, true));
+        m.pop_ready(10).count();
+        assert!(m.request(line(5), 40, false));
+        assert_eq!(m.pop_ready(20).count(), 0, "stale heap entry must not complete early");
+        assert_eq!(m.pop_ready(40).count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Predecoding: extracting branch metadata from fetched cache lines.
+//!
+//! Both Boomerang's reactive BTB fill and Shotgun/Confluence's proactive
+//! BTB prefill run fetched lines through predecoders that recover the
+//! branches they contain (§4.2.3, Fig. 5b steps 4–5). A hardware
+//! predecoder sees the instruction bytes; our stand-in consults the
+//! static [`Program`] map, which yields exactly the same information —
+//! the branches whose instruction lies in the line, with their type,
+//! basic-block extent and taken target.
+
+use fe_cfg::Program;
+use fe_model::{Addr, BasicBlock, LineAddr};
+
+/// Cycles charged for running a fetched line through the predecoder.
+pub const PREDECODE_LATENCY: u32 = 1;
+
+/// Branch metadata recoverable from one fetched cache line: every basic
+/// block whose terminating branch instruction lies in `line`.
+pub fn branches_in_line<'p>(
+    program: &'p Program,
+    line: LineAddr,
+) -> impl Iterator<Item = BasicBlock> + 'p {
+    program.branches_in_line(line).map(|id| *program.block(id))
+}
+
+/// Reactive-fill resolution (Boomerang §4.2.3): given the address the
+/// branch-prediction unit missed on, recover the basic block starting
+/// there. Returns the block plus the number of *additional* lines past
+/// the first that must be fetched before its terminating branch is
+/// visible to the predecoder (blocks can straddle line boundaries).
+pub fn resolve_block(program: &Program, pc: Addr) -> Option<(BasicBlock, u32)> {
+    let id = program.block_id_at(pc)?;
+    let block = *program.block(id);
+    let extra = block.branch_pc().line().get() - pc.line().get();
+    Some((block, extra as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_cfg::{LayerSpec, WorkloadSpec};
+    use fe_model::BranchKind;
+
+    fn program() -> Program {
+        WorkloadSpec {
+            name: "predecode".into(),
+            seed: 44,
+            layers: vec![LayerSpec::grouped(2, 3.0), LayerSpec::shared(12, 0.5)],
+            kernel_entries: 2,
+            kernel_helpers: 4,
+            ..WorkloadSpec::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn line_decode_matches_program_map() {
+        let p = program();
+        // Take an arbitrary block's line and verify its branch appears.
+        let block = *p.block(5);
+        let line = block.branch_pc().line();
+        let decoded: Vec<_> = branches_in_line(&p, line).collect();
+        assert!(decoded.contains(&block));
+        // Everything decoded genuinely lives in that line.
+        for b in decoded {
+            assert_eq!(b.branch_pc().line(), line);
+        }
+    }
+
+    #[test]
+    fn empty_line_decodes_nothing() {
+        let p = program();
+        // Address far beyond any code.
+        let line = LineAddr::containing(0x7000_0000_0000);
+        assert_eq!(branches_in_line(&p, line).count(), 0);
+    }
+
+    #[test]
+    fn resolve_block_finds_exact_start() {
+        let p = program();
+        let block = *p.block(7);
+        let (resolved, extra) = resolve_block(&p, block.start).unwrap();
+        assert_eq!(resolved, block);
+        let expected = block.branch_pc().line().get() - block.start.line().get();
+        assert_eq!(extra as u64, expected);
+    }
+
+    #[test]
+    fn resolve_block_rejects_mid_block_pc() {
+        let p = program();
+        let block = *p.block(7);
+        if block.instr_count > 1 {
+            assert!(resolve_block(&p, block.start + 4).is_none());
+        }
+    }
+
+    #[test]
+    fn straddling_blocks_report_extra_lines() {
+        let p = program();
+        // Find a block whose branch is on a later line than its start.
+        let straddler = (0..p.block_count() as u32)
+            .map(|id| *p.block(id))
+            .find(|b| b.branch_pc().line() != b.start.line());
+        if let Some(b) = straddler {
+            let (_, extra) = resolve_block(&p, b.start).unwrap();
+            assert!(extra >= 1);
+        }
+    }
+
+    #[test]
+    fn every_block_kind_survives_decode() {
+        let p = program();
+        let mut kinds_seen = std::collections::HashSet::new();
+        for id in 0..p.block_count() as u32 {
+            let b = p.block(id);
+            for decoded in branches_in_line(&p, b.branch_pc().line()) {
+                kinds_seen.insert(decoded.kind);
+            }
+        }
+        assert!(kinds_seen.contains(&BranchKind::Conditional));
+        assert!(kinds_seen.contains(&BranchKind::Call));
+        assert!(kinds_seen.contains(&BranchKind::Return));
+    }
+}

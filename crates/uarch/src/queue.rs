@@ -1,0 +1,147 @@
+//! Bounded FIFO queue: the fetch target queue and the various prefetch
+//! buffers are all instances of this shape.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO.
+///
+/// ```
+/// use fe_uarch::BoundedQueue;
+/// let mut q: BoundedQueue<u32> = BoundedQueue::new(2);
+/// assert!(q.push(1));
+/// assert!(q.push(2));
+/// assert!(!q.push(3), "full queue rejects");
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue { items: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Appends `item`; returns `false` (dropping nothing) when full.
+    #[must_use]
+    pub fn push(&mut self, item: T) -> bool {
+        if self.items.len() >= self.capacity {
+            return false;
+        }
+        self.items.push_back(item);
+        true
+    }
+
+    /// Removes the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Oldest item without removal.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Newest item.
+    pub fn back(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all items (pipeline squash).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.is_full());
+        assert!(!q.push(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clear_squashes_everything() {
+        let mut q = BoundedQueue::new(3);
+        let _ = q.push(1);
+        let _ = q.push(2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.push(9));
+        assert_eq!(q.front(), Some(&9));
+    }
+
+    #[test]
+    fn front_back_views() {
+        let mut q = BoundedQueue::new(3);
+        let _ = q.push(10);
+        let _ = q.push(20);
+        assert_eq!(q.front(), Some(&10));
+        assert_eq!(q.back(), Some(&20));
+        if let Some(f) = q.front_mut() {
+            *f = 11;
+        }
+        assert_eq!(q.pop(), Some(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Return address stack, extended for Shotgun.
+//!
+//! §4.2.3: "on a call, in addition to the return address that normally
+//! gets pushed on the RAS, the address of the basic block containing
+//! the call is also pushed" — that call-block address is the U-BTB key
+//! Shotgun uses to retrieve the *return footprint* on a RIB hit. Each
+//! entry therefore carries both fields; for the baselines the extension
+//! is simply unused.
+//!
+//! The stack is a fixed-capacity circular buffer: pushing past capacity
+//! silently overwrites the oldest entry (real hardware behaviour, and
+//! the source of rare deep-recursion return mispredictions). The
+//! simulator keeps one speculative RAS in the branch-prediction unit
+//! and one architectural RAS updated at retire; on redirect the
+//! speculative one is repaired by cloning.
+
+use fe_model::Addr;
+
+/// One RAS entry: the predicted return target plus the basic-block
+/// address of the call that pushed it (Shotgun's extension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RasEntry {
+    /// Return address (the call's fall-through block start).
+    pub ret: Addr,
+    /// Start address of the basic block containing the call.
+    pub call_block: Addr,
+}
+
+/// Fixed-capacity circular return address stack.
+///
+/// ```
+/// use fe_model::Addr;
+/// use fe_uarch::{RasEntry, ReturnAddressStack};
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(RasEntry { ret: Addr::new(0x100), call_block: Addr::new(0x80) });
+/// assert_eq!(ras.pop().unwrap().ret, Addr::new(0x100));
+/// assert!(ras.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    slots: Vec<RasEntry>,
+    /// Index one past the most recent entry (mod capacity).
+    top: usize,
+    /// Live entries (≤ capacity).
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty stack of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        ReturnAddressStack {
+            slots: vec![RasEntry { ret: Addr::NULL, call_block: Addr::NULL }; capacity],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Pushes an entry, overwriting the oldest if full.
+    pub fn push(&mut self, entry: RasEntry) {
+        self.slots[self.top] = entry;
+        self.top = (self.top + 1) % self.slots.len();
+        self.len = (self.len + 1).min(self.slots.len());
+    }
+
+    /// Pops the most recent entry; `None` when empty (the predictor
+    /// then has no target and will misfetch).
+    pub fn pop(&mut self) -> Option<RasEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.len -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// Most recent entry without popping.
+    pub fn peek(&self) -> Option<&RasEntry> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.slots[(self.top + self.slots.len() - 1) % self.slots.len()])
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Replaces this stack's contents with `other`'s — the redirect
+    /// repair used to restore the speculative RAS from the retired one.
+    pub fn restore_from(&mut self, other: &ReturnAddressStack) {
+        self.slots.clone_from(&other.slots);
+        self.top = other.top;
+        self.len = other.len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: u64) -> RasEntry {
+        RasEntry { ret: Addr::new(v), call_block: Addr::new(v + 4) }
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(e(1));
+        ras.push(e(2));
+        ras.push(e(3));
+        assert_eq!(ras.pop(), Some(e(3)));
+        assert_eq!(ras.pop(), Some(e(2)));
+        assert_eq!(ras.pop(), Some(e(1)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(e(1));
+        ras.push(e(2));
+        ras.push(e(3)); // overwrites e(1)
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(e(3)));
+        assert_eq!(ras.pop(), Some(e(2)));
+        assert_eq!(ras.pop(), None, "oldest entry was lost to wrap-around");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(e(9));
+        assert_eq!(ras.peek(), Some(&e(9)));
+        assert_eq!(ras.len(), 1);
+        assert_eq!(ras.pop(), Some(e(9)));
+    }
+
+    #[test]
+    fn restore_repairs_speculative_state() {
+        let mut retired = ReturnAddressStack::new(4);
+        retired.push(e(1));
+        retired.push(e(2));
+        let mut spec = retired.clone();
+        // Speculative path pops both and pushes garbage.
+        spec.pop();
+        spec.pop();
+        spec.push(e(99));
+        spec.restore_from(&retired);
+        assert_eq!(spec.pop(), Some(e(2)));
+        assert_eq!(spec.pop(), Some(e(1)));
+    }
+
+    #[test]
+    fn carries_call_block_for_shotgun() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(RasEntry { ret: Addr::new(0x2000), call_block: Addr::new(0x1ff0) });
+        let top = ras.pop().unwrap();
+        assert_eq!(top.call_block, Addr::new(0x1ff0), "U-BTB key for the return footprint");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The control-flow-delivery scheme interface.
+//!
+//! Every front end the paper evaluates — no-prefetch, FDIP, Boomerang,
+//! Confluence, Shotgun — is a [`ControlFlowDelivery`]: a branch
+//! prediction unit with its own BTB organization and prefetch policy,
+//! driven one basic block at a time by the simulator's decoupled BPU
+//! loop. The shared hardware (L1-I, memory path, TAGE, speculative RAS,
+//! MSHRs) is passed in through [`FrontEndCtx`] so schemes differ *only*
+//! in what the paper varies: BTB organization, miss policy, and
+//! prefetch generation.
+
+use fe_cfg::Program;
+use fe_model::{Addr, BasicBlock, BranchKind, LineAddr, RetiredBlock};
+
+use crate::btb::Btb;
+use crate::cache::LineCache;
+use crate::inflight::InflightFills;
+use crate::mem::{MemClass, MemorySystem};
+use crate::ras::{RasEntry, ReturnAddressStack};
+use crate::tage::Tage;
+
+/// A direction prediction in flight, recorded so its retirement update
+/// trains TAGE at exactly the history the prediction used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredRecord {
+    /// Start address of the predicted conditional block.
+    pub block_start: Addr,
+    /// Predicted direction.
+    pub taken: bool,
+    /// Speculative history snapshot the prediction indexed with.
+    pub hist: u128,
+}
+
+/// Shared front-end hardware handed to a scheme on every hook.
+#[derive(Debug)]
+pub struct FrontEndCtx<'a> {
+    /// Current cycle.
+    pub now: u64,
+    /// L1 instruction cache.
+    pub l1i: &'a mut LineCache,
+    /// NoC + LLC + memory path.
+    pub mem: &'a mut MemorySystem,
+    /// Direction predictor (shared across schemes for fairness).
+    pub tage: &'a mut Tage,
+    /// Speculative return address stack (repaired by the sim on
+    /// redirect).
+    pub spec_ras: &'a mut ReturnAddressStack,
+    /// L1-I miss status registers.
+    pub inflight: &'a mut InflightFills,
+    /// Static program, used exclusively as the predecode oracle (what a
+    /// hardware predecoder reads out of fetched lines).
+    pub program: &'a Program,
+    /// Prefetches issued this run (accounting handled by the sim; the
+    /// counter lives here so schemes can issue without owning stats).
+    pub prefetches_issued: &'a mut u64,
+    /// In-flight direction predictions, oldest first (owned and drained
+    /// by the simulator at retire/flush).
+    pub pred_trace: &'a mut std::collections::VecDeque<PredRecord>,
+}
+
+impl FrontEndCtx<'_> {
+    /// Issues a prefetch probe for `line` (§4.2.3 step 1–2): checks the
+    /// L1-I and the MSHRs, and requests the line from the memory
+    /// hierarchy when absent. Returns `true` if a new fill was started.
+    pub fn prefetch_line(&mut self, line: LineAddr) -> bool {
+        if self.l1i.probe(line) || self.inflight.contains(line) || self.inflight.is_full() {
+            return false;
+        }
+        let ready = self.mem.request_instr(self.now, line, MemClass::InstrPrefetch);
+        if self.inflight.request(line, ready, true) {
+            *self.prefetches_issued += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fetches `line` for a reactive BTB fill: returns the cycle the
+    /// line's content is available to the predecoder. Fast path when the
+    /// line is already resident or in flight.
+    ///
+    /// The resolution path also prefetches the next sequential line:
+    /// the predecoder scans forward (blocks straddle lines), and in the
+    /// cascades of misses through cold regions (§2.2) the very next
+    /// line is needed a few blocks later — overlapping its fetch with
+    /// the current resolution keeps the cascade pipelined instead of
+    /// fully serialized.
+    pub fn fetch_for_fill(&mut self, line: LineAddr) -> u64 {
+        self.prefetch_line(line.offset(1));
+        if self.l1i.probe(line) {
+            return self.now + self.l1i.latency() as u64;
+        }
+        if let Some(fill) = self.inflight.lookup(line) {
+            return fill.ready;
+        }
+        let ready = self.mem.request_instr(self.now, line, MemClass::InstrDemand);
+        // Track it like a prefetch so the fill also lands in the L1-I
+        // (Boomerang reuses the fetched block for the cache too).
+        let _ = self.inflight.request(line, ready, true);
+        ready
+    }
+}
+
+/// What the BPU produced this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BpuOutcome {
+    /// A predicted basic block: fetch `block`'s byte range, continue
+    /// predicting at `next_pc`.
+    Predicted(PredictedBlock),
+    /// BTB miss speculated through as straight-line code (FDIP): fetch
+    /// `[pc, end)` sequentially and continue at `end`.
+    StraightLine {
+        /// First byte to fetch.
+        pc: Addr,
+        /// One past the last byte to fetch (line boundary).
+        end: Addr,
+    },
+    /// The BPU is stalled (e.g. a reactive BTB fill in flight).
+    Stall,
+}
+
+/// A BTB-predicted fetch block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PredictedBlock {
+    /// The basic block, as described by the BTB.
+    pub block: BasicBlock,
+    /// Predicted direction (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// Predicted next fetch address.
+    pub next_pc: Addr,
+}
+
+/// A control-flow-delivery scheme: BTB organization + miss policy +
+/// prefetch generation.
+pub trait ControlFlowDelivery {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// One BPU step at speculative `pc`.
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome;
+
+    /// A line arrived at the L1-I (demand or prefetch fill) — the
+    /// predecode hook (§4.2.3 steps 4–5).
+    fn on_fill(&mut self, _line: LineAddr, _was_prefetch: bool, _ctx: &mut FrontEndCtx) {}
+
+    /// A demand fetch missed the L1-I (Confluence's replay trigger).
+    fn on_demand_miss(&mut self, _line: LineAddr, _ctx: &mut FrontEndCtx) {}
+
+    /// Every demand L1-I access (hit or miss), in fetch order —
+    /// the access stream temporal prefetchers observe to keep their
+    /// replay aligned.
+    fn on_demand_access(&mut self, _line: LineAddr, _ctx: &mut FrontEndCtx) {}
+
+    /// A basic block retired (training hook).
+    fn on_retire(&mut self, _rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {}
+
+    /// The pipeline redirected to `pc`; in-flight resolution state must
+    /// be dropped. TAGE and RAS repair is performed by the simulator.
+    fn on_redirect(&mut self, _pc: Addr, _ctx: &mut FrontEndCtx) {}
+
+    /// Whether the simulator should issue FDIP-style L1-I prefetch
+    /// probes for fetch ranges as they enter the FTQ.
+    fn ftq_prefetch(&self) -> bool {
+        true
+    }
+
+    /// Architectural BTB misses: retired branches whose block was
+    /// absent from the scheme's BTB structures at retirement — the
+    /// Table 1 MPKI metric, immune to wrong-path lookup noise.
+    fn btb_misses(&self) -> u64;
+
+    /// BTB lookups performed by the BPU (diagnostic).
+    fn btb_lookups(&self) -> u64;
+
+    /// Scheme-specific named counters for diagnostics and reports
+    /// (e.g. reactive fills, replay activations).
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// Shared hit-path logic for schemes with a conventional basic-block
+/// BTB: on a hit, predict the direction (TAGE), maintain the speculative
+/// RAS, and produce the fetch block. Returns `None` on a BTB miss — the
+/// caller applies its miss policy.
+pub fn predict_conventional(
+    btb: &mut Btb,
+    pc: Addr,
+    ctx: &mut FrontEndCtx,
+) -> Option<PredictedBlock> {
+    let block = btb.lookup(pc)?;
+    Some(follow_block(&block, ctx))
+}
+
+/// Direction prediction + RAS maintenance for a known basic block; the
+/// common tail of every scheme's hit path.
+pub fn follow_block(block: &BasicBlock, ctx: &mut FrontEndCtx) -> PredictedBlock {
+    match block.kind {
+        BranchKind::Conditional => {
+            let hist = ctx.tage.spec_snapshot();
+            let taken = ctx.tage.predict(block.branch_pc());
+            ctx.pred_trace.push_back(PredRecord { block_start: block.start, taken, hist });
+            ctx.tage.push_spec(taken);
+            let next_pc = if taken { block.target } else { block.fall_through() };
+            PredictedBlock { block: *block, taken, next_pc }
+        }
+        BranchKind::Call | BranchKind::Trap => {
+            ctx.spec_ras.push(RasEntry { ret: block.fall_through(), call_block: block.start });
+            PredictedBlock { block: *block, taken: true, next_pc: block.target }
+        }
+        BranchKind::Return | BranchKind::TrapReturn => {
+            // An empty RAS yields no target; predict the fall-through,
+            // which will misfetch and redirect.
+            let next_pc = ctx.spec_ras.pop().map_or(block.fall_through(), |e| e.ret);
+            PredictedBlock { block: *block, taken: true, next_pc }
+        }
+        BranchKind::Jump => PredictedBlock { block: *block, taken: true, next_pc: block.target },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_cfg::{LayerSpec, WorkloadSpec};
+    use fe_model::config::{CacheConfig, TageConfig};
+    use fe_model::MachineConfig;
+
+    struct Rig {
+        l1i: LineCache,
+        mem: MemorySystem,
+        tage: Tage,
+        ras: ReturnAddressStack,
+        inflight: InflightFills,
+        program: Program,
+        issued: u64,
+        pred_trace: std::collections::VecDeque<PredRecord>,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            let cfg = MachineConfig::table3();
+            Rig {
+                l1i: LineCache::new(CacheConfig::default()),
+                mem: MemorySystem::new(&cfg),
+                tage: Tage::new(TageConfig::default()),
+                ras: ReturnAddressStack::new(32),
+                inflight: InflightFills::new(16),
+                program: WorkloadSpec {
+                    name: "scheme".into(),
+                    seed: 3,
+                    layers: vec![LayerSpec::grouped(2, 2.0), LayerSpec::shared(8, 0.5)],
+                    kernel_entries: 2,
+                    kernel_helpers: 2,
+                    ..WorkloadSpec::default()
+                }
+                .build(),
+                issued: 0,
+                pred_trace: std::collections::VecDeque::new(),
+            }
+        }
+
+        fn ctx(&mut self) -> FrontEndCtx<'_> {
+            FrontEndCtx {
+                now: 100,
+                l1i: &mut self.l1i,
+                mem: &mut self.mem,
+                tage: &mut self.tage,
+                spec_ras: &mut self.ras,
+                inflight: &mut self.inflight,
+                program: &self.program,
+                prefetches_issued: &mut self.issued,
+                pred_trace: &mut self.pred_trace,
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_line_filters_resident_and_inflight() {
+        let mut rig = Rig::new();
+        let line = LineAddr::containing(0x1000);
+        let mut ctx = rig.ctx();
+        assert!(ctx.prefetch_line(line), "cold line must issue");
+        assert!(!ctx.prefetch_line(line), "in-flight line must merge");
+        drop(ctx);
+        rig.l1i.install(LineAddr::containing(0x2000), false);
+        let mut ctx = rig.ctx();
+        assert!(!ctx.prefetch_line(LineAddr::containing(0x2000)), "resident line filtered");
+        assert_eq!(*ctx.prefetches_issued, 1);
+    }
+
+    #[test]
+    fn fetch_for_fill_fast_path_when_resident() {
+        let mut rig = Rig::new();
+        let line = LineAddr::containing(0x3000);
+        rig.l1i.install(line, false);
+        let mut ctx = rig.ctx();
+        let ready = ctx.fetch_for_fill(line);
+        assert_eq!(ready, 100 + 2, "L1-I hit: latency only");
+    }
+
+    #[test]
+    fn fetch_for_fill_goes_to_memory_when_absent() {
+        let mut rig = Rig::new();
+        let line = LineAddr::containing(0x3000);
+        let mut ctx = rig.ctx();
+        let ready = ctx.fetch_for_fill(line);
+        assert!(ready >= 100 + 21, "LLC round trip at least");
+        assert!(ctx.inflight.contains(line), "fill also lands in the L1-I");
+    }
+
+    #[test]
+    fn follow_block_pushes_and_pops_ras() {
+        let mut rig = Rig::new();
+        let call =
+            BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+        let ret = BasicBlock::new(Addr::new(0x8000), 2, BranchKind::Return, Addr::NULL);
+        let mut ctx = rig.ctx();
+        let p1 = follow_block(&call, &mut ctx);
+        assert_eq!(p1.next_pc, Addr::new(0x8000));
+        let p2 = follow_block(&ret, &mut ctx);
+        assert_eq!(p2.next_pc, call.fall_through(), "return predicted via RAS");
+    }
+
+    #[test]
+    fn follow_block_conditional_consults_tage() {
+        let mut rig = Rig::new();
+        let cond =
+            BasicBlock::new(Addr::new(0x2000), 4, BranchKind::Conditional, Addr::new(0x2100));
+        // Train TAGE strongly not-taken for this PC.
+        for _ in 0..32 {
+            rig.tage.retire(cond.branch_pc(), false);
+        }
+        let mut ctx = rig.ctx();
+        let p = follow_block(&cond, &mut ctx);
+        assert!(!p.taken);
+        assert_eq!(p.next_pc, cond.fall_through());
+    }
+
+    #[test]
+    fn empty_ras_return_predicts_fall_through() {
+        let mut rig = Rig::new();
+        let ret = BasicBlock::new(Addr::new(0x9000), 2, BranchKind::Return, Addr::NULL);
+        let mut ctx = rig.ctx();
+        let p = follow_block(&ret, &mut ctx);
+        assert_eq!(p.next_pc, ret.fall_through(), "garbage prediction, will misfetch");
+    }
+}

@@ -1,0 +1,254 @@
+//! Generic set-associative storage with LRU replacement.
+//!
+//! Every lookup structure in the modeled front end — caches, the
+//! conventional BTB, Shotgun's U-BTB/C-BTB/RIB, the LLC — is a
+//! set-associative array differing only in geometry and payload.
+//! [`SetAssocMap`] captures that shape once: keys map to a set by
+//! modulo, ways within a set are replaced least-recently-used.
+
+/// A set-associative map from `u64` keys to `V` payloads.
+///
+/// ```
+/// use fe_uarch::SetAssocMap;
+/// let mut m: SetAssocMap<&str> = SetAssocMap::new(8, 2);
+/// m.insert(1, "one");
+/// assert_eq!(m.get(1), Some(&"one"));
+/// assert_eq!(m.get(2), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocMap<V> {
+    sets: Vec<Vec<Slot<V>>>,
+    ways: usize,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    key: u64,
+    last_use: u64,
+    value: V,
+}
+
+impl<V> SetAssocMap<V> {
+    /// Creates a map with `entries` total slots organized as sets of
+    /// `ways`. `entries` is rounded up to a multiple of `ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `ways` is zero.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0, "set-associative geometry must be non-zero");
+        let ways = ways.min(entries);
+        let sets = entries.div_ceil(ways);
+        SetAssocMap {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            stamp: 0,
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(key);
+        self.sets[set].iter_mut().find(|s| s.key == key).map(|slot| {
+            slot.last_use = stamp;
+            &slot.value
+        })
+    }
+
+    /// Mutable lookup, promoting on hit.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(key);
+        self.sets[set].iter_mut().find(|s| s.key == key).map(|slot| {
+            slot.last_use = stamp;
+            &mut slot.value
+        })
+    }
+
+    /// Non-promoting probe (a coherence-style lookup that must not
+    /// disturb replacement state).
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        let set = self.set_of(key);
+        self.sets[set].iter().find(|s| s.key == key).map(|s| &s.value)
+    }
+
+    /// Non-promoting mutable probe.
+    pub fn peek_mut(&mut self, key: u64) -> Option<&mut V> {
+        let set = self.set_of(key);
+        self.sets[set].iter_mut().find(|s| s.key == key).map(|s| &mut s.value)
+    }
+
+    /// Inserts (or overwrites) `key`, returning the evicted victim if
+    /// the set was full.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        if let Some(slot) = set.iter_mut().find(|s| s.key == key) {
+            slot.last_use = stamp;
+            slot.value = value;
+            return None;
+        }
+        if set.len() < self.ways {
+            set.push(Slot { key, last_use: stamp, value });
+            return None;
+        }
+        // Evict the least recently used way.
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let old = std::mem::replace(&mut set[victim], Slot { key, last_use: stamp, value });
+        Some((old.key, old.value))
+    }
+
+    /// Removes `key`, returning its payload.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let set_idx = self.set_of(key);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|s| s.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over `(key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.sets.iter().flatten().map(|s| (s.key, &s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut m: SetAssocMap<u32> = SetAssocMap::new(16, 4);
+        assert!(m.is_empty());
+        m.insert(100, 1);
+        m.insert(200, 2);
+        assert_eq!(m.get(100), Some(&1));
+        assert_eq!(m.get(200), Some(&2));
+        assert_eq!(m.get(300), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_capacity() {
+        let mut m: SetAssocMap<u32> = SetAssocMap::new(4, 2);
+        m.insert(0, 1);
+        assert!(m.insert(0, 2).is_none());
+        assert_eq!(m.get(0), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 1 set x 2 ways: keys all collide.
+        let mut m: SetAssocMap<&str> = SetAssocMap::new(2, 2);
+        m.insert(0, "a");
+        m.insert(1, "b");
+        m.get(0); // promote a
+        let evicted = m.insert(2, "c").expect("set is full");
+        assert_eq!(evicted, (1, "b"), "LRU way must be the victim");
+        assert_eq!(m.get(0), Some(&"a"));
+        assert_eq!(m.get(2), Some(&"c"));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut m: SetAssocMap<&str> = SetAssocMap::new(2, 2);
+        m.insert(0, "a");
+        m.insert(1, "b");
+        m.peek(0); // would save "a" if it promoted
+        let evicted = m.insert(2, "c").unwrap();
+        assert_eq!(evicted.0, 0, "peek must not refresh LRU");
+    }
+
+    #[test]
+    fn keys_spread_across_sets() {
+        let mut m: SetAssocMap<u64> = SetAssocMap::new(8, 2);
+        // 4 sets; keys 0..8 fill every set's both ways without eviction.
+        for k in 0..8 {
+            assert!(m.insert(k, k).is_none());
+        }
+        assert_eq!(m.len(), 8);
+        assert!(m.insert(8, 8).is_some(), "ninth key must evict");
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut m: SetAssocMap<u32> = SetAssocMap::new(8, 2);
+        m.insert(5, 50);
+        assert_eq!(m.remove(5), Some(50));
+        assert_eq!(m.remove(5), None);
+        m.insert(1, 1);
+        m.insert(2, 2);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_ways() {
+        let m: SetAssocMap<u8> = SetAssocMap::new(10, 4);
+        assert_eq!(m.capacity(), 12);
+    }
+
+    #[test]
+    fn ways_clamped_to_entries() {
+        let mut m: SetAssocMap<u8> = SetAssocMap::new(2, 16);
+        m.insert(1, 1);
+        m.insert(2, 2);
+        assert!(m.insert(3, 3).is_some(), "fully associative 2-entry map evicts third");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_rejected() {
+        let _: SetAssocMap<u8> = SetAssocMap::new(0, 1);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut m: SetAssocMap<u32> = SetAssocMap::new(8, 2);
+        for k in 0..6 {
+            m.insert(k, k as u32 * 10);
+        }
+        let mut seen: Vec<_> = m.iter().map(|(k, &v)| (k, v)).collect();
+        seen.sort();
+        assert_eq!(seen, (0..6).map(|k| (k, k as u32 * 10)).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,484 @@
+//! TAGE conditional-branch direction predictor (Seznec & Michaud),
+//! sized to Table 3's 8 KB budget.
+//!
+//! A bimodal base table backs six partially-tagged components indexed
+//! with geometrically increasing global-history lengths. The predictor
+//! keeps two history registers: a *speculative* one advanced by the
+//! branch-prediction unit as it runs ahead, and a *retired* one advanced
+//! at commit. On a pipeline redirect the speculative history is repaired
+//! from the retired one — the standard recovery scheme. Table state is
+//! only ever updated at retirement, with indices recomputed from retired
+//! history (identical to the speculative indices on the correct path).
+
+use fe_model::config::TageConfig;
+use fe_model::Addr;
+
+/// Saturating 3-bit signed counter range.
+const CTR_MAX: i8 = 3;
+const CTR_MIN: i8 = -4;
+/// 2-bit useful counter ceiling.
+const U_MAX: u8 = 3;
+/// Updates between graceful useful-bit resets.
+const U_RESET_PERIOD: u64 = 256 * 1024;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u16,
+    ctr: i8,
+    u: u8,
+}
+
+#[derive(Clone, Debug)]
+struct TaggedTable {
+    entries: Vec<TaggedEntry>,
+    hist_len: u32,
+    index_mask: u64,
+}
+
+/// Where a prediction came from, carried to the update path.
+#[derive(Clone, Copy, Debug)]
+struct Lookup {
+    provider: Option<usize>,
+    provider_index: usize,
+    provider_pred: bool,
+    provider_weak: bool,
+    alt_pred: bool,
+    bimodal_index: usize,
+}
+
+/// The TAGE predictor.
+///
+/// ```
+/// use fe_model::config::TageConfig;
+/// use fe_model::Addr;
+/// use fe_uarch::Tage;
+///
+/// let mut tage = Tage::new(TageConfig::default());
+/// let pc = Addr::new(0x1000);
+/// // Train a strongly taken branch.
+/// for _ in 0..64 {
+///     tage.retire(pc, true);
+/// }
+/// assert!(tage.predict(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tage {
+    cfg: TageConfig,
+    bimodal: Vec<u8>,
+    tables: Vec<TaggedTable>,
+    spec_hist: u128,
+    retired_hist: u128,
+    use_alt: u8,
+    lfsr: u32,
+    updates: u64,
+    tag_mask: u16,
+}
+
+impl Tage {
+    /// Builds the predictor for the given configuration.
+    pub fn new(cfg: TageConfig) -> Self {
+        let tables = (0..cfg.tagged_tables)
+            .map(|t| {
+                let hist_len = geometric_length(&cfg, t);
+                TaggedTable {
+                    entries: vec![TaggedEntry::default(); 1 << cfg.tagged_bits],
+                    hist_len,
+                    index_mask: (1u64 << cfg.tagged_bits) - 1,
+                }
+            })
+            .collect();
+        Tage {
+            // Weakly not-taken start: compilers lay out the common path
+            // as fall-through, so a cold branch is best guessed
+            // not-taken (the classic static heuristic).
+            bimodal: vec![1; 1 << cfg.base_bits],
+            tables,
+            spec_hist: 0,
+            retired_hist: 0,
+            use_alt: 8,
+            lfsr: 0xACE1,
+            updates: 0,
+            tag_mask: ((1u32 << cfg.tag_width) - 1) as u16,
+            cfg,
+        }
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` using
+    /// the *speculative* history (branch-prediction-unit path).
+    pub fn predict(&self, pc: Addr) -> bool {
+        let l = self.lookup(pc, self.spec_hist);
+        self.resolve(&l)
+    }
+
+    /// Advances the speculative history with a predicted outcome.
+    pub fn push_spec(&mut self, taken: bool) {
+        self.spec_hist = (self.spec_hist << 1) | taken as u128;
+    }
+
+    /// Repairs the speculative history from retired state after a
+    /// pipeline redirect.
+    pub fn redirect(&mut self) {
+        self.spec_hist = self.retired_hist;
+    }
+
+    /// The speculative history value a prediction at this moment uses.
+    /// Carried alongside the predicted branch so its retirement update
+    /// trains exactly the entries the prediction consulted.
+    pub fn spec_snapshot(&self) -> u128 {
+        self.spec_hist
+    }
+
+    /// Retires a conditional branch: updates tables with the actual
+    /// outcome and advances the retired history. Returns the prediction
+    /// the retired-history lookup produced (used by callers for
+    /// training-time bookkeeping).
+    pub fn retire(&mut self, pc: Addr, taken: bool) -> bool {
+        self.retire_with(pc, taken, self.retired_hist)
+    }
+
+    /// Retires a conditional branch whose prediction was made under the
+    /// history snapshot `hist` (see [`Tage::spec_snapshot`]): the table
+    /// update indexes with that same history, keeping training and
+    /// prediction coherent in a decoupled front end.
+    pub fn retire_with(&mut self, pc: Addr, taken: bool, hist: u128) -> bool {
+        let lookup = self.lookup(pc, hist);
+        let predicted = self.resolve(&lookup);
+        self.update(pc, taken, &lookup, predicted, hist);
+        self.retired_hist = (self.retired_hist << 1) | taken as u128;
+        predicted
+    }
+
+    /// Approximate storage use in bits (see `TageConfig::storage_bits`).
+    pub fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+
+    /// Final direction choice: newly-allocated (weak) providers defer
+    /// to the alternate prediction while the use-alt counter says
+    /// alternates have been doing better.
+    fn resolve(&self, l: &Lookup) -> bool {
+        if l.provider.is_some() && l.provider_weak && self.use_alt >= 8 {
+            l.alt_pred
+        } else {
+            l.provider_pred
+        }
+    }
+
+    fn lookup(&self, pc: Addr, hist: u128) -> Lookup {
+        let pc_bits = pc.get() >> 2;
+        let bimodal_index = (pc_bits & ((1 << self.cfg.base_bits) - 1)) as usize;
+        let bimodal_pred = self.bimodal[bimodal_index] >= 2;
+
+        let mut provider = None;
+        let mut provider_index = 0;
+        let mut alt: Option<bool> = None;
+        // Scan longest history first.
+        for t in (0..self.tables.len()).rev() {
+            let idx = self.index(t, pc_bits, hist);
+            let entry = &self.tables[t].entries[idx];
+            if entry.valid && entry.tag == self.tag(t, pc_bits, hist) {
+                if provider.is_none() {
+                    provider = Some(t);
+                    provider_index = idx;
+                } else {
+                    alt = Some(entry.ctr >= 0);
+                    break;
+                }
+            }
+        }
+        let alt_pred = alt.unwrap_or(bimodal_pred);
+        match provider {
+            Some(t) => {
+                let e = &self.tables[t].entries[provider_index];
+                Lookup {
+                    provider: Some(t),
+                    provider_index,
+                    provider_pred: e.ctr >= 0,
+                    provider_weak: e.ctr == 0 || e.ctr == -1,
+                    alt_pred,
+                    bimodal_index,
+                }
+            }
+            None => Lookup {
+                provider: None,
+                provider_index: 0,
+                provider_pred: bimodal_pred,
+                provider_weak: false,
+                alt_pred: bimodal_pred,
+                bimodal_index,
+            },
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool, l: &Lookup, final_pred: bool, hist: u128) {
+        self.updates += 1;
+        if self.updates % U_RESET_PERIOD == 0 {
+            for table in &mut self.tables {
+                for e in &mut table.entries {
+                    e.u = e.u >> 1;
+                }
+            }
+        }
+
+        let pc_bits = pc.get() >> 2;
+
+        match l.provider {
+            Some(t) => {
+                // Track whether weak providers beat their alternates.
+                if l.provider_weak && l.provider_pred != l.alt_pred {
+                    if l.provider_pred == taken {
+                        self.use_alt = self.use_alt.saturating_sub(1);
+                    } else if self.use_alt < 15 {
+                        self.use_alt += 1;
+                    }
+                }
+                let entry = &mut self.tables[t].entries[l.provider_index];
+                if l.provider_pred != l.alt_pred {
+                    if l.provider_pred == taken {
+                        entry.u = (entry.u + 1).min(U_MAX);
+                    } else {
+                        entry.u = entry.u.saturating_sub(1);
+                    }
+                }
+                entry.ctr = bump(entry.ctr, taken);
+                // Also train the bimodal when the provider is weak, so
+                // the base stays a usable fallback.
+                if l.provider_weak {
+                    self.bump_bimodal(l.bimodal_index, taken);
+                }
+            }
+            None => self.bump_bimodal(l.bimodal_index, taken),
+        }
+
+        // Allocate a longer-history entry on a misprediction.
+        let provider_rank = l.provider.map_or(0, |t| t + 1);
+        if final_pred != taken && provider_rank < self.tables.len() {
+            let start = l.provider.map_or(0, |t| t + 1);
+            let mut candidates: Vec<usize> = Vec::with_capacity(self.tables.len() - start);
+            for t in start..self.tables.len() {
+                let idx = self.index(t, pc_bits, hist);
+                if self.tables[t].entries[idx].u == 0 {
+                    candidates.push(t);
+                }
+            }
+            if candidates.is_empty() {
+                for t in start..self.tables.len() {
+                    let idx = self.index(t, pc_bits, hist);
+                    let e = &mut self.tables[t].entries[idx];
+                    e.u = e.u.saturating_sub(1);
+                }
+            } else {
+                // Prefer the shortest candidate with probability 2/3,
+                // otherwise pick pseudo-randomly among the rest.
+                let pick = if candidates.len() == 1 || self.lfsr_bits(2) != 0 {
+                    candidates[0]
+                } else {
+                    candidates[1 + self.lfsr_bits(8) as usize % (candidates.len() - 1)]
+                };
+                let idx = self.index(pick, pc_bits, hist);
+                let tag = self.tag(pick, pc_bits, hist);
+                self.tables[pick].entries[idx] =
+                    TaggedEntry { valid: true, tag, ctr: if taken { 0 } else { -1 }, u: 0 };
+            }
+        }
+    }
+
+    fn bump_bimodal(&mut self, index: usize, taken: bool) {
+        let c = &mut self.bimodal[index];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn index(&self, t: usize, pc_bits: u64, hist: u128) -> usize {
+        let table = &self.tables[t];
+        let folded = fold(hist, table.hist_len, self.cfg.tagged_bits);
+        ((pc_bits ^ (pc_bits >> (self.cfg.tagged_bits as u64 + t as u64)) ^ folded)
+            & table.index_mask) as usize
+    }
+
+    fn tag(&self, t: usize, pc_bits: u64, hist: u128) -> u16 {
+        let table = &self.tables[t];
+        let f1 = fold(hist, table.hist_len, self.cfg.tag_width);
+        let f2 = fold(hist, table.hist_len, self.cfg.tag_width.saturating_sub(1)) << 1;
+        ((pc_bits ^ f1 ^ f2) as u16) & self.tag_mask
+    }
+
+    fn lfsr_bits(&mut self, bits: u32) -> u32 {
+        let mut out = 0;
+        for _ in 0..bits {
+            let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+            self.lfsr = (self.lfsr >> 1) | (bit << 15);
+            out = (out << 1) | bit;
+        }
+        out
+    }
+}
+
+/// Geometric history-length series from `min_history` to `max_history`.
+fn geometric_length(cfg: &TageConfig, t: u32) -> u32 {
+    if cfg.tagged_tables == 1 {
+        return cfg.min_history.min(127);
+    }
+    let ratio = cfg.max_history as f64 / cfg.min_history as f64;
+    let exp = t as f64 / (cfg.tagged_tables - 1) as f64;
+    ((cfg.min_history as f64 * ratio.powf(exp)).round() as u32).min(127)
+}
+
+/// XOR-folds the low `len` bits of `hist` into `bits` bits.
+fn fold(hist: u128, len: u32, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let mut h = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mask = (1u64 << bits) - 1;
+    let mut acc = 0u64;
+    while h != 0 {
+        acc ^= (h as u64) & mask;
+        h >>= bits;
+    }
+    acc
+}
+
+fn bump(ctr: i8, taken: bool) -> i8 {
+    if taken {
+        (ctr + 1).min(CTR_MAX)
+    } else {
+        (ctr - 1).max(CTR_MIN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tage() -> Tage {
+        Tage::new(TageConfig::default())
+    }
+
+    #[test]
+    fn learns_strong_bias() {
+        let mut t = tage();
+        let pc = Addr::new(0x4000);
+        for _ in 0..32 {
+            t.retire(pc, true);
+        }
+        assert!(t.predict(pc));
+        let pc2 = Addr::new(0x8000);
+        for _ in 0..32 {
+            t.retire(pc2, false);
+        }
+        assert!(!t.predict(pc2));
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        // A strict alternation is unlearnable by bimodal but trivial
+        // with one bit of history.
+        let mut t = tage();
+        let pc = Addr::new(0x1230);
+        let mut outcome = false;
+        let mut correct = 0;
+        let total = 2000;
+        for i in 0..total {
+            let pred = t.predict(pc);
+            if i > total / 2 && pred == outcome {
+                correct += 1;
+            }
+            t.retire(pc, outcome);
+            t.push_spec(outcome); // keep spec history in sync
+            outcome = !outcome;
+        }
+        let acc = correct as f64 / (total / 2 - 1) as f64;
+        assert!(acc > 0.9, "alternation accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_loop_exit_pattern() {
+        // taken x7 then not-taken, repeated: a history predictor should
+        // reach high accuracy; bimodal alone would cap at 7/8.
+        let mut t = tage();
+        let pc = Addr::new(0x5550);
+        let mut correct = 0;
+        let mut total = 0;
+        for iter in 0..4000 {
+            let outcome = (iter % 8) != 7;
+            let pred = t.predict(pc);
+            if iter > 2000 {
+                total += 1;
+                if pred == outcome {
+                    correct += 1;
+                }
+            }
+            t.retire(pc, outcome);
+            t.push_spec(outcome);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.93, "loop-exit accuracy {acc}");
+    }
+
+    #[test]
+    fn redirect_repairs_speculative_history() {
+        let mut t = tage();
+        // Diverge spec from retired, then repair.
+        t.push_spec(true);
+        t.push_spec(true);
+        t.retire(Addr::new(0x10), false);
+        assert_ne!(t.spec_hist, t.retired_hist);
+        t.redirect();
+        assert_eq!(t.spec_hist, t.retired_hist);
+    }
+
+    #[test]
+    fn distinct_branches_do_not_destructively_alias() {
+        let mut t = tage();
+        // Many branches with opposite biases; overall accuracy must
+        // stay high despite sharing tables.
+        let mut correct = 0;
+        let mut total = 0;
+        for round in 0..300 {
+            for i in 0..64u64 {
+                let pc = Addr::new(0x1_0000 + i * 0x40);
+                let outcome = i % 2 == 0;
+                let pred = t.predict(pc);
+                if round > 150 {
+                    total += 1;
+                    if pred == outcome {
+                        correct += 1;
+                    }
+                }
+                t.retire(pc, outcome);
+                t.push_spec(outcome);
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.95, "aliasing accuracy {acc}");
+    }
+
+    #[test]
+    fn storage_within_budget() {
+        let t = tage();
+        assert!(t.storage_bits() <= 8 * 1024 * 8);
+    }
+
+    #[test]
+    fn geometric_series_spans_min_to_max() {
+        let cfg = TageConfig::default();
+        assert_eq!(geometric_length(&cfg, 0), cfg.min_history);
+        let last = geometric_length(&cfg, cfg.tagged_tables - 1);
+        assert!(last >= 120, "longest history {last}");
+    }
+
+    #[test]
+    fn fold_is_stable_and_bounded() {
+        let h = 0xDEAD_BEEF_CAFE_BABE_u128;
+        let a = fold(h, 33, 9);
+        assert_eq!(a, fold(h, 33, 9));
+        assert!(a < 512);
+        assert_ne!(fold(h, 33, 9), fold(h >> 1, 33, 9), "history changes the fold");
+        assert_eq!(fold(h, 0, 9), 0);
+    }
+}

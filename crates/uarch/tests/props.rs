@@ -1,0 +1,118 @@
+//! Property tests for the microarchitectural substrate: structural
+//! invariants that must hold for any access sequence.
+
+use fe_model::config::CacheConfig;
+use fe_model::{Addr, LineAddr};
+use fe_uarch::{BoundedQueue, InflightFills, LineCache, RasEntry, ReturnAddressStack, SetAssocMap};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn setmap_never_exceeds_capacity(
+        keys in prop::collection::vec(0u64..512, 1..300),
+        entries in 4usize..64,
+        ways in 1usize..8,
+    ) {
+        let mut m: SetAssocMap<u64> = SetAssocMap::new(entries, ways);
+        for &k in &keys {
+            m.insert(k, k * 10);
+            prop_assert!(m.len() <= m.capacity());
+        }
+        // Every resident key maps to its latest value.
+        for (k, &v) in m.iter() {
+            prop_assert_eq!(v, k * 10);
+        }
+    }
+
+    #[test]
+    fn setmap_most_recent_insert_is_resident(
+        keys in prop::collection::vec(0u64..100, 1..100),
+    ) {
+        let mut m: SetAssocMap<u64> = SetAssocMap::new(16, 4);
+        for &k in &keys {
+            m.insert(k, k);
+            prop_assert!(m.peek(k).is_some(), "freshly inserted key must be resident");
+        }
+    }
+
+    #[test]
+    fn cache_hit_iff_installed_and_not_evicted(
+        lines in prop::collection::vec(0u64..256, 1..200),
+    ) {
+        let mut cache = LineCache::new(CacheConfig { kib: 1, ways: 2, latency: 2 });
+        let mut shadow: std::collections::HashSet<u64> = Default::default();
+        for &l in &lines {
+            let line = LineAddr::from_index(l);
+            if let Some(evicted) = cache.install(line, false) {
+                shadow.remove(&evicted.line.get());
+            }
+            shadow.insert(l);
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+        // The shadow set of unevicted lines must all be resident.
+        for &l in &shadow {
+            prop_assert!(cache.probe(LineAddr::from_index(l)));
+        }
+    }
+
+    #[test]
+    fn ras_is_lifo_up_to_capacity(
+        values in prop::collection::vec(0u64..(1 << 30), 1..64),
+        capacity in 2usize..40,
+    ) {
+        let mut ras = ReturnAddressStack::new(capacity);
+        for &v in &values {
+            ras.push(RasEntry { ret: Addr::new(v), call_block: Addr::new(v ^ 0xff) });
+        }
+        // Pop order must be reverse push order for the entries that fit.
+        let survivors = values.len().min(capacity);
+        for i in 0..survivors {
+            let expect = values[values.len() - 1 - i];
+            let got = ras.pop().expect("entry must exist");
+            prop_assert_eq!(got.ret.get(), expect);
+        }
+        prop_assert!(ras.pop().is_none() || values.len() > capacity);
+    }
+
+    #[test]
+    fn bounded_queue_preserves_order_and_bound(
+        items in prop::collection::vec(any::<u32>(), 1..100),
+        cap in 1usize..32,
+    ) {
+        let mut q = BoundedQueue::new(cap);
+        let mut accepted = Vec::new();
+        for &item in &items {
+            if q.push(item) {
+                accepted.push(item);
+            }
+            prop_assert!(q.len() <= cap);
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(drained, accepted);
+    }
+
+    #[test]
+    fn inflight_fills_complete_exactly_once(
+        reqs in prop::collection::vec((0u64..64, 1u64..1000), 1..100),
+    ) {
+        let mut fills = InflightFills::new(16);
+        let mut outstanding: std::collections::HashSet<u64> = Default::default();
+        let mut completed = 0usize;
+        let mut accepted = 0usize;
+        let mut now = 0u64;
+        for &(line, delay) in &reqs {
+            now += 7;
+            let l = LineAddr::from_index(line);
+            if !fills.contains(l) && fills.request(l, now + delay, true) {
+                accepted += 1;
+                outstanding.insert(line);
+            }
+            completed += fills.pop_ready(now).count();
+            for (l, _) in fills.pop_ready(now) {
+                outstanding.remove(&l.get());
+            }
+        }
+        completed += fills.pop_ready(u64::MAX).count();
+        prop_assert_eq!(completed, accepted, "every accepted fill completes once");
+    }
+}

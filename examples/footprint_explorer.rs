@@ -1,0 +1,64 @@
+//! Footprint explorer: record spatial footprints from a workload's
+//! retire stream and inspect the code-region structure the paper's §3
+//! characterizes (Fig. 3), plus how well each footprint format captures
+//! it.
+//!
+//! ```sh
+//! cargo run --release --example footprint_explorer
+//! ```
+
+use fe_cfg::{analytics, workloads, Executor};
+use shotgun::{FootprintLayout, FootprintRecorder, RegionPolicy};
+
+fn main() {
+    let spec = workloads::oracle().scaled(0.5);
+    let program = spec.build();
+
+    // Fig. 3: spatial locality of accesses inside code regions.
+    let locality = analytics::region_locality(&program, 3, 2_000_000);
+    println!("access CDF by distance from region entry (Fig. 3 shape):");
+    for d in [0usize, 1, 2, 4, 6, 10, 16] {
+        println!("  within {d:>2} lines: {:>5.1}%", 100.0 * locality.within(d));
+    }
+    println!("  regions observed: {}", locality.regions);
+
+    // Record footprints with both layouts and measure how much of the
+    // region working set each format captures.
+    for (label, layout) in
+        [("8-bit (6+2)", FootprintLayout::BITS8), ("32-bit (24+8)", FootprintLayout::BITS32)]
+    {
+        let mut recorder = FootprintRecorder::new(layout, 32);
+        let mut exec = Executor::new(&program, 3);
+        let mut recorded_lines = 0u64;
+        while exec.instructions() < 2_000_000 {
+            if let Some(record) = recorder.observe(&exec.next_block()) {
+                recorded_lines += record.footprint.count() as u64;
+            }
+        }
+        let total = recorded_lines + recorder.overflow_accesses();
+        println!(
+            "\n{label}: {} regions, {} lines recorded, {} beyond the window ({:.1}% captured)",
+            recorder.regions_recorded(),
+            recorded_lines,
+            recorder.overflow_accesses(),
+            100.0 * recorded_lines as f64 / total.max(1) as f64,
+        );
+    }
+
+    // What each region policy would prefetch for a sample footprint.
+    let mut exec = Executor::new(&program, 3);
+    let mut recorder = FootprintRecorder::new(FootprintLayout::BITS8, 32);
+    let record = loop {
+        if let Some(r) = recorder.observe(&exec.next_block()) {
+            if r.footprint.count() >= 2 {
+                break r;
+            }
+        }
+    };
+    println!("\nsample region (extent {} lines) prefetch per policy:", record.extent);
+    let entry = fe_model::LineAddr::from_index(1000);
+    for policy in RegionPolicy::ALL {
+        let lines = policy.prefetch_lines(entry, record.footprint, record.extent);
+        println!("  {:14} -> {:>2} lines", policy.label(), lines.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: run Shotgun against Boomerang on one server workload
+//! and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Reduce `SHOTGUN_INSTRS` (e.g. `SHOTGUN_INSTRS=1000000`) for a faster,
+//! noisier run.
+
+use fe_cfg::workloads;
+use fe_model::{stats, MachineConfig};
+use fe_sim::{run_scheme, RunLength, SchemeSpec};
+
+fn main() {
+    // 1. Synthesize a workload. Presets approximate the paper's Table 2
+    //    suite; `streaming` is a mid-sized one that shows Shotgun's
+    //    advantage without a long run.
+    let spec = workloads::streaming();
+    let program = spec.build();
+    println!(
+        "workload {}: {} functions, {} basic blocks, {} KB of code",
+        program.name(),
+        program.function_count(),
+        program.block_count(),
+        program.code_bytes() / 1024,
+    );
+
+    // 2. Table 3 machine, with run length adjustable from the env.
+    let machine = MachineConfig::table3();
+    let len = RunLength { warmup: 2_000_000, measure: 6_000_000 }.from_env();
+
+    // 3. Run the no-prefetch baseline and the two BTB-directed
+    //    prefetchers.
+    let baseline = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 42);
+    let boomerang = run_scheme(&program, &SchemeSpec::boomerang(), &machine, len, 42);
+    let shotgun = run_scheme(&program, &SchemeSpec::shotgun(), &machine, len, 42);
+
+    println!("\n                 {:>12} {:>12} {:>12}", "baseline", "boomerang", "shotgun");
+    println!(
+        "IPC              {:>12.3} {:>12.3} {:>12.3}",
+        baseline.ipc(),
+        boomerang.ipc(),
+        shotgun.ipc()
+    );
+    println!(
+        "L1-I MPKI        {:>12.1} {:>12.1} {:>12.1}",
+        baseline.l1i_mpki(),
+        boomerang.l1i_mpki(),
+        shotgun.l1i_mpki()
+    );
+    println!(
+        "BTB MPKI         {:>12.1} {:>12.1} {:>12.1}",
+        baseline.btb_mpki(),
+        boomerang.btb_mpki(),
+        shotgun.btb_mpki()
+    );
+    println!(
+        "speedup          {:>12.3} {:>12.3} {:>12.3}",
+        1.0,
+        stats::speedup(&baseline, &boomerang),
+        stats::speedup(&baseline, &shotgun)
+    );
+    println!(
+        "stall coverage   {:>12} {:>11.1}% {:>11.1}%",
+        "-",
+        100.0 * stats::coverage(&baseline, &boomerang),
+        100.0 * stats::coverage(&baseline, &shotgun)
+    );
+    println!(
+        "\nShotgun tracks the same storage budget as Boomerang's 2K-entry BTB \
+         (23.77 KB vs 23.25 KB) but covers more stall cycles by bulk-prefetching \
+         code regions from its U-BTB spatial footprints."
+    );
+}

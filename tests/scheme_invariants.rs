@@ -1,0 +1,199 @@
+//! Scheme-versus-scheme invariants: the qualitative relationships the
+//! paper's analysis predicts must hold in any faithful implementation.
+
+use fe_cfg::{workloads, WorkloadSpec};
+use fe_model::stats::{coverage, speedup};
+use fe_model::MachineConfig;
+use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use shotgun::{RegionPolicy, ShotgunConfig};
+
+fn btb_heavy_workload() -> WorkloadSpec {
+    // A scaled OLTP-like workload whose branch working set comfortably
+    // exceeds the 2K-entry BTB, the regime the paper targets.
+    workloads::db2().scaled(0.35)
+}
+
+fn run_len() -> RunLength {
+    RunLength { warmup: 600_000, measure: 1_500_000 }
+}
+
+#[test]
+fn prefetchers_beat_the_baseline() {
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    for spec in [SchemeSpec::boomerang(), SchemeSpec::Confluence, SchemeSpec::shotgun()] {
+        let s = run_scheme(&program, &spec, &machine, run_len(), 3);
+        assert!(
+            speedup(&base, &s) > 1.02,
+            "{} should beat no-prefetch, got {:.3}",
+            spec.label(),
+            speedup(&base, &s),
+        );
+    }
+}
+
+#[test]
+fn ideal_upper_bounds_every_scheme() {
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let ideal = run_scheme(&program, &SchemeSpec::Ideal, &machine, run_len(), 3);
+    for spec in [SchemeSpec::NoPrefetch, SchemeSpec::boomerang(), SchemeSpec::shotgun()] {
+        let s = run_scheme(&program, &spec, &machine, run_len(), 3);
+        assert!(
+            ideal.ipc() >= s.ipc(),
+            "ideal {:.3} must dominate {} {:.3}",
+            ideal.ipc(),
+            spec.label(),
+            s.ipc(),
+        );
+    }
+}
+
+#[test]
+fn shotgun_beats_boomerang_on_btb_heavy_workloads() {
+    // The headline claim (§6.2) in its qualitative form.
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    let boom = run_scheme(&program, &SchemeSpec::boomerang(), &machine, run_len(), 3);
+    let shot = run_scheme(&program, &SchemeSpec::shotgun(), &machine, run_len(), 3);
+    assert!(
+        speedup(&base, &shot) > speedup(&base, &boom),
+        "shotgun {:.3} must beat boomerang {:.3}",
+        speedup(&base, &shot),
+        speedup(&base, &boom),
+    );
+    assert!(
+        coverage(&base, &shot) > coverage(&base, &boom),
+        "shotgun coverage {:.3} must beat boomerang {:.3}",
+        coverage(&base, &shot),
+        coverage(&base, &boom),
+    );
+}
+
+#[test]
+fn prefetching_slashes_l1i_misses() {
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    let shot = run_scheme(&program, &SchemeSpec::shotgun(), &machine, run_len(), 3);
+    assert!(
+        shot.l1i_mpki() < base.l1i_mpki() / 2.0,
+        "shotgun L1-I MPKI {:.1} should halve the baseline {:.1}",
+        shot.l1i_mpki(),
+        base.l1i_mpki(),
+    );
+}
+
+#[test]
+fn btb_prefill_schemes_erase_architectural_btb_misses() {
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    for spec in [SchemeSpec::boomerang(), SchemeSpec::shotgun()] {
+        let s = run_scheme(&program, &spec, &machine, run_len(), 3);
+        assert!(
+            s.btb_mpki() < base.btb_mpki() / 4.0,
+            "{} BTB MPKI {:.1} vs baseline {:.1}",
+            spec.label(),
+            s.btb_mpki(),
+            base.btb_mpki(),
+        );
+    }
+}
+
+#[test]
+fn footprints_beat_no_bit_vector() {
+    // Fig. 8/9's core result: 8-bit footprints outperform a Shotgun
+    // without region prefetching.
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    let none = ShotgunConfig::default().with_policy(RegionPolicy::NoBitVector);
+    let bit8 = ShotgunConfig::default();
+    let s_none = run_scheme(&program, &SchemeSpec::Shotgun(none), &machine, run_len(), 3);
+    let s_bit8 = run_scheme(&program, &SchemeSpec::Shotgun(bit8), &machine, run_len(), 3);
+    assert!(
+        speedup(&base, &s_bit8) > speedup(&base, &s_none),
+        "8-bit {:.3} must beat no-bit-vector {:.3}",
+        speedup(&base, &s_bit8),
+        speedup(&base, &s_none),
+    );
+}
+
+#[test]
+fn indiscriminate_prefetching_hurts_accuracy() {
+    // Fig. 10: 8-bit footprints are precise; Entire Region and 5-Blocks
+    // over-prefetch.
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let acc = |policy: RegionPolicy| {
+        let cfg = ShotgunConfig::default().with_policy(policy);
+        run_scheme(&program, &SchemeSpec::Shotgun(cfg), &machine, run_len(), 3)
+            .prefetch_accuracy()
+    };
+    let bit8 = acc(RegionPolicy::Bit8);
+    let entire = acc(RegionPolicy::EntireRegion);
+    let five = acc(RegionPolicy::FiveBlocks);
+    assert!(bit8 > entire, "8-bit accuracy {bit8:.2} vs entire-region {entire:.2}");
+    assert!(bit8 > five, "8-bit accuracy {bit8:.2} vs 5-blocks {five:.2}");
+}
+
+#[test]
+fn larger_cbtb_gives_little_beyond_128() {
+    // Fig. 12: the predecode prefill keeps a 128-entry C-BTB close to a
+    // 1K-entry one.
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    let s128 = run_scheme(
+        &program,
+        &SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(128)),
+        &machine,
+        run_len(),
+        3,
+    );
+    let s1k = run_scheme(
+        &program,
+        &SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(1024)),
+        &machine,
+        run_len(),
+        3,
+    );
+    let gain = speedup(&base, &s1k) / speedup(&base, &s128);
+    assert!(
+        gain < 1.05,
+        "an 8x larger C-BTB should gain <5%, got {:.1}%",
+        (gain - 1.0) * 100.0,
+    );
+}
+
+#[test]
+fn budget_scaling_preserves_shotgun_advantage() {
+    // Fig. 13 in miniature: at a halved budget Shotgun still beats the
+    // equal-budget Boomerang.
+    let program = btb_heavy_workload().build();
+    let machine = MachineConfig::table3();
+    let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, run_len(), 3);
+    let boom = run_scheme(
+        &program,
+        &SchemeSpec::Boomerang { btb_entries: 1024 },
+        &machine,
+        run_len(),
+        3,
+    );
+    let shot = run_scheme(
+        &program,
+        &SchemeSpec::Shotgun(ShotgunConfig::for_budget(1024)),
+        &machine,
+        run_len(),
+        3,
+    );
+    assert!(
+        speedup(&base, &shot) >= speedup(&base, &boom) * 0.98,
+        "1K-budget shotgun {:.3} should at least match boomerang {:.3}",
+        speedup(&base, &shot),
+        speedup(&base, &boom),
+    );
+}

@@ -1,0 +1,83 @@
+//! Storage-budget equivalence: the §5.2 fairness claims, checked
+//! against the live configuration types.
+
+use fe_model::storage::{
+    self, conventional_budget_bytes, kib, sizing_for_budget, CBTB, CONVENTIONAL_BTB, RIB, UBTB,
+};
+use shotgun::{RegionPolicy, ShotgunConfig, ShotgunPrefetcher};
+
+#[test]
+fn paper_config_storage_matches_section_5_2() {
+    // Boomerang: 2K x 93 bits = 23.25 KB.
+    assert!((kib(CONVENTIONAL_BTB, 2048) - 23.25).abs() < 0.01);
+    // Shotgun: 1.5K U-BTB (19.87) + 128 C-BTB (1.1) + 512 RIB (2.8)
+    // = 23.77 KB.
+    let cfg = ShotgunConfig::default();
+    assert!((cfg.storage_kib() - 23.77).abs() < 0.05);
+}
+
+#[test]
+fn default_prefetcher_reports_paper_budget() {
+    let p = ShotgunPrefetcher::new(ShotgunConfig::default(), 32);
+    assert!((p.config().storage_kib() - 23.77).abs() < 0.05);
+    let (u, c, r) = p.occupancy();
+    assert_eq!((u, c, r), (0, 0, 0), "structures start empty");
+}
+
+#[test]
+fn budget_sweep_stays_storage_equivalent() {
+    for entries in [512u32, 1024, 2048, 4096] {
+        let sizing = sizing_for_budget(entries);
+        let shotgun_bytes = sizing.total_bytes() as f64;
+        let conventional = conventional_budget_bytes(entries) as f64;
+        let ratio = shotgun_bytes / conventional;
+        assert!(
+            (0.90..=1.06).contains(&ratio),
+            "{entries}-entry budget: shotgun/conventional = {ratio:.3}",
+        );
+    }
+}
+
+#[test]
+fn eight_k_budget_caps_ubtb_at_4k() {
+    // §6.5: beyond 4K U-BTB entries is an overkill; the remainder goes
+    // to the RIB and C-BTB.
+    let sizing = sizing_for_budget(8192);
+    assert_eq!(sizing.ubtb, 4096);
+    assert_eq!(sizing.cbtb, 4096);
+    assert_eq!(sizing.rib, 1024);
+}
+
+#[test]
+fn no_bit_vector_conversion_is_storage_neutral() {
+    let base = ShotgunConfig::default();
+    let converted = ShotgunConfig::default().with_policy(RegionPolicy::NoBitVector);
+    // Entries grew...
+    assert!(converted.sizing.ubtb > base.sizing.ubtb);
+    // ...but the bit budget did not (footprint-free entries are 90 bits
+    // vs 106).
+    let base_bits = base.sizing.ubtb as u64 * UBTB.bits() as u64;
+    let converted_bits =
+        converted.sizing.ubtb as u64 * storage::UBTB_NO_FOOTPRINT.bits() as u64;
+    assert!(converted_bits <= base_bits);
+    assert!(converted_bits as f64 > base_bits as f64 * 0.98, "budget should be spent");
+}
+
+#[test]
+fn entry_field_widths_are_the_papers() {
+    assert_eq!(CONVENTIONAL_BTB.bits(), 93);
+    assert_eq!(UBTB.bits(), 106);
+    assert_eq!(CBTB.bits(), 70);
+    assert_eq!(RIB.bits(), 45);
+    assert_eq!(storage::UBTB_WIDE32.bits(), 154);
+}
+
+#[test]
+fn returns_in_ubtb_would_waste_half_the_entry() {
+    // The motivation for the RIB (§4.2.1): Target + two footprints are
+    // more than 50% of a U-BTB entry and useless for returns.
+    let wasted = UBTB.target + UBTB.footprints;
+    assert!(wasted * 2 > UBTB.bits());
+    // The RIB entry is less than half the U-BTB entry.
+    assert!(RIB.bits() * 2 < UBTB.bits());
+}
