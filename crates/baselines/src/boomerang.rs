@@ -106,8 +106,10 @@ impl ControlFlowDelivery for Boomerang {
         for i in 1..=extra as i64 {
             ready = ready.max(ctx.fetch_for_fill(block.start.line().offset(i)));
         }
-        self.resolving =
-            Some(Resolving { pc, ready: ready + predecode::PREDECODE_LATENCY as u64 });
+        self.resolving = Some(Resolving {
+            pc,
+            ready: ready + predecode::PREDECODE_LATENCY as u64,
+        });
         BpuOutcome::Stall
     }
 
@@ -188,7 +190,10 @@ mod tests {
         }
         // Dispatcher blocks are 3 instructions (12 B): several share the
         // entry line, so the buffer should have caught some.
-        assert!(s.prefetch_buffer.len() > 0, "same-line branches parked in buffer");
+        assert!(
+            !s.prefetch_buffer.is_empty(),
+            "same-line branches parked in buffer"
+        );
     }
 
     #[test]

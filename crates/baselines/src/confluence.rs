@@ -18,7 +18,7 @@
 //! extensions plus a 204 KB history carved out of LLC capacity per
 //! workload — two orders of magnitude more than Shotgun's 23.77 KB.
 //! We model the performance side; the storage numbers are reproduced
-//! in `fe-model::storage` tests and EXPERIMENTS.md.
+//! in `fe-model::storage` and the `storage_budget` integration tests.
 
 use fe_model::{Addr, LineAddr, RetiredBlock};
 use fe_uarch::predecode;
@@ -177,8 +177,12 @@ impl Confluence {
             // History metadata lives in the LLC (SHIFT): pay the round
             // trip before any replay prefetch can issue.
             let ready = ctx.mem.request_metadata(ctx.now);
-            self.replay =
-                Some(Replay { expect: pos + 1, cursor: pos + 1, ready, strikes: 0 });
+            self.replay = Some(Replay {
+                expect: pos + 1,
+                cursor: pos + 1,
+                ready,
+                strikes: 0,
+            });
         } else {
             self.replay = None;
         }
@@ -292,7 +296,10 @@ impl ControlFlowDelivery for Confluence {
     }
 
     fn debug_counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("replay_activations", self.activations), ("replay_divergences", self.divergences)]
+        vec![
+            ("replay_activations", self.activations),
+            ("replay_divergences", self.divergences),
+        ]
     }
 }
 
@@ -305,7 +312,11 @@ mod tests {
     fn retire_line_sequence(s: &mut Confluence, rig: &mut Rig, starts: &[u64]) {
         for &a in starts {
             let b = BasicBlock::new(Addr::new(a), 4, BranchKind::Jump, Addr::new(a + 0x40));
-            let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(a + 0x40) };
+            let rb = RetiredBlock {
+                block: b,
+                taken: true,
+                next_pc: Addr::new(a + 0x40),
+            };
             let mut ctx = rig.ctx(0);
             s.on_retire(&rb, &mut ctx);
         }
@@ -370,7 +381,10 @@ mod tests {
             let mut ctx = rig.ctx(10_000 + i);
             s.on_demand_access(LineAddr::containing(0x9_0000 + i * 0x40), &mut ctx);
         }
-        assert!(s.replay.is_none(), "stream misprediction resets the prefetcher");
+        assert!(
+            s.replay.is_none(),
+            "stream misprediction resets the prefetcher"
+        );
         assert_eq!(s.divergences(), 1);
     }
 

@@ -27,7 +27,11 @@ pub struct Fdip {
 impl Fdip {
     /// Creates FDIP with a BTB of `entries` x `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
-        Fdip { btb: Btb::new(entries, ways), lookups: 0, retire_misses: 0 }
+        Fdip {
+            btb: Btb::new(entries, ways),
+            lookups: 0,
+            retire_misses: 0,
+        }
     }
 }
 
@@ -95,7 +99,11 @@ mod tests {
         {
             let mut ctx = rig.ctx(0);
             s.on_retire(
-                &RetiredBlock { block: call, taken: true, next_pc: Addr::new(0x8000) },
+                &RetiredBlock {
+                    block: call,
+                    taken: true,
+                    next_pc: Addr::new(0x8000),
+                },
                 &mut ctx,
             );
         }

@@ -21,7 +21,11 @@ pub struct NoPrefetch {
 impl NoPrefetch {
     /// Creates the baseline with a BTB of `entries` x `ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
-        NoPrefetch { btb: Btb::new(entries, ways), lookups: 0, retire_misses: 0 }
+        NoPrefetch {
+            btb: Btb::new(entries, ways),
+            lookups: 0,
+            retire_misses: 0,
+        }
     }
 
     /// Read access to the BTB (tests).
@@ -101,10 +105,18 @@ mod tests {
         let mut rig = Rig::new();
         let mut s = NoPrefetch::new(64, 4);
         let b = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(0x2000));
-        let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(0x2000) };
+        let rb = RetiredBlock {
+            block: b,
+            taken: true,
+            next_pc: Addr::new(0x2000),
+        };
         let mut ctx = rig.ctx(0);
         s.on_retire(&rb, &mut ctx);
-        assert_eq!(s.btb_misses(), 1, "first retirement is an architectural miss");
+        assert_eq!(
+            s.btb_misses(),
+            1,
+            "first retirement is an architectural miss"
+        );
         s.on_retire(&rb, &mut ctx);
         assert_eq!(s.btb_misses(), 1, "second retirement hits");
     }
@@ -114,7 +126,11 @@ mod tests {
         let mut rig = Rig::new();
         let mut s = NoPrefetch::new(64, 4);
         let b = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Jump, Addr::new(0x2000));
-        let rb = RetiredBlock { block: b, taken: true, next_pc: Addr::new(0x2000) };
+        let rb = RetiredBlock {
+            block: b,
+            taken: true,
+            next_pc: Addr::new(0x2000),
+        };
         {
             let mut ctx = rig.ctx(0);
             s.on_retire(&rb, &mut ctx);

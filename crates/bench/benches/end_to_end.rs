@@ -1,18 +1,37 @@
 //! End-to-end simulation throughput: wall-time per simulated run for
 //! each control-flow-delivery scheme on a mid-sized workload. Guards
 //! against regressions that would make the figure binaries impractical.
+//!
+//! Std-only harness (`harness = false`): each scheme is timed over a
+//! fixed number of iterations after one warmup run; results print as
+//! ms/run and simulated-MIPS.
+//!
+//! ```sh
+//! cargo bench -p fe-bench --bench end_to_end
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fe_cfg::workloads;
 use fe_model::MachineConfig;
 use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
+fn main() {
     let program = workloads::zeus().scaled(0.15).build();
     let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 50_000, measure: 150_000 };
+    let len = RunLength {
+        warmup: 50_000,
+        measure: 150_000,
+    };
+    let iters = 10u32;
+
+    println!(
+        "end_to_end: {} iterations of {}K+{}K instructions per scheme",
+        iters,
+        len.warmup / 1000,
+        len.measure / 1000
+    );
+    println!("{:14} {:>10} {:>12}", "scheme", "ms/run", "sim MIPS");
     for spec in [
         SchemeSpec::NoPrefetch,
         SchemeSpec::boomerang(),
@@ -20,12 +39,15 @@ fn bench_schemes(c: &mut Criterion) {
         SchemeSpec::shotgun(),
         SchemeSpec::Ideal,
     ] {
-        group.bench_function(spec.label(), |bench| {
-            bench.iter(|| black_box(run_scheme(&program, &spec, &machine, len, 3)));
-        });
+        // One untimed warmup run to populate allocator/caches.
+        black_box(run_scheme(&program, &spec, &machine, len, 3));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(run_scheme(&program, &spec, &machine, len, 3));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let per_run_ms = 1e3 * elapsed / iters as f64;
+        let mips = (len.warmup + len.measure) as f64 * iters as f64 / elapsed / 1e6;
+        println!("{:14} {:>10.2} {:>12.1}", spec.label(), per_run_ms, mips);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_schemes);
-criterion_main!(benches);

@@ -1,16 +1,38 @@
-//! Criterion microbenchmarks of the core hardware structures: the
-//! per-access costs that dominate simulation throughput and the
-//! operations the paper's design exercises on every prediction.
+//! Microbenchmarks of the core hardware structures: the per-access
+//! costs that dominate simulation throughput and the operations the
+//! paper's design exercises on every prediction.
+//!
+//! Std-only harness (`harness = false`): each operation is timed over a
+//! fixed iteration count and printed as ns/op.
+//!
+//! ```sh
+//! cargo bench -p fe-bench --bench structures
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fe_cfg::{workloads, Executor};
 use fe_model::config::{CacheConfig, TageConfig};
 use fe_model::{Addr, BasicBlock, BranchKind, LineAddr, MachineConfig};
 use fe_uarch::{Btb, LineCache, MemClass, MemorySystem, Tage};
 use shotgun::{FootprintLayout, FootprintRecorder, SpatialFootprint};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_btb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btb");
+const ITERS: u64 = 2_000_000;
+
+fn bench(name: &str, iters: u64, mut op: impl FnMut(u64)) {
+    // One pass to warm, one timed pass.
+    for i in 0..iters / 10 {
+        op(i);
+    }
+    let t0 = Instant::now();
+    for i in 0..iters {
+        op(i);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:28} {ns:>8.1} ns/op");
+}
+
+fn main() {
     let mut btb = Btb::new(2048, 4);
     for i in 0..4096u64 {
         let b = BasicBlock::new(
@@ -21,134 +43,66 @@ fn bench_btb(c: &mut Criterion) {
         );
         btb.insert(&b);
     }
-    group.bench_function("lookup_hit", |bench| {
-        let mut i = 2048u64;
-        bench.iter(|| {
-            i = (i + 1) % 4096;
-            black_box(btb.lookup(Addr::new(0x1_0000 + i * 20)))
-        });
+    bench("btb/lookup_hit", ITERS, |i| {
+        black_box(btb.lookup(Addr::new(0x1_0000 + (2048 + i) % 4096 * 20)));
     });
-    group.bench_function("insert_evict", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i += 1;
-            let b = BasicBlock::new(
-                Addr::new(0x80_0000 + i * 20),
-                5,
-                BranchKind::Jump,
-                Addr::new(0x1_0000),
-            );
-            black_box(btb.insert(&b))
-        });
+    bench("btb/insert_evict", ITERS, |i| {
+        let b = BasicBlock::new(
+            Addr::new(0x80_0000 + i * 20),
+            5,
+            BranchKind::Jump,
+            Addr::new(0x1_0000),
+        );
+        black_box(btb.insert(&b));
     });
-    group.finish();
-}
 
-fn bench_tage(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tage");
     let mut tage = Tage::new(TageConfig::default());
-    // Warm with a mixed stream.
     for i in 0..10_000u64 {
         tage.retire(Addr::new(0x1000 + (i % 512) * 8), i % 3 == 0);
     }
-    group.bench_function("predict", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i += 1;
-            black_box(tage.predict(Addr::new(0x1000 + (i % 512) * 8)))
-        });
+    bench("tage/predict", ITERS, |i| {
+        black_box(tage.predict(Addr::new(0x1000 + (i % 512) * 8)));
     });
-    group.bench_function("retire", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i += 1;
-            black_box(tage.retire(Addr::new(0x1000 + (i % 512) * 8), i % 3 == 0))
-        });
+    bench("tage/retire", ITERS, |i| {
+        black_box(tage.retire(Addr::new(0x1000 + (i % 512) * 8), i % 3 == 0));
     });
-    group.finish();
-}
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("l1i");
     let mut cache = LineCache::new(CacheConfig::default());
     for i in 0..512u64 {
         cache.install(LineAddr::from_index(i), false);
     }
-    group.bench_function("demand_hit", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i = (i + 1) % 512;
-            black_box(cache.demand_access(LineAddr::from_index(i)))
-        });
+    bench("l1i/demand_hit", ITERS, |i| {
+        black_box(cache.demand_access(LineAddr::from_index(i % 512)));
     });
-    group.bench_function("install_evict", |bench| {
-        let mut i = 512u64;
-        bench.iter(|| {
-            i += 1;
-            black_box(cache.install(LineAddr::from_index(i), true))
-        });
+    bench("l1i/install_evict", ITERS, |i| {
+        black_box(cache.install(LineAddr::from_index(512 + i), true));
     });
-    group.finish();
-}
 
-fn bench_memory_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noc_llc");
     let mut mem = MemorySystem::new(&MachineConfig::table3());
-    group.bench_function("instr_request", |bench| {
-        let mut now = 0u64;
-        let mut i = 0u64;
-        bench.iter(|| {
-            now += 10;
-            i += 1;
-            black_box(mem.request_instr(
-                now,
-                LineAddr::from_index(i % 8192),
-                MemClass::InstrPrefetch,
-            ))
-        });
+    bench("noc_llc/instr_request", ITERS, |i| {
+        black_box(mem.request_instr(
+            i * 10,
+            LineAddr::from_index(i % 8192),
+            MemClass::InstrPrefetch,
+        ));
     });
-    group.finish();
-}
 
-fn bench_footprint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("footprint");
-    group.bench_function("record", |bench| {
-        let mut fp = SpatialFootprint::EMPTY;
-        let mut d = 0i64;
-        bench.iter(|| {
-            d = (d + 1) % 7;
-            black_box(fp.record(d, FootprintLayout::BITS8))
-        });
+    let mut fp = SpatialFootprint::EMPTY;
+    bench("footprint/record", ITERS, |i| {
+        black_box(fp.record((i % 7) as i64, FootprintLayout::BITS8));
     });
+
     let program = workloads::nutch().scaled(0.05).build();
-    group.bench_function("recorder_observe", |bench| {
-        let mut recorder = FootprintRecorder::new(FootprintLayout::BITS8, 32);
-        let mut exec = Executor::new(&program, 1);
-        bench.iter(|| {
-            let rb = exec.next_block();
-            black_box(recorder.observe(&rb))
-        });
+    let mut recorder = FootprintRecorder::new(FootprintLayout::BITS8, 32);
+    let mut exec = Executor::new(&program, 1);
+    bench("footprint/recorder_observe", ITERS / 4, |_| {
+        let rb = exec.next_block();
+        black_box(recorder.observe(&rb));
     });
-    group.finish();
-}
 
-fn bench_executor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("executor");
     let program = workloads::zeus().scaled(0.2).build();
-    group.bench_function("next_block", |bench| {
-        let mut exec = Executor::new(&program, 9);
-        bench.iter(|| black_box(exec.next_block()));
+    let mut exec = Executor::new(&program, 9);
+    bench("executor/next_block", ITERS, |_| {
+        black_box(exec.next_block());
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_btb,
-    bench_tage,
-    bench_cache,
-    bench_memory_system,
-    bench_footprint,
-    bench_executor
-);
-criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Runs every table/figure experiment in sequence — the full
-//! reproduction pass behind EXPERIMENTS.md.
+//! reproduction pass (see the experiment index in the repository
+//! README).
 //!
 //! ```sh
 //! cargo run --release -p fe-bench --bin all_experiments
@@ -7,35 +8,33 @@
 //! SHOTGUN_INSTRS=3000000 SHOTGUN_WARMUP=1000000 cargo run --release -p fe-bench --bin all_experiments
 //! ```
 //!
-//! The heavy sweeps share one `run_suite` invocation per scheme set so
-//! the whole pass stays within minutes.
+//! Each heavy sweep is one `Experiment` session, so its cells fan out
+//! across all cores and the whole pass stays within minutes.
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
+use fe_bench::{banner, default_len, experiment, experiment_on, write_report, WORKLOAD_ORDER};
 use fe_cfg::{analytics, workloads};
-use fe_model::stats::speedup;
-use fe_sim::{
-    coverage_series, metric_series, render_table, run_scheme, run_suite, speedup_series,
-    SchemeSpec,
-};
+use fe_sim::{render_table, SchemeSpec};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 fn main() {
-    let machine = machine();
     let len = default_len();
     let t0 = std::time::Instant::now();
 
     // ---- Characterization (Table 1, Figs. 3-4) -----------------------
     banner("Table 1", "BTB MPKI of a 2K-entry BTB, no prefetching");
-    let presets = suite();
+    let table1 = experiment().scheme(SchemeSpec::NoPrefetch).run();
     println!("{:12} {:>12}", "workload", "measured");
-    for wl in &presets {
-        let program = wl.build();
-        let stats = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
-        println!("{:12} {:>12.1}", wl.name, stats.btb_mpki());
+    for wl in WORKLOAD_ORDER {
+        println!(
+            "{:12} {:>12.1}",
+            wl,
+            table1.cell(wl, &SchemeSpec::NoPrefetch).metrics.btb_mpki
+        );
     }
+    write_report(&table1, "table1");
 
     banner("Figure 3", "region spatial locality (within-10-lines mass)");
-    for wl in &presets {
+    for wl in fe_bench::suite() {
         let program = wl.build();
         let loc = analytics::region_locality(&program, 1, len.measure.min(4_000_000));
         println!(
@@ -62,43 +61,49 @@ fn main() {
 
     // ---- Main comparison (Figs. 1, 6, 7) ------------------------------
     banner("Figures 1/6/7", "scheme comparison sweep");
-    let main_schemes = [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Confluence,
-        SchemeSpec::boomerang(),
-        SchemeSpec::shotgun(),
-        SchemeSpec::Ideal,
-    ];
-    let results = run_suite(&presets, &main_schemes, &machine, len, SEED);
-    let spd = speedup_series(
-        &results,
+    let main_report = experiment()
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Confluence,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+            SchemeSpec::Ideal,
+        ])
+        .run();
+    let spd = main_report.speedup_series(
         &WORKLOAD_ORDER,
-        "no-prefetch",
         &["confluence", "boomerang", "shotgun", "ideal"],
     );
-    print!("{}", render_table("Fig 1+7: speedup over no-prefetch", &spd, "gmean", false));
-    let cov = coverage_series(
-        &results,
+    print!(
+        "{}",
+        render_table("Fig 1+7: speedup over no-prefetch", &spd, "gmean", false)
+    );
+    let cov = main_report.coverage_series(
         &WORKLOAD_ORDER,
-        "no-prefetch",
         &["confluence", "boomerang", "shotgun", "ideal"],
     );
-    print!("{}", render_table("\nFig 6: stall-cycle coverage", &cov, "avg", true));
+    print!(
+        "{}",
+        render_table("\nFig 6: stall-cycle coverage", &cov, "avg", true)
+    );
+    write_report(&main_report, "main_comparison");
 
     // ---- Region policy study (Figs. 8-11) -----------------------------
     banner("Figures 8-11", "region prefetch mechanism study");
     let mut policy_schemes = vec![SchemeSpec::NoPrefetch];
     for policy in RegionPolicy::ALL {
-        policy_schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(policy)));
+        policy_schemes.push(SchemeSpec::Shotgun(
+            ShotgunConfig::default().with_policy(policy),
+        ));
     }
-    let policy_results = run_suite(&presets, &policy_schemes, &machine, len, SEED);
-    let labels: Vec<String> = policy_schemes[1..].iter().map(|s| s.label()).collect();
+    let policy_report = experiment().schemes(policy_schemes).run();
+    let labels = policy_report.comparison_labels();
     let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
     print!(
         "{}",
         render_table(
             "Fig 8: coverage by policy",
-            &coverage_series(&policy_results, &WORKLOAD_ORDER, "no-prefetch", &refs),
+            &policy_report.coverage_series(&WORKLOAD_ORDER, &refs),
             "avg",
             true,
         )
@@ -107,18 +112,26 @@ fn main() {
         "{}",
         render_table(
             "\nFig 9: speedup by policy",
-            &speedup_series(&policy_results, &WORKLOAD_ORDER, "no-prefetch", &refs),
+            &policy_report.speedup_series(&WORKLOAD_ORDER, &refs),
             "gmean",
             false,
         )
     );
-    let acc_refs: Vec<&str> =
-        refs.iter().filter(|l| !l.contains("No bit") && !l.contains("32-bit")).copied().collect();
+    let acc_refs: Vec<&str> = refs
+        .iter()
+        .filter(|l| !l.contains("No bit") && !l.contains("32-bit"))
+        .copied()
+        .collect();
     print!(
         "{}",
         render_table(
             "\nFig 10: prefetch accuracy",
-            &metric_series(&policy_results, &WORKLOAD_ORDER, &acc_refs, |s| s.prefetch_accuracy(), false),
+            &policy_report.metric_series(
+                &WORKLOAD_ORDER,
+                &acc_refs,
+                |s| s.prefetch_accuracy(),
+                false
+            ),
             "avg",
             true,
         )
@@ -127,8 +140,7 @@ fn main() {
         "{}",
         render_table(
             "\nFig 11: L1-D fill latency (cycles)",
-            &metric_series(
-                &policy_results,
+            &policy_report.metric_series(
                 &WORKLOAD_ORDER,
                 &acc_refs,
                 |s| s.avg_l1d_fill_latency(),
@@ -138,51 +150,66 @@ fn main() {
             false,
         )
     );
+    write_report(&policy_report, "region_policies");
 
     // ---- C-BTB sensitivity (Fig. 12) ----------------------------------
     banner("Figure 12", "C-BTB size sensitivity");
     let mut cbtb_schemes = vec![SchemeSpec::NoPrefetch];
     for entries in [64u32, 128, 1024] {
-        cbtb_schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(entries)));
+        cbtb_schemes.push(SchemeSpec::Shotgun(
+            ShotgunConfig::default().with_cbtb_entries(entries),
+        ));
     }
-    let cbtb_results = run_suite(&presets, &cbtb_schemes, &machine, len, SEED);
-    let cbtb_labels: Vec<String> = cbtb_schemes[1..].iter().map(|s| s.label()).collect();
+    let cbtb_report = experiment().schemes(cbtb_schemes).run();
+    let cbtb_labels = cbtb_report.comparison_labels();
     let cbtb_refs: Vec<&str> = cbtb_labels.iter().map(|s| s.as_str()).collect();
     print!(
         "{}",
         render_table(
             "Fig 12: speedup by C-BTB entries (64/128/1K)",
-            &speedup_series(&cbtb_results, &WORKLOAD_ORDER, "no-prefetch", &cbtb_refs),
+            &cbtb_report.speedup_series(&WORKLOAD_ORDER, &cbtb_refs),
             "gmean",
             false,
         )
     );
+    write_report(&cbtb_report, "cbtb_sensitivity");
 
     // ---- BTB budget sweep (Fig. 13) -----------------------------------
     banner("Figure 13", "BTB storage budget sweep (oracle, db2)");
-    for wl in [workloads::oracle(), workloads::db2()] {
-        let program = wl.build();
-        let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
-        println!("{}", wl.name);
+    let mut budget_schemes = vec![SchemeSpec::NoPrefetch];
+    for budget in [512u32, 1024, 2048, 4096, 8192] {
+        budget_schemes.push(SchemeSpec::Boomerang {
+            btb_entries: budget,
+        });
+        budget_schemes.push(SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)));
+    }
+    let budget_report = experiment_on([workloads::oracle(), workloads::db2()])
+        .schemes(budget_schemes)
+        .run();
+    for wl in ["oracle", "db2"] {
+        println!("{wl}");
         println!("{:>8} {:>12} {:>12}", "budget", "boomerang", "shotgun");
         for budget in [512u32, 1024, 2048, 4096, 8192] {
-            let boom = run_scheme(
-                &program,
-                &SchemeSpec::Boomerang { btb_entries: budget },
-                &machine,
-                len,
-                SEED,
+            let boom = budget_report.cell(
+                wl,
+                &SchemeSpec::Boomerang {
+                    btb_entries: budget,
+                },
             );
-            let shot = run_scheme(
-                &program,
-                &SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)),
-                &machine,
-                len,
-                SEED,
+            let shot =
+                budget_report.cell(wl, &SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)));
+            println!(
+                "{:>8} {:>12.3} {:>12.3}",
+                budget,
+                boom.metrics.speedup.unwrap(),
+                shot.metrics.speedup.unwrap()
             );
-            println!("{:>8} {:>12.3} {:>12.3}", budget, speedup(&base, &boom), speedup(&base, &shot));
         }
     }
+    write_report(&budget_report, "btb_budgets");
 
-    println!("\nall experiments done in {:.0}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.0}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

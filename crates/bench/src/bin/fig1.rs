@@ -6,25 +6,28 @@
 //! cargo run --release -p fe-bench --bin fig1
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 
 fn main() {
-    banner("Figure 1", "Confluence / Boomerang / Ideal speedup over no-prefetch");
-    let schemes = [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Confluence,
-        SchemeSpec::boomerang(),
-        SchemeSpec::Ideal,
-    ];
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let series = speedup_series(
-        &results,
-        &WORKLOAD_ORDER,
-        "no-prefetch",
-        &["confluence", "boomerang", "ideal"],
+    banner(
+        "Figure 1",
+        "Confluence / Boomerang / Ideal speedup over no-prefetch",
     );
-    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    let report = experiment()
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Confluence,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Ideal,
+        ])
+        .run();
+    let series = report.speedup_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "ideal"]);
+    print!(
+        "{}",
+        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
+    );
+    write_report(&report, "fig1");
     println!(
         "\npaper shape: Boomerang >= Confluence on small-footprint workloads \
          (nutch, zeus); Confluence wins on oracle/db2; ideal on top everywhere."

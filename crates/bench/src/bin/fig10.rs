@@ -5,30 +5,39 @@
 //! cargo run --release -p fe-bench --bin fig10
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{metric_series, render_table, run_suite, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
-const POLICIES: [RegionPolicy; 3] =
-    [RegionPolicy::Bit8, RegionPolicy::EntireRegion, RegionPolicy::FiveBlocks];
+const POLICIES: [RegionPolicy; 3] = [
+    RegionPolicy::Bit8,
+    RegionPolicy::EntireRegion,
+    RegionPolicy::FiveBlocks,
+];
 
 fn main() {
-    banner("Figure 10", "prefetch accuracy by region prefetch mechanism");
+    banner(
+        "Figure 10",
+        "prefetch accuracy by region prefetch mechanism",
+    );
     let schemes: Vec<SchemeSpec> = POLICIES
         .iter()
         .map(|p| SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(*p)))
         .collect();
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    let report = experiment().schemes(schemes).run();
+    let labels = report.scheme_labels();
     let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = metric_series(
-        &results,
+    let series = report.metric_series(
         &WORKLOAD_ORDER,
         &label_refs,
         |s| s.prefetch_accuracy(),
         false,
     );
-    print!("{}", render_table("Prefetch accuracy", &series, "avg", true));
+    print!(
+        "{}",
+        render_table("Prefetch accuracy", &series, "avg", true)
+    );
+    write_report(&report, "fig10");
     println!(
         "\npaper shape: 8-bit ~71% average accuracy vs Entire Region ~56% and \
          5-Blocks ~43%; the 5-Blocks collapse is worst on streaming \

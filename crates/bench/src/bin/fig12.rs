@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig12
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 use shotgun::ShotgunConfig;
 
 const SIZES: [u32; 3] = [64, 128, 1024];
@@ -15,14 +15,19 @@ fn main() {
     banner("Figure 12", "Shotgun speedup vs C-BTB entries");
     let mut schemes = vec![SchemeSpec::NoPrefetch];
     for entries in SIZES {
-        schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(entries)));
+        schemes.push(SchemeSpec::Shotgun(
+            ShotgunConfig::default().with_cbtb_entries(entries),
+        ));
     }
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let labels: Vec<String> =
-        schemes[1..].iter().map(|s| s.label()).collect();
+    let report = experiment().schemes(schemes).run();
+    let labels = report.comparison_labels();
     let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = speedup_series(&results, &WORKLOAD_ORDER, "no-prefetch", &label_refs);
-    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    let series = report.speedup_series(&WORKLOAD_ORDER, &label_refs);
+    print!(
+        "{}",
+        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
+    );
+    write_report(&report, "fig12");
     println!(
         "\npaper shape: footprint-driven prefill makes the C-BTB size-\
          insensitive upward — 1K entries buy only ~0.8% over 128 — while \

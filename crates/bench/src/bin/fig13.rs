@@ -6,49 +6,57 @@
 //! cargo run --release -p fe-bench --bin fig13
 //! ```
 
-use fe_bench::{banner, default_len, machine, SEED};
+use fe_bench::{banner, experiment_on, write_report};
 use fe_cfg::workloads;
-use fe_model::stats::speedup;
-use fe_sim::{run_scheme, SchemeSpec};
+use fe_sim::SchemeSpec;
 use shotgun::ShotgunConfig;
 
 const BUDGETS: [u32; 5] = [512, 1024, 2048, 4096, 8192];
 
 fn main() {
-    banner("Figure 13", "Boomerang vs Shotgun across BTB storage budgets");
-    let machine = machine();
-    let len = default_len();
+    banner(
+        "Figure 13",
+        "Boomerang vs Shotgun across BTB storage budgets",
+    );
+    let mut schemes = vec![SchemeSpec::NoPrefetch];
+    for budget in BUDGETS {
+        schemes.push(SchemeSpec::Boomerang {
+            btb_entries: budget,
+        });
+        schemes.push(SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)));
+    }
+    // One parallel sweep over every (workload, budget, scheme) cell.
+    let report = experiment_on([workloads::oracle(), workloads::db2()])
+        .schemes(schemes)
+        .run();
 
-    for wl in [workloads::oracle(), workloads::db2()] {
-        let program = wl.build();
-        let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
-        println!("{} (baseline IPC {:.3})", wl.name, base.ipc());
+    for wl in ["oracle", "db2"] {
+        let base = report.cell(wl, &SchemeSpec::NoPrefetch);
+        println!("{wl} (baseline IPC {:.3})", base.metrics.ipc);
         println!("{:>8} {:>12} {:>12}", "budget", "boomerang", "shotgun");
         for budget in BUDGETS {
-            let boom = run_scheme(
-                &program,
-                &SchemeSpec::Boomerang { btb_entries: budget },
-                &machine,
-                len,
-                SEED,
+            let boom = report.cell(
+                wl,
+                &SchemeSpec::Boomerang {
+                    btb_entries: budget,
+                },
             );
-            let shot = run_scheme(
-                &program,
-                &SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)),
-                &machine,
-                len,
-                SEED,
-            );
-            let marker = if budget == 2048 { "  <- paper baseline budget" } else { "" };
+            let shot = report.cell(wl, &SchemeSpec::Shotgun(ShotgunConfig::for_budget(budget)));
+            let marker = if budget == 2048 {
+                "  <- paper baseline budget"
+            } else {
+                ""
+            };
             println!(
                 "{:>8} {:>12.3} {:>12.3}{marker}",
                 budget,
-                speedup(&base, &boom),
-                speedup(&base, &shot),
+                boom.metrics.speedup.unwrap(),
+                shot.metrics.speedup.unwrap(),
             );
         }
         println!();
     }
+    write_report(&report, "fig13");
     println!(
         "paper shape: Shotgun wins at every equal budget; 1K-budget Shotgun \
          rivals 8K-entry Boomerang on oracle, and Boomerang needs >2x \

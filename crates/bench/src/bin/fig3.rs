@@ -1,5 +1,6 @@
 //! Figure 3: cumulative instruction-cache-block access probability by
-//! distance from the code-region entry point.
+//! distance from the code-region entry point. Pure offline program
+//! analytics — no timing simulation, hence no `Experiment` sweep.
 //!
 //! ```sh
 //! cargo run --release -p fe-bench --bin fig3
@@ -9,7 +10,10 @@ use fe_bench::{banner, suite};
 use fe_cfg::analytics;
 
 fn main() {
-    banner("Figure 3", "cache-line access distribution inside code regions");
+    banner(
+        "Figure 3",
+        "cache-line access distribution inside code regions",
+    );
     let instructions: u64 = std::env::var("SHOTGUN_INSTRS")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -1,6 +1,7 @@
 //! Figure 4: contribution of the hottest static branches to dynamic
 //! branch execution — all branches vs unconditional-only — for Oracle
-//! and DB2.
+//! and DB2. Pure offline program analytics — no timing simulation,
+//! hence no `Experiment` sweep.
 //!
 //! ```sh
 //! cargo run --release -p fe-bench --bin fig4
@@ -10,7 +11,10 @@ use fe_bench::banner;
 use fe_cfg::{analytics, workloads};
 
 fn main() {
-    banner("Figure 4", "dynamic coverage of the K hottest static branches");
+    banner(
+        "Figure 4",
+        "dynamic coverage of the K hottest static branches",
+    );
     let instructions: u64 = std::env::var("SHOTGUN_INSTRS")
         .ok()
         .and_then(|v| v.parse().ok())

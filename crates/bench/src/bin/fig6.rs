@@ -5,25 +5,28 @@
 //! cargo run --release -p fe-bench --bin fig6
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{coverage_series, render_table, run_suite, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 
 fn main() {
-    banner("Figure 6", "front-end stall-cycle coverage over no-prefetch");
-    let schemes = [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Confluence,
-        SchemeSpec::boomerang(),
-        SchemeSpec::shotgun(),
-    ];
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let series = coverage_series(
-        &results,
-        &WORKLOAD_ORDER,
-        "no-prefetch",
-        &["confluence", "boomerang", "shotgun"],
+    banner(
+        "Figure 6",
+        "front-end stall-cycle coverage over no-prefetch",
     );
-    print!("{}", render_table("Front-end stall cycle coverage", &series, "avg", true));
+    let report = experiment()
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Confluence,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ])
+        .run();
+    let series = report.coverage_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "shotgun"]);
+    print!(
+        "{}",
+        render_table("Front-end stall cycle coverage", &series, "avg", true)
+    );
+    write_report(&report, "fig6");
     println!(
         "\npaper shape: Shotgun ~68% average, ~8% above both Boomerang and \
          Confluence; Shotgun beats Boomerang on every workload, biggest gains \

@@ -5,25 +5,25 @@
 //! cargo run --release -p fe-bench --bin fig7
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 
 fn main() {
     banner("Figure 7", "speedup over no-prefetch (headline result)");
-    let schemes = [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Confluence,
-        SchemeSpec::boomerang(),
-        SchemeSpec::shotgun(),
-    ];
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let series = speedup_series(
-        &results,
-        &WORKLOAD_ORDER,
-        "no-prefetch",
-        &["confluence", "boomerang", "shotgun"],
+    let report = experiment()
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Confluence,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ])
+        .run();
+    let series = report.speedup_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "shotgun"]);
+    print!(
+        "{}",
+        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
     );
-    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    write_report(&report, "fig7");
     println!(
         "\npaper shape: Shotgun ~32% average speedup, ~5% over each of \
          Boomerang and Confluence; beats Boomerang everywhere (most on \

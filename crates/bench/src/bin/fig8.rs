@@ -5,24 +5,30 @@
 //! cargo run --release -p fe-bench --bin fig8
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{coverage_series, render_table, run_suite, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 fn main() {
-    banner("Figure 8", "Shotgun stall coverage by region prefetch mechanism");
+    banner(
+        "Figure 8",
+        "Shotgun stall coverage by region prefetch mechanism",
+    );
     let mut schemes = vec![SchemeSpec::NoPrefetch];
     for policy in RegionPolicy::ALL {
-        schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(policy)));
+        schemes.push(SchemeSpec::Shotgun(
+            ShotgunConfig::default().with_policy(policy),
+        ));
     }
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let labels: Vec<String> = RegionPolicy::ALL
-        .iter()
-        .map(|p| SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(*p)).label())
-        .collect();
+    let report = experiment().schemes(schemes).run();
+    let labels = report.comparison_labels();
     let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = coverage_series(&results, &WORKLOAD_ORDER, "no-prefetch", &label_refs);
-    print!("{}", render_table("Front-end stall cycle coverage", &series, "avg", true));
+    let series = report.coverage_series(&WORKLOAD_ORDER, &label_refs);
+    print!(
+        "{}",
+        render_table("Front-end stall cycle coverage", &series, "avg", true)
+    );
+    write_report(&report, "fig8");
     println!(
         "\npaper shape: 8-bit vector ~6% coverage above no-bit-vector; 32-bit \
          adds almost nothing; Entire Region and 5-Blocks fall below 8-bit on \

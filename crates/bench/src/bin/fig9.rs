@@ -5,24 +5,27 @@
 //! cargo run --release -p fe-bench --bin fig9
 //! ```
 
-use fe_bench::{banner, default_len, machine, suite, SEED, WORKLOAD_ORDER};
-use fe_sim::{render_table, run_suite, speedup_series, SchemeSpec};
+use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::{render_table, SchemeSpec};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 fn main() {
     banner("Figure 9", "Shotgun speedup by region prefetch mechanism");
     let mut schemes = vec![SchemeSpec::NoPrefetch];
     for policy in RegionPolicy::ALL {
-        schemes.push(SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(policy)));
+        schemes.push(SchemeSpec::Shotgun(
+            ShotgunConfig::default().with_policy(policy),
+        ));
     }
-    let results = run_suite(&suite(), &schemes, &machine(), default_len(), SEED);
-    let labels: Vec<String> = RegionPolicy::ALL
-        .iter()
-        .map(|p| SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(*p)).label())
-        .collect();
+    let report = experiment().schemes(schemes).run();
+    let labels = report.comparison_labels();
     let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = speedup_series(&results, &WORKLOAD_ORDER, "no-prefetch", &label_refs);
-    print!("{}", render_table("Speedup over no-prefetch baseline", &series, "gmean", false));
+    let series = report.speedup_series(&WORKLOAD_ORDER, &label_refs);
+    print!(
+        "{}",
+        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
+    );
+    write_report(&report, "fig9");
     println!(
         "\npaper shape: 8-bit vector ~4% speedup over no-bit-vector (every \
          workload improves, up to ~9% on streaming/db2); 32-bit adds ~0.5%; \

@@ -1,34 +1,61 @@
-use fe_cfg::workloads;
-use fe_model::{stats, MachineConfig};
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+//! Full per-cell metric dump across the suite and the five main
+//! schemes — the kitchen-sink diagnostic table.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin sweep
+//! ```
+
+use fe_bench::{experiment, write_report, WORKLOAD_ORDER};
+use fe_sim::SchemeSpec;
 use std::time::Instant;
 
 fn main() {
-    let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 2_000_000, measure: 6_000_000 };
-    println!("{:10} {:12} {:>6} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6}",
-        "workload","scheme","ipc","l1iMPKI","btbMPKI","feSt%","ic%","btb%","rdr%","acc%","l1dF","spd");
-    for wl in workloads::all() {
-        let program = wl.build();
-        let t = Instant::now();
-        let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 7);
-        for (label, spec) in [
-            ("no-prefetch", SchemeSpec::NoPrefetch),
-            ("boomerang", SchemeSpec::boomerang()),
-            ("confluence", SchemeSpec::Confluence),
-            ("shotgun", SchemeSpec::shotgun()),
-            ("ideal", SchemeSpec::Ideal),
-        ] {
-            let s = if label == "no-prefetch" { base.clone() } else { run_scheme(&program, &spec, &machine, len, 7) };
-            println!("{:10} {:12} {:>6.3} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.3}",
-                wl.name, label, s.ipc(), s.l1i_mpki(), s.btb_mpki(),
-                100.0*s.front_end_stall_fraction(),
-                100.0*s.stalls.icache_miss as f64/s.cycles as f64,
-                100.0*s.stalls.btb_resolve as f64/s.cycles as f64,
-                100.0*s.stalls.redirect as f64/s.cycles as f64,
-                100.0*s.prefetch_accuracy(), s.avg_l1d_fill_latency(),
-                stats::speedup(&base, &s));
+    let t0 = Instant::now();
+    let report = experiment()
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Confluence,
+            SchemeSpec::shotgun(),
+            SchemeSpec::Ideal,
+        ])
+        .run();
+    println!(
+        "{:10} {:12} {:>6} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7} {:>6} {:>6}",
+        "workload",
+        "scheme",
+        "ipc",
+        "l1iMPKI",
+        "btbMPKI",
+        "feSt%",
+        "ic%",
+        "btb%",
+        "rdr%",
+        "acc%",
+        "l1dF",
+        "spd"
+    );
+    for wl in WORKLOAD_ORDER {
+        for label in ["no-prefetch", "boomerang", "confluence", "shotgun", "ideal"] {
+            let cell = report.cell_labeled(wl, label);
+            let (s, m) = (&cell.stats, &cell.metrics);
+            println!(
+                "{:10} {:12} {:>6.3} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>7.1} {:>6.1} {:>6.3}",
+                wl,
+                label,
+                m.ipc,
+                m.l1i_mpki,
+                m.btb_mpki,
+                100.0 * s.front_end_stall_fraction(),
+                100.0 * s.stalls.icache_miss as f64 / s.cycles as f64,
+                100.0 * s.stalls.btb_resolve as f64 / s.cycles as f64,
+                100.0 * s.stalls.redirect as f64 / s.cycles as f64,
+                100.0 * m.prefetch_accuracy,
+                m.l1d_fill_latency,
+                m.speedup.unwrap(),
+            );
         }
-        eprintln!("[{}: {:.0}s]", wl.name, t.elapsed().as_secs_f64());
     }
+    write_report(&report, "sweep");
+    eprintln!("[sweep: {:.0}s]", t0.elapsed().as_secs_f64());
 }

@@ -8,25 +8,38 @@
 //! `--config` additionally prints the Table 2 workload inventory and
 //! the Table 3 machine parameters in use.
 
-use fe_bench::{banner, default_len, machine, suite, SEED};
+use fe_bench::{banner, experiment, machine, suite, write_report, WORKLOAD_ORDER};
 use fe_cfg::analytics;
-use fe_sim::{run_scheme, SchemeSpec};
+use fe_sim::SchemeSpec;
 
 fn main() {
     let show_config = std::env::args().any(|a| a == "--config");
     banner("Table 1", "BTB MPKI of a 2K-entry BTB, no prefetching");
 
-    let machine = machine();
-    let len = default_len();
-    let paper = [("nutch", 2.5), ("streaming", 14.5), ("apache", 23.7), ("zeus", 14.6), ("oracle", 45.1), ("db2", 40.2)];
+    let paper = [
+        ("nutch", 2.5),
+        ("streaming", 14.5),
+        ("apache", 23.7),
+        ("zeus", 14.6),
+        ("oracle", 45.1),
+        ("db2", 40.2),
+    ];
 
+    let report = experiment().scheme(SchemeSpec::NoPrefetch).run();
     println!("{:12} {:>10} {:>12}", "workload", "paper", "measured");
-    for wl in suite() {
-        let program = wl.build();
-        let stats = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, SEED);
-        let paper_v = paper.iter().find(|(n, _)| *n == wl.name).map(|(_, v)| *v).unwrap_or(f64::NAN);
-        println!("{:12} {:>10.1} {:>12.1}", wl.name, paper_v, stats.btb_mpki());
+    for wl in WORKLOAD_ORDER {
+        let cell = report.cell(wl, &SchemeSpec::NoPrefetch);
+        let paper_v = paper
+            .iter()
+            .find(|(n, _)| *n == wl)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:12} {:>10.1} {:>12.1}",
+            wl, paper_v, cell.metrics.btb_mpki
+        );
     }
+    write_report(&report, "table1");
 
     if show_config {
         println!("\n--- Table 2 stand-ins (synthetic workload presets)");
@@ -46,6 +59,6 @@ fn main() {
                 fp.lines
             );
         }
-        println!("\n--- Table 3 machine parameters\n{:#?}", machine);
+        println!("\n--- Table 3 machine parameters\n{:#?}", machine());
     }
 }

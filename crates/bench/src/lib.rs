@@ -1,8 +1,11 @@
 //! # fe-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper's evaluation (see
-//! DESIGN.md's per-experiment index), plus Criterion microbenchmarks of
-//! the core structures. Shared setup lives here.
+//! One binary per table/figure of the paper's evaluation (see the
+//! experiment index in the repository README), plus std-only
+//! throughput benchmarks of the core structures. Shared setup lives
+//! here: every binary builds its sweep through [`experiment`], which
+//! preconfigures the [`Experiment`] session API with the Table 3
+//! machine, the Table 2 workload suite, and the evaluation seed.
 //!
 //! Every binary accepts the environment knobs:
 //!
@@ -10,23 +13,31 @@
 //!   cell (default per binary, typically 8M);
 //! * `SHOTGUN_WARMUP` — warmup instructions (default 2-3M);
 //! * `SHOTGUN_SCALE` — workload scale factor (default 1.0; use e.g.
-//!   0.25 for quick shape checks).
+//!   0.25 for quick shape checks);
+//! * `SHOTGUN_THREADS` — sweep worker threads (default: all cores);
+//! * `SHOTGUN_JSON_DIR` — when set, each binary also writes its
+//!   `SweepReport` as `BENCH_<figure>.json` into this directory.
+
+use std::io::IsTerminal;
 
 use fe_cfg::{workloads, WorkloadSpec};
 use fe_model::MachineConfig;
-use fe_sim::RunLength;
+use fe_sim::{Experiment, RunLength, SweepReport};
 
 /// Workload presentation order used by every figure (the paper's
 /// left-to-right order).
-pub const WORKLOAD_ORDER: [&str; 6] =
-    ["nutch", "streaming", "apache", "zeus", "oracle", "db2"];
+pub const WORKLOAD_ORDER: [&str; 6] = ["nutch", "streaming", "apache", "zeus", "oracle", "db2"];
 
 /// The evaluation seed: all experiments run the same retired streams.
 pub const SEED: u64 = 0x5407;
 
 /// Default per-cell run length for figure binaries.
 pub fn default_len() -> RunLength {
-    RunLength { warmup: 2_000_000, measure: 8_000_000 }.from_env()
+    RunLength {
+        warmup: 2_000_000,
+        measure: 8_000_000,
+    }
+    .from_env()
 }
 
 /// The six Table 2 workloads, scaled by `SHOTGUN_SCALE` if set.
@@ -37,7 +48,13 @@ pub fn suite() -> Vec<WorkloadSpec> {
         .unwrap_or(1.0);
     workloads::all()
         .into_iter()
-        .map(|w| if (scale - 1.0).abs() < 1e-9 { w } else { w.scaled(scale) })
+        .map(|w| {
+            if (scale - 1.0).abs() < 1e-9 {
+                w
+            } else {
+                w.scaled(scale)
+            }
+        })
         .collect()
 }
 
@@ -46,13 +63,68 @@ pub fn machine() -> MachineConfig {
     MachineConfig::table3()
 }
 
+/// Sweep worker threads: `SHOTGUN_THREADS` or all available cores.
+pub fn threads() -> usize {
+    std::env::var("SHOTGUN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The standard figure-binary sweep over an explicit workload set:
+/// Table 3 machine, evaluation seed, env-tuned run length and thread
+/// count, and a stderr progress line per completed cell when attached
+/// to a terminal. Callers add schemes (and may override anything).
+pub fn experiment_on(workloads: impl IntoIterator<Item = WorkloadSpec>) -> Experiment {
+    let exp = Experiment::new(machine())
+        .workloads(workloads)
+        .len(default_len())
+        .seed(SEED)
+        .threads(threads());
+    if std::io::stderr().is_terminal() {
+        exp.on_progress(|e| {
+            eprintln!(
+                "[{:>3}/{}] {} / {}",
+                e.completed, e.total, e.workload, e.scheme
+            );
+        })
+    } else {
+        exp
+    }
+}
+
+/// [`experiment_on`] preloaded with the Table 2 suite — what most
+/// figure binaries sweep.
+pub fn experiment() -> Experiment {
+    experiment_on(suite())
+}
+
+/// Writes `report` as `BENCH_<figure>.json` under `SHOTGUN_JSON_DIR`,
+/// when that variable is set — the machine-readable perf trajectory
+/// companion to each binary's printed tables.
+pub fn write_report(report: &SweepReport, figure: &str) {
+    let Ok(dir) = std::env::var("SHOTGUN_JSON_DIR") else {
+        return;
+    };
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
+    match report.write_json(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn banner(experiment: &str, what: &str) {
     let len = default_len();
     println!("=== {experiment} — {what}");
     println!(
-        "    machine: Table 3 | warmup {}M, measure {}M instructions per cell\n",
+        "    machine: Table 3 | warmup {}M, measure {}M instructions per cell | {} threads\n",
         len.warmup / 1_000_000,
         len.measure / 1_000_000,
+        threads(),
     );
 }

@@ -37,7 +37,11 @@ impl RegionLocality {
         let mut acc = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
-            out[i] = if total == 0 { 0.0 } else { acc as f64 / total as f64 };
+            out[i] = if total == 0 {
+                0.0
+            } else {
+                acc as f64 / total as f64
+            };
         }
         out
     }
@@ -144,7 +148,10 @@ pub fn branch_profile(program: &Program, seed: u64, instructions: u64) -> Branch
     }
     all_desc.sort_unstable_by(|a, b| b.cmp(a));
     uncond_desc.sort_unstable_by(|a, b| b.cmp(a));
-    BranchProfile { all_desc, uncond_desc }
+    BranchProfile {
+        all_desc,
+        uncond_desc,
+    }
 }
 
 /// Static footprint summary used in workload tables.
@@ -209,9 +216,16 @@ mod tests {
         // Synthetic functions are small, so the shape must reproduce.
         let p = program();
         let loc = region_locality(&p, 1, 400_000);
-        assert!(loc.within(10) > 0.75, "within-10 locality {}", loc.within(10));
+        assert!(
+            loc.within(10) > 0.75,
+            "within-10 locality {}",
+            loc.within(10)
+        );
         assert!(loc.within(0) > 0.2, "entry line itself dominates");
-        assert!(loc.within(2) < 1.0, "some accesses must spread past the entry line");
+        assert!(
+            loc.within(2) < 1.0,
+            "some accesses must spread past the entry line"
+        );
     }
 
     #[test]

@@ -57,8 +57,9 @@ pub struct Executor<'p> {
 impl<'p> Executor<'p> {
     /// Creates an executor starting at the program entry.
     pub fn new(program: &'p Program, seed: u64) -> Self {
-        let entry_block =
-            program.block_id_at(program.entry()).expect("program entry must be a block");
+        let entry_block = program
+            .block_id_at(program.entry())
+            .expect("program entry must be a block");
         let mut rng = SmallRng::seed_from_u64(seed);
         let handler = program.handler_table().sample(&mut rng) as u32;
         Executor {
@@ -104,8 +105,11 @@ impl<'p> Executor<'p> {
         let (taken, next_id) = match block.kind {
             Conditional => {
                 let taken = self.conditional_outcome(id);
-                let next =
-                    if taken { self.program.target_id(id) } else { self.program.fall_through_id(id) };
+                let next = if taken {
+                    self.program.target_id(id)
+                } else {
+                    self.program.fall_through_id(id)
+                };
                 (taken, next)
             }
             Jump => (true, self.program.target_id(id)),
@@ -130,7 +134,11 @@ impl<'p> Executor<'p> {
             self.transactions += 1;
             self.handler = self.program.handler_table().sample(&mut self.rng) as u32;
         }
-        RetiredBlock { block, taken, next_pc }
+        RetiredBlock {
+            block,
+            taken,
+            next_pc,
+        }
     }
 
     /// The RAS-style return target for the most recent call, used by
@@ -161,7 +169,10 @@ impl<'p> Executor<'p> {
                 }
             }
             Behavior::Dispatch { handler } => handler == self.handler,
-            Behavior::Pattern { period, taken_count } => {
+            Behavior::Pattern {
+                period,
+                taken_count,
+            } => {
                 let idx = id as usize;
                 let phase = self.loop_count[idx] % period as u16;
                 self.loop_count[idx] = (phase + 1) % period as u16;
@@ -238,8 +249,14 @@ mod tests {
             assert!(depth >= 0, "more returns than calls");
             max_depth = max_depth.max(depth);
         }
-        assert!(max_depth >= 3, "call tree should have depth, saw {max_depth}");
-        assert!(max_depth <= 16, "DAG layering bounds depth, saw {max_depth}");
+        assert!(
+            max_depth >= 3,
+            "call tree should have depth, saw {max_depth}"
+        );
+        assert!(
+            max_depth <= 16,
+            "DAG layering bounds depth, saw {max_depth}"
+        );
     }
 
     #[test]
@@ -253,7 +270,10 @@ mod tests {
                 BranchKind::Call | BranchKind::Trap => shadow.push(r.block.fall_through()),
                 BranchKind::Return | BranchKind::TrapReturn => {
                     let expect = shadow.pop().expect("shadow stack unbalanced");
-                    assert_eq!(r.next_pc, expect, "return must target the call fall-through");
+                    assert_eq!(
+                        r.next_pc, expect,
+                        "return must target the call fall-through"
+                    );
                 }
                 _ => {}
             }
@@ -275,8 +295,15 @@ mod tests {
                 handlers_seen.insert(r.next_pc);
             }
         }
-        assert!(exec.transactions() > 10, "transactions: {}", exec.transactions());
-        assert!(handlers_seen.len() >= 2, "popularity draw must vary handlers");
+        assert!(
+            exec.transactions() > 10,
+            "transactions: {}",
+            exec.transactions()
+        );
+        assert!(
+            handlers_seen.len() >= 2,
+            "popularity draw must vary handlers"
+        );
     }
 
     #[test]

@@ -167,7 +167,16 @@ impl Program {
                 }
             })
             .collect();
-        Program { blocks, behaviors, fn_of, functions, entry, handler_table, name, target_ids }
+        Program {
+            blocks,
+            behaviors,
+            fn_of,
+            functions,
+            entry,
+            handler_table,
+            name,
+            target_ids,
+        }
     }
 
     /// Workload name this program was synthesized for.
@@ -315,7 +324,11 @@ impl Program {
     /// Count of static branches by unconditional-ness:
     /// `(conditional, unconditional)`.
     pub fn static_branch_mix(&self) -> (u64, u64) {
-        let uncond = self.blocks.iter().filter(|b| b.kind.is_unconditional()).count() as u64;
+        let uncond = self
+            .blocks
+            .iter()
+            .filter(|b| b.kind.is_unconditional())
+            .count() as u64;
         (self.blocks.len() as u64 - uncond, uncond)
     }
 }
@@ -329,14 +342,27 @@ mod tests {
         // Two blocks at 0x1000 (4 instrs, cond -> 0x1020) and 0x1010
         // (2 instrs, return), one block at 0x1020 (1 instr, jump->0x1000).
         let blocks = vec![
-            BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Conditional, Addr::new(0x1020)),
+            BasicBlock::new(
+                Addr::new(0x1000),
+                4,
+                BranchKind::Conditional,
+                Addr::new(0x1020),
+            ),
             BasicBlock::new(Addr::new(0x1010), 2, BranchKind::Return, Addr::NULL),
             BasicBlock::new(Addr::new(0x1020), 1, BranchKind::Jump, Addr::new(0x1000)),
         ];
-        let behaviors = vec![Behavior::Biased { taken: 0.5 }, Behavior::Uncond, Behavior::Uncond];
+        let behaviors = vec![
+            Behavior::Biased { taken: 0.5 },
+            Behavior::Uncond,
+            Behavior::Uncond,
+        ];
         let fn_of = vec![0, 0, 0];
-        let functions =
-            vec![Function { first_block: 0, block_count: 3, kind: FunctionKind::Dispatcher, group: 0 }];
+        let functions = vec![Function {
+            first_block: 0,
+            block_count: 3,
+            kind: FunctionKind::Dispatcher,
+            group: 0,
+        }];
         Program::from_parts(
             "tiny".into(),
             blocks,
@@ -361,7 +387,11 @@ mod tests {
         let p = tiny_program();
         assert_eq!(p.block_containing(Addr::new(0x1004)), Some(0));
         assert_eq!(p.block_containing(Addr::new(0x1011)), Some(1));
-        assert_eq!(p.block_containing(Addr::new(0x1018)), None, "gap between blocks");
+        assert_eq!(
+            p.block_containing(Addr::new(0x1018)),
+            None,
+            "gap between blocks"
+        );
         assert_eq!(p.block_containing(Addr::new(0x0fff)), None);
     }
 

@@ -31,12 +31,20 @@ pub struct LayerSpec {
 impl LayerSpec {
     /// A partitioned (per-request-type) layer.
     pub fn grouped(functions: u32, mean_fanout: f64) -> Self {
-        LayerSpec { functions, mean_fanout, partitioned: true }
+        LayerSpec {
+            functions,
+            mean_fanout,
+            partitioned: true,
+        }
     }
 
     /// A shared-library layer.
     pub fn shared(functions: u32, mean_fanout: f64) -> Self {
-        LayerSpec { functions, mean_fanout, partitioned: false }
+        LayerSpec {
+            functions,
+            mean_fanout,
+            partitioned: false,
+        }
     }
 }
 
@@ -242,19 +250,29 @@ mod tests {
 
     #[test]
     fn validation_rejects_empty_layers() {
-        let spec = WorkloadSpec { layers: vec![], ..Default::default() };
+        let spec = WorkloadSpec {
+            layers: vec![],
+            ..Default::default()
+        };
         assert!(spec.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_trap_without_kernel() {
-        let spec = WorkloadSpec { kernel_entries: 0, trap_rate: 0.1, ..Default::default() };
+        let spec = WorkloadSpec {
+            kernel_entries: 0,
+            trap_rate: 0.1,
+            ..Default::default()
+        };
         assert!(spec.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_bad_probability() {
-        let spec = WorkloadSpec { group_affinity: 1.5, ..Default::default() };
+        let spec = WorkloadSpec {
+            group_affinity: 1.5,
+            ..Default::default()
+        };
         assert!(spec.validate().is_err());
     }
 

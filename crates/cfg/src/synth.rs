@@ -95,12 +95,18 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
         .map(|l| ZipfTable::new(l.functions as usize, spec.callee_zipf))
         .collect();
     let kernel_entry_zipf = if spec.kernel_entries > 0 {
-        Some(ZipfTable::new(spec.kernel_entries as usize, spec.callee_zipf))
+        Some(ZipfTable::new(
+            spec.kernel_entries as usize,
+            spec.callee_zipf,
+        ))
     } else {
         None
     };
     let kernel_helper_zipf = if spec.kernel_helpers > 0 {
-        Some(ZipfTable::new(spec.kernel_helpers as usize, spec.callee_zipf))
+        Some(ZipfTable::new(
+            spec.kernel_helpers as usize,
+            spec.callee_zipf,
+        ))
     } else {
         None
     };
@@ -111,7 +117,11 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
 
     for (layer_idx, layer) in spec.layers.iter().enumerate() {
         for i in 0..layer.functions {
-            let group = if layer.partitioned { i % handlers } else { u32::MAX };
+            let group = if layer.partitioned {
+                i % handlers
+            } else {
+                u32::MAX
+            };
             let callee_pick = |rng: &mut SmallRng| -> Option<(u32, bool)> {
                 // Trap into the kernel?
                 if spec.kernel_entries > 0 && rng.gen::<f64>() < spec.trap_rate {
@@ -138,7 +148,10 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
                 } else {
                     layer_zipf[next_layer].sample(rng) as u32
                 };
-                Some((layer_base[next_layer] + idx.min(target_layer.functions - 1), false))
+                Some((
+                    layer_base[next_layer] + idx.min(target_layer.functions - 1),
+                    false,
+                ))
             };
             plans.push(plan_function(
                 spec,
@@ -182,10 +195,13 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
     let mut kernel_cursor = KERNEL_BASE;
     let mut block_counter: BlockId = 0;
     for plan in &mut plans {
-        let cursor =
-            if plan.kind.is_kernel() { &mut kernel_cursor } else { &mut user_cursor };
+        let cursor = if plan.kind.is_kernel() {
+            &mut kernel_cursor
+        } else {
+            &mut user_cursor
+        };
         // Line-align function entries, as linkers commonly do.
-        *cursor = (*cursor + LINE_BYTES - 1) / LINE_BYTES * LINE_BYTES;
+        *cursor = (*cursor).div_ceil(LINE_BYTES) * LINE_BYTES;
         plan.entry = Addr::new(*cursor);
         plan.first_block = block_counter;
         for b in &plan.blocks {
@@ -193,7 +209,10 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
             block_counter += 1;
         }
     }
-    assert!(user_cursor < KERNEL_BASE, "user code overflowed into the kernel range");
+    assert!(
+        user_cursor < KERNEL_BASE,
+        "user code overflowed into the kernel range"
+    );
 
     // ---- materialize blocks -----------------------------------------
     let total_blocks = block_counter as usize;
@@ -208,22 +227,37 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
         let mut addr = plan.entry;
         for b in &plan.blocks {
             starts.push(addr);
-            addr = addr + b.instrs as u64 * fe_model::INSTR_BYTES;
+            addr += b.instrs as u64 * fe_model::INSTR_BYTES;
         }
         for (j, b) in plan.blocks.iter().enumerate() {
             let (kind, target, behavior) = match b.kind {
-                PlanKind::Cond { target_idx, behavior } => {
-                    (BranchKind::Conditional, starts[target_idx as usize], behavior)
-                }
-                PlanKind::Jump { target_idx } => {
-                    (BranchKind::Jump, starts[target_idx as usize], Behavior::Uncond)
-                }
+                PlanKind::Cond {
+                    target_idx,
+                    behavior,
+                } => (
+                    BranchKind::Conditional,
+                    starts[target_idx as usize],
+                    behavior,
+                ),
+                PlanKind::Jump { target_idx } => (
+                    BranchKind::Jump,
+                    starts[target_idx as usize],
+                    Behavior::Uncond,
+                ),
                 PlanKind::Call { callee, trap } => {
-                    let kind = if trap { BranchKind::Trap } else { BranchKind::Call };
+                    let kind = if trap {
+                        BranchKind::Trap
+                    } else {
+                        BranchKind::Call
+                    };
                     (kind, plans[callee as usize].entry, Behavior::Uncond)
                 }
                 PlanKind::Ret { trap } => {
-                    let kind = if trap { BranchKind::TrapReturn } else { BranchKind::Return };
+                    let kind = if trap {
+                        BranchKind::TrapReturn
+                    } else {
+                        BranchKind::Return
+                    };
                     (kind, Addr::NULL, Behavior::Uncond)
                 }
             };
@@ -270,9 +304,15 @@ fn plan_dispatcher(handlers: u32, handler_fn_base: u32) -> FnPlan {
     for i in 0..h {
         blocks.push(BlockPlan {
             instrs: 4,
-            kind: PlanKind::Call { callee: handler_fn_base + i, trap: false },
+            kind: PlanKind::Call {
+                callee: handler_fn_base + i,
+                trap: false,
+            },
         });
-        blocks.push(BlockPlan { instrs: 2, kind: PlanKind::Jump { target_idx: 0 } });
+        blocks.push(BlockPlan {
+            instrs: 2,
+            kind: PlanKind::Jump { target_idx: 0 },
+        });
     }
     FnPlan {
         kind: FunctionKind::Dispatcher,
@@ -295,12 +335,22 @@ fn plan_function(
     // A slice of deeper-layer functions are straight-line compute
     // bodies: longer, call-free, nearly jump-free. They generate the
     // long intra-region runs of Fig. 3's tail.
-    let straightline = !matches!(kind, FunctionKind::User(0))
-        && rng.gen::<f64>() < spec.straightline_fraction;
+    let straightline =
+        !matches!(kind, FunctionKind::User(0)) && rng.gen::<f64>() < spec.straightline_fraction;
     let (mean_blocks, mean_fanout, jump_density, loop_fraction) = if straightline {
-        (spec.mean_blocks * 2.5, 0.0, spec.jump_density / 4.0, spec.loop_fraction / 2.0)
+        (
+            spec.mean_blocks * 2.5,
+            0.0,
+            spec.jump_density / 4.0,
+            spec.loop_fraction / 2.0,
+        )
     } else {
-        (spec.mean_blocks, mean_fanout, spec.jump_density, spec.loop_fraction)
+        (
+            spec.mean_blocks,
+            mean_fanout,
+            spec.jump_density,
+            spec.loop_fraction,
+        )
     };
 
     let n_blocks = sample_block_count(rng, mean_blocks, spec.block_sigma);
@@ -308,8 +358,9 @@ fn plan_function(
     let mut kinds: Vec<Option<PlanKind>> = vec![None; n_blocks as usize];
 
     // Terminator.
-    kinds[last as usize] =
-        Some(PlanKind::Ret { trap: kind == FunctionKind::KernelEntry });
+    kinds[last as usize] = Some(PlanKind::Ret {
+        trap: kind == FunctionKind::KernelEntry,
+    });
 
     // Call sites at random non-terminator positions.
     if n_blocks > 1 && mean_fanout > 0.0 {
@@ -337,11 +388,12 @@ fn plan_function(
         }
         let plan = if rng.gen::<f64>() < jump_density {
             let skip = sample_geometric(rng, spec.mean_skip, 16);
-            PlanKind::Jump { target_idx: (j + skip).min(last) }
+            PlanKind::Jump {
+                target_idx: (j + skip).min(last),
+            }
         } else if j > 0 && rng.gen::<f64>() < loop_fraction {
             let back = sample_geometric(rng, 2.0, 8).min(j);
-            let mean_trips =
-                (spec.mean_loop_trips * rng.gen_range(0.5..2.0)).max(1.0) as f32;
+            let mean_trips = (spec.mean_loop_trips * rng.gen_range(0.5..2.0_f64)).max(1.0) as f32;
             // Most loops are counted (fixed bounds a history predictor
             // can learn); the rest are data-dependent.
             let fixed = rng.gen::<f64>() < 0.85;
@@ -358,16 +410,28 @@ fn plan_function(
             let usually_taken = matches!(behavior, Behavior::Biased { taken } if taken > 0.5);
             let mean = if usually_taken { 1.2 } else { spec.mean_skip };
             let skip = 1 + sample_geometric(rng, mean, 16);
-            PlanKind::Cond { target_idx: (j + skip).min(last), behavior }
+            PlanKind::Cond {
+                target_idx: (j + skip).min(last),
+                behavior,
+            }
         };
         kinds[j as usize] = Some(plan);
     }
 
     let blocks = kinds
         .into_iter()
-        .map(|k| BlockPlan { instrs: sample_instr_count(rng), kind: k.unwrap() })
+        .map(|k| BlockPlan {
+            instrs: sample_instr_count(rng),
+            kind: k.unwrap(),
+        })
         .collect();
-    FnPlan { kind, group, blocks, entry: Addr::NULL, first_block: 0 }
+    FnPlan {
+        kind,
+        group,
+        blocks,
+        entry: Addr::NULL,
+        first_block: 0,
+    }
 }
 
 /// Lognormal function size with mean `mean_blocks`.
@@ -393,15 +457,24 @@ fn sample_instr_count(rng: &mut SmallRng) -> u8 {
 fn sample_cond_behavior(rng: &mut SmallRng) -> Behavior {
     let class: f64 = rng.gen();
     if class < 0.60 {
-        Behavior::Biased { taken: rng.gen_range(0.005..0.06) }
+        Behavior::Biased {
+            taken: rng.gen_range(0.005..0.06),
+        }
     } else if class < 0.93 {
-        Behavior::Biased { taken: rng.gen_range(0.94..0.995) }
+        Behavior::Biased {
+            taken: rng.gen_range(0.94..0.995),
+        }
     } else if class < 0.97 {
         let period = rng.gen_range(2..=6u8);
         let taken_count = rng.gen_range(1..period);
-        Behavior::Pattern { period, taken_count }
+        Behavior::Pattern {
+            period,
+            taken_count,
+        }
     } else {
-        Behavior::Biased { taken: rng.gen_range(0.25..0.75) }
+        Behavior::Biased {
+            taken: rng.gen_range(0.25..0.75),
+        }
     }
 }
 
@@ -485,7 +558,10 @@ mod tests {
             }
             // No stray returns inside the body.
             for id in f.first_block..last {
-                assert!(!p.block(id).kind.is_return(), "return in the middle of a function");
+                assert!(
+                    !p.block(id).kind.is_return(),
+                    "return in the middle of a function"
+                );
             }
         }
     }
@@ -567,7 +643,11 @@ mod tests {
         let p = synthesize(&small_spec());
         for f in p.functions() {
             let entry = p.block(f.first_block).start;
-            assert_eq!(entry.line_offset(), 0, "function entry {entry} not line aligned");
+            assert_eq!(
+                entry.line_offset(),
+                0,
+                "function entry {entry} not line aligned"
+            );
         }
     }
 
@@ -585,7 +665,10 @@ mod tests {
                 assert_eq!(p.block(call_block).kind, BranchKind::Call);
             }
         }
-        assert!(seen.iter().all(|&s| s), "every handler reachable from dispatch");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every handler reachable from dispatch"
+        );
     }
 
     #[test]
@@ -601,8 +684,9 @@ mod tests {
     fn block_count_distribution_sane() {
         let mut rng = SmallRng::seed_from_u64(11);
         let n = 20_000;
-        let samples: Vec<u32> =
-            (0..n).map(|_| sample_block_count(&mut rng, 11.0, 0.75)).collect();
+        let samples: Vec<u32> = (0..n)
+            .map(|_| sample_block_count(&mut rng, 11.0, 0.75))
+            .collect();
         let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
         assert!((mean - 11.0).abs() < 1.0, "lognormal mean {mean}");
         assert!(samples.iter().all(|&v| (1..=MAX_BLOCKS).contains(&v)));

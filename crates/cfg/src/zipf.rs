@@ -28,7 +28,10 @@ impl ZipfTable {
     /// Panics if `n == 0` or `theta` is negative or non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "Zipf population must be non-empty");
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for rank in 1..=n {
@@ -113,8 +116,8 @@ mod tests {
         for _ in 0..draws {
             counts[t.sample(&mut rng)] += 1;
         }
-        for rank in 0..10 {
-            let observed = counts[rank] as f64 / draws as f64;
+        for (rank, &count) in counts.iter().enumerate().take(10) {
+            let observed = count as f64 / draws as f64;
             let expected = t.pmf(rank);
             assert!(
                 (observed - expected).abs() < 0.01,
@@ -141,7 +144,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let n = 100_000;
         let mean = 6.0;
-        let sum: u64 = (0..n).map(|_| sample_geometric(&mut rng, mean, 1000) as u64).sum();
+        let sum: u64 = (0..n)
+            .map(|_| sample_geometric(&mut rng, mean, 1000) as u64)
+            .sum();
         let observed = sum as f64 / n as f64;
         assert!((observed - mean).abs() < 0.2, "observed mean {observed}");
     }

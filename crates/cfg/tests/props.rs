@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        2u32..8,     // handlers
-        4u32..40,    // layer-1 functions
-        8u32..60,    // layer-2 functions
-        0.0f64..1.2, // handler zipf
-        1u64..1000,  // seed
+        2u32..8,      // handlers
+        4u32..40,     // layer-1 functions
+        8u32..60,     // layer-2 functions
+        0.0f64..1.2,  // handler zipf
+        1u64..1000,   // seed
         0.0f64..0.15, // trap rate
         4.0f64..16.0, // mean blocks
     )

@@ -36,7 +36,9 @@ pub struct CBtb {
 impl CBtb {
     /// Creates a C-BTB with `entries` entries of `ways` associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        CBtb { map: SetAssocMap::new(entries, ways) }
+        CBtb {
+            map: SetAssocMap::new(entries, ways),
+        }
     }
 
     /// Looks up the conditional block starting at `pc`.
@@ -55,10 +57,17 @@ impl CBtb {
     ///
     /// Panics (debug) on non-conditional blocks.
     pub fn install(&mut self, block: &BasicBlock) {
-        debug_assert_eq!(block.kind, BranchKind::Conditional, "C-BTB holds conditionals only");
+        debug_assert_eq!(
+            block.kind,
+            BranchKind::Conditional,
+            "C-BTB holds conditionals only"
+        );
         self.map.insert(
             block.start.get() >> 2,
-            CBtbPayload { instr_count: block.instr_count, target: block.target },
+            CBtbPayload {
+                instr_count: block.instr_count,
+                target: block.target,
+            },
         );
     }
 
@@ -88,7 +97,12 @@ mod tests {
     use super::*;
 
     fn cond(start: u64, target: u64) -> BasicBlock {
-        BasicBlock::new(Addr::new(start), 5, BranchKind::Conditional, Addr::new(target))
+        BasicBlock::new(
+            Addr::new(start),
+            5,
+            BranchKind::Conditional,
+            Addr::new(target),
+        )
     }
 
     #[test]
@@ -110,7 +124,10 @@ mod tests {
             c.install(&cond(0x1000 + i * 68, 0x1000));
         }
         assert_eq!(c.len(), 128, "capacity bounded");
-        assert!(c.lookup(Addr::new(0x1000)).is_none(), "early entries evicted");
+        assert!(
+            c.lookup(Addr::new(0x1000)).is_none(),
+            "early entries evicted"
+        );
     }
 
     #[test]

@@ -24,9 +24,15 @@ pub struct FootprintLayout {
 
 impl FootprintLayout {
     /// The paper's 8-bit production layout: 6 after + 2 before (§5.2).
-    pub const BITS8: FootprintLayout = FootprintLayout { before: 2, after: 6 };
+    pub const BITS8: FootprintLayout = FootprintLayout {
+        before: 2,
+        after: 6,
+    };
     /// The §6.3 sensitivity layout: 32 bits as 24 after + 8 before.
-    pub const BITS32: FootprintLayout = FootprintLayout { before: 8, after: 24 };
+    pub const BITS32: FootprintLayout = FootprintLayout {
+        before: 8,
+        after: 24,
+    };
 
     /// Total vector width in bits.
     pub const fn bits(&self) -> u32 {
@@ -105,7 +111,9 @@ impl SpatialFootprint {
 
     /// `true` when the line at `delta` was recorded.
     pub fn contains(&self, delta: i64, layout: FootprintLayout) -> bool {
-        layout.bit_for(delta).is_some_and(|bit| self.0 & (1 << bit) != 0)
+        layout
+            .bit_for(delta)
+            .is_some_and(|bit| self.0 & (1 << bit) != 0)
     }
 
     /// Number of recorded lines.
@@ -120,7 +128,9 @@ impl SpatialFootprint {
 
     /// The recorded signed distances, nearest-forward first.
     pub fn deltas(&self, layout: FootprintLayout) -> impl Iterator<Item = i64> + '_ {
-        (0..layout.bits()).filter(|b| self.0 & (1 << b) != 0).map(move |b| layout.delta_for(b))
+        (0..layout.bits())
+            .filter(|b| self.0 & (1 << b) != 0)
+            .map(move |b| layout.delta_for(b))
     }
 
     /// The absolute lines to prefetch around `entry` (§4.2.3 step 1 —
@@ -212,7 +222,10 @@ mod tests {
         fp.record(4, layout);
         let deltas: Vec<_> = fp.deltas(layout).collect();
         assert_eq!(deltas, vec![4, -2]);
-        let lines: Vec<_> = fp.lines(LineAddr::from_index(10), layout).map(|l| l.get()).collect();
+        let lines: Vec<_> = fp
+            .lines(LineAddr::from_index(10), layout)
+            .map(|l| l.get())
+            .collect();
         assert_eq!(lines, vec![14, 8]);
     }
 

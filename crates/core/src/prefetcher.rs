@@ -84,7 +84,10 @@ impl ShotgunPrefetcher {
             ubtb: UBtb::new(cfg.sizing.ubtb as usize, cfg.ways as usize),
             cbtb: CBtb::new(cfg.sizing.cbtb as usize, cfg.ways as usize),
             rib: Rib::new(cfg.sizing.rib as usize, cfg.ways as usize),
-            prefetch_buffer: SetAssocMap::new(cfg.prefetch_buffer as usize, cfg.prefetch_buffer as usize),
+            prefetch_buffer: SetAssocMap::new(
+                cfg.prefetch_buffer as usize,
+                cfg.prefetch_buffer as usize,
+            ),
             recorder: FootprintRecorder::new(layout, ras_entries),
             resolving: None,
             lookups: 0,
@@ -171,15 +174,24 @@ impl ShotgunPrefetcher {
     fn lookup_block(&mut self, pc: Addr) -> Option<LookupHit> {
         if let Some((block, entry)) = self.ubtb.lookup(pc) {
             self.counters.ubtb_hits += 1;
-            return Some(LookupHit { block, call_footprint: Some((entry.call_footprint, entry.call_extent)) });
+            return Some(LookupHit {
+                block,
+                call_footprint: Some((entry.call_footprint, entry.call_extent)),
+            });
         }
         if let Some(block) = self.cbtb.lookup(pc) {
             self.counters.cbtb_hits += 1;
-            return Some(LookupHit { block, call_footprint: None });
+            return Some(LookupHit {
+                block,
+                call_footprint: None,
+            });
         }
         if let Some(block) = self.rib.lookup(pc) {
             self.counters.rib_hits += 1;
-            return Some(LookupHit { block, call_footprint: None });
+            return Some(LookupHit {
+                block,
+                call_footprint: None,
+            });
         }
         if let Some(block) = self.prefetch_buffer.remove(pc.get() >> 2) {
             self.counters.buffer_hits += 1;
@@ -232,8 +244,10 @@ impl ControlFlowDelivery for ShotgunPrefetcher {
             for i in 1..=extra as u64 {
                 ready = ready.max(ctx.fetch_for_fill(block.start.line().offset(i as i64)));
             }
-            self.resolving =
-                Some(Resolving { pc, ready: ready + predecode::PREDECODE_LATENCY as u64 });
+            self.resolving = Some(Resolving {
+                pc,
+                ready: ready + predecode::PREDECODE_LATENCY as u64,
+            });
             return BpuOutcome::Stall;
         };
 
@@ -246,13 +260,19 @@ impl ControlFlowDelivery for ShotgunPrefetcher {
                 let ras_entry = ctx.spec_ras.pop();
                 let next_pc = ras_entry.map_or(block.fall_through(), |e| e.ret);
                 if let Some(e) = ras_entry {
-                    if let Some((fp, extent)) =
-                        self.ubtb.peek(e.call_block).map(|u| (u.ret_footprint, u.ret_extent))
+                    if let Some((fp, extent)) = self
+                        .ubtb
+                        .peek(e.call_block)
+                        .map(|u| (u.ret_footprint, u.ret_extent))
                     {
                         self.issue_region_prefetch(ctx, next_pc.line(), fp, extent);
                     }
                 }
-                fe_uarch::PredictedBlock { block, taken: true, next_pc }
+                fe_uarch::PredictedBlock {
+                    block,
+                    taken: true,
+                    next_pc,
+                }
             }
             // U-BTB hit: bulk-prefetch the target region's footprint.
             BranchKind::Call | BranchKind::Trap | BranchKind::Jump => {
@@ -292,10 +312,12 @@ impl ControlFlowDelivery for ShotgunPrefetcher {
         if let Some(record) = self.recorder.observe(rb) {
             match record.owner {
                 RegionOwner::CallLike { block } => {
-                    self.ubtb.record_call_region(&block, record.footprint, record.extent)
+                    self.ubtb
+                        .record_call_region(&block, record.footprint, record.extent)
                 }
                 RegionOwner::ReturnLike { call_block } => {
-                    self.ubtb.record_return_region(&call_block, record.footprint, record.extent)
+                    self.ubtb
+                        .record_return_region(&call_block, record.footprint, record.extent)
                 }
             }
         }

@@ -176,7 +176,11 @@ mod tests {
     }
 
     fn retired(b: BasicBlock, taken: bool, next: u64) -> RetiredBlock {
-        RetiredBlock { block: b, taken, next_pc: Addr::new(next) }
+        RetiredBlock {
+            block: b,
+            taken,
+            next_pc: Addr::new(next),
+        }
     }
 
     fn recorder() -> FootprintRecorder {
@@ -196,7 +200,9 @@ mod tests {
         assert!(r.observe(&retired(c2, true, 0x8040)).is_none());
         // Next unconditional (a jump in line +1) closes the region.
         let jump = block(0x8040, 4, BranchKind::Jump, 0x9000);
-        let rec = r.observe(&retired(jump, true, 0x9000)).expect("region closed");
+        let rec = r
+            .observe(&retired(jump, true, 0x9000))
+            .expect("region closed");
         match rec.owner {
             RegionOwner::CallLike { block } => assert_eq!(block, call),
             other => panic!("wrong owner {other:?}"),
@@ -214,13 +220,17 @@ mod tests {
         r.observe(&retired(call, true, 0x8000));
         // Callee body: straight to return.
         let ret = block(0x8000, 4, BranchKind::Return, 0);
-        let rec = r.observe(&retired(ret, true, 0x1010)).expect("callee region closes");
+        let rec = r
+            .observe(&retired(ret, true, 0x1010))
+            .expect("callee region closes");
         assert!(matches!(rec.owner, RegionOwner::CallLike { block } if block == call));
         // Return region: touch fall-through lines, then a jump closes it.
         let body = block(0x1010, 12, BranchKind::Conditional, 0x1040);
         r.observe(&retired(body, false, 0x1040));
         let jump = block(0x1040, 4, BranchKind::Jump, 0x2000);
-        let rec2 = r.observe(&retired(jump, true, 0x2000)).expect("return region closes");
+        let rec2 = r
+            .observe(&retired(jump, true, 0x2000))
+            .expect("return region closes");
         match rec2.owner {
             RegionOwner::ReturnLike { call_block } => assert_eq!(call_block, call),
             other => panic!("expected return owner, got {other:?}"),
@@ -288,14 +298,20 @@ mod tests {
         r.observe(&retired(far, true, 0x8000));
         let close = block(0x8000, 4, BranchKind::Jump, 0x9000);
         let rec = r.observe(&retired(close, true, 0x9000)).unwrap();
-        assert_eq!(rec.extent, 12, "extent survives even outside the bit window");
+        assert_eq!(
+            rec.extent, 12,
+            "extent survives even outside the bit window"
+        );
     }
 
     #[test]
     fn unmatched_return_yields_no_owner() {
         let mut r = recorder();
         let ret = block(0x1000, 2, BranchKind::Return, 0);
-        assert!(r.observe(&retired(ret, true, 0x2000)).is_none(), "no prior region");
+        assert!(
+            r.observe(&retired(ret, true, 0x2000)).is_none(),
+            "no prior region"
+        );
         // Next region has no owner (the return had no matching call).
         let jump = block(0x2000, 4, BranchKind::Jump, 0x3000);
         assert!(r.observe(&retired(jump, true, 0x3000)).is_none());
@@ -305,6 +321,9 @@ mod tests {
     fn first_region_has_no_owner() {
         let mut r = recorder();
         let jump = block(0x1000, 4, BranchKind::Jump, 0x2000);
-        assert!(r.observe(&retired(jump, true, 0x2000)).is_none(), "nothing before entry");
+        assert!(
+            r.observe(&retired(jump, true, 0x2000)).is_none(),
+            "nothing before entry"
+        );
     }
 }

@@ -35,7 +35,9 @@ pub struct Rib {
 impl Rib {
     /// Creates a RIB with `entries` entries of `ways` associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        Rib { map: SetAssocMap::new(entries, ways) }
+        Rib {
+            map: SetAssocMap::new(entries, ways),
+        }
     }
 
     /// Looks up the return block starting at `pc`. The reconstructed
@@ -45,7 +47,11 @@ impl Rib {
         self.map.get(pc.get() >> 2).map(|p| BasicBlock {
             start: pc,
             instr_count: p.instr_count,
-            kind: if p.trap { BranchKind::TrapReturn } else { BranchKind::Return },
+            kind: if p.trap {
+                BranchKind::TrapReturn
+            } else {
+                BranchKind::Return
+            },
             target: Addr::NULL,
         })
     }
@@ -56,7 +62,11 @@ impl Rib {
     ///
     /// Panics (debug) on non-return blocks.
     pub fn install(&mut self, block: &BasicBlock) {
-        debug_assert!(block.kind.is_return(), "RIB holds returns only, got {:?}", block.kind);
+        debug_assert!(
+            block.kind.is_return(),
+            "RIB holds returns only, got {:?}",
+            block.kind
+        );
         self.map.insert(
             block.start.get() >> 2,
             RibPayload {
@@ -102,7 +112,12 @@ mod tests {
     #[test]
     fn trap_return_kind_preserved() {
         let mut r = Rib::new(64, 4);
-        let tret = BasicBlock::new(Addr::new(0x4000_0000), 2, BranchKind::TrapReturn, Addr::NULL);
+        let tret = BasicBlock::new(
+            Addr::new(0x4000_0000),
+            2,
+            BranchKind::TrapReturn,
+            Addr::NULL,
+        );
         r.install(&tret);
         assert_eq!(r.lookup(tret.start).unwrap().kind, BranchKind::TrapReturn);
     }

@@ -57,7 +57,9 @@ pub struct UBtb {
 impl UBtb {
     /// Creates a U-BTB with `entries` entries of `ways` associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        UBtb { map: SetAssocMap::new(entries, ways) }
+        UBtb {
+            map: SetAssocMap::new(entries, ways),
+        }
     }
 
     /// Looks up the unconditional block starting at `pc`, promoting it.
@@ -260,7 +262,11 @@ mod tests {
         u.record_call_region(&b, SpatialFootprint::from_raw(0b101), 3);
         u.install_block(&b); // reactive fill rediscovers the block
         let entry = u.peek(b.start).unwrap();
-        assert_eq!(entry.call_footprint.raw(), 0b101, "reactive fill must not erase footprints");
+        assert_eq!(
+            entry.call_footprint.raw(),
+            0b101,
+            "reactive fill must not erase footprints"
+        );
     }
 
     #[test]
@@ -268,7 +274,12 @@ mod tests {
     #[should_panic(expected = "U-BTB only holds")]
     fn rejects_conditional_blocks() {
         let mut u = UBtb::new(64, 4);
-        let bad = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Conditional, Addr::new(0x2000));
+        let bad = BasicBlock::new(
+            Addr::new(0x1000),
+            4,
+            BranchKind::Conditional,
+            Addr::new(0x2000),
+        );
         u.install_block(&bad);
     }
 }

@@ -271,11 +271,26 @@ mod tests {
 
     #[test]
     fn lines_covering_ranges() {
-        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1000)).count(), 0);
-        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1001)).count(), 1);
-        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1040)).count(), 1);
-        assert_eq!(lines_covering(Addr::new(0x1000), Addr::new(0x1041)).count(), 2);
-        assert_eq!(lines_covering(Addr::new(0x103c), Addr::new(0x1044)).count(), 2);
+        assert_eq!(
+            lines_covering(Addr::new(0x1000), Addr::new(0x1000)).count(),
+            0
+        );
+        assert_eq!(
+            lines_covering(Addr::new(0x1000), Addr::new(0x1001)).count(),
+            1
+        );
+        assert_eq!(
+            lines_covering(Addr::new(0x1000), Addr::new(0x1040)).count(),
+            1
+        );
+        assert_eq!(
+            lines_covering(Addr::new(0x1000), Addr::new(0x1041)).count(),
+            2
+        );
+        assert_eq!(
+            lines_covering(Addr::new(0x103c), Addr::new(0x1044)).count(),
+            2
+        );
     }
 
     #[test]

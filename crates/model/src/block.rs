@@ -49,7 +49,12 @@ impl BasicBlock {
             (1..=Self::MAX_INSTRS).contains(&instr_count),
             "basic block instruction count {instr_count} out of range 1..=31",
         );
-        BasicBlock { start, instr_count, kind, target }
+        BasicBlock {
+            start,
+            instr_count,
+            kind,
+            target,
+        }
     }
 
     /// Size of the block in bytes.
@@ -116,7 +121,10 @@ impl RetiredBlock {
     ///
     /// For returns, pass the dynamic return address in `ras_target`.
     pub fn resolve(block: BasicBlock, taken: bool, ras_target: Option<Addr>) -> Self {
-        debug_assert!(taken || !block.kind.is_unconditional(), "unconditional branches are always taken");
+        debug_assert!(
+            taken || !block.kind.is_unconditional(),
+            "unconditional branches are always taken"
+        );
         let next_pc = if !taken {
             block.fall_through()
         } else if block.kind.is_return() {
@@ -124,7 +132,11 @@ impl RetiredBlock {
         } else {
             block.target
         };
-        RetiredBlock { block, taken, next_pc }
+        RetiredBlock {
+            block,
+            taken,
+            next_pc,
+        }
     }
 
     /// Number of instructions this record retires.
@@ -166,7 +178,10 @@ mod tests {
         // ends 0x104c -> lines 0x1000 and 0x1040.
         let b = bb(0x103c, 4, BranchKind::Jump, 0x2000);
         let lines: Vec<LineAddr> = b.lines().collect();
-        assert_eq!(lines, vec![LineAddr::containing(0x1000), LineAddr::containing(0x1040)]);
+        assert_eq!(
+            lines,
+            vec![LineAddr::containing(0x1000), LineAddr::containing(0x1040)]
+        );
     }
 
     #[test]

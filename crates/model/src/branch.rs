@@ -136,7 +136,10 @@ mod tests {
     fn conditional_is_local_control_flow() {
         assert!(!BranchKind::Conditional.is_unconditional());
         assert!(!BranchKind::Conditional.ends_region());
-        assert_eq!(BranchKind::Conditional.shotgun_home(), ShotgunStructure::CBtb);
+        assert_eq!(
+            BranchKind::Conditional.shotgun_home(),
+            ShotgunStructure::CBtb
+        );
     }
 
     #[test]

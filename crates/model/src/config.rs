@@ -33,7 +33,13 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { width: 3, rob: 128, lsq: 32, freq_ghz: 2.0, redirect_penalty: 12 }
+        CoreConfig {
+            width: 3,
+            rob: 128,
+            lsq: 32,
+            freq_ghz: 2.0,
+            redirect_penalty: 12,
+        }
     }
 }
 
@@ -99,7 +105,12 @@ impl Default for NocConfig {
         // after the 15 background cores take theirs, which reproduces
         // mild queueing at normal load and visible congestion under
         // indiscriminate region prefetching (Fig. 11).
-        NocConfig { dim: 4, cycles_per_hop: 3, link_bandwidth: 12.0, background_factor: 15.0 }
+        NocConfig {
+            dim: 4,
+            cycles_per_hop: 3,
+            link_bandwidth: 12.0,
+            background_factor: 15.0,
+        }
     }
 }
 
@@ -256,20 +267,31 @@ pub struct MachineConfig {
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { kib: 32, ways: 2, latency: 2 }
+        CacheConfig {
+            kib: 32,
+            ways: 2,
+            latency: 2,
+        }
     }
 }
 
 impl Default for LlcConfig {
     fn default() -> Self {
-        LlcConfig { kib_per_core: 512, ways: 16, latency: 5 }
+        LlcConfig {
+            kib_per_core: 512,
+            ways: 16,
+            latency: 5,
+        }
     }
 }
 
 impl MachineConfig {
     /// The Table 3 configuration.
     pub fn table3() -> Self {
-        MachineConfig { memory_ns: 45.0, ..Default::default() }
+        MachineConfig {
+            memory_ns: 45.0,
+            ..Default::default()
+        }
     }
 
     /// Main memory latency in cycles at the configured frequency.
@@ -302,7 +324,11 @@ impl MachineConfig {
     /// `[0, 1]`.
     pub fn validate(&self) -> Result<(), ConfigError> {
         fn nonzero(v: u32, what: &'static str) -> Result<(), ConfigError> {
-            if v == 0 { Err(ConfigError::Zero(what)) } else { Ok(()) }
+            if v == 0 {
+                Err(ConfigError::Zero(what))
+            } else {
+                Ok(())
+            }
         }
         nonzero(self.core.width, "core.width")?;
         nonzero(self.core.rob, "core.rob")?;
@@ -313,14 +339,17 @@ impl MachineConfig {
         for (cache, name) in [(&self.l1i, "l1i"), (&self.l1d, "l1d")] {
             nonzero(cache.ways, "cache ways")?;
             let lines = cache.kib * 1024 / crate::addr::LINE_BYTES as u32;
-            if lines % cache.ways != 0 || !(lines / cache.ways).is_power_of_two() {
+            if !lines.is_multiple_of(cache.ways) || !(lines / cache.ways).is_power_of_two() {
                 return Err(ConfigError::Geometry(name));
             }
         }
         for (rate, what) in [
             (self.backend.load_fraction, "backend.load_fraction"),
             (self.backend.l1d_miss_rate, "backend.l1d_miss_rate"),
-            (self.backend.llc_data_miss_rate, "backend.llc_data_miss_rate"),
+            (
+                self.backend.llc_data_miss_rate,
+                "backend.llc_data_miss_rate",
+            ),
         ] {
             if !(0.0..=1.0).contains(&rate) {
                 return Err(ConfigError::Rate(what));
@@ -349,7 +378,10 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Zero(what) => write!(f, "configuration parameter {what} must be non-zero"),
             ConfigError::Geometry(what) => {
-                write!(f, "cache {what} geometry must give a power-of-two set count")
+                write!(
+                    f,
+                    "cache {what} geometry must give a power-of-two set count"
+                )
             }
             ConfigError::Rate(what) => write!(f, "rate parameter {what} out of range"),
         }
@@ -383,7 +415,11 @@ mod tests {
 
     #[test]
     fn cache_geometry() {
-        let c = CacheConfig { kib: 32, ways: 2, latency: 2 };
+        let c = CacheConfig {
+            kib: 32,
+            ways: 2,
+            latency: 2,
+        };
         assert_eq!(c.sets(), 256);
         assert_eq!(c.lines(), 512);
     }
@@ -407,7 +443,10 @@ mod tests {
     #[test]
     fn tage_fits_8kb_budget() {
         let t = TageConfig::default();
-        assert!(t.storage_bits() <= 8 * 1024 * 8, "TAGE must fit the 8 KB budget of Table 3");
+        assert!(
+            t.storage_bits() <= 8 * 1024 * 8,
+            "TAGE must fit the 8 KB budget of Table 3"
+        );
     }
 
     #[test]
@@ -428,6 +467,9 @@ mod tests {
     fn validation_rejects_bad_rate() {
         let mut c = MachineConfig::table3();
         c.backend.l1d_miss_rate = 1.5;
-        assert_eq!(c.validate(), Err(ConfigError::Rate("backend.l1d_miss_rate")));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::Rate("backend.l1d_miss_rate"))
+        );
     }
 }

@@ -70,7 +70,11 @@ impl PrefetchStats {
     /// ignoring lines still resident at measurement end.
     pub fn accuracy(&self) -> f64 {
         let judged = self.useful + self.wasted;
-        if judged == 0 { 0.0 } else { self.useful as f64 / judged as f64 }
+        if judged == 0 {
+            0.0
+        } else {
+            self.useful as f64 / judged as f64
+        }
     }
 
     /// Element-wise accumulation.
@@ -140,12 +144,20 @@ pub struct SimStats {
 impl SimStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.instructions as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
     }
 
     /// Misses per kilo-instruction for an arbitrary miss counter.
     pub fn mpki(&self, misses: u64) -> f64 {
-        if self.instructions == 0 { 0.0 } else { misses as f64 * 1000.0 / self.instructions as f64 }
+        if self.instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / self.instructions as f64
+        }
     }
 
     /// L1-I demand misses per kilo-instruction.
@@ -222,7 +234,11 @@ impl fmt::Display for SimStats {
             self.stalls.ftq_empty,
             self.stalls.redirect
         )?;
-        writeln!(f, "prefetch accuracy {:>14.1}%", self.prefetch_accuracy() * 100.0)?;
+        writeln!(
+            f,
+            "prefetch accuracy {:>14.1}%",
+            self.prefetch_accuracy() * 100.0
+        )?;
         write!(f, "L1-D fill latency {:>14.1}", self.avg_l1d_fill_latency())
     }
 }
@@ -261,7 +277,11 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 
 /// Arithmetic mean (the paper's aggregate for coverages).
 pub fn arithmetic_mean(values: &[f64]) -> f64 {
-    if values.is_empty() { 0.0 } else { values.iter().sum::<f64>() / values.len() as f64 }
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +289,11 @@ mod tests {
     use super::*;
 
     fn stats(cycles: u64, instrs: u64) -> SimStats {
-        SimStats { cycles, instructions: instrs, ..Default::default() }
+        SimStats {
+            cycles,
+            instructions: instrs,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -314,7 +338,12 @@ mod tests {
 
     #[test]
     fn prefetch_accuracy_ignores_resident() {
-        let p = PrefetchStats { issued: 100, useful: 60, late: 10, wasted: 20 };
+        let p = PrefetchStats {
+            issued: 100,
+            useful: 60,
+            late: 10,
+            wasted: 20,
+        };
         assert!((p.accuracy() - 0.75).abs() < 1e-12);
         assert_eq!(PrefetchStats::default().accuracy(), 0.0);
     }
@@ -351,7 +380,12 @@ mod tests {
 
     #[test]
     fn stall_totals() {
-        let s = StallBreakdown { icache_miss: 1, btb_resolve: 2, ftq_empty: 3, redirect: 4 };
+        let s = StallBreakdown {
+            icache_miss: 1,
+            btb_resolve: 2,
+            ftq_empty: 3,
+            redirect: 4,
+        };
         assert_eq!(s.front_end_total(), 10);
     }
 

@@ -38,36 +38,66 @@ impl EntryLayout {
 /// Conventional basic-block BTB entry used by Boomerang (§5.2):
 /// 37-bit tag, 46-bit target, 5-bit size, 3-bit type, 2-bit direction
 /// = 93 bits.
-pub const CONVENTIONAL_BTB: EntryLayout =
-    EntryLayout { tag: 37, target: 46, size: 5, branch_type: 3, direction: 2, footprints: 0 };
+pub const CONVENTIONAL_BTB: EntryLayout = EntryLayout {
+    tag: 37,
+    target: 46,
+    size: 5,
+    branch_type: 3,
+    direction: 2,
+    footprints: 0,
+};
 
 /// Shotgun U-BTB entry (§5.2): 38-bit tag, 46-bit target, 5-bit size,
 /// 1-bit type (unconditional vs call), two 8-bit spatial footprints
 /// = 106 bits.
-pub const UBTB: EntryLayout =
-    EntryLayout { tag: 38, target: 46, size: 5, branch_type: 1, direction: 0, footprints: 16 };
+pub const UBTB: EntryLayout = EntryLayout {
+    tag: 38,
+    target: 46,
+    size: 5,
+    branch_type: 1,
+    direction: 0,
+    footprints: 16,
+};
 
 /// Shotgun C-BTB entry (§5.2): 41-bit tag, 22-bit PC-relative target
 /// offset (SPARC v9 conditional displacement limit), 5-bit size, 2-bit
 /// direction = 70 bits. No type field: everything in it is conditional.
-pub const CBTB: EntryLayout =
-    EntryLayout { tag: 41, target: 22, size: 5, branch_type: 0, direction: 2, footprints: 0 };
+pub const CBTB: EntryLayout = EntryLayout {
+    tag: 41,
+    target: 22,
+    size: 5,
+    branch_type: 0,
+    direction: 2,
+    footprints: 0,
+};
 
 /// Shotgun RIB entry (§5.2): 39-bit tag, 5-bit size, 1-bit type (return
 /// vs trap-return) = 45 bits. No target (RAS-supplied), no footprints
 /// (stored with the corresponding call).
-pub const RIB: EntryLayout =
-    EntryLayout { tag: 39, target: 0, size: 5, branch_type: 1, direction: 0, footprints: 0 };
+pub const RIB: EntryLayout = EntryLayout {
+    tag: 39,
+    target: 0,
+    size: 5,
+    branch_type: 1,
+    direction: 0,
+    footprints: 0,
+};
 
 /// U-BTB entry layout with a widened footprint pair, for the §6.3
 /// "32-bit vector" design point (two 32-bit vectors instead of two
 /// 8-bit ones).
-pub const UBTB_WIDE32: EntryLayout = EntryLayout { footprints: 64, ..UBTB };
+pub const UBTB_WIDE32: EntryLayout = EntryLayout {
+    footprints: 64,
+    ..UBTB
+};
 
 /// U-BTB entry layout with the footprints removed, for the §6.3
 /// "no bit vector" design point (capacity is instead spent on more
 /// entries, see [`no_bit_vector_entries`]).
-pub const UBTB_NO_FOOTPRINT: EntryLayout = EntryLayout { footprints: 0, ..UBTB };
+pub const UBTB_NO_FOOTPRINT: EntryLayout = EntryLayout {
+    footprints: 0,
+    ..UBTB
+};
 
 /// Storage cost in bytes of `entries` entries with the given layout.
 pub const fn bytes(layout: EntryLayout, entries: u32) -> u64 {
@@ -92,7 +122,11 @@ pub struct ShotgunSizing {
 
 impl ShotgunSizing {
     /// The paper's baseline sizing: 1.5K U-BTB, 128 C-BTB, 512 RIB.
-    pub const PAPER: ShotgunSizing = ShotgunSizing { ubtb: 1536, cbtb: 128, rib: 512 };
+    pub const PAPER: ShotgunSizing = ShotgunSizing {
+        ubtb: 1536,
+        cbtb: 128,
+        rib: 512,
+    };
 
     /// Combined storage in KiB with the standard 8-bit footprints.
     pub fn total_kib(&self) -> f64 {
@@ -120,7 +154,11 @@ pub const fn conventional_budget_bytes(entries: u32) -> u64 {
 /// spends the remainder on a 1K RIB and 4K C-BTB.
 pub fn sizing_for_budget(conventional_entries: u32) -> ShotgunSizing {
     if conventional_entries >= 8192 {
-        return ShotgunSizing { ubtb: 4096, cbtb: 4096, rib: 1024 };
+        return ShotgunSizing {
+            ubtb: 4096,
+            cbtb: 4096,
+            rib: 1024,
+        };
     }
     let scale = conventional_entries as f64 / 2048.0;
     let round_pow2ish = |v: f64| -> u32 { (v.round() as u32).max(16) };
@@ -159,7 +197,10 @@ mod tests {
 
     #[test]
     fn ubtb_is_19_87_kib() {
-        assert!((kib(UBTB, 1536) - 19.875).abs() < 0.01, "paper reports 19.87 KB");
+        assert!(
+            (kib(UBTB, 1536) - 19.875).abs() < 0.01,
+            "paper reports 19.87 KB"
+        );
     }
 
     #[test]
@@ -175,7 +216,10 @@ mod tests {
     #[test]
     fn shotgun_total_is_23_77_kib() {
         let total = ShotgunSizing::PAPER.total_kib();
-        assert!((total - 23.78).abs() < 0.02, "paper reports 23.77 KB, got {total}");
+        assert!(
+            (total - 23.78).abs() < 0.02,
+            "paper reports 23.77 KB, got {total}"
+        );
         // Within ~2.3% of the conventional 2K budget.
         let conv = kib(CONVENTIONAL_BTB, 2048);
         assert!((total - conv) / conv < 0.03);
@@ -183,11 +227,39 @@ mod tests {
 
     #[test]
     fn budget_scaling_matches_paper_sweep() {
-        assert_eq!(sizing_for_budget(512), ShotgunSizing { ubtb: 384, cbtb: 32, rib: 128 });
-        assert_eq!(sizing_for_budget(1024), ShotgunSizing { ubtb: 768, cbtb: 64, rib: 256 });
+        assert_eq!(
+            sizing_for_budget(512),
+            ShotgunSizing {
+                ubtb: 384,
+                cbtb: 32,
+                rib: 128
+            }
+        );
+        assert_eq!(
+            sizing_for_budget(1024),
+            ShotgunSizing {
+                ubtb: 768,
+                cbtb: 64,
+                rib: 256
+            }
+        );
         assert_eq!(sizing_for_budget(2048), ShotgunSizing::PAPER);
-        assert_eq!(sizing_for_budget(4096), ShotgunSizing { ubtb: 3072, cbtb: 256, rib: 1024 });
-        assert_eq!(sizing_for_budget(8192), ShotgunSizing { ubtb: 4096, cbtb: 4096, rib: 1024 });
+        assert_eq!(
+            sizing_for_budget(4096),
+            ShotgunSizing {
+                ubtb: 3072,
+                cbtb: 256,
+                rib: 1024
+            }
+        );
+        assert_eq!(
+            sizing_for_budget(8192),
+            ShotgunSizing {
+                ubtb: 4096,
+                cbtb: 4096,
+                rib: 1024
+            }
+        );
     }
 
     #[test]

@@ -52,7 +52,7 @@ proptest! {
         prop_assert!(b.contains(b.branch_pc()));
         prop_assert!(!b.contains(b.end()));
         let line_count = b.lines().count() as u64;
-        let min_lines = (b.byte_len() + LINE_BYTES - 1) / LINE_BYTES;
+        let min_lines = b.byte_len().div_ceil(LINE_BYTES);
         prop_assert!(line_count >= min_lines.max(1) && line_count <= min_lines + 1);
     }
 

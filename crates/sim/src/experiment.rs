@@ -1,0 +1,783 @@
+//! The `Experiment` session API: one builder for every (workload ×
+//! scheme) sweep in the evaluation.
+//!
+//! The paper's figures are grids of independent cells, so the sweep is
+//! embarrassingly parallel: [`Experiment::run`] builds each workload's
+//! program once, fans the cells out across scoped worker threads, and
+//! reassembles a [`SweepReport`] in deterministic (workload, scheme)
+//! order regardless of completion order. Same seed ⇒ byte-identical
+//! report JSON at any thread count.
+//!
+//! ```no_run
+//! use fe_cfg::workloads;
+//! use fe_model::MachineConfig;
+//! use fe_sim::{Experiment, RunLength, SchemeSpec};
+//!
+//! let report = Experiment::new(MachineConfig::table3())
+//!     .workloads(workloads::all())
+//!     .schemes([SchemeSpec::NoPrefetch, SchemeSpec::boomerang(), SchemeSpec::shotgun()])
+//!     .len(RunLength::DEFAULT)
+//!     .seed(0x5407)
+//!     .threads(8)
+//!     .run();
+//! println!("{:.3}", report.cell("nutch", &SchemeSpec::shotgun()).metrics.speedup.unwrap());
+//! report.write_json("BENCH_headline.json").unwrap();
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fe_cfg::WorkloadSpec;
+use fe_model::stats::{coverage, speedup};
+use fe_model::{MachineConfig, SimStats};
+use shotgun::{RegionPolicy, ShotgunConfig};
+
+use crate::json::{parse, Json};
+use crate::runner::{run_scheme, RunLength, SchemeSpec};
+
+/// Identifies a workload inside a sweep (its spec name).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkloadId(pub String);
+
+impl WorkloadId {
+    /// The name as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for WorkloadId {
+    fn from(name: &str) -> Self {
+        WorkloadId(name.to_string())
+    }
+}
+
+impl PartialEq<str> for WorkloadId {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+/// Passed to the progress callback after each completed cell.
+#[derive(Clone, Debug)]
+pub struct ProgressEvent {
+    /// Cells finished so far (including this one).
+    pub completed: usize,
+    /// Total cells in the sweep.
+    pub total: usize,
+    /// Workload of the cell that just finished.
+    pub workload: WorkloadId,
+    /// Scheme label of the cell that just finished.
+    pub scheme: String,
+}
+
+type ProgressFn = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Builder for a (workload × scheme) sweep session.
+pub struct Experiment {
+    machine: MachineConfig,
+    workloads: Vec<WorkloadSpec>,
+    schemes: Vec<SchemeSpec>,
+    len: RunLength,
+    seed: u64,
+    threads: usize,
+    baseline: Option<SchemeSpec>,
+    progress: Option<ProgressFn>,
+}
+
+impl Experiment {
+    /// Starts a sweep on `machine` with defaults: no workloads or
+    /// schemes yet, [`RunLength::DEFAULT`], seed 0, one worker per
+    /// available core, and `NoPrefetch` as the baseline when present.
+    pub fn new(machine: MachineConfig) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Experiment {
+            machine,
+            workloads: Vec::new(),
+            schemes: Vec::new(),
+            len: RunLength::DEFAULT,
+            seed: 0,
+            threads,
+            baseline: None,
+            progress: None,
+        }
+    }
+
+    /// Appends workloads to the sweep.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(specs);
+        self
+    }
+
+    /// Appends one workload.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Appends schemes to the sweep.
+    pub fn schemes(mut self, specs: impl IntoIterator<Item = SchemeSpec>) -> Self {
+        self.schemes.extend(specs);
+        self
+    }
+
+    /// Appends one scheme.
+    pub fn scheme(mut self, spec: SchemeSpec) -> Self {
+        self.schemes.push(spec);
+        self
+    }
+
+    /// Sets warmup/measure instruction counts for every cell.
+    pub fn len(mut self, len: RunLength) -> Self {
+        self.len = len;
+        self
+    }
+
+    /// Sets the executor seed shared by every cell (every scheme sees
+    /// the same retired instruction stream).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count. `1` runs cells inline; results
+    /// are identical at any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the baseline scheme used for derived speedup/coverage
+    /// metrics (default: `NoPrefetch`, when it is in the scheme list).
+    pub fn baseline(mut self, spec: SchemeSpec) -> Self {
+        self.baseline = Some(spec);
+        self
+    }
+
+    /// Installs a callback invoked after every completed cell — the
+    /// long-sweep progress hook. Called from worker threads.
+    pub fn on_progress(mut self, f: impl Fn(&ProgressEvent) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Runs the sweep and derives per-cell metrics.
+    ///
+    /// Programs are built once per workload and shared by reference;
+    /// cells fan out over scoped worker threads. Panics if the sweep is
+    /// empty, if a configured baseline is not among the schemes, or if
+    /// two schemes share a display label (which would make cells
+    /// ambiguous in reports and JSON).
+    pub fn run(self) -> SweepReport {
+        let Experiment {
+            machine,
+            workloads,
+            schemes,
+            len,
+            seed,
+            threads,
+            baseline,
+            progress,
+        } = self;
+        assert!(
+            !workloads.is_empty(),
+            "Experiment::run: no workloads configured"
+        );
+        assert!(
+            !schemes.is_empty(),
+            "Experiment::run: no schemes configured"
+        );
+
+        let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+        for (i, label) in labels.iter().enumerate() {
+            assert!(
+                !labels[..i].contains(label),
+                "Experiment::run: duplicate scheme label `{label}`",
+            );
+        }
+        for (i, wl) in workloads.iter().enumerate() {
+            assert!(
+                !workloads[..i].iter().any(|w| w.name == wl.name),
+                "Experiment::run: duplicate workload name `{}` (rename one spec — \
+                 cells are keyed by name)",
+                wl.name,
+            );
+        }
+        let baseline = baseline.or_else(|| {
+            schemes
+                .contains(&SchemeSpec::NoPrefetch)
+                .then_some(SchemeSpec::NoPrefetch)
+        });
+        let baseline_idx = baseline.as_ref().map(|b| {
+            schemes
+                .iter()
+                .position(|s| s == b)
+                .expect("Experiment::run: baseline scheme is not in the scheme list")
+        });
+
+        let programs = parallel_indexed(workloads.len(), threads, |i| workloads[i].build());
+
+        let n_schemes = schemes.len();
+        let total = workloads.len() * n_schemes;
+        let completed = AtomicUsize::new(0);
+        let stats = parallel_indexed(total, threads, |i| {
+            let (wi, si) = (i / n_schemes, i % n_schemes);
+            let cell_stats = run_scheme(&programs[wi], &schemes[si], &machine, len, seed);
+            if let Some(cb) = &progress {
+                cb(&ProgressEvent {
+                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    total,
+                    workload: WorkloadId(workloads[wi].name.clone()),
+                    scheme: labels[si].clone(),
+                });
+            }
+            cell_stats
+        });
+
+        let mut cells = Vec::with_capacity(total);
+        for (wi, wl) in workloads.iter().enumerate() {
+            let base = baseline_idx.map(|bi| &stats[wi * n_schemes + bi]);
+            for (si, scheme) in schemes.iter().enumerate() {
+                let cell_stats = &stats[wi * n_schemes + si];
+                cells.push(SweepCell {
+                    workload: WorkloadId(wl.name.clone()),
+                    scheme: scheme.clone(),
+                    label: labels[si].clone(),
+                    metrics: CellMetrics::derive(cell_stats, base),
+                    stats: cell_stats.clone(),
+                });
+            }
+        }
+
+        SweepReport {
+            len,
+            seed,
+            baseline: baseline_idx.map(|bi| labels[bi].clone()),
+            workloads: workloads
+                .iter()
+                .map(|w| WorkloadId(w.name.clone()))
+                .collect(),
+            schemes,
+            cells,
+        }
+    }
+}
+
+/// Runs `task(0..count)` across up to `threads` scoped workers and
+/// returns the results in index order, whatever the completion order.
+fn parallel_indexed<T: Send>(
+    count: usize,
+    threads: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(count).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let value = task(i);
+                slots.lock().unwrap()[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("worker completed every claimed cell"))
+        .collect()
+}
+
+/// Metrics derived once per cell when the sweep completes — what the
+/// figure binaries previously recomputed ad hoc.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellMetrics {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// L1-I demand misses per kilo-instruction.
+    pub l1i_mpki: f64,
+    /// BTB misses per kilo-instruction (Table 1).
+    pub btb_mpki: f64,
+    /// Fig. 10 prefetch accuracy.
+    pub prefetch_accuracy: f64,
+    /// Fig. 11 average L1-D miss fill latency, in cycles.
+    pub l1d_fill_latency: f64,
+    /// Speedup over the sweep baseline (`None` without a baseline).
+    pub speedup: Option<f64>,
+    /// Front-end stall-cycle coverage over the baseline.
+    pub coverage: Option<f64>,
+}
+
+impl CellMetrics {
+    fn derive(stats: &SimStats, baseline: Option<&SimStats>) -> Self {
+        CellMetrics {
+            ipc: stats.ipc(),
+            l1i_mpki: stats.l1i_mpki(),
+            btb_mpki: stats.btb_mpki(),
+            prefetch_accuracy: stats.prefetch_accuracy(),
+            l1d_fill_latency: stats.avg_l1d_fill_latency(),
+            speedup: baseline.map(|b| speedup(b, stats)),
+            coverage: baseline.map(|b| coverage(b, stats)),
+        }
+    }
+}
+
+/// One (workload, scheme) cell of a completed sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCell {
+    /// The workload this cell ran.
+    pub workload: WorkloadId,
+    /// The scheme this cell ran — the typed key.
+    pub scheme: SchemeSpec,
+    /// The scheme's display label (unique within the sweep).
+    pub label: String,
+    /// Raw measured statistics.
+    pub stats: SimStats,
+    /// Metrics derived against the sweep baseline.
+    pub metrics: CellMetrics,
+}
+
+/// A completed sweep: every cell, keyed by `(WorkloadId, SchemeSpec)`,
+/// plus the run parameters that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Warmup/measure lengths every cell used.
+    pub len: RunLength,
+    /// The shared executor seed.
+    pub seed: u64,
+    /// Label of the baseline scheme metrics are derived against.
+    pub baseline: Option<String>,
+    /// Workloads in sweep order.
+    pub workloads: Vec<WorkloadId>,
+    /// Schemes in sweep order.
+    pub schemes: Vec<SchemeSpec>,
+    /// Cells in (workload-major, scheme-minor) order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Looks up a cell by its typed key. Panics (with the key) when
+    /// the sweep has no such cell.
+    pub fn cell(&self, workload: &str, scheme: &SchemeSpec) -> &SweepCell {
+        self.cells
+            .iter()
+            .find(|c| c.workload == *workload && c.scheme == *scheme)
+            .unwrap_or_else(|| panic!("no cell ({workload}, {scheme:?}) in sweep"))
+    }
+
+    /// Looks up a cell by workload name and scheme label.
+    pub fn cell_labeled(&self, workload: &str, label: &str) -> &SweepCell {
+        self.cells
+            .iter()
+            .find(|c| c.workload == *workload && c.label == label)
+            .unwrap_or_else(|| panic!("no cell ({workload}, {label}) in sweep"))
+    }
+
+    /// Workload names in sweep order.
+    pub fn workload_names(&self) -> Vec<&str> {
+        self.workloads.iter().map(|w| w.as_str()).collect()
+    }
+
+    /// Scheme labels in sweep order.
+    pub fn scheme_labels(&self) -> Vec<String> {
+        self.schemes.iter().map(|s| s.label()).collect()
+    }
+
+    /// Scheme labels excluding the baseline — the series most figures
+    /// plot.
+    pub fn comparison_labels(&self) -> Vec<String> {
+        self.scheme_labels()
+            .into_iter()
+            .filter(|l| Some(l) != self.baseline.as_ref())
+            .collect()
+    }
+
+    /// Serializes the report (deterministic: same report ⇒ same bytes).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a report previously emitted by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<SweepReport, String> {
+        Self::from_json_value(&parse(text)?)
+    }
+
+    fn to_json_value(&self) -> Json {
+        let run = Json::Obj(vec![
+            ("warmup".into(), Json::U64(self.len.warmup)),
+            ("measure".into(), Json::U64(self.len.measure)),
+            ("seed".into(), Json::U64(self.seed)),
+            (
+                "baseline".into(),
+                self.baseline
+                    .as_ref()
+                    .map_or(Json::Null, |b| Json::Str(b.clone())),
+            ),
+        ]);
+        let workloads = Json::Arr(
+            self.workloads
+                .iter()
+                .map(|w| Json::Str(w.0.clone()))
+                .collect(),
+        );
+        let schemes = Json::Arr(self.schemes.iter().map(scheme_to_json).collect());
+        let cells = Json::Arr(self.cells.iter().map(cell_to_json).collect());
+        Json::Obj(vec![
+            ("run".into(), run),
+            ("workloads".into(), workloads),
+            ("schemes".into(), schemes),
+            ("cells".into(), cells),
+        ])
+    }
+
+    fn from_json_value(doc: &Json) -> Result<SweepReport, String> {
+        let run = doc.req("run")?;
+        let len = RunLength {
+            warmup: run.req("warmup")?.as_u64()?,
+            measure: run.req("measure")?.as_u64()?,
+        };
+        let seed = run.req("seed")?.as_u64()?;
+        let baseline = match run.req("baseline")? {
+            Json::Null => None,
+            other => Some(other.as_str()?.to_string()),
+        };
+        let workloads = doc
+            .req("workloads")?
+            .as_arr()?
+            .iter()
+            .map(|w| Ok(WorkloadId(w.as_str()?.to_string())))
+            .collect::<Result<Vec<_>, String>>()?;
+        let schemes = doc
+            .req("schemes")?
+            .as_arr()?
+            .iter()
+            .map(scheme_from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        let cells = doc
+            .req("cells")?
+            .as_arr()?
+            .iter()
+            .map(cell_from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(SweepReport {
+            len,
+            seed,
+            baseline,
+            workloads,
+            schemes,
+            cells,
+        })
+    }
+}
+
+fn policy_token(policy: RegionPolicy) -> &'static str {
+    match policy {
+        RegionPolicy::NoBitVector => "no-bit-vector",
+        RegionPolicy::Bit8 => "bit8",
+        RegionPolicy::Bit32 => "bit32",
+        RegionPolicy::EntireRegion => "entire-region",
+        RegionPolicy::FiveBlocks => "five-blocks",
+    }
+}
+
+fn policy_from_token(token: &str) -> Result<RegionPolicy, String> {
+    RegionPolicy::ALL
+        .into_iter()
+        .find(|p| policy_token(*p) == token)
+        .ok_or_else(|| format!("unknown region policy `{token}`"))
+}
+
+fn scheme_to_json(spec: &SchemeSpec) -> Json {
+    let mut members = Vec::new();
+    match spec {
+        SchemeSpec::NoPrefetch => members.push(("kind".into(), Json::Str("no-prefetch".into()))),
+        SchemeSpec::Fdip => members.push(("kind".into(), Json::Str("fdip".into()))),
+        SchemeSpec::Boomerang { btb_entries } => {
+            members.push(("kind".into(), Json::Str("boomerang".into())));
+            members.push(("btb_entries".into(), Json::U64(*btb_entries as u64)));
+        }
+        SchemeSpec::Confluence => members.push(("kind".into(), Json::Str("confluence".into()))),
+        SchemeSpec::Ideal => members.push(("kind".into(), Json::Str("ideal".into()))),
+        SchemeSpec::Shotgun(cfg) => {
+            members.push(("kind".into(), Json::Str("shotgun".into())));
+            members.push(("ubtb".into(), Json::U64(cfg.sizing.ubtb as u64)));
+            members.push(("cbtb".into(), Json::U64(cfg.sizing.cbtb as u64)));
+            members.push(("rib".into(), Json::U64(cfg.sizing.rib as u64)));
+            members.push(("policy".into(), Json::Str(policy_token(cfg.policy).into())));
+            members.push(("ways".into(), Json::U64(cfg.ways as u64)));
+            members.push((
+                "prefetch_buffer".into(),
+                Json::U64(cfg.prefetch_buffer as u64),
+            ));
+        }
+    }
+    Json::Obj(members)
+}
+
+fn scheme_from_json(doc: &Json) -> Result<SchemeSpec, String> {
+    let as_u32 = |key: &str| -> Result<u32, String> {
+        let v = doc.req(key)?.as_u64()?;
+        u32::try_from(v).map_err(|_| format!("`{key}` out of range: {v}"))
+    };
+    match doc.req("kind")?.as_str()? {
+        "no-prefetch" => Ok(SchemeSpec::NoPrefetch),
+        "fdip" => Ok(SchemeSpec::Fdip),
+        "boomerang" => Ok(SchemeSpec::Boomerang {
+            btb_entries: as_u32("btb_entries")?,
+        }),
+        "confluence" => Ok(SchemeSpec::Confluence),
+        "ideal" => Ok(SchemeSpec::Ideal),
+        "shotgun" => Ok(SchemeSpec::Shotgun(ShotgunConfig {
+            sizing: fe_model::storage::ShotgunSizing {
+                ubtb: as_u32("ubtb")?,
+                cbtb: as_u32("cbtb")?,
+                rib: as_u32("rib")?,
+            },
+            policy: policy_from_token(doc.req("policy")?.as_str()?)?,
+            ways: as_u32("ways")?,
+            prefetch_buffer: as_u32("prefetch_buffer")?,
+        })),
+        other => Err(format!("unknown scheme kind `{other}`")),
+    }
+}
+
+fn f64_to_json(v: f64) -> Json {
+    Json::F64(v)
+}
+
+fn opt_f64_to_json(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::F64)
+}
+
+fn cell_to_json(cell: &SweepCell) -> Json {
+    let s = &cell.stats;
+    let stats = Json::Obj(vec![
+        ("cycles".into(), Json::U64(s.cycles)),
+        ("instructions".into(), Json::U64(s.instructions)),
+        ("branches".into(), Json::U64(s.branches)),
+        (
+            "unconditional_branches".into(),
+            Json::U64(s.unconditional_branches),
+        ),
+        ("stall_icache_miss".into(), Json::U64(s.stalls.icache_miss)),
+        ("stall_btb_resolve".into(), Json::U64(s.stalls.btb_resolve)),
+        ("stall_ftq_empty".into(), Json::U64(s.stalls.ftq_empty)),
+        ("stall_redirect".into(), Json::U64(s.stalls.redirect)),
+        (
+            "backend_stall_cycles".into(),
+            Json::U64(s.backend_stall_cycles),
+        ),
+        ("l1i_accesses".into(), Json::U64(s.l1i_accesses)),
+        ("l1i_misses".into(), Json::U64(s.l1i_misses)),
+        ("btb_lookups".into(), Json::U64(s.btb_lookups)),
+        ("btb_misses".into(), Json::U64(s.btb_misses)),
+        (
+            "direction_mispredicts".into(),
+            Json::U64(s.direction_mispredicts),
+        ),
+        ("misfetches".into(), Json::U64(s.misfetches)),
+        ("misfetch_cond".into(), Json::U64(s.misfetch_cond)),
+        ("misfetch_return".into(), Json::U64(s.misfetch_return)),
+        ("misfetch_uncond".into(), Json::U64(s.misfetch_uncond)),
+        ("prefetch_issued".into(), Json::U64(s.prefetch.issued)),
+        ("prefetch_useful".into(), Json::U64(s.prefetch.useful)),
+        ("prefetch_late".into(), Json::U64(s.prefetch.late)),
+        ("prefetch_wasted".into(), Json::U64(s.prefetch.wasted)),
+        ("loads".into(), Json::U64(s.loads)),
+        ("l1d_misses".into(), Json::U64(s.l1d_misses)),
+        ("l1d_fill_cycles".into(), Json::U64(s.l1d_fill_cycles)),
+        ("noc_messages".into(), Json::U64(s.noc_messages)),
+    ]);
+    let m = &cell.metrics;
+    let metrics = Json::Obj(vec![
+        ("ipc".into(), f64_to_json(m.ipc)),
+        ("l1i_mpki".into(), f64_to_json(m.l1i_mpki)),
+        ("btb_mpki".into(), f64_to_json(m.btb_mpki)),
+        ("prefetch_accuracy".into(), f64_to_json(m.prefetch_accuracy)),
+        ("l1d_fill_latency".into(), f64_to_json(m.l1d_fill_latency)),
+        ("speedup".into(), opt_f64_to_json(m.speedup)),
+        ("coverage".into(), opt_f64_to_json(m.coverage)),
+    ]);
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(cell.workload.0.clone())),
+        ("scheme".into(), scheme_to_json(&cell.scheme)),
+        ("label".into(), Json::Str(cell.label.clone())),
+        ("stats".into(), stats),
+        ("metrics".into(), metrics),
+    ])
+}
+
+fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
+    let stats_doc = doc.req("stats")?;
+    let u = |key: &str| stats_doc.req(key)?.as_u64();
+    let stats = SimStats {
+        cycles: u("cycles")?,
+        instructions: u("instructions")?,
+        branches: u("branches")?,
+        unconditional_branches: u("unconditional_branches")?,
+        stalls: fe_model::stats::StallBreakdown {
+            icache_miss: u("stall_icache_miss")?,
+            btb_resolve: u("stall_btb_resolve")?,
+            ftq_empty: u("stall_ftq_empty")?,
+            redirect: u("stall_redirect")?,
+        },
+        backend_stall_cycles: u("backend_stall_cycles")?,
+        l1i_accesses: u("l1i_accesses")?,
+        l1i_misses: u("l1i_misses")?,
+        btb_lookups: u("btb_lookups")?,
+        btb_misses: u("btb_misses")?,
+        direction_mispredicts: u("direction_mispredicts")?,
+        misfetches: u("misfetches")?,
+        misfetch_cond: u("misfetch_cond")?,
+        misfetch_return: u("misfetch_return")?,
+        misfetch_uncond: u("misfetch_uncond")?,
+        prefetch: fe_model::stats::PrefetchStats {
+            issued: u("prefetch_issued")?,
+            useful: u("prefetch_useful")?,
+            late: u("prefetch_late")?,
+            wasted: u("prefetch_wasted")?,
+        },
+        loads: u("loads")?,
+        l1d_misses: u("l1d_misses")?,
+        l1d_fill_cycles: u("l1d_fill_cycles")?,
+        noc_messages: u("noc_messages")?,
+    };
+    let metrics_doc = doc.req("metrics")?;
+    let f = |key: &str| metrics_doc.req(key)?.as_f64();
+    let opt_f = |key: &str| -> Result<Option<f64>, String> {
+        match metrics_doc.req(key)? {
+            Json::Null => Ok(None),
+            other => Ok(Some(other.as_f64()?)),
+        }
+    };
+    let metrics = CellMetrics {
+        ipc: f("ipc")?,
+        l1i_mpki: f("l1i_mpki")?,
+        btb_mpki: f("btb_mpki")?,
+        prefetch_accuracy: f("prefetch_accuracy")?,
+        l1d_fill_latency: f("l1d_fill_latency")?,
+        speedup: opt_f("speedup")?,
+        coverage: opt_f("coverage")?,
+    };
+    Ok(SweepCell {
+        workload: WorkloadId(doc.req("workload")?.as_str()?.to_string()),
+        scheme: scheme_from_json(doc.req("scheme")?)?,
+        label: doc.req("label")?.as_str()?.to_string(),
+        stats,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats(cycles: u64) -> SimStats {
+        SimStats {
+            cycles,
+            instructions: 1000,
+            branches: 100,
+            ..Default::default()
+        }
+    }
+
+    fn fake_report() -> SweepReport {
+        let schemes = vec![SchemeSpec::NoPrefetch, SchemeSpec::shotgun()];
+        let base = fake_stats(2000);
+        let fast = fake_stats(1000);
+        let cells = vec![
+            SweepCell {
+                workload: WorkloadId("wl".into()),
+                scheme: schemes[0].clone(),
+                label: "no-prefetch".into(),
+                metrics: CellMetrics::derive(&base, Some(&base)),
+                stats: base.clone(),
+            },
+            SweepCell {
+                workload: WorkloadId("wl".into()),
+                scheme: schemes[1].clone(),
+                label: "shotgun".into(),
+                metrics: CellMetrics::derive(&fast, Some(&base)),
+                stats: fast,
+            },
+        ];
+        SweepReport {
+            len: RunLength::SMOKE,
+            seed: 7,
+            baseline: Some("no-prefetch".into()),
+            workloads: vec![WorkloadId("wl".into())],
+            schemes,
+            cells,
+        }
+    }
+
+    #[test]
+    fn typed_and_labeled_lookup_agree() {
+        let report = fake_report();
+        let by_type = report.cell("wl", &SchemeSpec::shotgun());
+        let by_label = report.cell_labeled("wl", "shotgun");
+        assert_eq!(by_type, by_label);
+        assert_eq!(by_type.metrics.speedup, Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell")]
+    fn missing_cell_panics_with_key() {
+        fake_report().cell("wl", &SchemeSpec::Ideal);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = fake_report();
+        let text = report.to_json();
+        let back = SweepReport::from_json(&text).expect("parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn every_scheme_spec_round_trips() {
+        let specs = [
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Fdip,
+            SchemeSpec::Boomerang { btb_entries: 4096 },
+            SchemeSpec::Confluence,
+            SchemeSpec::Ideal,
+            SchemeSpec::shotgun(),
+            SchemeSpec::Shotgun(ShotgunConfig::for_budget(512)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(RegionPolicy::FiveBlocks)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(RegionPolicy::NoBitVector)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(1024)),
+        ];
+        for spec in specs {
+            let doc = scheme_to_json(&spec);
+            let text = doc.render();
+            let back = scheme_from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn comparison_labels_exclude_baseline() {
+        let report = fake_report();
+        assert_eq!(report.comparison_labels(), vec!["shotgun".to_string()]);
+    }
+}

@@ -1,0 +1,468 @@
+//! Minimal JSON tree, writer and parser — std-only, deterministic.
+//!
+//! [`SweepReport`](crate::SweepReport) serializes through this module
+//! so `BENCH_*.json` artifacts need no external dependencies. The
+//! writer is deterministic (object key order is preserved, floats use
+//! Rust's shortest round-trippable formatting), which is what makes
+//! "same seed ⇒ byte-identical report JSON" testable across thread
+//! counts.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers keep an integer/float distinction so `u64`
+/// counters survive the round trip exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (all in-tree counters are `u64`).
+    U64(u64),
+    /// Any other number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order is preserved and emitted verbatim.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Member lookup that errors with the missing key's name.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    /// Integer accessor (accepts integral floats).
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::U64(v) => Ok(*v),
+            Json::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+
+    /// Float accessor (accepts integers).
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::U64(v) => Ok(*v as f64),
+            Json::F64(v) => Ok(*v),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional stand-in.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut code = self.hex_escape(self.pos)?;
+                            // UTF-16 surrogate pair (foreign emitters
+                            // ASCII-escape astral-plane characters as
+                            // two \u units); a lone surrogate degrades
+                            // to U+FFFD without consuming what follows.
+                            if (0xD800..0xDC00).contains(&code)
+                                && self.bytes.get(self.pos + 5..self.pos + 7)
+                                    == Some(b"\\u".as_slice())
+                            {
+                                // The low unit's `u` sits 6 bytes past
+                                // the high unit's.
+                                if let Ok(low) = self.hex_escape(self.pos + 6) {
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        self.pos += 6;
+                                    }
+                                }
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits following the `u` at `at` of a
+    /// `\uXXXX` escape (the cursor is not moved).
+    fn hex_escape(&self, at: usize) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(at + 1..at + 5)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        std::str::from_utf8(hex)
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_nested_values() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::U64(18_446_744_073_709_551_615)),
+            ("b".into(), Json::F64(0.1)),
+            (
+                "c".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Str("x\"y".into())]),
+            ),
+            ("d".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-12, 123456.789, 2.0] {
+            let text = Json::F64(v).render();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} via {text}");
+        }
+    }
+
+    #[test]
+    fn u64_counters_survive_exactly() {
+        let v = u64::MAX - 3;
+        assert_eq!(parse(&Json::U64(v).render()).unwrap(), Json::U64(v));
+    }
+
+    #[test]
+    fn parses_escapes_and_whitespace() {
+        let parsed = parse(" { \"k\\n\" : [ 1 , -2.5 ] } ").unwrap();
+        assert_eq!(
+            parsed,
+            Json::Obj(vec![(
+                "k\n".into(),
+                Json::Arr(vec![Json::U64(1), Json::F64(-2.5)])
+            )])
+        );
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs_from_foreign_emitters() {
+        // Python's json.dump ASCII-escapes astral-plane chars this way.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Json::Str("😀".into()));
+        // Lone surrogates degrade to U+FFFD rather than erroring.
+        assert_eq!(
+            parse("\"\\ud83dx\"").unwrap(),
+            Json::Str("\u{FFFD}x".into())
+        );
+        assert_eq!(
+            parse("\"\\ud83d\\u0041\"").unwrap(),
+            Json::Str("\u{FFFD}A".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let text = "{\"z\": 1, \"a\": 2}";
+        let doc = parse(text).unwrap();
+        if let Json::Obj(members) = &doc {
+            assert_eq!(members[0].0, "z");
+            assert_eq!(members[1].0, "a");
+        } else {
+            panic!("expected object");
+        }
+    }
+}

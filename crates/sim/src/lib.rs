@@ -7,22 +7,33 @@
 //! speedup over a no-prefetch baseline, front-end stall-cycle coverage,
 //! L1-I / BTB MPKI, prefetch accuracy, and L1-D fill latency.
 //!
+//! The entry point is the [`Experiment`] session builder, which runs a
+//! (workload × scheme) sweep across worker threads and returns a typed
+//! [`SweepReport`] with derived metrics and JSON emission. The one-cell
+//! [`run_scheme`] wrapper remains for single measurements.
+//!
 //! ```no_run
 //! use fe_cfg::workloads;
 //! use fe_model::MachineConfig;
-//! use fe_sim::{run_scheme, RunLength, SchemeSpec};
+//! use fe_sim::{Experiment, RunLength, SchemeSpec};
 //!
-//! let program = workloads::nutch().build();
-//! let machine = MachineConfig::table3();
-//! let base = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, RunLength::SMOKE, 7);
-//! let shot = run_scheme(&program, &SchemeSpec::shotgun(), &machine, RunLength::SMOKE, 7);
-//! println!("speedup {:.2}", fe_model::stats::speedup(&base, &shot));
+//! let report = Experiment::new(MachineConfig::table3())
+//!     .workload(workloads::nutch())
+//!     .schemes([SchemeSpec::NoPrefetch, SchemeSpec::shotgun()])
+//!     .len(RunLength::SMOKE)
+//!     .seed(7)
+//!     .run();
+//! let cell = report.cell("nutch", &SchemeSpec::shotgun());
+//! println!("speedup {:.2}", cell.metrics.speedup.unwrap());
 //! ```
 
 pub mod engine;
+pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod runner;
 
 pub use engine::{EngineScheme, Simulator};
-pub use report::{coverage_series, metric_series, render_table, speedup_series, Series};
-pub use runner::{cell, run_scheme, run_suite, CellResult, RunLength, SchemeSpec};
+pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
+pub use report::{render_table, Series};
+pub use runner::{run_scheme, RunLength, SchemeSpec};

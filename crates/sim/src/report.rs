@@ -1,9 +1,10 @@
-//! Report formatting: the tables the figure binaries print.
+//! Report presentation: per-figure series extracted from a
+//! [`SweepReport`] and the aligned text tables the binaries print.
 
-use fe_model::stats::{arithmetic_mean, coverage, geometric_mean, speedup};
+use fe_model::stats::{arithmetic_mean, geometric_mean};
 use fe_model::SimStats;
 
-use crate::runner::{cell, CellResult};
+use crate::experiment::SweepReport;
 
 /// A named series of per-workload values plus an aggregate — one group
 /// of bars in a paper figure.
@@ -17,75 +18,77 @@ pub struct Series {
     pub aggregate: f64,
 }
 
-/// Builds speedup-over-baseline series (Figs. 1, 7, 9, 12, 13).
-pub fn speedup_series(
-    results: &[CellResult],
-    workloads: &[&str],
-    baseline: &str,
-    schemes: &[&str],
-) -> Vec<Series> {
-    schemes
-        .iter()
-        .map(|scheme| {
-            let values: Vec<(String, f64)> = workloads
-                .iter()
-                .map(|wl| {
-                    let base = &cell(results, wl, baseline).stats;
-                    let s = &cell(results, wl, scheme).stats;
-                    (wl.to_string(), speedup(base, s))
-                })
-                .collect();
-            let aggregate = geometric_mean(&values.iter().map(|v| v.1).collect::<Vec<_>>());
-            Series { label: scheme.to_string(), values, aggregate }
-        })
-        .collect()
-}
+impl SweepReport {
+    fn series_of(
+        &self,
+        workloads: &[&str],
+        schemes: &[&str],
+        value: impl Fn(&crate::experiment::SweepCell) -> f64,
+        aggregate_geo: bool,
+    ) -> Vec<Series> {
+        schemes
+            .iter()
+            .map(|scheme| {
+                let values: Vec<(String, f64)> = workloads
+                    .iter()
+                    .map(|wl| (wl.to_string(), value(self.cell_labeled(wl, scheme))))
+                    .collect();
+                let vs: Vec<f64> = values.iter().map(|v| v.1).collect();
+                let aggregate = if aggregate_geo {
+                    geometric_mean(&vs)
+                } else {
+                    arithmetic_mean(&vs)
+                };
+                Series {
+                    label: scheme.to_string(),
+                    values,
+                    aggregate,
+                }
+            })
+            .collect()
+    }
 
-/// Builds front-end stall-cycle coverage series (Figs. 6, 8).
-pub fn coverage_series(
-    results: &[CellResult],
-    workloads: &[&str],
-    baseline: &str,
-    schemes: &[&str],
-) -> Vec<Series> {
-    schemes
-        .iter()
-        .map(|scheme| {
-            let values: Vec<(String, f64)> = workloads
-                .iter()
-                .map(|wl| {
-                    let base = &cell(results, wl, baseline).stats;
-                    let s = &cell(results, wl, scheme).stats;
-                    (wl.to_string(), coverage(base, s))
-                })
-                .collect();
-            let aggregate = arithmetic_mean(&values.iter().map(|v| v.1).collect::<Vec<_>>());
-            Series { label: scheme.to_string(), values, aggregate }
-        })
-        .collect()
-}
+    /// Speedup-over-baseline series (Figs. 1, 7, 9, 12, 13). Panics if
+    /// the sweep ran without a baseline scheme.
+    pub fn speedup_series(&self, workloads: &[&str], schemes: &[&str]) -> Vec<Series> {
+        self.series_of(
+            workloads,
+            schemes,
+            |c| {
+                c.metrics
+                    .speedup
+                    .expect("sweep has no baseline scheme for speedups")
+            },
+            true,
+        )
+    }
 
-/// Builds series from an arbitrary per-cell metric (accuracy, fill
-/// latency, MPKI, ...).
-pub fn metric_series(
-    results: &[CellResult],
-    workloads: &[&str],
-    schemes: &[&str],
-    metric: impl Fn(&SimStats) -> f64,
-    aggregate_geo: bool,
-) -> Vec<Series> {
-    schemes
-        .iter()
-        .map(|scheme| {
-            let values: Vec<(String, f64)> = workloads
-                .iter()
-                .map(|wl| (wl.to_string(), metric(&cell(results, wl, scheme).stats)))
-                .collect();
-            let vs: Vec<f64> = values.iter().map(|v| v.1).collect();
-            let aggregate = if aggregate_geo { geometric_mean(&vs) } else { arithmetic_mean(&vs) };
-            Series { label: scheme.to_string(), values, aggregate }
-        })
-        .collect()
+    /// Front-end stall-cycle coverage series (Figs. 6, 8). Panics if
+    /// the sweep ran without a baseline scheme.
+    pub fn coverage_series(&self, workloads: &[&str], schemes: &[&str]) -> Vec<Series> {
+        self.series_of(
+            workloads,
+            schemes,
+            |c| {
+                c.metrics
+                    .coverage
+                    .expect("sweep has no baseline scheme for coverage")
+            },
+            false,
+        )
+    }
+
+    /// Series from an arbitrary per-cell statistic (accuracy, fill
+    /// latency, MPKI, ...).
+    pub fn metric_series(
+        &self,
+        workloads: &[&str],
+        schemes: &[&str],
+        metric: impl Fn(&SimStats) -> f64,
+        aggregate_geo: bool,
+    ) -> Vec<Series> {
+        self.series_of(workloads, schemes, |c| metric(&c.stats), aggregate_geo)
+    }
 }
 
 /// Renders series as an aligned text table: workloads as rows, series
@@ -123,36 +126,67 @@ pub fn render_table(title: &str, series: &[Series], aggregate_name: &str, percen
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::{CellMetrics, SweepCell, WorkloadId};
+    use crate::runner::{RunLength, SchemeSpec};
+    use fe_model::stats::{coverage, speedup};
 
     fn stats(cycles: u64, instrs: u64, icache_stalls: u64) -> SimStats {
-        let mut s = SimStats { cycles, instructions: instrs, ..Default::default() };
+        let mut s = SimStats {
+            cycles,
+            instructions: instrs,
+            ..Default::default()
+        };
         s.stalls.icache_miss = icache_stalls;
         s
     }
 
-    fn fake_results() -> Vec<CellResult> {
-        let mut out = Vec::new();
-        for (wl, base_cycles, fast_cycles) in
-            [("a", 2000u64, 1000u64), ("b", 3000, 1500)]
-        {
-            out.push(CellResult {
-                workload: wl.into(),
-                scheme: "base".into(),
-                stats: stats(base_cycles, 1000, 400),
+    fn metrics(s: &SimStats, base: &SimStats) -> CellMetrics {
+        CellMetrics {
+            ipc: s.ipc(),
+            l1i_mpki: s.l1i_mpki(),
+            btb_mpki: s.btb_mpki(),
+            prefetch_accuracy: s.prefetch_accuracy(),
+            l1d_fill_latency: s.avg_l1d_fill_latency(),
+            speedup: Some(speedup(base, s)),
+            coverage: Some(coverage(base, s)),
+        }
+    }
+
+    fn fake_report() -> SweepReport {
+        let schemes = vec![SchemeSpec::NoPrefetch, SchemeSpec::Ideal];
+        let mut cells = Vec::new();
+        for (wl, base_cycles, fast_cycles) in [("a", 2000u64, 1000u64), ("b", 3000, 1500)] {
+            let base = stats(base_cycles, 1000, 400);
+            let fast = stats(fast_cycles, 1000, 100);
+            cells.push(SweepCell {
+                workload: WorkloadId(wl.into()),
+                scheme: schemes[0].clone(),
+                label: "base".into(),
+                metrics: metrics(&base, &base),
+                stats: base.clone(),
             });
-            out.push(CellResult {
-                workload: wl.into(),
-                scheme: "fast".into(),
-                stats: stats(fast_cycles, 1000, 100),
+            cells.push(SweepCell {
+                workload: WorkloadId(wl.into()),
+                scheme: schemes[1].clone(),
+                label: "fast".into(),
+                metrics: metrics(&fast, &base),
+                stats: fast,
             });
         }
-        out
+        SweepReport {
+            len: RunLength::SMOKE,
+            seed: 0,
+            baseline: Some("base".into()),
+            workloads: vec![WorkloadId("a".into()), WorkloadId("b".into())],
+            schemes,
+            cells,
+        }
     }
 
     #[test]
     fn speedup_series_computes_gmean() {
-        let results = fake_results();
-        let series = speedup_series(&results, &["a", "b"], "base", &["fast"]);
+        let report = fake_report();
+        let series = report.speedup_series(&["a", "b"], &["fast"]);
         assert_eq!(series.len(), 1);
         assert!((series[0].values[0].1 - 2.0).abs() < 1e-12);
         assert!((series[0].aggregate - 2.0).abs() < 1e-12);
@@ -160,24 +194,23 @@ mod tests {
 
     #[test]
     fn coverage_series_computes_mean() {
-        let results = fake_results();
-        let series = coverage_series(&results, &["a", "b"], "base", &["fast"]);
+        let report = fake_report();
+        let series = report.coverage_series(&["a", "b"], &["fast"]);
         assert!((series[0].values[0].1 - 0.75).abs() < 1e-12);
         assert!((series[0].aggregate - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn metric_series_applies_function() {
-        let results = fake_results();
-        let series =
-            metric_series(&results, &["a", "b"], &["base"], |s| s.ipc(), false);
+        let report = fake_report();
+        let series = report.metric_series(&["a", "b"], &["base"], |s| s.ipc(), false);
         assert!((series[0].values[0].1 - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn table_renders_all_rows() {
-        let results = fake_results();
-        let series = speedup_series(&results, &["a", "b"], "base", &["fast"]);
+        let report = fake_report();
+        let series = report.speedup_series(&["a", "b"], &["fast"]);
         let table = render_table("Figure X", &series, "gmean", false);
         assert!(table.contains("Figure X"));
         assert!(table.contains("gmean"));

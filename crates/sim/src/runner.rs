@@ -1,9 +1,9 @@
-//! Experiment runner: schemes by name, run-length control, and the
-//! workload x scheme sweep harness every figure binary builds on.
+//! Scheme specifications, run-length control, and the one-cell
+//! `run_scheme` convenience the `Experiment` sweep API builds on.
 
-use fe_cfg::{Program, WorkloadSpec};
+use fe_cfg::Program;
 use fe_model::{MachineConfig, SimStats};
-use shotgun::{ShotgunConfig, ShotgunPrefetcher};
+use shotgun::{RegionPolicy, ShotgunConfig, ShotgunPrefetcher};
 
 use fe_baselines::{Boomerang, Confluence, ConfluenceConfig, Fdip, NoPrefetch};
 
@@ -41,7 +41,9 @@ impl SchemeSpec {
         SchemeSpec::Shotgun(ShotgunConfig::default())
     }
 
-    /// Display label used in the figures.
+    /// Display label used in the figures. Distinct specs get distinct
+    /// labels (the `Experiment` API relies on this to key cells), so
+    /// non-default Shotgun sizings are spelled out.
     pub fn label(&self) -> String {
         match self {
             SchemeSpec::NoPrefetch => "no-prefetch".into(),
@@ -51,7 +53,33 @@ impl SchemeSpec {
             SchemeSpec::Confluence => "confluence".into(),
             SchemeSpec::Ideal => "ideal".into(),
             SchemeSpec::Shotgun(cfg) if *cfg == ShotgunConfig::default() => "shotgun".into(),
-            SchemeSpec::Shotgun(cfg) => format!("shotgun-{}", cfg.policy.label()),
+            SchemeSpec::Shotgun(cfg) => {
+                let mut label = String::from("shotgun");
+                // The sizing a default-budget config would have under
+                // this policy (NoBitVector legitimately grows the
+                // U-BTB; anything else is a bespoke sizing).
+                let mut expected = ShotgunConfig::default().sizing;
+                if cfg.policy == RegionPolicy::NoBitVector {
+                    expected.ubtb = fe_model::storage::no_bit_vector_entries(expected.ubtb);
+                }
+                if cfg.sizing != expected {
+                    label.push_str(&format!(
+                        "-{}u{}c{}r",
+                        cfg.sizing.ubtb, cfg.sizing.cbtb, cfg.sizing.rib
+                    ));
+                }
+                if cfg.policy != RegionPolicy::Bit8 {
+                    label.push_str(&format!("-{}", cfg.policy.label()));
+                }
+                let default = ShotgunConfig::default();
+                if cfg.ways != default.ways {
+                    label.push_str(&format!("-{}w", cfg.ways));
+                }
+                if cfg.prefetch_buffer != default.prefetch_buffer {
+                    label.push_str(&format!("-pb{}", cfg.prefetch_buffer));
+                }
+                label
+            }
         }
     }
 
@@ -67,9 +95,11 @@ impl SchemeSpec {
                 machine.front_end.btb_entries as usize,
                 ways,
             ))),
-            SchemeSpec::Boomerang { btb_entries } => EngineScheme::Real(Box::new(
-                Boomerang::new(*btb_entries as usize, ways, machine.front_end.btb_prefetch_buffer as usize),
-            )),
+            SchemeSpec::Boomerang { btb_entries } => EngineScheme::Real(Box::new(Boomerang::new(
+                *btb_entries as usize,
+                ways,
+                machine.front_end.btb_prefetch_buffer as usize,
+            ))),
             SchemeSpec::Confluence => {
                 EngineScheme::Real(Box::new(Confluence::new(ConfluenceConfig::default())))
             }
@@ -94,17 +124,22 @@ pub struct RunLength {
 
 impl RunLength {
     /// Default experiment length: 3M warmup + 12M measured.
-    pub const DEFAULT: RunLength = RunLength { warmup: 3_000_000, measure: 12_000_000 };
+    pub const DEFAULT: RunLength = RunLength {
+        warmup: 3_000_000,
+        measure: 12_000_000,
+    };
 
     /// Short length for tests.
-    pub const SMOKE: RunLength = RunLength { warmup: 200_000, measure: 500_000 };
+    pub const SMOKE: RunLength = RunLength {
+        warmup: 200_000,
+        measure: 500_000,
+    };
 
     /// Reads `SHOTGUN_WARMUP` / `SHOTGUN_INSTRS` from the environment,
     /// falling back to `self` — the figure binaries' precision knob.
     pub fn from_env(self) -> RunLength {
-        let parse = |name: &str| -> Option<u64> {
-            std::env::var(name).ok()?.replace('_', "").parse().ok()
-        };
+        let parse =
+            |name: &str| -> Option<u64> { std::env::var(name).ok()?.replace('_', "").parse().ok() };
         RunLength {
             warmup: parse("SHOTGUN_WARMUP").unwrap_or(self.warmup),
             measure: parse("SHOTGUN_INSTRS").unwrap_or(self.measure),
@@ -112,7 +147,10 @@ impl RunLength {
     }
 }
 
-/// Runs one scheme over one program.
+/// Runs one scheme over one program — the one-cell convenience wrapper
+/// around the simulator. Multi-cell sweeps should use
+/// [`Experiment`](crate::Experiment), which parallelizes and derives
+/// metrics.
 pub fn run_scheme(
     program: &Program,
     spec: &SchemeSpec,
@@ -125,46 +163,47 @@ pub fn run_scheme(
     sim.run(len.warmup, len.measure)
 }
 
-/// Result of one (workload, scheme) cell.
-#[derive(Clone, Debug)]
-pub struct CellResult {
-    /// Workload name.
-    pub workload: String,
-    /// Scheme label.
-    pub scheme: String,
-    /// Measured statistics.
-    pub stats: SimStats,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Runs a workload x scheme sweep. Programs are built once per
-/// workload; every scheme sees the same executor seed, hence the same
-/// retired instruction stream.
-pub fn run_suite(
-    workloads: &[WorkloadSpec],
-    schemes: &[SchemeSpec],
-    machine: &MachineConfig,
-    len: RunLength,
-    seed: u64,
-) -> Vec<CellResult> {
-    let mut out = Vec::with_capacity(workloads.len() * schemes.len());
-    for wl in workloads {
-        let program = wl.build();
-        for scheme in schemes {
-            let stats = run_scheme(&program, scheme, machine, len, seed);
-            out.push(CellResult {
-                workload: wl.name.clone(),
-                scheme: scheme.label(),
-                stats,
-            });
+    #[test]
+    fn distinct_shotgun_configs_get_distinct_labels() {
+        let specs = [
+            SchemeSpec::shotgun(),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(64)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(1024)),
+            SchemeSpec::Shotgun(ShotgunConfig::for_budget(512)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(RegionPolicy::NoBitVector)),
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(RegionPolicy::FiveBlocks)),
+            SchemeSpec::Shotgun(ShotgunConfig {
+                ways: 8,
+                ..ShotgunConfig::default()
+            }),
+            SchemeSpec::Shotgun(ShotgunConfig {
+                prefetch_buffer: 64,
+                ..ShotgunConfig::default()
+            }),
+        ];
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        for (i, l) in labels.iter().enumerate() {
+            assert!(!labels[..i].contains(l), "duplicate label {l}");
         }
     }
-    out
-}
 
-/// Finds a cell in a sweep result.
-pub fn cell<'a>(results: &'a [CellResult], workload: &str, scheme: &str) -> &'a CellResult {
-    results
-        .iter()
-        .find(|c| c.workload == workload && c.scheme == scheme)
-        .unwrap_or_else(|| panic!("missing cell {workload}/{scheme}"))
+    #[test]
+    fn canonical_configs_keep_short_labels() {
+        assert_eq!(SchemeSpec::shotgun().label(), "shotgun");
+        assert_eq!(
+            SchemeSpec::Shotgun(ShotgunConfig::for_budget(2048)).label(),
+            "shotgun"
+        );
+        assert_eq!(SchemeSpec::boomerang().label(), "boomerang");
+        assert_eq!(
+            SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(RegionPolicy::NoBitVector))
+                .label(),
+            "shotgun-No bit vector",
+            "policy-only variants keep the figure labels"
+        );
+    }
 }

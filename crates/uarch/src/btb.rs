@@ -40,7 +40,9 @@ impl Btb {
     /// Creates a BTB with `entries` total entries and `ways`
     /// associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        Btb { map: SetAssocMap::new(entries, ways) }
+        Btb {
+            map: SetAssocMap::new(entries, ways),
+        }
     }
 
     /// Looks up the basic block starting at `pc`, promoting it in the
@@ -67,7 +69,9 @@ impl Btb {
             kind: block.kind,
             target: block.target,
         };
-        self.map.insert(key(block.start), payload).map(|(k, _)| Addr::new(k << 2))
+        self.map
+            .insert(key(block.start), payload)
+            .map(|(k, _)| Addr::new(k << 2))
     }
 
     /// Resident entry count.
@@ -103,7 +107,12 @@ mod tests {
     use super::*;
 
     fn bb(start: u64, target: u64) -> BasicBlock {
-        BasicBlock::new(Addr::new(start), 4, BranchKind::Conditional, Addr::new(target))
+        BasicBlock::new(
+            Addr::new(start),
+            4,
+            BranchKind::Conditional,
+            Addr::new(target),
+        )
     }
 
     #[test]

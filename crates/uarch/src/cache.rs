@@ -82,7 +82,9 @@ impl LineCache {
             Some(meta) => {
                 let first = meta.prefetched && !meta.demand_used;
                 meta.demand_used = true;
-                AccessOutcome::Hit { first_use_of_prefetch: first }
+                AccessOutcome::Hit {
+                    first_use_of_prefetch: first,
+                }
             }
             None => AccessOutcome::Miss,
         }
@@ -97,7 +99,10 @@ impl LineCache {
     /// Installs a fill. `prefetched` tags lines brought in by a
     /// prefetcher rather than a demand miss.
     pub fn install(&mut self, line: LineAddr, prefetched: bool) -> Option<Evicted> {
-        let meta = LineMeta { prefetched, demand_used: false };
+        let meta = LineMeta {
+            prefetched,
+            demand_used: false,
+        };
         self.map.insert(line.get(), meta).map(|(key, old)| Evicted {
             line: LineAddr::from_index(key),
             wasted_prefetch: old.prefetched && !old.demand_used,
@@ -131,7 +136,11 @@ mod tests {
 
     fn tiny() -> LineCache {
         // 1 KiB, 2-way, 64 B lines -> 16 lines, 8 sets.
-        LineCache::new(CacheConfig { kib: 1, ways: 2, latency: 2 })
+        LineCache::new(CacheConfig {
+            kib: 1,
+            ways: 2,
+            latency: 2,
+        })
     }
 
     fn line(i: u64) -> LineAddr {
@@ -143,15 +152,30 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.demand_access(line(3)), AccessOutcome::Miss);
         assert!(c.install(line(3), false).is_none());
-        assert_eq!(c.demand_access(line(3)), AccessOutcome::Hit { first_use_of_prefetch: false });
+        assert_eq!(
+            c.demand_access(line(3)),
+            AccessOutcome::Hit {
+                first_use_of_prefetch: false
+            }
+        );
     }
 
     #[test]
     fn prefetch_first_use_reported_once() {
         let mut c = tiny();
         c.install(line(5), true);
-        assert_eq!(c.demand_access(line(5)), AccessOutcome::Hit { first_use_of_prefetch: true });
-        assert_eq!(c.demand_access(line(5)), AccessOutcome::Hit { first_use_of_prefetch: false });
+        assert_eq!(
+            c.demand_access(line(5)),
+            AccessOutcome::Hit {
+                first_use_of_prefetch: true
+            }
+        );
+        assert_eq!(
+            c.demand_access(line(5)),
+            AccessOutcome::Hit {
+                first_use_of_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -162,7 +186,10 @@ mod tests {
         c.install(line(8), false);
         let evicted = c.install(line(16), false).expect("two-way set overflows");
         assert_eq!(evicted.line, line(0));
-        assert!(evicted.wasted_prefetch, "untouched prefetched line is wasted");
+        assert!(
+            evicted.wasted_prefetch,
+            "untouched prefetched line is wasted"
+        );
     }
 
     #[test]
@@ -192,7 +219,11 @@ mod tests {
     fn capacity_matches_geometry() {
         let c = tiny();
         assert_eq!(c.capacity(), 16);
-        let big = LineCache::new(CacheConfig { kib: 32, ways: 2, latency: 2 });
+        let big = LineCache::new(CacheConfig {
+            kib: 32,
+            ways: 2,
+            latency: 2,
+        });
         assert_eq!(big.capacity(), 512);
     }
 
@@ -202,6 +233,9 @@ mod tests {
         c.install(line(0), false);
         c.install(line(8), false);
         let evicted = c.install(line(16), false).unwrap();
-        assert!(!evicted.wasted_prefetch, "demand lines are never wasted prefetches");
+        assert!(
+            !evicted.wasted_prefetch,
+            "demand lines are never wasted prefetches"
+        );
     }
 }

@@ -73,7 +73,11 @@ impl InflightFills {
         match self.by_line.entry(line.get()) {
             Entry::Occupied(_) => false,
             Entry::Vacant(v) => {
-                v.insert(FillInfo { ready, prefetch, demand_merged: false });
+                v.insert(FillInfo {
+                    ready,
+                    prefetch,
+                    demand_merged: false,
+                });
                 self.ready_heap.push(Reverse((ready, line.get())));
                 true
             }
@@ -179,7 +183,10 @@ mod tests {
     fn duplicate_requests_rejected() {
         let mut m = InflightFills::new(4);
         assert!(m.request(line(1), 10, true));
-        assert!(!m.request(line(1), 20, false), "second request must merge, not re-issue");
+        assert!(
+            !m.request(line(1), 20, false),
+            "second request must merge, not re-issue"
+        );
         assert_eq!(m.len(), 1);
     }
 
@@ -191,7 +198,10 @@ mod tests {
         assert!(m.is_full());
         assert!(!m.request(line(3), 10, true));
         m.pop_ready(10).count();
-        assert!(m.request(line(3), 20, true), "capacity frees after completion");
+        assert!(
+            m.request(line(3), 20, true),
+            "capacity frees after completion"
+        );
     }
 
     #[test]
@@ -220,7 +230,11 @@ mod tests {
         assert!(m.request(line(5), 10, true));
         m.pop_ready(10).count();
         assert!(m.request(line(5), 40, false));
-        assert_eq!(m.pop_ready(20).count(), 0, "stale heap entry must not complete early");
+        assert_eq!(
+            m.pop_ready(20).count(),
+            0,
+            "stale heap entry must not complete early"
+        );
         assert_eq!(m.pop_ready(40).count(), 1);
     }
 }

@@ -104,7 +104,10 @@ impl MemorySystem {
 
     /// Requests an instruction line; returns the completion cycle.
     pub fn request_instr(&mut self, now: u64, line: LineAddr, class: MemClass) -> u64 {
-        debug_assert!(matches!(class, MemClass::InstrDemand | MemClass::InstrPrefetch));
+        debug_assert!(matches!(
+            class,
+            MemClass::InstrDemand | MemClass::InstrPrefetch
+        ));
         let issued = self.enqueue(now);
         let mut latency = self.llc_round_trip() as u64;
         if self.llc.get(line.get()).is_none() {
@@ -200,11 +203,16 @@ mod tests {
         let mut m = mem();
         let line = LineAddr::containing(0x2000);
         m.request_instr(0, line, MemClass::InstrDemand); // warm the line
+
         // A burst of requests at the same cycle must serialize on the
         // link: completion times strictly increase.
         let mut last = 0;
         for i in 0..16 {
-            let done = m.request_instr(500, LineAddr::containing(0x2000 + i * 64), MemClass::InstrPrefetch);
+            let done = m.request_instr(
+                500,
+                LineAddr::containing(0x2000 + i * 64),
+                MemClass::InstrPrefetch,
+            );
             assert!(done >= last, "burst must not reorder");
             last = done;
         }

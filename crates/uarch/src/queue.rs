@@ -27,7 +27,10 @@ impl<T> BoundedQueue<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be non-zero");
-        BoundedQueue { items: VecDeque::with_capacity(capacity), capacity }
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Appends `item`; returns `false` (dropping nothing) when full.

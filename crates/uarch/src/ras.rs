@@ -55,7 +55,13 @@ impl ReturnAddressStack {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be non-zero");
         ReturnAddressStack {
-            slots: vec![RasEntry { ret: Addr::NULL, call_block: Addr::NULL }; capacity],
+            slots: vec![
+                RasEntry {
+                    ret: Addr::NULL,
+                    call_block: Addr::NULL
+                };
+                capacity
+            ],
             top: 0,
             len: 0,
         }
@@ -117,7 +123,10 @@ mod tests {
     use super::*;
 
     fn e(v: u64) -> RasEntry {
-        RasEntry { ret: Addr::new(v), call_block: Addr::new(v + 4) }
+        RasEntry {
+            ret: Addr::new(v),
+            call_block: Addr::new(v + 4),
+        }
     }
 
     #[test]
@@ -171,9 +180,16 @@ mod tests {
     #[test]
     fn carries_call_block_for_shotgun() {
         let mut ras = ReturnAddressStack::new(4);
-        ras.push(RasEntry { ret: Addr::new(0x2000), call_block: Addr::new(0x1ff0) });
+        ras.push(RasEntry {
+            ret: Addr::new(0x2000),
+            call_block: Addr::new(0x1ff0),
+        });
         let top = ras.pop().unwrap();
-        assert_eq!(top.call_block, Addr::new(0x1ff0), "U-BTB key for the return footprint");
+        assert_eq!(
+            top.call_block,
+            Addr::new(0x1ff0),
+            "U-BTB key for the return footprint"
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl FrontEndCtx<'_> {
         if self.l1i.probe(line) || self.inflight.contains(line) || self.inflight.is_full() {
             return false;
         }
-        let ready = self.mem.request_instr(self.now, line, MemClass::InstrPrefetch);
+        let ready = self
+            .mem
+            .request_instr(self.now, line, MemClass::InstrPrefetch);
         if self.inflight.request(line, ready, true) {
             *self.prefetches_issued += 1;
             true
@@ -93,7 +95,9 @@ impl FrontEndCtx<'_> {
         if let Some(fill) = self.inflight.lookup(line) {
             return fill.ready;
         }
-        let ready = self.mem.request_instr(self.now, line, MemClass::InstrDemand);
+        let ready = self
+            .mem
+            .request_instr(self.now, line, MemClass::InstrDemand);
         // Track it like a prefetch so the fill also lands in the L1-I
         // (Boomerang reuses the fetched block for the cache too).
         let _ = self.inflight.request(line, ready, true);
@@ -199,22 +203,49 @@ pub fn follow_block(block: &BasicBlock, ctx: &mut FrontEndCtx) -> PredictedBlock
         BranchKind::Conditional => {
             let hist = ctx.tage.spec_snapshot();
             let taken = ctx.tage.predict(block.branch_pc());
-            ctx.pred_trace.push_back(PredRecord { block_start: block.start, taken, hist });
+            ctx.pred_trace.push_back(PredRecord {
+                block_start: block.start,
+                taken,
+                hist,
+            });
             ctx.tage.push_spec(taken);
-            let next_pc = if taken { block.target } else { block.fall_through() };
-            PredictedBlock { block: *block, taken, next_pc }
+            let next_pc = if taken {
+                block.target
+            } else {
+                block.fall_through()
+            };
+            PredictedBlock {
+                block: *block,
+                taken,
+                next_pc,
+            }
         }
         BranchKind::Call | BranchKind::Trap => {
-            ctx.spec_ras.push(RasEntry { ret: block.fall_through(), call_block: block.start });
-            PredictedBlock { block: *block, taken: true, next_pc: block.target }
+            ctx.spec_ras.push(RasEntry {
+                ret: block.fall_through(),
+                call_block: block.start,
+            });
+            PredictedBlock {
+                block: *block,
+                taken: true,
+                next_pc: block.target,
+            }
         }
         BranchKind::Return | BranchKind::TrapReturn => {
             // An empty RAS yields no target; predict the fall-through,
             // which will misfetch and redirect.
             let next_pc = ctx.spec_ras.pop().map_or(block.fall_through(), |e| e.ret);
-            PredictedBlock { block: *block, taken: true, next_pc }
+            PredictedBlock {
+                block: *block,
+                taken: true,
+                next_pc,
+            }
         }
-        BranchKind::Jump => PredictedBlock { block: *block, taken: true, next_pc: block.target },
+        BranchKind::Jump => PredictedBlock {
+            block: *block,
+            taken: true,
+            next_pc: block.target,
+        },
     }
 }
 
@@ -281,10 +312,13 @@ mod tests {
         let mut ctx = rig.ctx();
         assert!(ctx.prefetch_line(line), "cold line must issue");
         assert!(!ctx.prefetch_line(line), "in-flight line must merge");
-        drop(ctx);
+        let _ = ctx;
         rig.l1i.install(LineAddr::containing(0x2000), false);
         let mut ctx = rig.ctx();
-        assert!(!ctx.prefetch_line(LineAddr::containing(0x2000)), "resident line filtered");
+        assert!(
+            !ctx.prefetch_line(LineAddr::containing(0x2000)),
+            "resident line filtered"
+        );
         assert_eq!(*ctx.prefetches_issued, 1);
     }
 
@@ -311,8 +345,7 @@ mod tests {
     #[test]
     fn follow_block_pushes_and_pops_ras() {
         let mut rig = Rig::new();
-        let call =
-            BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
+        let call = BasicBlock::new(Addr::new(0x1000), 4, BranchKind::Call, Addr::new(0x8000));
         let ret = BasicBlock::new(Addr::new(0x8000), 2, BranchKind::Return, Addr::NULL);
         let mut ctx = rig.ctx();
         let p1 = follow_block(&call, &mut ctx);
@@ -324,8 +357,12 @@ mod tests {
     #[test]
     fn follow_block_conditional_consults_tage() {
         let mut rig = Rig::new();
-        let cond =
-            BasicBlock::new(Addr::new(0x2000), 4, BranchKind::Conditional, Addr::new(0x2100));
+        let cond = BasicBlock::new(
+            Addr::new(0x2000),
+            4,
+            BranchKind::Conditional,
+            Addr::new(0x2100),
+        );
         // Train TAGE strongly not-taken for this PC.
         for _ in 0..32 {
             rig.tage.retire(cond.branch_pc(), false);
@@ -342,6 +379,10 @@ mod tests {
         let ret = BasicBlock::new(Addr::new(0x9000), 2, BranchKind::Return, Addr::NULL);
         let mut ctx = rig.ctx();
         let p = follow_block(&ret, &mut ctx);
-        assert_eq!(p.next_pc, ret.fall_through(), "garbage prediction, will misfetch");
+        assert_eq!(
+            p.next_pc,
+            ret.fall_through(),
+            "garbage prediction, will misfetch"
+        );
     }
 }

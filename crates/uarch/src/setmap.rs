@@ -37,7 +37,10 @@ impl<V> SetAssocMap<V> {
     ///
     /// Panics if `entries` or `ways` is zero.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries > 0 && ways > 0, "set-associative geometry must be non-zero");
+        assert!(
+            entries > 0 && ways > 0,
+            "set-associative geometry must be non-zero"
+        );
         let ways = ways.min(entries);
         let sets = entries.div_ceil(ways);
         SetAssocMap {
@@ -72,10 +75,13 @@ impl<V> SetAssocMap<V> {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(key);
-        self.sets[set].iter_mut().find(|s| s.key == key).map(|slot| {
-            slot.last_use = stamp;
-            &slot.value
-        })
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.key == key)
+            .map(|slot| {
+                slot.last_use = stamp;
+                &slot.value
+            })
     }
 
     /// Mutable lookup, promoting on hit.
@@ -83,23 +89,32 @@ impl<V> SetAssocMap<V> {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(key);
-        self.sets[set].iter_mut().find(|s| s.key == key).map(|slot| {
-            slot.last_use = stamp;
-            &mut slot.value
-        })
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.key == key)
+            .map(|slot| {
+                slot.last_use = stamp;
+                &mut slot.value
+            })
     }
 
     /// Non-promoting probe (a coherence-style lookup that must not
     /// disturb replacement state).
     pub fn peek(&self, key: u64) -> Option<&V> {
         let set = self.set_of(key);
-        self.sets[set].iter().find(|s| s.key == key).map(|s| &s.value)
+        self.sets[set]
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| &s.value)
     }
 
     /// Non-promoting mutable probe.
     pub fn peek_mut(&mut self, key: u64) -> Option<&mut V> {
         let set = self.set_of(key);
-        self.sets[set].iter_mut().find(|s| s.key == key).map(|s| &mut s.value)
+        self.sets[set]
+            .iter_mut()
+            .find(|s| s.key == key)
+            .map(|s| &mut s.value)
     }
 
     /// Inserts (or overwrites) `key`, returning the evicted victim if
@@ -115,7 +130,11 @@ impl<V> SetAssocMap<V> {
             return None;
         }
         if set.len() < self.ways {
-            set.push(Slot { key, last_use: stamp, value });
+            set.push(Slot {
+                key,
+                last_use: stamp,
+                value,
+            });
             return None;
         }
         // Evict the least recently used way.
@@ -125,7 +144,14 @@ impl<V> SetAssocMap<V> {
             .min_by_key(|(_, s)| s.last_use)
             .map(|(i, _)| i)
             .expect("full set has a victim");
-        let old = std::mem::replace(&mut set[victim], Slot { key, last_use: stamp, value });
+        let old = std::mem::replace(
+            &mut set[victim],
+            Slot {
+                key,
+                last_use: stamp,
+                value,
+            },
+        );
         Some((old.key, old.value))
     }
 
@@ -232,7 +258,10 @@ mod tests {
         let mut m: SetAssocMap<u8> = SetAssocMap::new(2, 16);
         m.insert(1, 1);
         m.insert(2, 2);
-        assert!(m.insert(3, 3).is_some(), "fully associative 2-entry map evicts third");
+        assert!(
+            m.insert(3, 3).is_some(),
+            "fully associative 2-entry map evicts third"
+        );
     }
 
     #[test]

@@ -213,10 +213,10 @@ impl Tage {
 
     fn update(&mut self, pc: Addr, taken: bool, l: &Lookup, final_pred: bool, hist: u128) {
         self.updates += 1;
-        if self.updates % U_RESET_PERIOD == 0 {
+        if self.updates.is_multiple_of(U_RESET_PERIOD) {
             for table in &mut self.tables {
                 for e in &mut table.entries {
-                    e.u = e.u >> 1;
+                    e.u >>= 1;
                 }
             }
         }
@@ -278,8 +278,12 @@ impl Tage {
                 };
                 let idx = self.index(pick, pc_bits, hist);
                 let tag = self.tag(pick, pc_bits, hist);
-                self.tables[pick].entries[idx] =
-                    TaggedEntry { valid: true, tag, ctr: if taken { 0 } else { -1 }, u: 0 };
+                self.tables[pick].entries[idx] = TaggedEntry {
+                    valid: true,
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    u: 0,
+                };
             }
         }
     }
@@ -333,7 +337,11 @@ fn fold(hist: u128, len: u32, bits: u32) -> u64 {
     if bits == 0 {
         return 0;
     }
-    let mut h = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mut h = if len >= 128 {
+        hist
+    } else {
+        hist & ((1u128 << len) - 1)
+    };
     let mask = (1u64 << bits) - 1;
     let mut acc = 0u64;
     while h != 0 {
@@ -478,7 +486,11 @@ mod tests {
         let a = fold(h, 33, 9);
         assert_eq!(a, fold(h, 33, 9));
         assert!(a < 512);
-        assert_ne!(fold(h, 33, 9), fold(h >> 1, 33, 9), "history changes the fold");
+        assert_ne!(
+            fold(h, 33, 9),
+            fold(h >> 1, 33, 9),
+            "history changes the fold"
+        );
         assert_eq!(fold(h, 0, 9), 0);
     }
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use fe_cfg::{LayerSpec, WorkloadSpec};
-use fe_model::{stats, MachineConfig};
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use fe_model::MachineConfig;
+use fe_sim::{Experiment, RunLength, SchemeSpec};
 
 fn main() {
     // A microservice-style stack: few endpoints, a fat shared-library
@@ -38,30 +38,40 @@ fn main() {
         program.code_bytes() as f64 / (1024.0 * 1024.0),
     );
 
-    let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 1_500_000, measure: 4_000_000 }.from_env();
-    let baseline = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 1);
+    // One session over all six schemes; the sweep runs cells in
+    // parallel and derives speedup/coverage against NoPrefetch.
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(spec)
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Fdip,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Confluence,
+            SchemeSpec::shotgun(),
+            SchemeSpec::Ideal,
+        ])
+        .len(
+            RunLength {
+                warmup: 1_500_000,
+                measure: 4_000_000,
+            }
+            .from_env(),
+        )
+        .seed(1)
+        .run();
 
     println!(
         "\n{:12} {:>8} {:>10} {:>10} {:>10}",
         "scheme", "speedup", "L1-I MPKI", "BTB MPKI", "coverage"
     );
-    for spec in [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Fdip,
-        SchemeSpec::boomerang(),
-        SchemeSpec::Confluence,
-        SchemeSpec::shotgun(),
-        SchemeSpec::Ideal,
-    ] {
-        let s = run_scheme(&program, &spec, &machine, len, 1);
+    for cell in &report.cells {
         println!(
             "{:12} {:>8.3} {:>10.1} {:>10.1} {:>9.1}%",
-            spec.label(),
-            stats::speedup(&baseline, &s),
-            s.l1i_mpki(),
-            s.btb_mpki(),
-            100.0 * stats::coverage(&baseline, &s),
+            cell.label,
+            cell.metrics.speedup.unwrap(),
+            cell.metrics.l1i_mpki,
+            cell.metrics.btb_mpki,
+            100.0 * cell.metrics.coverage.unwrap(),
         );
     }
 }

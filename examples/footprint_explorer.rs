@@ -18,15 +18,19 @@ fn main() {
     let locality = analytics::region_locality(&program, 3, 2_000_000);
     println!("access CDF by distance from region entry (Fig. 3 shape):");
     for d in [0usize, 1, 2, 4, 6, 10, 16] {
-        println!("  within {d:>2} lines: {:>5.1}%", 100.0 * locality.within(d));
+        println!(
+            "  within {d:>2} lines: {:>5.1}%",
+            100.0 * locality.within(d)
+        );
     }
     println!("  regions observed: {}", locality.regions);
 
     // Record footprints with both layouts and measure how much of the
     // region working set each format captures.
-    for (label, layout) in
-        [("8-bit (6+2)", FootprintLayout::BITS8), ("32-bit (24+8)", FootprintLayout::BITS32)]
-    {
+    for (label, layout) in [
+        ("8-bit (6+2)", FootprintLayout::BITS8),
+        ("32-bit (24+8)", FootprintLayout::BITS32),
+    ] {
         let mut recorder = FootprintRecorder::new(layout, 32);
         let mut exec = Executor::new(&program, 3);
         let mut recorded_lines = 0u64;
@@ -55,7 +59,10 @@ fn main() {
             }
         }
     };
-    println!("\nsample region (extent {} lines) prefetch per policy:", record.extent);
+    println!(
+        "\nsample region (extent {} lines) prefetch per policy:",
+        record.extent
+    );
     let entry = fe_model::LineAddr::from_index(1000);
     for policy in RegionPolicy::ALL {
         let lines = policy.prefetch_lines(entry, record.footprint, record.extent);

@@ -7,36 +7,62 @@
 //! ```
 
 use fe_cfg::workloads;
-use fe_model::{stats, storage, MachineConfig};
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use fe_model::{storage, MachineConfig};
+use fe_sim::{Experiment, RunLength, SchemeSpec};
 use shotgun::ShotgunConfig;
+
+const BUDGETS: [u32; 4] = [512, 1024, 2048, 4096];
 
 fn main() {
     // DB2 scaled down slightly so the example runs in seconds; use the
     // full preset (and the fig13 bench binary) for the real experiment.
     let spec = workloads::db2().scaled(0.6);
-    let program = spec.build();
-    let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 1_500_000, measure: 4_000_000 }.from_env();
 
-    let baseline = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 11);
+    // One session: the baseline plus a Boomerang and a
+    // storage-equivalent Shotgun per budget, all in parallel.
+    let mut schemes = vec![SchemeSpec::NoPrefetch];
+    for entries in BUDGETS {
+        schemes.push(SchemeSpec::Boomerang {
+            btb_entries: entries,
+        });
+        schemes.push(SchemeSpec::Shotgun(ShotgunConfig::for_budget(entries)));
+    }
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(spec)
+        .schemes(schemes)
+        .len(
+            RunLength {
+                warmup: 1_500_000,
+                measure: 4_000_000,
+            }
+            .from_env(),
+        )
+        .seed(11)
+        .run();
 
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>14}",
         "BTB budget", "storage KB", "boomerang", "shotgun", "shotgun wins?"
     );
-    for entries in [512u32, 1024, 2048, 4096] {
-        let boom = run_scheme(
-            &program,
-            &SchemeSpec::Boomerang { btb_entries: entries },
-            &machine,
-            len,
-            11,
-        );
-        let shot_cfg = ShotgunConfig::for_budget(entries);
-        let shot = run_scheme(&program, &SchemeSpec::Shotgun(shot_cfg), &machine, len, 11);
-        let s_boom = stats::speedup(&baseline, &boom);
-        let s_shot = stats::speedup(&baseline, &shot);
+    for entries in BUDGETS {
+        let s_boom = report
+            .cell(
+                "db2",
+                &SchemeSpec::Boomerang {
+                    btb_entries: entries,
+                },
+            )
+            .metrics
+            .speedup
+            .unwrap();
+        let s_shot = report
+            .cell(
+                "db2",
+                &SchemeSpec::Shotgun(ShotgunConfig::for_budget(entries)),
+            )
+            .metrics
+            .speedup
+            .unwrap();
         println!(
             "{:>10} {:>12.2} {:>12.3} {:>12.3} {:>14}",
             entries,

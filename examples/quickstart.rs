@@ -1,5 +1,6 @@
 //! Quickstart: run Shotgun against Boomerang on one server workload
-//! and print the paper's headline metrics.
+//! through the `Experiment` session API and print the paper's headline
+//! metrics.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,11 +10,11 @@
 //! noisier run.
 
 use fe_cfg::workloads;
-use fe_model::{stats, MachineConfig};
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use fe_model::MachineConfig;
+use fe_sim::{Experiment, RunLength, SchemeSpec};
 
 fn main() {
-    // 1. Synthesize a workload. Presets approximate the paper's Table 2
+    // 1. Pick a workload. Presets approximate the paper's Table 2
     //    suite; `streaming` is a mid-sized one that shows Shotgun's
     //    advantage without a long run.
     let spec = workloads::streaming();
@@ -26,46 +27,63 @@ fn main() {
         program.code_bytes() / 1024,
     );
 
-    // 2. Table 3 machine, with run length adjustable from the env.
-    let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 2_000_000, measure: 6_000_000 }.from_env();
+    // 2. One Experiment session: Table 3 machine, three schemes, cells
+    //    fanned out across all cores. NoPrefetch is the baseline, so
+    //    speedup and stall coverage come out precomputed per cell.
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(spec)
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ])
+        .len(
+            RunLength {
+                warmup: 2_000_000,
+                measure: 6_000_000,
+            }
+            .from_env(),
+        )
+        .seed(42)
+        .run();
 
-    // 3. Run the no-prefetch baseline and the two BTB-directed
-    //    prefetchers.
-    let baseline = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 42);
-    let boomerang = run_scheme(&program, &SchemeSpec::boomerang(), &machine, len, 42);
-    let shotgun = run_scheme(&program, &SchemeSpec::shotgun(), &machine, len, 42);
+    // 3. Read the typed cells.
+    let cells: Vec<_> = ["no-prefetch", "boomerang", "shotgun"]
+        .iter()
+        .map(|label| report.cell_labeled("streaming", label))
+        .collect();
+    println!(
+        "\n                 {:>12} {:>12} {:>12}",
+        "baseline", "boomerang", "shotgun"
+    );
+    print!("IPC              ");
+    for c in &cells {
+        print!("{:>12.3} ", c.metrics.ipc);
+    }
+    print!("\nL1-I MPKI        ");
+    for c in &cells {
+        print!("{:>12.1} ", c.metrics.l1i_mpki);
+    }
+    print!("\nBTB MPKI         ");
+    for c in &cells {
+        print!("{:>12.1} ", c.metrics.btb_mpki);
+    }
+    print!("\nspeedup          ");
+    for c in &cells {
+        print!("{:>12.3} ", c.metrics.speedup.unwrap());
+    }
+    print!("\nstall coverage   ");
+    for c in &cells {
+        print!("{:>11.1}% ", 100.0 * c.metrics.coverage.unwrap());
+    }
+    println!();
 
-    println!("\n                 {:>12} {:>12} {:>12}", "baseline", "boomerang", "shotgun");
+    // 4. The whole report serializes for downstream tooling:
+    //    `report.write_json("quickstart.json")` emits the same cells
+    //    machine-readably.
     println!(
-        "IPC              {:>12.3} {:>12.3} {:>12.3}",
-        baseline.ipc(),
-        boomerang.ipc(),
-        shotgun.ipc()
-    );
-    println!(
-        "L1-I MPKI        {:>12.1} {:>12.1} {:>12.1}",
-        baseline.l1i_mpki(),
-        boomerang.l1i_mpki(),
-        shotgun.l1i_mpki()
-    );
-    println!(
-        "BTB MPKI         {:>12.1} {:>12.1} {:>12.1}",
-        baseline.btb_mpki(),
-        boomerang.btb_mpki(),
-        shotgun.btb_mpki()
-    );
-    println!(
-        "speedup          {:>12.3} {:>12.3} {:>12.3}",
-        1.0,
-        stats::speedup(&baseline, &boomerang),
-        stats::speedup(&baseline, &shotgun)
-    );
-    println!(
-        "stall coverage   {:>12} {:>11.1}% {:>11.1}%",
-        "-",
-        100.0 * stats::coverage(&baseline, &boomerang),
-        100.0 * stats::coverage(&baseline, &shotgun)
+        "\nreport JSON is {} bytes via report.to_json()",
+        report.to_json().len()
     );
     println!(
         "\nShotgun tracks the same storage budget as Boomerang's 2K-entry BTB \

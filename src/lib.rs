@@ -1,0 +1,6 @@
+//! Workspace umbrella for the Shotgun front-end reproduction.
+//!
+//! The code lives in the `crates/` members; this package only hosts the
+//! cross-crate integration tests under `tests/` and the runnable
+//! `examples/`. Start with `examples/quickstart.rs` and the
+//! `fe_sim::Experiment` API.

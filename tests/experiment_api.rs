@@ -1,0 +1,205 @@
+//! Tests of the `Experiment` session API: thread-count invariance,
+//! JSON round-tripping, and equivalence with the one-cell
+//! `run_scheme` wrapper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fe_cfg::{workloads, LayerSpec, WorkloadSpec};
+use fe_model::MachineConfig;
+use fe_sim::{run_scheme, Experiment, RunLength, SchemeSpec, SweepReport};
+use shotgun::ShotgunConfig;
+
+fn small_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "alpha".into(),
+            seed: 11,
+            layers: vec![
+                LayerSpec::grouped(4, 4.0),
+                LayerSpec::grouped(32, 2.0),
+                LayerSpec::shared(64, 0.8),
+            ],
+            kernel_entries: 4,
+            kernel_helpers: 12,
+            ..WorkloadSpec::default()
+        },
+        workloads::nutch().scaled(0.15),
+    ]
+}
+
+fn schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::boomerang(),
+        SchemeSpec::shotgun(),
+    ]
+}
+
+fn sweep(threads: usize) -> SweepReport {
+    Experiment::new(MachineConfig::table3())
+        .workloads(small_suite())
+        .schemes(schemes())
+        .len(RunLength::SMOKE)
+        .seed(5)
+        .threads(threads)
+        .run()
+}
+
+#[test]
+fn thread_count_does_not_change_the_report() {
+    let serial = sweep(1);
+    let parallel = sweep(8);
+    assert_eq!(
+        serial, parallel,
+        "reports must be identical at any thread count"
+    );
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "and their JSON must be byte-identical"
+    );
+}
+
+#[test]
+fn report_round_trips_through_json_and_disk() {
+    let report = sweep(4);
+    let parsed = SweepReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(parsed, report);
+
+    let path = std::env::temp_dir().join("shotgun_experiment_api_roundtrip.json");
+    report.write_json(&path).expect("writes");
+    let text = std::fs::read_to_string(&path).expect("reads back");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(SweepReport::from_json(&text).expect("parses"), report);
+}
+
+#[test]
+fn sweep_cells_match_run_scheme() {
+    // The sweep must reproduce exactly what a hand-rolled serial loop
+    // over `run_scheme` measures (the old `run_suite` semantics).
+    let report = sweep(4);
+    let machine = MachineConfig::table3();
+    for wl in small_suite() {
+        let program = wl.build();
+        for spec in schemes() {
+            let direct = run_scheme(&program, &spec, &machine, RunLength::SMOKE, 5);
+            assert_eq!(
+                report.cell(&wl.name, &spec).stats,
+                direct,
+                "cell ({}, {}) diverges from run_scheme",
+                wl.name,
+                spec.label(),
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_metrics_use_the_baseline() {
+    let report = sweep(2);
+    for wl in ["alpha", "nutch"] {
+        let base = report.cell(wl, &SchemeSpec::NoPrefetch);
+        assert_eq!(base.metrics.speedup, Some(1.0));
+        assert_eq!(base.metrics.coverage, Some(0.0));
+        let shot = report.cell(wl, &SchemeSpec::shotgun());
+        let expected = fe_model::stats::speedup(&base.stats, &shot.stats);
+        assert_eq!(shot.metrics.speedup, Some(expected));
+    }
+}
+
+#[test]
+fn progress_callback_sees_every_cell() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let counter = seen.clone();
+    let report = Experiment::new(MachineConfig::table3())
+        .workloads(small_suite())
+        .schemes(schemes())
+        .len(RunLength::SMOKE)
+        .seed(5)
+        .threads(3)
+        .on_progress(move |e| {
+            assert!(e.completed >= 1 && e.completed <= e.total);
+            assert_eq!(e.total, 6);
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .run();
+    assert_eq!(seen.load(Ordering::Relaxed), report.cells.len());
+}
+
+#[test]
+fn distinct_shotgun_variants_coexist_in_one_sweep() {
+    // Regression test for the label collision that made the old fig12
+    // compare one config against itself three times.
+    let variants = vec![
+        SchemeSpec::shotgun(),
+        SchemeSpec::Shotgun(ShotgunConfig::default().with_cbtb_entries(64)),
+        SchemeSpec::Shotgun(ShotgunConfig::for_budget(512)),
+    ];
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(small_suite().remove(0))
+        .schemes(variants.clone())
+        .len(RunLength::SMOKE)
+        .seed(5)
+        .threads(2)
+        .run();
+    for spec in &variants {
+        let _ = report.cell("alpha", spec);
+    }
+    let labels: Vec<&str> = report.cells.iter().map(|c| c.label.as_str()).collect();
+    let mut dedup = labels.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(
+        dedup.len(),
+        labels.len(),
+        "labels must be unique: {labels:?}"
+    );
+}
+
+#[test]
+fn explicit_baseline_overrides_the_default() {
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(small_suite().remove(0))
+        .schemes([SchemeSpec::boomerang(), SchemeSpec::shotgun()])
+        .baseline(SchemeSpec::boomerang())
+        .len(RunLength::SMOKE)
+        .seed(5)
+        .run();
+    assert_eq!(report.baseline.as_deref(), Some("boomerang"));
+    assert_eq!(
+        report
+            .cell("alpha", &SchemeSpec::boomerang())
+            .metrics
+            .speedup,
+        Some(1.0)
+    );
+}
+
+#[test]
+fn sweep_without_baseline_has_no_derived_ratios() {
+    let report = Experiment::new(MachineConfig::table3())
+        .workload(small_suite().remove(0))
+        .scheme(SchemeSpec::shotgun())
+        .len(RunLength::SMOKE)
+        .seed(5)
+        .run();
+    assert_eq!(report.baseline, None);
+    let cell = report.cell("alpha", &SchemeSpec::shotgun());
+    assert_eq!(cell.metrics.speedup, None);
+    assert_eq!(cell.metrics.coverage, None);
+    assert!(cell.metrics.ipc > 0.0, "absolute metrics still derived");
+}
+
+#[test]
+#[should_panic(expected = "duplicate workload name")]
+fn duplicate_workload_names_are_rejected() {
+    // scaled() keeps the name, so this would otherwise shadow the
+    // second workload's cells in every lookup and in the JSON.
+    let _ = Experiment::new(MachineConfig::table3())
+        .workload(workloads::nutch().scaled(0.2))
+        .workload(workloads::nutch().scaled(0.1))
+        .scheme(SchemeSpec::NoPrefetch)
+        .len(RunLength::SMOKE)
+        .run();
+}

@@ -3,7 +3,7 @@
 
 use fe_cfg::{analytics, workloads, Executor, LayerSpec, WorkloadSpec};
 use fe_model::MachineConfig;
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use fe_sim::{run_scheme, Experiment, RunLength, SchemeSpec};
 
 fn small_workload() -> WorkloadSpec {
     WorkloadSpec {
@@ -23,29 +23,54 @@ fn small_workload() -> WorkloadSpec {
 
 #[test]
 fn simulation_is_deterministic() {
-    let program = small_workload().build();
-    let machine = MachineConfig::table3();
-    let a = run_scheme(&program, &SchemeSpec::shotgun(), &machine, RunLength::SMOKE, 5);
-    let b = run_scheme(&program, &SchemeSpec::shotgun(), &machine, RunLength::SMOKE, 5);
-    assert_eq!(a, b, "same seed, same program, same stats");
+    let sweep = || {
+        Experiment::new(MachineConfig::table3())
+            .workload(small_workload())
+            .scheme(SchemeSpec::shotgun())
+            .len(RunLength::SMOKE)
+            .seed(5)
+            .run()
+    };
+    assert_eq!(sweep(), sweep(), "same seed, same program, same report");
 }
 
 #[test]
 fn different_seeds_change_timing_not_structure() {
     let program = small_workload().build();
     let machine = MachineConfig::table3();
-    let a = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, RunLength::SMOKE, 1);
-    let b = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, RunLength::SMOKE, 2);
+    let a = run_scheme(
+        &program,
+        &SchemeSpec::NoPrefetch,
+        &machine,
+        RunLength::SMOKE,
+        1,
+    );
+    let b = run_scheme(
+        &program,
+        &SchemeSpec::NoPrefetch,
+        &machine,
+        RunLength::SMOKE,
+        2,
+    );
     // Runs stop within one retire-width of the target.
-    assert!(a.instructions.abs_diff(b.instructions) <= 8, "measure length is fixed");
-    assert_ne!(a.cycles, b.cycles, "different transaction mix changes timing");
+    assert!(
+        a.instructions.abs_diff(b.instructions) <= 8,
+        "measure length is fixed"
+    );
+    assert_ne!(
+        a.cycles, b.cycles,
+        "different transaction mix changes timing"
+    );
 }
 
 #[test]
 fn measured_instructions_match_request() {
     let program = small_workload().build();
     let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 100_000, measure: 300_000 };
+    let len = RunLength {
+        warmup: 100_000,
+        measure: 300_000,
+    };
     let s = run_scheme(&program, &SchemeSpec::boomerang(), &machine, len, 3);
     // Block granularity means slight overshoot, bounded by one block.
     assert!(s.instructions >= 300_000);
@@ -58,7 +83,10 @@ fn executor_and_sim_agree_on_instruction_stream() {
     // counts from an offline walk match the sim's stats.
     let program = small_workload().build();
     let machine = MachineConfig::table3();
-    let len = RunLength { warmup: 0, measure: 200_000 };
+    let len = RunLength {
+        warmup: 0,
+        measure: 200_000,
+    };
     let s = run_scheme(&program, &SchemeSpec::NoPrefetch, &machine, len, 9);
 
     let mut exec = Executor::new(&program, 9);
@@ -75,42 +103,67 @@ fn executor_and_sim_agree_on_instruction_stream() {
     }
     // Measurement may end mid-block, so the offline walk can differ by
     // the partially retired final block.
-    assert!(s.branches.abs_diff(branches) <= 1, "{} vs {}", s.branches, branches);
+    assert!(
+        s.branches.abs_diff(branches) <= 1,
+        "{} vs {}",
+        s.branches,
+        branches
+    );
     assert!(s.unconditional_branches.abs_diff(uncond) <= 1);
 }
 
 #[test]
 fn every_scheme_completes_and_retires() {
-    let program = small_workload().build();
     let machine = MachineConfig::table3();
-    for spec in [
-        SchemeSpec::NoPrefetch,
-        SchemeSpec::Fdip,
-        SchemeSpec::boomerang(),
-        SchemeSpec::Confluence,
-        SchemeSpec::shotgun(),
-        SchemeSpec::Ideal,
-    ] {
-        let s = run_scheme(&program, &spec, &machine, RunLength::SMOKE, 4);
-        assert!(s.cycles > 0, "{} must make progress", spec.label());
-        assert!(s.ipc() > 0.05, "{} IPC {} implausibly low", spec.label(), s.ipc());
-        assert!(s.ipc() <= machine.core.width as f64, "{} IPC above width", spec.label());
+    let report = Experiment::new(machine.clone())
+        .workload(small_workload())
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Fdip,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Confluence,
+            SchemeSpec::shotgun(),
+            SchemeSpec::Ideal,
+        ])
+        .len(RunLength::SMOKE)
+        .seed(4)
+        .threads(4)
+        .run();
+    for cell in &report.cells {
+        let s = &cell.stats;
+        assert!(s.cycles > 0, "{} must make progress", cell.label);
+        assert!(
+            s.ipc() > 0.05,
+            "{} IPC {} implausibly low",
+            cell.label,
+            s.ipc()
+        );
+        assert!(
+            s.ipc() <= machine.core.width as f64,
+            "{} IPC above width",
+            cell.label
+        );
     }
 }
 
 #[test]
 fn stall_accounting_is_conservative() {
     // Stall cycles + minimum retire cycles cannot exceed total cycles.
-    let program = small_workload().build();
     let machine = MachineConfig::table3();
-    for spec in [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()] {
-        let s = run_scheme(&program, &spec, &machine, RunLength::SMOKE, 8);
+    let report = Experiment::new(machine.clone())
+        .workload(small_workload())
+        .schemes([SchemeSpec::NoPrefetch, SchemeSpec::shotgun()])
+        .len(RunLength::SMOKE)
+        .seed(8)
+        .run();
+    for cell in &report.cells {
+        let s = &cell.stats;
         let stall_cycles = s.stalls.front_end_total() + s.backend_stall_cycles;
         let min_retire_cycles = s.instructions / machine.core.width as u64;
         assert!(
             stall_cycles + min_retire_cycles <= s.cycles + 1,
             "{}: stalls {} + retire {} exceed cycles {}",
-            spec.label(),
+            cell.label,
             stall_cycles,
             min_retire_cycles,
             s.cycles,
@@ -137,7 +190,10 @@ fn presets_build_and_have_expected_scale_ordering() {
 
 #[test]
 fn region_locality_matches_fig3_shape_on_presets() {
-    for wl in [workloads::oracle().scaled(0.3), workloads::db2().scaled(0.3)] {
+    for wl in [
+        workloads::oracle().scaled(0.3),
+        workloads::db2().scaled(0.3),
+    ] {
         let program = wl.build();
         let loc = analytics::region_locality(&program, 1, 1_000_000);
         assert!(

@@ -57,10 +57,12 @@ fn no_bit_vector_conversion_is_storage_neutral() {
     // ...but the bit budget did not (footprint-free entries are 90 bits
     // vs 106).
     let base_bits = base.sizing.ubtb as u64 * UBTB.bits() as u64;
-    let converted_bits =
-        converted.sizing.ubtb as u64 * storage::UBTB_NO_FOOTPRINT.bits() as u64;
+    let converted_bits = converted.sizing.ubtb as u64 * storage::UBTB_NO_FOOTPRINT.bits() as u64;
     assert!(converted_bits <= base_bits);
-    assert!(converted_bits as f64 > base_bits as f64 * 0.98, "budget should be spent");
+    assert!(
+        converted_bits as f64 > base_bits as f64 * 0.98,
+        "budget should be spent"
+    );
 }
 
 #[test]
