@@ -24,6 +24,7 @@ pub mod addr;
 pub mod block;
 pub mod branch;
 pub mod config;
+pub mod rng;
 pub mod stats;
 pub mod storage;
 

@@ -1,757 +1,201 @@
-//! The cycle-level decoupled front-end timing simulator.
-//!
-//! Pipeline shape (see "Simulator pipeline" in the repository README):
-//!
-//! ```text
-//!   BPU(scheme) → FTQ → fetch unit (L1-I) → supply buffer → backend
-//!        ▲                                                     │
-//!        └──────────────── redirect on divergence ─────────────┘
-//! ```
-//!
-//! * The **BPU** advances one basic block per cycle along the
-//!   *predicted* path, querying the scheme. Wrong paths are genuinely
-//!   followed (prefetching and polluting as real hardware would) until
-//!   the backend discovers the divergence.
-//! * The **fetch unit** consumes FTQ fetch ranges one cache line per
-//!   cycle; L1-I misses block it and are the stalls prefetching exists
-//!   to remove.
-//! * The **backend** retires up to `width` instructions per cycle by
-//!   matching supplied address ranges against the executor's actual
-//!   retired stream; the first mismatched address is a
-//!   misfetch/mispredict, discovered exactly when the offending branch
-//!   retires: the pipeline flushes, the BPU redirects, and a
-//!   refill bubble is charged. Retired blocks train TAGE, the RAS, and
-//!   the scheme (BTB demand fills, footprint recording, history).
-//! * Data misses delay retirement once they are older than the ROB can
-//!   hide, coupling front-end traffic to Fig. 11's L1-D fill latency
-//!   through the shared NoC queue.
-//!
-//! A cycle in which zero instructions retire on the correct path is
-//! classified (in priority order) as a backend data stall, a redirect
-//! bubble, an icache-miss stall, a BTB-resolution stall, or FTQ-empty —
-//! the paper's front-end stall taxonomy (§6.1).
+//! The cycle-level decoupled front-end timing simulator — a thin
+//! per-cycle orchestrator over the staged pipeline in
+//! [`crate::pipeline`] (see that module's docs for the stage-by-stage
+//! model and the README's "Simulator pipeline" diagram).
 
-use std::collections::VecDeque;
+use fe_cfg::Program;
+use fe_model::{MachineConfig, SimStats};
+use fe_uarch::{MemStats, MemorySystem};
 
-use fe_cfg::{Executor, Program};
-use fe_model::addr::lines_covering;
-use fe_model::{Addr, LineAddr, MachineConfig, RetiredBlock, SimStats, INSTR_BYTES, LINE_BYTES};
-use fe_uarch::scheme::{BpuOutcome, ControlFlowDelivery, FrontEndCtx, PredRecord};
-use fe_uarch::{
-    BoundedQueue, InflightFills, LineCache, MemorySystem, RasEntry, ReturnAddressStack, Tage,
-};
+use crate::pipeline::{backend::Backend, bpu::Bpu, fetch::FetchUnit, stall, PipelineState};
 
-/// Byte range queued for fetch.
-#[derive(Clone, Copy, Debug)]
-struct FetchRange {
-    start: Addr,
-    end: Addr,
-}
+pub use crate::pipeline::EngineScheme;
 
-/// Supplied (fetched) instruction byte range awaiting the backend.
-#[derive(Clone, Copy, Debug)]
-struct SupplyRange {
-    start: Addr,
-    end: Addr,
-}
-
-/// An outstanding data miss delaying retirement once it exceeds the
-/// ROB shadow.
-#[derive(Clone, Copy, Debug)]
-struct DataMiss {
-    fill_at: u64,
-    instrs_at_issue: u64,
-}
-
-/// Which front end drives the BPU.
-pub enum EngineScheme {
-    /// A real control-flow-delivery scheme.
-    Real(Box<dyn ControlFlowDelivery>),
-    /// The ideal front end of Fig. 1: perfect BTB, perfect L1-I,
-    /// direction mispredictions retained.
-    Ideal,
-}
-
-/// Cap on instructions buffered between fetch and retire (decode/queue
-/// stages).
-const SUPPLY_CAP: u64 = 48;
-/// Cap on outstanding data misses (LSQ-limited MLP).
-const DATA_MISS_CAP: usize = 16;
-/// Basic blocks the BPU can predict per cycle (two-taken-branch
-/// prediction throughput, letting the BPU run ahead of the 3-wide
-/// backend and absorb short reactive-fill stalls).
-const BPU_BLOCKS_PER_CYCLE: u32 = 2;
-/// Cache lines the fetch unit can read per cycle.
-const FETCH_LINES_PER_CYCLE: u32 = 2;
-
-/// The simulator for one core running one workload under one scheme.
+/// The simulator for one core running one workload under one scheme:
+/// the orchestrator that ticks the pipeline stages in order each cycle.
+/// For consolidated multi-context runs over a shared memory system,
+/// see [`MultiSimulator`](crate::MultiSimulator).
 pub struct Simulator<'p> {
-    cfg: MachineConfig,
-    program: &'p Program,
-    exec: Executor<'p>,
-    scheme: Option<EngineScheme>,
-
-    // Shared hardware.
-    l1i: LineCache,
-    mem: MemorySystem,
-    tage: Tage,
-    spec_ras: ReturnAddressStack,
-    retire_ras: ReturnAddressStack,
-    inflight: InflightFills,
-
-    // Front-end state.
-    ftq: BoundedQueue<FetchRange>,
-    spec_pc: Addr,
-    waiting_line: Option<LineAddr>,
-    redirect_until: u64,
-    bpu_stalled: bool,
-
-    // Instruction supply.
-    supply: VecDeque<SupplyRange>,
-    supply_instrs: u64,
-
-    /// In-flight direction predictions (snapshot history for training).
-    pred_trace: VecDeque<PredRecord>,
-
-    // Backend state.
-    oracle: VecDeque<RetiredBlock>,
-    /// Instructions of the current block already retired.
-    consumed: u64,
-    /// For the ideal scheme: index of the next oracle block the BPU
-    /// will emit.
-    oracle_pos: usize,
-    data_misses: VecDeque<DataMiss>,
-    load_acc: f64,
-    lcg: u64,
-    /// Kind of the most recently retired block (misfetch attribution).
-    last_retired_kind: Option<fe_model::BranchKind>,
-
-    // Time & accounting.
-    now: u64,
-    stats: SimStats,
-    prefetches_issued: u64,
-    retired_total: u64,
+    state: PipelineState<'p>,
+    bpu: Bpu,
+    fetch: FetchUnit,
+    backend: Backend,
     // Measurement bases (captured when measurement starts).
     base_cycle: u64,
     base_scheme_misses: u64,
     base_scheme_lookups: u64,
-    base_noc_messages: u64,
 }
 
 impl<'p> Simulator<'p> {
-    /// Builds a simulator over `program` with the given scheme.
+    /// Builds a simulator over `program` with the given scheme and a
+    /// private memory system.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails validation.
     pub fn new(program: &'p Program, cfg: MachineConfig, scheme: EngineScheme, seed: u64) -> Self {
-        cfg.validate().expect("invalid machine configuration");
-        let exec = Executor::new(program, seed);
+        let mem = MemorySystem::new(&cfg);
+        Self::with_memory(program, cfg, scheme, seed, mem)
+    }
+
+    /// Builds a simulator whose memory path is supplied by the caller —
+    /// the hook multi-context simulation uses to hand several pipelines
+    /// handles onto one shared LLC/NoC
+    /// ([`MemorySystem::shared_group`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_memory(
+        program: &'p Program,
+        cfg: MachineConfig,
+        scheme: EngineScheme,
+        seed: u64,
+        mem: MemorySystem,
+    ) -> Self {
         Simulator {
-            l1i: LineCache::new(cfg.l1i),
-            mem: MemorySystem::new(&cfg),
-            tage: Tage::new(cfg.tage),
-            spec_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
-            retire_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
-            inflight: InflightFills::new(cfg.front_end.l1i_mshrs as usize),
-            ftq: BoundedQueue::new(cfg.front_end.ftq_entries as usize),
-            spec_pc: program.entry(),
-            waiting_line: None,
-            redirect_until: 0,
-            bpu_stalled: false,
-            supply: VecDeque::with_capacity(16),
-            supply_instrs: 0,
-            pred_trace: VecDeque::with_capacity(64),
-            oracle: VecDeque::with_capacity(64),
-            consumed: 0,
-            oracle_pos: 0,
-            data_misses: VecDeque::with_capacity(DATA_MISS_CAP),
-            load_acc: 0.0,
-            lcg: seed | 1,
-            last_retired_kind: None,
-            now: 0,
-            stats: SimStats::default(),
-            prefetches_issued: 0,
-            retired_total: 0,
+            state: PipelineState::new(program, cfg, scheme, seed, mem),
+            bpu: Bpu,
+            fetch: FetchUnit,
+            backend: Backend::new(seed),
             base_cycle: 0,
             base_scheme_misses: 0,
             base_scheme_lookups: 0,
-            base_noc_messages: 0,
-            scheme: Some(scheme),
-            program,
-            exec,
-            cfg,
         }
     }
 
     /// Runs `warmup` instructions untimed-for-stats, then measures
     /// `measure` instructions and returns their statistics.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
-        while self.retired_total < warmup {
+        while self.state.retired_total < warmup {
             self.cycle();
         }
         self.begin_measurement();
         // Measure relative to the actual measurement start (warmup may
         // overshoot by a partial retire-width).
-        let end = self.retired_total + measure;
-        while self.retired_total < end {
+        let end = self.state.retired_total + measure;
+        while self.state.retired_total < end {
             self.cycle();
         }
         self.finalize()
     }
 
-    fn begin_measurement(&mut self) {
-        self.stats = SimStats::default();
-        self.base_cycle = self.now;
-        self.mem.reset_stats();
-        self.base_noc_messages = 0;
-        if let Some(EngineScheme::Real(s)) = &self.scheme {
-            self.base_scheme_misses = s.btb_misses();
-            self.base_scheme_lookups = s.btb_lookups();
-        }
-        self.prefetches_issued = 0;
-    }
-
-    fn finalize(&mut self) -> SimStats {
-        self.stats.cycles = self.now - self.base_cycle;
-        self.stats.prefetch.issued = self.prefetches_issued;
-        let mem_stats = self.mem.stats();
-        self.stats.noc_messages = mem_stats.messages;
-        if let Some(EngineScheme::Real(s)) = &self.scheme {
-            self.stats.btb_misses = s.btb_misses() - self.base_scheme_misses;
-            self.stats.btb_lookups = s.btb_lookups() - self.base_scheme_lookups;
-        }
-        self.stats.clone()
-    }
-
-    /// One simulated cycle.
+    /// One simulated cycle: tick the stages front to back, then account
+    /// a zero-retire cycle to the stall taxonomy.
     fn cycle(&mut self) {
-        self.bpu_stalled = false;
-        self.process_fills();
-        for _ in 0..BPU_BLOCKS_PER_CYCLE {
-            self.bpu_step();
-            if self.bpu_stalled {
-                break;
-            }
+        let s = &mut self.state;
+        s.bpu_stalled = false;
+        self.fetch.process_fills(s);
+        self.bpu.tick(s);
+        self.fetch.tick(s);
+        let outcome = self.backend.tick(s);
+        if outcome.retired == 0 {
+            stall::account(s, outcome);
         }
-        for _ in 0..FETCH_LINES_PER_CYCLE {
-            self.fetch_step();
-            if self.waiting_line.is_some() {
-                break;
-            }
-        }
-        let retired = self.backend_step();
-        if retired == 0 {
-            self.classify_stall();
-        }
-        self.now += 1;
+        s.now += 1;
     }
 
-    // ---- fills -------------------------------------------------------
-
-    fn process_fills(&mut self) {
-        let mut filled: Vec<(LineAddr, bool, bool)> = Vec::new();
-        for (line, info) in self.inflight.pop_ready(self.now) {
-            filled.push((line, info.prefetch, info.demand_merged));
+    pub(crate) fn begin_measurement(&mut self) {
+        let s = &mut self.state;
+        s.stats = SimStats::default();
+        self.base_cycle = s.now;
+        s.mem.reset_stats();
+        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+            self.base_scheme_misses = sch.btb_misses();
+            self.base_scheme_lookups = sch.btb_lookups();
         }
-        for (line, prefetch, merged) in filled {
-            if prefetch && merged {
-                self.stats.prefetch.late += 1;
-            }
-            if let Some(evicted) = self.l1i.install(line, prefetch) {
-                if evicted.wasted_prefetch {
-                    self.stats.prefetch.wasted += 1;
-                }
-            }
-            self.with_scheme(|scheme, ctx| {
-                if let EngineScheme::Real(s) = scheme {
-                    s.on_fill(line, prefetch, ctx);
-                }
-            });
-        }
+        s.prefetches_issued = 0;
     }
 
-    // ---- BPU ---------------------------------------------------------
-
-    fn bpu_step(&mut self) {
-        if self.now < self.redirect_until || self.ftq.is_full() {
-            return;
+    pub(crate) fn finalize(&mut self) -> SimStats {
+        let s = &mut self.state;
+        s.stats.cycles = s.now - self.base_cycle;
+        s.stats.prefetch.issued = s.prefetches_issued;
+        let mem_stats = s.mem.stats();
+        s.stats.noc_messages = mem_stats.messages;
+        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+            s.stats.btb_misses = sch.btb_misses() - self.base_scheme_misses;
+            s.stats.btb_lookups = sch.btb_lookups() - self.base_scheme_lookups;
         }
-        let is_ideal = matches!(self.scheme, Some(EngineScheme::Ideal));
-        if is_ideal {
-            self.bpu_step_ideal();
-            return;
-        }
-
-        let pc = self.spec_pc;
-        let mut outcome = BpuOutcome::Stall;
-        self.with_scheme(|scheme, ctx| {
-            if let EngineScheme::Real(s) = scheme {
-                outcome = s.predict(pc, ctx);
-            }
-        });
-        match outcome {
-            BpuOutcome::Predicted(p) => {
-                let range = FetchRange {
-                    start: p.block.start,
-                    end: p.block.end(),
-                };
-                self.push_ftq(range);
-                self.spec_pc = p.next_pc;
-            }
-            BpuOutcome::StraightLine { pc, end } => {
-                self.push_ftq(FetchRange { start: pc, end });
-                self.spec_pc = end;
-            }
-            BpuOutcome::Stall => {
-                self.bpu_stalled = true;
-            }
-        }
+        s.stats.clone()
     }
 
-    /// Ideal front end: the BPU emits the *actual* upcoming blocks.
-    fn bpu_step_ideal(&mut self) {
-        while self.oracle_pos >= self.oracle.len() {
-            let next = self.exec.next_block();
-            self.oracle.push_back(next);
-        }
-        let block = self.oracle[self.oracle_pos].block;
-        self.oracle_pos += 1;
-        self.push_ftq(FetchRange {
-            start: block.start,
-            end: block.end(),
-        });
+    /// This context's memory-path counters (per-context traffic and
+    /// interference; see [`MemStats`]).
+    pub fn mem_stats(&self) -> MemStats {
+        self.state.mem.stats()
     }
 
-    fn push_ftq(&mut self, range: FetchRange) {
-        let pushed = self.ftq.push(range);
-        debug_assert!(pushed, "BPU must check FTQ fullness before predicting");
-        // FDIP-style prefetch probes for the new fetch range (§2.2).
-        let mut ftq_prefetch = false;
-        if let Some(EngineScheme::Real(s)) = &self.scheme {
-            ftq_prefetch = s.ftq_prefetch();
-        }
-        if ftq_prefetch {
-            let lines: Vec<LineAddr> = lines_covering(range.start, range.end).collect();
-            self.with_ctx(|ctx| {
-                for line in lines {
-                    ctx.prefetch_line(line);
-                }
-            });
-        }
-    }
-
-    // ---- fetch -------------------------------------------------------
-
-    fn fetch_step(&mut self) {
-        if self.now < self.redirect_until || self.supply_instrs >= SUPPLY_CAP {
-            return;
-        }
-        let Some(&range) = self.ftq.front() else {
-            return;
-        };
-        let line = range.start.line();
-        let is_ideal = matches!(self.scheme, Some(EngineScheme::Ideal));
-
-        let resuming = match self.waiting_line {
-            Some(w) => {
-                if self.l1i.probe(w) || is_ideal {
-                    self.waiting_line = None;
-                    true
-                } else {
-                    // Still blocked: keep (re)requesting in case the
-                    // MSHR file was full when the miss was discovered.
-                    self.ensure_demand_requested(w);
-                    return;
-                }
-            }
-            None => false,
-        };
-
-        if is_ideal {
-            // Perfect prefetcher: every access hits.
-            self.stats.l1i_accesses += 1;
-            self.deliver(range, line);
-            return;
-        }
-
-        if !resuming {
-            self.stats.l1i_accesses += 1;
-            let l = line;
-            self.with_scheme(|scheme, ctx| {
-                if let EngineScheme::Real(s) = scheme {
-                    s.on_demand_access(l, ctx);
-                }
-            });
-        }
-
-        match self.l1i.demand_access(line) {
-            fe_uarch::AccessOutcome::Hit {
-                first_use_of_prefetch,
-            } => {
-                if first_use_of_prefetch {
-                    self.stats.prefetch.useful += 1;
-                }
-                self.deliver(range, line);
-            }
-            fe_uarch::AccessOutcome::Miss => {
-                if !resuming {
-                    self.stats.l1i_misses += 1;
-                    let l = line;
-                    self.with_scheme(|scheme, ctx| {
-                        if let EngineScheme::Real(s) = scheme {
-                            s.on_demand_miss(l, ctx);
-                        }
-                    });
-                }
-                self.ensure_demand_requested(line);
-                self.waiting_line = Some(line);
-            }
-        }
-    }
-
-    /// Makes sure a fill for `line` is outstanding; retried every cycle
-    /// while the fetch unit waits so a transiently full MSHR file
-    /// cannot strand the demand.
-    fn ensure_demand_requested(&mut self, line: LineAddr) {
-        if self.inflight.contains(line) {
-            self.inflight.merge_demand(line);
-            return;
-        }
-        if !self.inflight.is_full() {
-            let ready = self
-                .mem
-                .request_instr(self.now, line, fe_uarch::MemClass::InstrDemand);
-            let accepted = self.inflight.request(line, ready, false);
-            debug_assert!(accepted);
-        }
-        // else: MSHRs full — the waiting loop retries next cycle.
-    }
-
-    /// Moves the fetched bytes of `range` that lie in `line` into the
-    /// supply buffer and advances the FTQ head.
-    fn deliver(&mut self, range: FetchRange, line: LineAddr) {
-        let line_end = Addr::new((line.get() + 1) * LINE_BYTES);
-        let end = range.end.min(line_end);
-        let instrs = ((end - range.start) as u64) / INSTR_BYTES;
-        self.supply_instrs += instrs;
-        // Coalesce with the previous supply range when contiguous.
-        match self.supply.back_mut() {
-            Some(back) if back.end == range.start => back.end = end,
-            _ => self.supply.push_back(SupplyRange {
-                start: range.start,
-                end,
-            }),
-        }
-        // Advance the FTQ head range.
-        let head = self.ftq.front_mut().expect("range came from the head");
-        if end >= head.end {
-            self.ftq.pop();
-        } else {
-            head.start = end;
-        }
-    }
-
-    // ---- backend -----------------------------------------------------
-
-    fn backend_step(&mut self) -> u64 {
-        // Complete matured data misses.
-        while let Some(front) = self.data_misses.front() {
-            if front.fill_at <= self.now {
-                self.data_misses.pop_front();
-            } else {
-                break;
-            }
-        }
-        // Blocking data miss: older than the ROB shadow and unfilled.
-        if let Some(front) = self.data_misses.front() {
-            if self.retired_total - front.instrs_at_issue
-                >= self.cfg.backend.miss_shadow_instrs as u64
-            {
-                self.stats.backend_stall_cycles += 1;
-                return 0;
-            }
-        }
-
-        let mut credits = self.cfg.core.width as u64;
-        let mut retired = 0u64;
-        while credits > 0 {
-            if self.oracle.is_empty() {
-                let next = self.exec.next_block();
-                self.oracle.push_back(next);
-            }
-            let cur = self.oracle[0];
-            let expected = cur.block.start + self.consumed * INSTR_BYTES;
-
-            // Pull supplied bytes at the expected address.
-            let Some(front) = self.supply.front_mut() else {
-                break;
-            };
-            if front.start != expected {
-                // Divergence: the front end fetched the wrong path.
-                // Discovered here, at the retirement boundary of the
-                // mispredicted/misfetched branch.
-                self.redirect(expected);
-                break;
-            }
-            let avail = ((front.end - front.start) as u64) / INSTR_BYTES;
-            let remaining = cur.block.instr_count as u64 - self.consumed;
-            let step = credits.min(avail).min(remaining);
-            debug_assert!(step > 0, "empty supply range in buffer");
-
-            front.start += step * INSTR_BYTES;
-            if front.start == front.end {
-                self.supply.pop_front();
-            }
-            self.supply_instrs -= step;
-            self.consumed += step;
-            credits -= step;
-            retired += step;
-            self.retired_total += step;
-            self.stats.instructions += step;
-            self.issue_loads(step);
-
-            if self.consumed == cur.block.instr_count as u64 {
-                self.retire_block(&cur);
-                self.oracle.pop_front();
-                self.oracle_pos = self.oracle_pos.saturating_sub(1);
-                self.consumed = 0;
-                // A redirect inside retire_block ends the cycle's work.
-                if self.now < self.redirect_until {
-                    break;
-                }
-            }
-        }
-        retired
-    }
-
-    /// Architectural retirement of one basic block: train predictors,
-    /// the retire RAS, the scheme; check the predicted next fetch
-    /// address; detect ideal-mode direction mispredictions.
-    fn retire_block(&mut self, rb: &RetiredBlock) {
-        use fe_model::BranchKind::*;
-
-        self.stats.branches += 1;
-        if rb.block.kind.is_unconditional() {
-            self.stats.unconditional_branches += 1;
-        }
-
-        // Direction predictor training (conditionals only). When the
-        // BPU actually predicted this block, train at the history
-        // snapshot the prediction used and judge that prediction;
-        // blocks covered by straight-line speculation were never
-        // predicted and train at retired history.
-        if rb.block.kind == Conditional {
-            let matched = self
-                .pred_trace
-                .front()
-                .is_some_and(|p| p.block_start == rb.block.start);
-            let mispredicted = if matched {
-                let p = self.pred_trace.pop_front().expect("front exists");
-                self.tage
-                    .retire_with(rb.block.branch_pc(), rb.taken, p.hist);
-                p.taken != rb.taken
-            } else {
-                self.tage.retire(rb.block.branch_pc(), rb.taken) != rb.taken
-            };
-            if mispredicted {
-                self.stats.direction_mispredicts += 1;
-                if matches!(self.scheme, Some(EngineScheme::Ideal)) {
-                    // Ideal front end still pays the mispredict bubble,
-                    // but its supply is oracle-correct: no flush.
-                    self.redirect_until = self.now + self.cfg.core.redirect_penalty as u64;
-                }
-            }
-        }
-
-        // Retire-side RAS.
-        match rb.block.kind {
-            Call | Trap => self.retire_ras.push(RasEntry {
-                ret: rb.block.fall_through(),
-                call_block: rb.block.start,
-            }),
-            Return | TrapReturn => {
-                let _ = self.retire_ras.pop();
-            }
-            _ => {}
-        }
-
-        // Scheme training.
-        self.with_scheme(|scheme, ctx| {
-            if let EngineScheme::Real(s) = scheme {
-                s.on_retire(rb, ctx);
-            }
-        });
-        self.last_retired_kind = Some(rb.block.kind);
-    }
-
-    /// Pipeline flush + front-end redirect to `target`.
-    fn redirect(&mut self, target: Addr) {
-        self.stats.misfetches += 1;
-        match self.last_retired_kind {
-            Some(fe_model::BranchKind::Conditional) => self.stats.misfetch_cond += 1,
-            Some(k) if k.is_return() => self.stats.misfetch_return += 1,
-            Some(_) => self.stats.misfetch_uncond += 1,
-            None => {}
-        }
-        self.supply.clear();
-        self.supply_instrs = 0;
-        self.ftq.clear();
-        self.pred_trace.clear();
-        self.waiting_line = None;
-        self.spec_pc = target;
-        self.redirect_until = self.now + self.cfg.core.redirect_penalty as u64;
-        self.tage.redirect();
-        self.spec_ras.restore_from(&self.retire_ras);
-        self.with_scheme(|scheme, ctx| {
-            if let EngineScheme::Real(s) = scheme {
-                s.on_redirect(target, ctx);
-            }
-        });
-    }
-
-    /// Data-side activity for `instrs` retired instructions.
-    fn issue_loads(&mut self, instrs: u64) {
-        self.load_acc += instrs as f64 * self.cfg.backend.load_fraction;
-        while self.load_acc >= 1.0 {
-            self.load_acc -= 1.0;
-            self.stats.loads += 1;
-            if self.draw() < self.cfg.backend.l1d_miss_rate
-                && self.data_misses.len() < DATA_MISS_CAP
-            {
-                let fill_at = self.mem.request_data(self.now);
-                self.stats.l1d_misses += 1;
-                self.stats.l1d_fill_cycles += fill_at - self.now;
-                self.data_misses.push_back(DataMiss {
-                    fill_at,
-                    instrs_at_issue: self.retired_total,
-                });
-            }
-        }
-    }
-
-    // ---- stall classification -----------------------------------------
-
-    fn classify_stall(&mut self) {
-        if let Some(front) = self.data_misses.front() {
-            if self.retired_total - front.instrs_at_issue
-                >= self.cfg.backend.miss_shadow_instrs as u64
-            {
-                // Already counted as a backend stall in backend_step.
-                return;
-            }
-        }
-        if self.now < self.redirect_until {
-            self.stats.stalls.redirect += 1;
-        } else if self.waiting_line.is_some() {
-            self.stats.stalls.icache_miss += 1;
-        } else if self.bpu_stalled && self.supply.is_empty() {
-            self.stats.stalls.btb_resolve += 1;
-        } else {
-            self.stats.stalls.ftq_empty += 1;
-        }
-    }
-
-    // ---- helpers -------------------------------------------------------
-
-    /// Runs `f` with the scheme and a freshly assembled context
-    /// (split-borrow helper).
-    fn with_scheme(&mut self, f: impl FnOnce(&mut EngineScheme, &mut FrontEndCtx)) {
-        let mut scheme = self.scheme.take().expect("scheme present");
-        let mut ctx = FrontEndCtx {
-            now: self.now,
-            l1i: &mut self.l1i,
-            mem: &mut self.mem,
-            tage: &mut self.tage,
-            spec_ras: &mut self.spec_ras,
-            inflight: &mut self.inflight,
-            program: self.program,
-            prefetches_issued: &mut self.prefetches_issued,
-            pred_trace: &mut self.pred_trace,
-        };
-        f(&mut scheme, &mut ctx);
-        self.scheme = Some(scheme);
-    }
-
-    fn with_ctx(&mut self, f: impl FnOnce(&mut FrontEndCtx)) {
-        let mut ctx = FrontEndCtx {
-            now: self.now,
-            l1i: &mut self.l1i,
-            mem: &mut self.mem,
-            tage: &mut self.tage,
-            spec_ras: &mut self.spec_ras,
-            inflight: &mut self.inflight,
-            program: self.program,
-            prefetches_issued: &mut self.prefetches_issued,
-            pred_trace: &mut self.pred_trace,
-        };
-        f(&mut ctx);
-    }
-
-    fn draw(&mut self) -> f64 {
-        self.lcg = self.lcg.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.lcg;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 53) as f64
-    }
+    // ---- testing & diagnostics surface -------------------------------
+    //
+    // Everything below is `#[doc(hidden)]`: a stable-enough probe
+    // surface for this workspace's tests and debugging sessions, not
+    // part of the simulator's public API (which is `new`/`with_memory`/
+    // `run`/`mem_stats`).
 
     /// Current FTQ occupancy (tests).
+    #[doc(hidden)]
     pub fn ftq_len(&self) -> usize {
-        self.ftq.len()
+        self.state.ftq.len()
     }
 
     /// Instructions buffered between fetch and retire (tests).
+    #[doc(hidden)]
     pub fn supply_instrs(&self) -> u64 {
-        self.supply_instrs
+        self.state.supply.instrs()
     }
 
     /// Current simulated cycle (tests).
+    #[doc(hidden)]
     pub fn now(&self) -> u64 {
-        self.now
+        self.state.now
     }
 
     /// Instructions retired since construction (tests).
+    #[doc(hidden)]
     pub fn retired(&self) -> u64 {
-        self.retired_total
+        self.state.retired_total
     }
 
     /// Advances exactly one cycle (diagnostics and tests).
+    #[doc(hidden)]
     pub fn tick_once(&mut self) {
         self.cycle();
     }
 
     /// The scheme's self-reported diagnostic counters.
+    #[doc(hidden)]
     pub fn scheme_counters(&self) -> Vec<(&'static str, u64)> {
-        match &self.scheme {
-            Some(EngineScheme::Real(s)) => s.debug_counters(),
+        match &self.state.scheme {
+            Some(EngineScheme::Real(sch)) => sch.debug_counters(),
             _ => Vec::new(),
         }
     }
 
     /// Prints internal pipeline state (diagnostics).
+    #[doc(hidden)]
     pub fn dump_state(&self) {
+        let s = &self.state;
         eprintln!(
             "cycle={} spec_pc={} ftq={} supply_ranges={} supply_instrs={} waiting={:?} \
              redirect_until={} bpu_stalled={} inflight={} oracle_len={} consumed={} \
              expected={:?} supply_front={:?} data_misses={}",
-            self.now,
-            self.spec_pc,
-            self.ftq.len(),
-            self.supply.len(),
-            self.supply_instrs,
-            self.waiting_line,
-            self.redirect_until,
-            self.bpu_stalled,
-            self.inflight.len(),
-            self.oracle.len(),
-            self.consumed,
-            self.oracle
+            s.now,
+            s.spec_pc,
+            s.ftq.len(),
+            s.supply.len(),
+            s.supply.instrs(),
+            s.waiting_line,
+            s.redirect_until,
+            s.bpu_stalled,
+            s.inflight.len(),
+            s.oracle.len(),
+            s.consumed,
+            s.oracle
                 .front()
-                .map(|b| b.block.start + self.consumed * INSTR_BYTES),
-            self.supply.front().map(|r| (r.start, r.end)),
-            self.data_misses.len(),
+                .map(|b| b.block.start + s.consumed * fe_model::INSTR_BYTES),
+            s.supply.front().map(|r| (r.start, r.end)),
+            self.backend.data_miss_count(),
         );
     }
 }
@@ -759,6 +203,7 @@ impl<'p> Simulator<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::SUPPLY_CAP;
     use fe_cfg::{LayerSpec, WorkloadSpec};
 
     fn program() -> Program {

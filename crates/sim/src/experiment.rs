@@ -27,12 +27,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fe_cfg::WorkloadSpec;
+use fe_cfg::{MixSpec, Program, WorkloadSpec};
 use fe_model::stats::{coverage, speedup};
 use fe_model::{MachineConfig, SimStats};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 use crate::json::{parse, Json};
+use crate::multi::MultiSimulator;
 use crate::runner::{run_scheme, RunLength, SchemeSpec};
 
 /// Identifies a workload inside a sweep (its spec name).
@@ -71,7 +72,10 @@ pub struct ProgressEvent {
     pub completed: usize,
     /// Total cells in the sweep.
     pub total: usize,
-    /// Workload of the cell that just finished.
+    /// Workload of the cell that just finished. A multi-context job
+    /// reports its *mix* name here (the whole mix completes at once);
+    /// its report cells are keyed by the member ids
+    /// ([`MixSpec::member_id`](fe_cfg::MixSpec::member_id)).
     pub workload: WorkloadId,
     /// Scheme label of the cell that just finished.
     pub scheme: String,
@@ -79,10 +83,15 @@ pub struct ProgressEvent {
 
 type ProgressFn = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
 
-/// Builder for a (workload × scheme) sweep session.
+/// Builder for a (workload × scheme) sweep session. Cells may be
+/// single-context (one workload, private memory) or multi-context
+/// ([`MixSpec`] — every member ticking round-robin over one shared
+/// LLC/NoC); a mix contributes one report cell per member, keyed by
+/// [`MixSpec::member_id`].
 pub struct Experiment {
     machine: MachineConfig,
     workloads: Vec<WorkloadSpec>,
+    mixes: Vec<MixSpec>,
     schemes: Vec<SchemeSpec>,
     len: RunLength,
     seed: u64,
@@ -102,6 +111,7 @@ impl Experiment {
         Experiment {
             machine,
             workloads: Vec::new(),
+            mixes: Vec::new(),
             schemes: Vec::new(),
             len: RunLength::DEFAULT,
             seed: 0,
@@ -120,6 +130,21 @@ impl Experiment {
     /// Appends one workload.
     pub fn workload(mut self, spec: WorkloadSpec) -> Self {
         self.workloads.push(spec);
+        self
+    }
+
+    /// Appends a multi-context consolidation mix: each scheme gets one
+    /// [`MultiSimulator`] run of the whole mix over a shared memory
+    /// system, producing one cell per member (context `i` is seeded
+    /// with [`derive_ctx_seed`](crate::derive_ctx_seed)`(seed, i)`).
+    pub fn mix(mut self, mix: MixSpec) -> Self {
+        self.mixes.push(mix);
+        self
+    }
+
+    /// Appends several consolidation mixes.
+    pub fn mixes(mut self, mixes: impl IntoIterator<Item = MixSpec>) -> Self {
+        self.mixes.extend(mixes);
         self
     }
 
@@ -171,15 +196,19 @@ impl Experiment {
 
     /// Runs the sweep and derives per-cell metrics.
     ///
-    /// Programs are built once per workload and shared by reference;
-    /// cells fan out over scoped worker threads. Panics if the sweep is
-    /// empty, if a configured baseline is not among the schemes, or if
-    /// two schemes share a display label (which would make cells
-    /// ambiguous in reports and JSON).
+    /// Programs are built once per workload (and per mix member) and
+    /// shared by reference; cells fan out over scoped worker threads —
+    /// a mix runs as one job whose contexts interleave
+    /// deterministically, so reports are byte-identical at any thread
+    /// count. Panics if the sweep is empty, if a configured baseline is
+    /// not among the schemes, if two schemes share a display label, or
+    /// if workload/mix names collide (which would make cells ambiguous
+    /// in reports and JSON).
     pub fn run(self) -> SweepReport {
         let Experiment {
             machine,
             workloads,
+            mixes,
             schemes,
             len,
             seed,
@@ -188,7 +217,7 @@ impl Experiment {
             progress,
         } = self;
         assert!(
-            !workloads.is_empty(),
+            !(workloads.is_empty() && mixes.is_empty()),
             "Experiment::run: no workloads configured"
         );
         assert!(
@@ -211,6 +240,19 @@ impl Experiment {
                 wl.name,
             );
         }
+        for (i, mix) in mixes.iter().enumerate() {
+            assert!(
+                !mixes[..i].iter().any(|m| m.name == mix.name),
+                "Experiment::run: duplicate mix name `{}`",
+                mix.name,
+            );
+            for id in mix.member_ids() {
+                assert!(
+                    !workloads.iter().any(|w| w.name == id),
+                    "Experiment::run: workload name `{id}` collides with a mix member id",
+                );
+            }
+        }
         let baseline = baseline.or_else(|| {
             schemes
                 .contains(&SchemeSpec::NoPrefetch)
@@ -224,29 +266,93 @@ impl Experiment {
         });
 
         let programs = parallel_indexed(workloads.len(), threads, |i| workloads[i].build());
+        // Mix member programs: build each *distinct* member spec once —
+        // a homogeneous mix shares one build across all its copies, and
+        // a member equal to a single workload reuses its build. Slot
+        // indices below `workloads.len()` point into `programs`, the
+        // rest into `unique_programs`.
+        let mix_member_specs: Vec<&WorkloadSpec> =
+            mixes.iter().flat_map(|m| m.members.iter()).collect();
+        let mut unique_specs: Vec<&WorkloadSpec> = Vec::new();
+        let member_slot: Vec<usize> = mix_member_specs
+            .iter()
+            .map(|spec| {
+                workloads
+                    .iter()
+                    .position(|w| w == *spec)
+                    .or_else(|| {
+                        unique_specs
+                            .iter()
+                            .position(|u| u == spec)
+                            .map(|ui| workloads.len() + ui)
+                    })
+                    .unwrap_or_else(|| {
+                        unique_specs.push(spec);
+                        workloads.len() + unique_specs.len() - 1
+                    })
+            })
+            .collect();
+        let unique_programs =
+            parallel_indexed(unique_specs.len(), threads, |i| unique_specs[i].build());
+        let program_at = |slot: usize| -> &Program {
+            if slot < workloads.len() {
+                &programs[slot]
+            } else {
+                &unique_programs[slot - workloads.len()]
+            }
+        };
+        let mut mix_programs: Vec<Vec<&Program>> = Vec::with_capacity(mixes.len());
+        let mut offset = 0;
+        for mix in &mixes {
+            mix_programs.push(
+                (0..mix.members.len())
+                    .map(|k| program_at(member_slot[offset + k]))
+                    .collect(),
+            );
+            offset += mix.members.len();
+        }
 
         let n_schemes = schemes.len();
-        let total = workloads.len() * n_schemes;
+        // Mixes run N contexts serially, making them the slowest jobs:
+        // claim them first so they never tail the sweep. Results are
+        // slotted by index, so ordering is invisible in the report.
+        let mix_jobs = mixes.len() * n_schemes;
+        let total = mix_jobs + workloads.len() * n_schemes;
         let completed = AtomicUsize::new(0);
-        let stats = parallel_indexed(total, threads, |i| {
-            let (wi, si) = (i / n_schemes, i % n_schemes);
-            let cell_stats = run_scheme(&programs[wi], &schemes[si], &machine, len, seed);
+        // Each job yields the stats of its cells: one for a single
+        // workload, one per member for a mix.
+        let results: Vec<Vec<SimStats>> = parallel_indexed(total, threads, |job| {
+            let (name, si, job_stats) = if job < mix_jobs {
+                let (mi, si) = (job / n_schemes, job % n_schemes);
+                let members = mix_programs[mi]
+                    .iter()
+                    .map(|p| (*p, schemes[si].build(&machine)))
+                    .collect();
+                let multi =
+                    MultiSimulator::new(&machine, members, seed).run(len.warmup, len.measure);
+                let stats = multi.contexts.into_iter().map(|c| c.stats).collect();
+                (mixes[mi].name.clone(), si, stats)
+            } else {
+                let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
+                let stats = run_scheme(&programs[wi], &schemes[si], &machine, len, seed);
+                (workloads[wi].name.clone(), si, vec![stats])
+            };
             if let Some(cb) = &progress {
                 cb(&ProgressEvent {
                     completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
                     total,
-                    workload: WorkloadId(workloads[wi].name.clone()),
+                    workload: WorkloadId(name),
                     scheme: labels[si].clone(),
                 });
             }
-            cell_stats
+            job_stats
         });
 
-        let mut cells = Vec::with_capacity(total);
+        let mut cells = Vec::new();
         for (wi, wl) in workloads.iter().enumerate() {
-            let base = baseline_idx.map(|bi| &stats[wi * n_schemes + bi]);
+            let base = baseline_idx.map(|bi| &results[mix_jobs + wi * n_schemes + bi][0]);
             for (si, scheme) in schemes.iter().enumerate() {
-                let cell_stats = &stats[wi * n_schemes + si];
+                let cell_stats = &results[mix_jobs + wi * n_schemes + si][0];
                 cells.push(SweepCell {
                     workload: WorkloadId(wl.name.clone()),
                     scheme: scheme.clone(),
@@ -256,15 +362,38 @@ impl Experiment {
                 });
             }
         }
+        for (mi, mix) in mixes.iter().enumerate() {
+            for (ctx, member_id) in mix.member_ids().into_iter().enumerate() {
+                // A member's baseline is the *same context of the same
+                // mix* under the baseline scheme — interference-aware.
+                let base = baseline_idx.map(|bi| &results[mi * n_schemes + bi][ctx]);
+                for (si, scheme) in schemes.iter().enumerate() {
+                    let cell_stats = &results[mi * n_schemes + si][ctx];
+                    cells.push(SweepCell {
+                        workload: WorkloadId(member_id.clone()),
+                        scheme: scheme.clone(),
+                        label: labels[si].clone(),
+                        metrics: CellMetrics::derive(cell_stats, base),
+                        stats: cell_stats.clone(),
+                    });
+                }
+            }
+        }
 
+        let workload_ids = workloads
+            .iter()
+            .map(|w| WorkloadId(w.name.clone()))
+            .chain(
+                mixes
+                    .iter()
+                    .flat_map(|m| m.member_ids().into_iter().map(WorkloadId)),
+            )
+            .collect();
         SweepReport {
             len,
             seed,
             baseline: baseline_idx.map(|bi| labels[bi].clone()),
-            workloads: workloads
-                .iter()
-                .map(|w| WorkloadId(w.name.clone()))
-                .collect(),
+            workloads: workload_ids,
             schemes,
             cells,
         }

@@ -30,10 +30,13 @@
 pub mod engine;
 pub mod experiment;
 pub mod json;
+pub mod multi;
+mod pipeline;
 pub mod report;
 pub mod runner;
 
 pub use engine::{EngineScheme, Simulator};
 pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
+pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
 pub use runner::{run_scheme, RunLength, SchemeSpec};

@@ -1,0 +1,96 @@
+//! The branch prediction unit stage: walks the *predicted* path one
+//! basic block at a time, querying the scheme under test, and enqueues
+//! fetch ranges into the FTQ (issuing FDIP-style prefetch probes as
+//! ranges enter, §2.2).
+
+use fe_model::addr::lines_covering;
+use fe_model::LineAddr;
+use fe_uarch::scheme::BpuOutcome;
+
+use super::{EngineScheme, FetchRange, PipelineState, BPU_BLOCKS_PER_CYCLE};
+
+/// The prediction stage. Its throughput ([`BPU_BLOCKS_PER_CYCLE`]) lets
+/// it run ahead of the backend and absorb short reactive-fill stalls;
+/// all of its working state (speculative PC, FTQ, stall flag) is
+/// cross-stage and lives in [`PipelineState`].
+pub(crate) struct Bpu;
+
+impl Bpu {
+    /// One cycle of prediction: up to [`BPU_BLOCKS_PER_CYCLE`] blocks,
+    /// stopping early when the scheme stalls.
+    pub(crate) fn tick(&mut self, s: &mut PipelineState) {
+        for _ in 0..BPU_BLOCKS_PER_CYCLE {
+            self.step(s);
+            if s.bpu_stalled {
+                break;
+            }
+        }
+    }
+
+    fn step(&mut self, s: &mut PipelineState) {
+        if s.now < s.redirect_until || s.ftq.is_full() {
+            return;
+        }
+        if s.is_ideal() {
+            self.step_ideal(s);
+            return;
+        }
+
+        let pc = s.spec_pc;
+        let mut outcome = BpuOutcome::Stall;
+        s.with_scheme(|scheme, ctx| {
+            if let EngineScheme::Real(sch) = scheme {
+                outcome = sch.predict(pc, ctx);
+            }
+        });
+        match outcome {
+            BpuOutcome::Predicted(p) => {
+                let range = FetchRange {
+                    start: p.block.start,
+                    end: p.block.end(),
+                };
+                self.push_ftq(s, range);
+                s.spec_pc = p.next_pc;
+            }
+            BpuOutcome::StraightLine { pc, end } => {
+                self.push_ftq(s, FetchRange { start: pc, end });
+                s.spec_pc = end;
+            }
+            BpuOutcome::Stall => {
+                s.bpu_stalled = true;
+            }
+        }
+    }
+
+    /// Ideal front end: the BPU emits the *actual* upcoming blocks.
+    fn step_ideal(&mut self, s: &mut PipelineState) {
+        s.fill_oracle_to(s.oracle_pos);
+        let block = s.oracle[s.oracle_pos].block;
+        s.oracle_pos += 1;
+        self.push_ftq(
+            s,
+            FetchRange {
+                start: block.start,
+                end: block.end(),
+            },
+        );
+    }
+
+    fn push_ftq(&mut self, s: &mut PipelineState, range: FetchRange) {
+        let pushed = s.ftq.push(range);
+        debug_assert!(pushed, "BPU must check FTQ fullness before predicting");
+        // FDIP-style prefetch probes for the new fetch range (§2.2).
+        let mut ftq_prefetch = false;
+        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+            ftq_prefetch = sch.ftq_prefetch();
+        }
+        if ftq_prefetch {
+            let lines: Vec<LineAddr> = lines_covering(range.start, range.end).collect();
+            s.with_ctx(|ctx| {
+                for line in lines {
+                    ctx.prefetch_line(line);
+                }
+            });
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The fetch stage: FTQ head consumption against the L1-I, demand-miss
+//! tracking through the MSHR file, and fill completion (the point where
+//! prefetched lines land in the cache and schemes predecode them).
+
+use fe_model::{Addr, LineAddr, LINE_BYTES};
+
+use super::{EngineScheme, FetchRange, PipelineState, FETCH_LINES_PER_CYCLE, SUPPLY_CAP};
+
+/// The fetch unit. Its blocking state (`waiting_line`) is a cross-stage
+/// signal — the stall taxonomy reads it and a redirect clears it — so
+/// it lives in [`PipelineState`].
+pub(crate) struct FetchUnit;
+
+impl FetchUnit {
+    /// Drains matured fills into the L1-I and runs the scheme's
+    /// predecode hook. Runs at the top of every cycle, before the BPU.
+    pub(crate) fn process_fills(&mut self, s: &mut PipelineState) {
+        let mut filled: Vec<(LineAddr, bool, bool)> = Vec::new();
+        for (line, info) in s.inflight.pop_ready(s.now) {
+            filled.push((line, info.prefetch, info.demand_merged));
+        }
+        for (line, prefetch, merged) in filled {
+            if prefetch && merged {
+                s.stats.prefetch.late += 1;
+            }
+            if let Some(evicted) = s.l1i.install(line, prefetch) {
+                if evicted.wasted_prefetch {
+                    s.stats.prefetch.wasted += 1;
+                }
+            }
+            s.with_scheme(|scheme, ctx| {
+                if let EngineScheme::Real(sch) = scheme {
+                    sch.on_fill(line, prefetch, ctx);
+                }
+            });
+        }
+    }
+
+    /// One cycle of fetch: up to [`FETCH_LINES_PER_CYCLE`] lines,
+    /// stopping when blocked on an L1-I miss.
+    pub(crate) fn tick(&mut self, s: &mut PipelineState) {
+        for _ in 0..FETCH_LINES_PER_CYCLE {
+            self.step(s);
+            if s.waiting_line.is_some() {
+                break;
+            }
+        }
+    }
+
+    fn step(&mut self, s: &mut PipelineState) {
+        if s.now < s.redirect_until || s.supply.instrs() >= SUPPLY_CAP {
+            return;
+        }
+        let Some(&range) = s.ftq.front() else {
+            return;
+        };
+        let line = range.start.line();
+        let is_ideal = s.is_ideal();
+
+        let resuming = match s.waiting_line {
+            Some(w) => {
+                if s.l1i.probe(w) || is_ideal {
+                    s.waiting_line = None;
+                    true
+                } else {
+                    // Still blocked: keep (re)requesting in case the
+                    // MSHR file was full when the miss was discovered.
+                    self.ensure_demand_requested(s, w);
+                    return;
+                }
+            }
+            None => false,
+        };
+
+        if is_ideal {
+            // Perfect prefetcher: every access hits.
+            s.stats.l1i_accesses += 1;
+            self.deliver(s, range, line);
+            return;
+        }
+
+        if !resuming {
+            s.stats.l1i_accesses += 1;
+            s.with_scheme(|scheme, ctx| {
+                if let EngineScheme::Real(sch) = scheme {
+                    sch.on_demand_access(line, ctx);
+                }
+            });
+        }
+
+        match s.l1i.demand_access(line) {
+            fe_uarch::AccessOutcome::Hit {
+                first_use_of_prefetch,
+            } => {
+                if first_use_of_prefetch {
+                    s.stats.prefetch.useful += 1;
+                }
+                self.deliver(s, range, line);
+            }
+            fe_uarch::AccessOutcome::Miss => {
+                if !resuming {
+                    s.stats.l1i_misses += 1;
+                    s.with_scheme(|scheme, ctx| {
+                        if let EngineScheme::Real(sch) = scheme {
+                            sch.on_demand_miss(line, ctx);
+                        }
+                    });
+                }
+                self.ensure_demand_requested(s, line);
+                s.waiting_line = Some(line);
+            }
+        }
+    }
+
+    /// Makes sure a fill for `line` is outstanding; retried every cycle
+    /// while the fetch unit waits so a transiently full MSHR file
+    /// cannot strand the demand.
+    fn ensure_demand_requested(&mut self, s: &mut PipelineState, line: LineAddr) {
+        if s.inflight.contains(line) {
+            s.inflight.merge_demand(line);
+            return;
+        }
+        if !s.inflight.is_full() {
+            let ready = s
+                .mem
+                .request_instr(s.now, line, fe_uarch::MemClass::InstrDemand);
+            let accepted = s.inflight.request(line, ready, false);
+            debug_assert!(accepted);
+        }
+        // else: MSHRs full — the waiting loop retries next cycle.
+    }
+
+    /// Moves the fetched bytes of `range` that lie in `line` into the
+    /// supply buffer and advances the FTQ head.
+    fn deliver(&mut self, s: &mut PipelineState, range: FetchRange, line: LineAddr) {
+        let line_end = Addr::new((line.get() + 1) * LINE_BYTES);
+        let end = range.end.min(line_end);
+        s.supply.deliver(range.start, end);
+        // Advance the FTQ head range.
+        let head = s.ftq.front_mut().expect("range came from the head");
+        if end >= head.end {
+            s.ftq.pop();
+        } else {
+            head.start = end;
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The staged front-end pipeline.
+//!
+//! Pipeline shape (see "Simulator pipeline" in the repository README):
+//!
+//! ```text
+//!   BPU(scheme) → FTQ → fetch unit (L1-I) → supply buffer → backend
+//!        ▲                                                     │
+//!        └──────────────── redirect on divergence ─────────────┘
+//! ```
+//!
+//! Each stage is its own module and struct, ticked once per cycle by
+//! the [`Simulator`](crate::Simulator) orchestrator against the shared
+//! [`PipelineState`]:
+//!
+//! * [`bpu::Bpu`] advances one basic block per step along the
+//!   *predicted* path, querying the scheme. Wrong paths are genuinely
+//!   followed (prefetching and polluting as real hardware would) until
+//!   the backend discovers the divergence.
+//! * [`fetch::FetchUnit`] consumes FTQ fetch ranges one cache line per
+//!   step; L1-I misses block it and are the stalls prefetching exists
+//!   to remove. It also drains matured fills into the L1-I.
+//! * [`supply::SupplyBuffer`] holds fetched instruction byte ranges
+//!   between the fetch unit and the backend (decode/queue stages).
+//! * [`backend::Backend`] retires up to `width` instructions per cycle
+//!   by matching supplied address ranges against the executor's actual
+//!   retired stream; the first mismatched address is a
+//!   misfetch/mispredict, discovered exactly when the offending branch
+//!   retires: the pipeline flushes, the BPU redirects, and a refill
+//!   bubble is charged. Retired blocks train TAGE, the RAS, and the
+//!   scheme (BTB demand fills, footprint recording, history). Data
+//!   misses delay retirement once they are older than the ROB can
+//!   hide, coupling front-end traffic to Fig. 11's L1-D fill latency
+//!   through the shared NoC queue.
+//! * [`stall::StallKind`] classifies every cycle in which zero
+//!   instructions retire on the correct path — the paper's front-end
+//!   stall taxonomy (§6.1), in priority order.
+//!
+//! The module is crate-private by design: the public simulation surface
+//! is the [`Simulator`](crate::Simulator) orchestrator (and
+//! [`MultiSimulator`](crate::MultiSimulator) for consolidated
+//! multi-context runs).
+
+use std::collections::VecDeque;
+
+use fe_cfg::{Executor, Program};
+use fe_model::{Addr, LineAddr, MachineConfig, RetiredBlock, SimStats};
+use fe_uarch::scheme::{ControlFlowDelivery, FrontEndCtx, PredRecord};
+use fe_uarch::{BoundedQueue, InflightFills, LineCache, MemorySystem, ReturnAddressStack, Tage};
+
+pub(crate) mod backend;
+pub(crate) mod bpu;
+pub(crate) mod fetch;
+pub(crate) mod stall;
+pub(crate) mod supply;
+
+use supply::SupplyBuffer;
+
+/// Byte range queued for fetch.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FetchRange {
+    pub(crate) start: Addr,
+    pub(crate) end: Addr,
+}
+
+/// Which front end drives the BPU.
+pub enum EngineScheme {
+    /// A real control-flow-delivery scheme.
+    Real(Box<dyn ControlFlowDelivery>),
+    /// The ideal front end of Fig. 1: perfect BTB, perfect L1-I,
+    /// direction mispredictions retained.
+    Ideal,
+}
+
+/// Cap on instructions buffered between fetch and retire (decode/queue
+/// stages).
+pub(crate) const SUPPLY_CAP: u64 = 48;
+/// Cap on outstanding data misses (LSQ-limited MLP).
+pub(crate) const DATA_MISS_CAP: usize = 16;
+/// Basic blocks the BPU can predict per cycle (two-taken-branch
+/// prediction throughput, letting the BPU run ahead of the 3-wide
+/// backend and absorb short reactive-fill stalls).
+pub(crate) const BPU_BLOCKS_PER_CYCLE: u32 = 2;
+/// Cache lines the fetch unit can read per cycle.
+pub(crate) const FETCH_LINES_PER_CYCLE: u32 = 2;
+
+/// State shared by every pipeline stage of one simulated context: the
+/// hardware structures, the inter-stage buffers, the cross-stage
+/// signals, and the accounting.
+///
+/// Stage-local state (the backend's outstanding data misses, its load
+/// RNG) lives in the stage structs; everything at least two stages
+/// touch lives here.
+pub(crate) struct PipelineState<'p> {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) program: &'p Program,
+    pub(crate) exec: Executor<'p>,
+    /// `Option` only for the split-borrow dance in [`Self::with_scheme`].
+    pub(crate) scheme: Option<EngineScheme>,
+
+    // Shared hardware.
+    pub(crate) l1i: LineCache,
+    pub(crate) mem: MemorySystem,
+    pub(crate) tage: Tage,
+    pub(crate) spec_ras: ReturnAddressStack,
+    pub(crate) retire_ras: ReturnAddressStack,
+    pub(crate) inflight: InflightFills,
+
+    // Inter-stage buffers.
+    pub(crate) ftq: BoundedQueue<FetchRange>,
+    pub(crate) supply: SupplyBuffer,
+    /// In-flight direction predictions (snapshot history for training).
+    pub(crate) pred_trace: VecDeque<PredRecord>,
+    /// The executor's actual upcoming blocks: consumed by the backend,
+    /// read ahead by the ideal BPU.
+    pub(crate) oracle: VecDeque<RetiredBlock>,
+
+    // Cross-stage signals.
+    pub(crate) spec_pc: Addr,
+    pub(crate) waiting_line: Option<LineAddr>,
+    pub(crate) redirect_until: u64,
+    pub(crate) bpu_stalled: bool,
+    /// For the ideal scheme: index of the next oracle block the BPU
+    /// will emit.
+    pub(crate) oracle_pos: usize,
+    /// Instructions of the current oracle block already retired.
+    pub(crate) consumed: u64,
+
+    // Time & accounting.
+    pub(crate) now: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) prefetches_issued: u64,
+    pub(crate) retired_total: u64,
+}
+
+impl<'p> PipelineState<'p> {
+    pub(crate) fn new(
+        program: &'p Program,
+        cfg: MachineConfig,
+        scheme: EngineScheme,
+        seed: u64,
+        mem: MemorySystem,
+    ) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let exec = Executor::new(program, seed);
+        PipelineState {
+            l1i: LineCache::new(cfg.l1i),
+            mem,
+            tage: Tage::new(cfg.tage),
+            spec_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
+            retire_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
+            inflight: InflightFills::new(cfg.front_end.l1i_mshrs as usize),
+            ftq: BoundedQueue::new(cfg.front_end.ftq_entries as usize),
+            supply: SupplyBuffer::new(),
+            pred_trace: VecDeque::with_capacity(64),
+            oracle: VecDeque::with_capacity(64),
+            spec_pc: program.entry(),
+            waiting_line: None,
+            redirect_until: 0,
+            bpu_stalled: false,
+            oracle_pos: 0,
+            consumed: 0,
+            now: 0,
+            stats: SimStats::default(),
+            prefetches_issued: 0,
+            retired_total: 0,
+            scheme: Some(scheme),
+            program,
+            exec,
+            cfg,
+        }
+    }
+
+    /// `true` when the ideal front end drives the BPU.
+    pub(crate) fn is_ideal(&self) -> bool {
+        matches!(self.scheme, Some(EngineScheme::Ideal))
+    }
+
+    /// Extends the oracle so index `pos` exists.
+    pub(crate) fn fill_oracle_to(&mut self, pos: usize) {
+        while pos >= self.oracle.len() {
+            let next = self.exec.next_block();
+            self.oracle.push_back(next);
+        }
+    }
+
+    /// Runs `f` with the scheme and a freshly assembled context
+    /// (split-borrow helper).
+    pub(crate) fn with_scheme(&mut self, f: impl FnOnce(&mut EngineScheme, &mut FrontEndCtx)) {
+        let mut scheme = self.scheme.take().expect("scheme present");
+        let mut ctx = FrontEndCtx {
+            now: self.now,
+            l1i: &mut self.l1i,
+            mem: &mut self.mem,
+            tage: &mut self.tage,
+            spec_ras: &mut self.spec_ras,
+            inflight: &mut self.inflight,
+            program: self.program,
+            prefetches_issued: &mut self.prefetches_issued,
+            pred_trace: &mut self.pred_trace,
+        };
+        f(&mut scheme, &mut ctx);
+        self.scheme = Some(scheme);
+    }
+
+    pub(crate) fn with_ctx(&mut self, f: impl FnOnce(&mut FrontEndCtx)) {
+        let mut ctx = FrontEndCtx {
+            now: self.now,
+            l1i: &mut self.l1i,
+            mem: &mut self.mem,
+            tage: &mut self.tage,
+            spec_ras: &mut self.spec_ras,
+            inflight: &mut self.inflight,
+            program: self.program,
+            prefetches_issued: &mut self.prefetches_issued,
+            pred_trace: &mut self.pred_trace,
+        };
+        f(&mut ctx);
+    }
+}

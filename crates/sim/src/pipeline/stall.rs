@@ -1,0 +1,168 @@
+//! The §6.1 stall taxonomy as its own accounted type.
+//!
+//! A cycle in which zero instructions retire on the correct path is
+//! classified by its *dominant* blocker, in fixed priority order:
+//! backend data stall, redirect bubble, icache-miss stall,
+//! BTB-resolution stall, FTQ-empty. The priority matters — a refill
+//! bubble cycle often also has a miss outstanding, and must count as a
+//! redirect (the paper's coverage metric depends on this partition).
+
+use fe_model::SimStats;
+
+use super::backend::RetireOutcome;
+use super::PipelineState;
+
+/// Why a zero-retire cycle retired nothing — one variant per §6.1
+/// class, ordered by classification priority.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StallKind {
+    /// Retirement blocked on a data miss older than the ROB shadow.
+    Backend,
+    /// Pipeline-refill bubble after a mispredict/misfetch redirect.
+    Redirect,
+    /// Fetch blocked on an L1-I miss.
+    IcacheMiss,
+    /// BPU stalled resolving a BTB miss with the supply dry.
+    BtbResolve,
+    /// FTQ ran dry for any other reason.
+    FtqEmpty,
+}
+
+/// Observable blockers of one zero-retire cycle, in no particular
+/// order; [`StallKind::classify`] applies the priority.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StallCauses {
+    /// A data miss older than the ROB shadow blocked retirement.
+    pub(crate) data_blocked: bool,
+    /// The cycle fell inside a redirect refill bubble.
+    pub(crate) in_redirect: bool,
+    /// The fetch unit was blocked on an L1-I miss.
+    pub(crate) icache_waiting: bool,
+    /// The BPU was stalled with nothing buffered downstream.
+    pub(crate) bpu_starved: bool,
+}
+
+impl StallKind {
+    /// Classifies a zero-retire cycle by its dominant cause.
+    pub(crate) fn classify(c: StallCauses) -> StallKind {
+        if c.data_blocked {
+            StallKind::Backend
+        } else if c.in_redirect {
+            StallKind::Redirect
+        } else if c.icache_waiting {
+            StallKind::IcacheMiss
+        } else if c.bpu_starved {
+            StallKind::BtbResolve
+        } else {
+            StallKind::FtqEmpty
+        }
+    }
+
+    /// Charges this stall to the statistics. `Backend` charges nothing
+    /// here: the backend stage already counted the cycle in
+    /// `backend_stall_cycles` when it blocked.
+    pub(crate) fn charge(self, stats: &mut SimStats) {
+        match self {
+            StallKind::Backend => {}
+            StallKind::Redirect => stats.stalls.redirect += 1,
+            StallKind::IcacheMiss => stats.stalls.icache_miss += 1,
+            StallKind::BtbResolve => stats.stalls.btb_resolve += 1,
+            StallKind::FtqEmpty => stats.stalls.ftq_empty += 1,
+        }
+    }
+}
+
+/// End-of-cycle accounting for a cycle whose backend tick retired
+/// nothing: observe the causes, classify, charge.
+pub(crate) fn account(s: &mut PipelineState, outcome: RetireOutcome) {
+    debug_assert_eq!(outcome.retired, 0, "only zero-retire cycles classify");
+    let kind = StallKind::classify(StallCauses {
+        data_blocked: outcome.data_blocked,
+        in_redirect: s.now < s.redirect_until,
+        icache_waiting: s.waiting_line.is_some(),
+        bpu_starved: s.bpu_stalled && s.supply.is_empty(),
+    });
+    kind.charge(&mut s.stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn causes(
+        data_blocked: bool,
+        in_redirect: bool,
+        icache_waiting: bool,
+        bpu_starved: bool,
+    ) -> StallCauses {
+        StallCauses {
+            data_blocked,
+            in_redirect,
+            icache_waiting,
+            bpu_starved,
+        }
+    }
+
+    #[test]
+    fn redirect_dominates_icache_miss() {
+        // §6.1: a cycle that is simultaneously a redirect bubble and an
+        // icache-miss stall is a redirect — the flush caused the miss
+        // wait to be irrelevant.
+        assert_eq!(
+            StallKind::classify(causes(false, true, true, false)),
+            StallKind::Redirect
+        );
+        assert_eq!(
+            StallKind::classify(causes(false, true, true, true)),
+            StallKind::Redirect
+        );
+    }
+
+    #[test]
+    fn backend_data_stall_dominates_everything() {
+        assert_eq!(
+            StallKind::classify(causes(true, true, true, true)),
+            StallKind::Backend
+        );
+    }
+
+    #[test]
+    fn icache_dominates_btb_resolve() {
+        assert_eq!(
+            StallKind::classify(causes(false, false, true, true)),
+            StallKind::IcacheMiss
+        );
+    }
+
+    #[test]
+    fn btb_resolve_beats_only_ftq_empty() {
+        assert_eq!(
+            StallKind::classify(causes(false, false, false, true)),
+            StallKind::BtbResolve
+        );
+    }
+
+    #[test]
+    fn nothing_observable_is_ftq_empty() {
+        assert_eq!(
+            StallKind::classify(StallCauses::default()),
+            StallKind::FtqEmpty
+        );
+    }
+
+    #[test]
+    fn charge_partitions_by_kind() {
+        let mut stats = SimStats::default();
+        StallKind::Redirect.charge(&mut stats);
+        StallKind::IcacheMiss.charge(&mut stats);
+        StallKind::BtbResolve.charge(&mut stats);
+        StallKind::FtqEmpty.charge(&mut stats);
+        StallKind::Backend.charge(&mut stats); // counted by the backend stage
+        assert_eq!(stats.stalls.redirect, 1);
+        assert_eq!(stats.stalls.icache_miss, 1);
+        assert_eq!(stats.stalls.btb_resolve, 1);
+        assert_eq!(stats.stalls.ftq_empty, 1);
+        assert_eq!(stats.stalls.front_end_total(), 4);
+        assert_eq!(stats.backend_stall_cycles, 0);
+    }
+}

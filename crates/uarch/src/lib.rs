@@ -32,7 +32,7 @@ pub mod tage;
 pub use btb::Btb;
 pub use cache::{AccessOutcome, Evicted, LineCache};
 pub use inflight::InflightFills;
-pub use mem::{MemClass, MemorySystem};
+pub use mem::{MemClass, MemStats, MemorySystem};
 pub use queue::BoundedQueue;
 pub use ras::{RasEntry, ReturnAddressStack};
 pub use scheme::{BpuOutcome, ControlFlowDelivery, FrontEndCtx, PredictedBlock};

@@ -116,3 +116,72 @@ proptest! {
         prop_assert_eq!(completed, accepted, "every accepted fill completes once");
     }
 }
+
+// ---- deterministic full/empty edge cases (non-property) --------------
+//
+// The §6.1 pipeline depends on these boundary behaviors precisely: a
+// full FTQ back-pressures the BPU, a full MSHR file must neither drop
+// nor duplicate a demand, and empty structures must answer without
+// side effects.
+
+#[test]
+fn bounded_queue_full_and_empty_boundaries() {
+    let mut q: BoundedQueue<u32> = BoundedQueue::new(1);
+    // Empty: every observer agrees, pops are side-effect-free.
+    assert!(q.is_empty());
+    assert!(!q.is_full());
+    assert_eq!(q.len(), 0);
+    assert_eq!(q.pop(), None);
+    assert_eq!(q.front(), None);
+    assert_eq!(q.front_mut(), None);
+    assert_eq!(q.back(), None);
+    // Capacity-1: full after one push, rejects without dropping.
+    assert!(q.push(7));
+    assert!(q.is_full());
+    assert!(!q.push(8), "full queue must reject");
+    assert_eq!(q.len(), 1);
+    assert_eq!(q.front(), Some(&7), "rejected push must not clobber");
+    // Pop frees exactly one slot.
+    assert_eq!(q.pop(), Some(7));
+    assert!(q.is_empty() && !q.is_full());
+    assert!(q.push(9));
+    // Clear from full, then reuse.
+    q.clear();
+    assert!(q.is_empty());
+    assert!(q.push(10));
+    assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![10]);
+}
+
+#[test]
+fn inflight_fills_full_and_empty_boundaries() {
+    let line = |i: u64| LineAddr::from_index(i);
+    let mut m = InflightFills::new(1);
+    // Empty: no completions, merges miss, lookups miss.
+    assert!(m.is_empty());
+    assert!(!m.is_full());
+    assert_eq!(m.pop_ready(u64::MAX).count(), 0);
+    assert_eq!(
+        m.merge_demand(line(3)),
+        None,
+        "merge on absent line is a no-op"
+    );
+    assert!(m.lookup(line(3)).is_none());
+    // Capacity-1: second line rejected, first untouched.
+    assert!(m.request(line(1), 10, false));
+    assert!(m.is_full());
+    assert!(!m.request(line(2), 10, false), "full MSHR file must reject");
+    assert!(m.contains(line(1)) && !m.contains(line(2)));
+    // A rejected request must not corrupt completion of the holder.
+    let done: Vec<_> = m.pop_ready(10).collect();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, line(1));
+    assert!(m.is_empty(), "completion frees the MSHR");
+    // Freed capacity accepts again; duplicate of in-flight still rejected.
+    assert!(m.request(line(2), 20, true));
+    assert!(
+        !m.request(line(2), 25, false),
+        "duplicate must merge, not re-issue"
+    );
+    assert_eq!(m.merge_demand(line(2)), Some(20));
+    assert_eq!(m.len(), 1);
+}

@@ -1,0 +1,46 @@
+//! Pipeline-refactor regression gate: the staged engine must be
+//! *bit-identical* to the pre-refactor monolithic `Simulator::run`
+//! loop. The fixture was emitted by the monolith for a pinned
+//! (workload, schemes, length, seed) cell; any change to stage
+//! ordering, stall accounting, RNG streams, or JSON shape shows up as
+//! a byte diff here.
+
+use fe_cfg::workloads;
+use fe_model::MachineConfig;
+use fe_sim::{Experiment, RunLength, SchemeSpec, SweepReport};
+
+const PINNED: &str = include_str!("fixtures/pinned_nutch_smoke.json");
+
+fn pinned_report() -> SweepReport {
+    Experiment::new(MachineConfig::table3())
+        .workload(workloads::nutch())
+        .schemes([SchemeSpec::NoPrefetch, SchemeSpec::shotgun()])
+        .len(RunLength::SMOKE)
+        .seed(0x5407)
+        .threads(1)
+        .run()
+}
+
+#[test]
+fn refactored_pipeline_reproduces_pre_refactor_json_bytes() {
+    let report = pinned_report();
+    assert_eq!(
+        report.to_json(),
+        PINNED,
+        "staged pipeline diverged from the pre-refactor engine on the pinned cell"
+    );
+}
+
+#[test]
+fn fixture_parses_and_round_trips() {
+    let parsed = SweepReport::from_json(PINNED).expect("fixture must stay parseable");
+    assert_eq!(parsed.to_json(), PINNED);
+    assert!(
+        parsed
+            .cell("nutch", &SchemeSpec::shotgun())
+            .metrics
+            .speedup
+            .is_some(),
+        "pinned cell carries derived metrics"
+    );
+}
