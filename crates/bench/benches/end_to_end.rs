@@ -12,7 +12,8 @@
 
 use fe_cfg::workloads;
 use fe_model::MachineConfig;
-use fe_sim::{run_scheme, RunLength, SchemeSpec};
+use fe_sim::{run_scheme, run_scheme_replayed, RunLength, SchemeSpec};
+use fe_trace::Trace;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -44,6 +45,33 @@ fn main() {
         let t0 = Instant::now();
         for _ in 0..iters {
             black_box(run_scheme(&program, &spec, &machine, len, 3));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let per_run_ms = 1e3 * elapsed / iters as f64;
+        let mips = (len.warmup + len.measure) as f64 * iters as f64 / elapsed / 1e6;
+        println!("{:14} {:>10.2} {:>12.1}", spec.label(), per_run_ms, mips);
+    }
+
+    // Record-once/replay-many: the same runs fed from a recorded trace
+    // instead of the live executor walk. Replay should be at least as
+    // fast as live execution (decode beats re-deriving control flow) —
+    // this is the throughput edge every multi-scheme sweep now gets.
+    let trace = Trace::record(&program, 3, len.trace_instrs(&machine));
+    println!(
+        "\nreplayed from a {:.1} MB trace ({} blocks):",
+        trace.payload_len() as f64 / 1e6,
+        trace.header().block_count
+    );
+    println!("{:14} {:>10} {:>12}", "scheme", "ms/run", "sim MIPS");
+    for spec in [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()] {
+        black_box(run_scheme_replayed(
+            &program, &trace, &spec, &machine, len, 3,
+        ));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(run_scheme_replayed(
+                &program, &trace, &spec, &machine, len, 3,
+            ));
         }
         let elapsed = t0.elapsed().as_secs_f64();
         let per_run_ms = 1e3 * elapsed / iters as f64;

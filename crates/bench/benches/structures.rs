@@ -11,7 +11,8 @@
 
 use fe_cfg::{workloads, Executor};
 use fe_model::config::{CacheConfig, TageConfig};
-use fe_model::{Addr, BasicBlock, BranchKind, LineAddr, MachineConfig};
+use fe_model::{Addr, BasicBlock, BlockSource, BranchKind, LineAddr, MachineConfig};
+use fe_trace::Trace;
 use fe_uarch::{Btb, LineCache, MemClass, MemorySystem, Tage};
 use shotgun::{FootprintLayout, FootprintRecorder, SpatialFootprint};
 use std::hint::black_box;
@@ -104,5 +105,22 @@ fn main() {
     let mut exec = Executor::new(&program, 9);
     bench("executor/next_block", ITERS, |_| {
         black_box(exec.next_block());
+    });
+
+    // Record-once/replay-many hinges on trace replay beating the live
+    // walk: decode (varint deltas) vs re-deriving control flow (RNG,
+    // Zipf draws, loop bookkeeping). The bench loops over one recording
+    // sized well past cache-warm effects.
+    let trace = Trace::record(&program, 9, (ITERS / 8) * 4);
+    let mut replayer = trace.replayer();
+    let replay_blocks = trace.header().block_count;
+    let mut left = replay_blocks;
+    bench("trace/replay_block", ITERS, |_| {
+        if left == 0 {
+            replayer = trace.replayer();
+            left = replay_blocks;
+        }
+        left -= 1;
+        black_box(replayer.next_block());
     });
 }

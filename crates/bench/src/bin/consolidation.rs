@@ -77,10 +77,7 @@ fn main() {
         eprintln!("unknown mix `{mix_name}` (want e.g. apache+db2); using apache+db2");
         workloads::apache_db2()
     });
-    let scale: f64 = std::env::var("SHOTGUN_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+    let scale = fe_bench::env_f64("SHOTGUN_SCALE", 1.0);
     let mix = if (scale - 1.0).abs() < 1e-9 {
         mix
     } else {

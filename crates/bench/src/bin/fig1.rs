@@ -6,8 +6,8 @@
 //! cargo run --release -p fe-bench --bin fig1
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_speedup_table, write_report};
+use fe_sim::SchemeSpec;
 
 fn main() {
     banner(
@@ -22,14 +22,10 @@ fn main() {
             SchemeSpec::Ideal,
         ])
         .run();
-    let series = report.speedup_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "ideal"]);
-    print!(
-        "{}",
-        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
-    );
+    print_speedup_table(&report, &["confluence", "boomerang", "ideal"]);
     write_report(&report, "fig1");
-    println!(
-        "\npaper shape: Boomerang >= Confluence on small-footprint workloads \
-         (nutch, zeus); Confluence wins on oracle/db2; ideal on top everywhere."
+    paper_shape(
+        "Boomerang >= Confluence on small-footprint workloads \
+         (nutch, zeus); Confluence wins on oracle/db2; ideal on top everywhere.",
     );
 }

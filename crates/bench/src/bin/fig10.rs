@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig10
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_metric_table, write_report};
+use fe_sim::SchemeSpec;
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 const POLICIES: [RegionPolicy; 3] = [
@@ -25,22 +25,17 @@ fn main() {
         .map(|p| SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(*p)))
         .collect();
     let report = experiment().schemes(schemes).run();
-    let labels = report.scheme_labels();
-    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = report.metric_series(
-        &WORKLOAD_ORDER,
-        &label_refs,
+    print_metric_table(
+        &report,
+        "Prefetch accuracy",
+        &report.scheme_labels(),
         |s| s.prefetch_accuracy(),
-        false,
-    );
-    print!(
-        "{}",
-        render_table("Prefetch accuracy", &series, "avg", true)
+        true,
     );
     write_report(&report, "fig10");
-    println!(
-        "\npaper shape: 8-bit ~71% average accuracy vs Entire Region ~56% and \
+    paper_shape(
+        "8-bit ~71% average accuracy vs Entire Region ~56% and \
          5-Blocks ~43%; the 5-Blocks collapse is worst on streaming \
-         (many regions are smaller than five lines)."
+         (many regions are smaller than five lines).",
     );
 }

@@ -6,8 +6,8 @@
 //! cargo run --release -p fe-bench --bin fig11
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_metric_table, write_report};
+use fe_sim::SchemeSpec;
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 const POLICIES: [RegionPolicy; 3] = [
@@ -26,22 +26,17 @@ fn main() {
         .map(|p| SchemeSpec::Shotgun(ShotgunConfig::default().with_policy(*p)))
         .collect();
     let report = experiment().schemes(schemes).run();
-    let labels = report.scheme_labels();
-    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = report.metric_series(
-        &WORKLOAD_ORDER,
-        &label_refs,
+    print_metric_table(
+        &report,
+        "Cycles to fill an L1-D miss",
+        &report.scheme_labels(),
         |s| s.avg_l1d_fill_latency(),
         false,
     );
-    print!(
-        "{}",
-        render_table("Cycles to fill an L1-D miss", &series, "avg", false)
-    );
     write_report(&report, "fig11");
-    println!(
-        "\npaper shape: over-prefetching inflates shared-NoC queueing — \
+    paper_shape(
+        "over-prefetching inflates shared-NoC queueing — \
          data fills slow from ~54 cycles (8-bit) toward ~65 (5-Blocks on \
-         db2); the effect compounds the accuracy loss of Fig. 10."
+         db2); the effect compounds the accuracy loss of Fig. 10.",
     );
 }

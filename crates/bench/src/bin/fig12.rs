@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig12
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_speedup_table, write_report};
+use fe_sim::SchemeSpec;
 use shotgun::ShotgunConfig;
 
 const SIZES: [u32; 3] = [64, 128, 1024];
@@ -20,17 +20,11 @@ fn main() {
         ));
     }
     let report = experiment().schemes(schemes).run();
-    let labels = report.comparison_labels();
-    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = report.speedup_series(&WORKLOAD_ORDER, &label_refs);
-    print!(
-        "{}",
-        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
-    );
+    print_speedup_table(&report, &report.comparison_labels());
     write_report(&report, "fig12");
-    println!(
-        "\npaper shape: footprint-driven prefill makes the C-BTB size-\
+    paper_shape(
+        "footprint-driven prefill makes the C-BTB size-\
          insensitive upward — 1K entries buy only ~0.8% over 128 — while \
-         64 entries lose ~2% on average (worst on streaming/db2)."
+         64 entries lose ~2% on average (worst on streaming/db2).",
     );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p fe-bench --bin fig13
 //! ```
 
-use fe_bench::{banner, experiment_on, write_report};
+use fe_bench::{banner, experiment_on, paper_shape, write_report};
 use fe_cfg::workloads;
 use fe_sim::SchemeSpec;
 use shotgun::ShotgunConfig;
@@ -57,9 +57,9 @@ fn main() {
         println!();
     }
     write_report(&report, "fig13");
-    println!(
-        "paper shape: Shotgun wins at every equal budget; 1K-budget Shotgun \
+    paper_shape(
+        "Shotgun wins at every equal budget; 1K-budget Shotgun \
          rivals 8K-entry Boomerang on oracle, and Boomerang needs >2x \
-         Shotgun's budget to match it on db2."
+         Shotgun's budget to match it on db2.",
     );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p fe-bench --bin fig3
 //! ```
 
-use fe_bench::{banner, suite};
+use fe_bench::{banner, env_u64, suite};
 use fe_cfg::analytics;
 
 fn main() {
@@ -14,10 +14,7 @@ fn main() {
         "Figure 3",
         "cache-line access distribution inside code regions",
     );
-    let instructions: u64 = std::env::var("SHOTGUN_INSTRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4_000_000);
+    let instructions = env_u64("SHOTGUN_INSTRS", 4_000_000);
 
     let presets = suite();
     let curves: Vec<(String, [f64; 18])> = presets

@@ -7,7 +7,7 @@
 //! cargo run --release -p fe-bench --bin fig4
 //! ```
 
-use fe_bench::banner;
+use fe_bench::{banner, env_u64};
 use fe_cfg::{analytics, workloads};
 
 fn main() {
@@ -15,10 +15,7 @@ fn main() {
         "Figure 4",
         "dynamic coverage of the K hottest static branches",
     );
-    let instructions: u64 = std::env::var("SHOTGUN_INSTRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8_000_000);
+    let instructions = env_u64("SHOTGUN_INSTRS", 8_000_000);
 
     let ks = [1024usize, 2048, 3072, 4096, 5120, 6144, 7168, 8192];
     for wl in [workloads::oracle(), workloads::db2()] {

@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig6
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_coverage_table, write_report};
+use fe_sim::SchemeSpec;
 
 fn main() {
     banner(
@@ -21,16 +21,12 @@ fn main() {
             SchemeSpec::shotgun(),
         ])
         .run();
-    let series = report.coverage_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "shotgun"]);
-    print!(
-        "{}",
-        render_table("Front-end stall cycle coverage", &series, "avg", true)
-    );
+    print_coverage_table(&report, &["confluence", "boomerang", "shotgun"]);
     write_report(&report, "fig6");
-    println!(
-        "\npaper shape: Shotgun ~68% average, ~8% above both Boomerang and \
+    paper_shape(
+        "Shotgun ~68% average, ~8% above both Boomerang and \
          Confluence; Shotgun beats Boomerang on every workload, biggest gains \
          on the high-BTB-MPKI ones (db2, streaming, oracle); Confluence keeps \
-         an edge on oracle."
+         an edge on oracle.",
     );
 }

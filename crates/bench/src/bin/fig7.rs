@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig7
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_speedup_table, write_report};
+use fe_sim::SchemeSpec;
 
 fn main() {
     banner("Figure 7", "speedup over no-prefetch (headline result)");
@@ -18,16 +18,12 @@ fn main() {
             SchemeSpec::shotgun(),
         ])
         .run();
-    let series = report.speedup_series(&WORKLOAD_ORDER, &["confluence", "boomerang", "shotgun"]);
-    print!(
-        "{}",
-        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
-    );
+    print_speedup_table(&report, &["confluence", "boomerang", "shotgun"]);
     write_report(&report, "fig7");
-    println!(
-        "\npaper shape: Shotgun ~32% average speedup, ~5% over each of \
+    paper_shape(
+        "Shotgun ~32% average speedup, ~5% over each of \
          Boomerang and Confluence; beats Boomerang everywhere (most on \
          oracle/db2); beats Confluence on the web workloads but trails it \
-         on oracle."
+         on oracle.",
     );
 }

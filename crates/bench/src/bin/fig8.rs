@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig8
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_coverage_table, write_report};
+use fe_sim::SchemeSpec;
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 fn main() {
@@ -21,17 +21,11 @@ fn main() {
         ));
     }
     let report = experiment().schemes(schemes).run();
-    let labels = report.comparison_labels();
-    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = report.coverage_series(&WORKLOAD_ORDER, &label_refs);
-    print!(
-        "{}",
-        render_table("Front-end stall cycle coverage", &series, "avg", true)
-    );
+    print_coverage_table(&report, &report.comparison_labels());
     write_report(&report, "fig8");
-    println!(
-        "\npaper shape: 8-bit vector ~6% coverage above no-bit-vector; 32-bit \
+    paper_shape(
+        "8-bit vector ~6% coverage above no-bit-vector; 32-bit \
          adds almost nothing; Entire Region and 5-Blocks fall below 8-bit on \
-         the high-opportunity workloads (db2, streaming)."
+         the high-opportunity workloads (db2, streaming).",
     );
 }

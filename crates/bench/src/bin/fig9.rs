@@ -5,8 +5,8 @@
 //! cargo run --release -p fe-bench --bin fig9
 //! ```
 
-use fe_bench::{banner, experiment, write_report, WORKLOAD_ORDER};
-use fe_sim::{render_table, SchemeSpec};
+use fe_bench::{banner, experiment, paper_shape, print_speedup_table, write_report};
+use fe_sim::SchemeSpec;
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 fn main() {
@@ -18,17 +18,11 @@ fn main() {
         ));
     }
     let report = experiment().schemes(schemes).run();
-    let labels = report.comparison_labels();
-    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-    let series = report.speedup_series(&WORKLOAD_ORDER, &label_refs);
-    print!(
-        "{}",
-        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
-    );
+    print_speedup_table(&report, &report.comparison_labels());
     write_report(&report, "fig9");
-    println!(
-        "\npaper shape: 8-bit vector ~4% speedup over no-bit-vector (every \
+    paper_shape(
+        "8-bit vector ~4% speedup over no-bit-vector (every \
          workload improves, up to ~9% on streaming/db2); 32-bit adds ~0.5%; \
-         Entire Region and 5-Blocks degrade, worst on db2/streaming."
+         Entire Region and 5-Blocks degrade, worst on db2/streaming.",
     );
 }

@@ -16,13 +16,16 @@
 //!   0.25 for quick shape checks);
 //! * `SHOTGUN_THREADS` — sweep worker threads (default: all cores);
 //! * `SHOTGUN_JSON_DIR` — when set, each binary also writes its
-//!   `SweepReport` as `BENCH_<figure>.json` into this directory.
+//!   `SweepReport` as `BENCH_<figure>.json` into this directory;
+//! * `SHOTGUN_TRACE_DIR` — when set, sweeps persist each workload's
+//!   recorded control-flow trace there and reuse compatible recordings,
+//!   skipping the executor walk on repeated runs.
 
 use std::io::IsTerminal;
 
 use fe_cfg::{workloads, WorkloadSpec};
-use fe_model::MachineConfig;
-use fe_sim::{Experiment, RunLength, SweepReport};
+use fe_model::{MachineConfig, SimStats};
+use fe_sim::{render_table, Experiment, RunLength, SweepReport};
 
 /// Workload presentation order used by every figure (the paper's
 /// left-to-right order).
@@ -40,12 +43,26 @@ pub fn default_len() -> RunLength {
     .from_env()
 }
 
-/// The six Table 2 workloads, scaled by `SHOTGUN_SCALE` if set.
-pub fn suite() -> Vec<WorkloadSpec> {
-    let scale: f64 = std::env::var("SHOTGUN_SCALE")
+/// Integer environment knob with `_` separators allowed — the parsing
+/// every binary otherwise reimplements.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(default)
+}
+
+/// Floating-point environment knob (`SHOTGUN_SCALE` and friends).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+        .unwrap_or(default)
+}
+
+/// The six Table 2 workloads, scaled by `SHOTGUN_SCALE` if set.
+pub fn suite() -> Vec<WorkloadSpec> {
+    let scale = env_f64("SHOTGUN_SCALE", 1.0);
     workloads::all()
         .into_iter()
         .map(|w| {
@@ -80,11 +97,14 @@ pub fn threads() -> usize {
 /// count, and a stderr progress line per completed cell when attached
 /// to a terminal. Callers add schemes (and may override anything).
 pub fn experiment_on(workloads: impl IntoIterator<Item = WorkloadSpec>) -> Experiment {
-    let exp = Experiment::new(machine())
+    let mut exp = Experiment::new(machine())
         .workloads(workloads)
         .len(default_len())
         .seed(SEED)
         .threads(threads());
+    if let Ok(dir) = std::env::var("SHOTGUN_TRACE_DIR") {
+        exp = exp.trace_dir(dir);
+    }
     if std::io::stderr().is_terminal() {
         exp.on_progress(|e| {
             eprintln!(
@@ -115,6 +135,49 @@ pub fn write_report(report: &SweepReport, figure: &str) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+}
+
+/// Borrows owned labels as the `&[&str]` the series extractors take.
+fn as_refs(labels: &[impl AsRef<str>]) -> Vec<&str> {
+    labels.iter().map(|l| l.as_ref()).collect()
+}
+
+/// Prints the standard speedup-over-baseline table for `labels` in the
+/// paper's workload order.
+pub fn print_speedup_table(report: &SweepReport, labels: &[impl AsRef<str>]) {
+    let series = report.speedup_series(&WORKLOAD_ORDER, &as_refs(labels));
+    print!(
+        "{}",
+        render_table("Speedup over no-prefetch baseline", &series, "gmean", false)
+    );
+}
+
+/// Prints the standard front-end stall-cycle coverage table for
+/// `labels` in the paper's workload order.
+pub fn print_coverage_table(report: &SweepReport, labels: &[impl AsRef<str>]) {
+    let series = report.coverage_series(&WORKLOAD_ORDER, &as_refs(labels));
+    print!(
+        "{}",
+        render_table("Front-end stall cycle coverage", &series, "avg", true)
+    );
+}
+
+/// Prints a table of an arbitrary per-cell statistic for `labels` in
+/// the paper's workload order.
+pub fn print_metric_table(
+    report: &SweepReport,
+    title: &str,
+    labels: &[impl AsRef<str>],
+    metric: impl Fn(&SimStats) -> f64,
+    percent: bool,
+) {
+    let series = report.metric_series(&WORKLOAD_ORDER, &as_refs(labels), metric, false);
+    print!("{}", render_table(title, &series, "avg", percent));
+}
+
+/// Prints the closing "paper shape" note of a figure binary.
+pub fn paper_shape(text: &str) {
+    println!("\npaper shape: {text}");
 }
 
 /// Prints the standard experiment header.

@@ -13,7 +13,9 @@
 //! exactly what a real core executing this binary would retire — the
 //! property that makes BTB/predecoder/footprint modeling faithful.
 
-use fe_model::{Addr, RetiredBlock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fe_model::{Addr, BlockSource, RetiredBlock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +24,19 @@ use crate::zipf::sample_geometric;
 
 /// Maximum loop trips per visit, bounding tail latency of a region.
 const MAX_TRIPS: u32 = 64;
+
+/// Process-wide count of executor walks started ([`Executor::new`]
+/// calls). Probe for tests asserting record-once sweep behavior (a
+/// multi-scheme trace-replay sweep must walk each workload exactly
+/// once); meaningful only when the probing test runs in its own
+/// process, since every walk in the process counts.
+static WALKS_STARTED: AtomicU64 = AtomicU64::new(0);
+
+/// Executor walks started so far in this process (tests).
+#[doc(hidden)]
+pub fn walks_started() -> u64 {
+    WALKS_STARTED.load(Ordering::Relaxed)
+}
 
 /// Deterministic, infinite retired-block stream over a program.
 ///
@@ -57,6 +72,7 @@ pub struct Executor<'p> {
 impl<'p> Executor<'p> {
     /// Creates an executor starting at the program entry.
     pub fn new(program: &'p Program, seed: u64) -> Self {
+        WALKS_STARTED.fetch_add(1, Ordering::Relaxed);
         let entry_block = program
             .block_id_at(program.entry())
             .expect("program entry must be a block");
@@ -192,6 +208,13 @@ impl Iterator for Executor<'_> {
     }
 }
 
+impl BlockSource for Executor<'_> {
+    /// Live execution: advance the random walk one block.
+    fn next_block(&mut self) -> RetiredBlock {
+        Executor::next_block(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,7 +312,11 @@ mod tests {
             let r = exec.next_block();
             // Record which handler call-blocks fire in the dispatcher.
             if r.block.kind == BranchKind::Call
-                && p.function_of(p.block_id_at(r.block.start).unwrap()).kind
+                && p.function_of(p.block_id_at(r.block.start).expect(
+                    "retired block start must be a block boundary: every block the \
+                         executor yields comes from the program's own layout",
+                ))
+                .kind
                     == crate::program::FunctionKind::Dispatcher
             {
                 handlers_seen.insert(r.next_pc);
@@ -325,7 +352,10 @@ mod tests {
         let mut consecutive: std::collections::HashMap<BlockId, (u32, u32)> = Default::default();
         for _ in 0..500_000 {
             let r = exec.next_block();
-            let id = p.block_id_at(r.block.start).unwrap();
+            let id = p.block_id_at(r.block.start).expect(
+                "retired block start must be a block boundary: the executor only \
+                 retires blocks taken from the program's own layout",
+            );
             if let Behavior::Loop { .. } = p.behavior(id) {
                 let entry = consecutive.entry(id).or_insert((0, 0));
                 if r.taken {

@@ -152,6 +152,35 @@ impl RetiredBlock {
     }
 }
 
+/// An abstract producer of the retired-control-flow stream.
+///
+/// This is the seam between "what the core retires" and "how the front
+/// end times it": the timing simulator consumes blocks only through
+/// this trait, so the stream can come from a live workload executor
+/// (`fe-cfg`'s random walk) or from a recorded trace replayed by
+/// `fe-trace` — the paper's trace-driven methodology (§5.1).
+///
+/// Implementations are infinite for simulation purposes: the simulator
+/// pulls exactly as many blocks as the run length requires, and a
+/// finite source (a trace) must carry enough records for the run (plus
+/// the pipeline's bounded lookahead) or fail loudly.
+pub trait BlockSource {
+    /// Produces the next retired basic block of the stream.
+    fn next_block(&mut self) -> RetiredBlock;
+}
+
+impl<S: BlockSource + ?Sized> BlockSource for &mut S {
+    fn next_block(&mut self) -> RetiredBlock {
+        (**self).next_block()
+    }
+}
+
+impl<S: BlockSource + ?Sized> BlockSource for Box<S> {
+    fn next_block(&mut self) -> RetiredBlock {
+        (**self).next_block()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

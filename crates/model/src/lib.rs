@@ -29,7 +29,7 @@ pub mod stats;
 pub mod storage;
 
 pub use addr::{Addr, LineAddr, INSTR_BYTES, LINE_BYTES, LINE_INSTRS};
-pub use block::{BasicBlock, RetiredBlock};
+pub use block::{BasicBlock, BlockSource, RetiredBlock};
 pub use branch::BranchKind;
 pub use config::MachineConfig;
 pub use stats::SimStats;

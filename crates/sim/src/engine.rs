@@ -3,8 +3,8 @@
 //! [`crate::pipeline`] (see that module's docs for the stage-by-stage
 //! model and the README's "Simulator pipeline" diagram).
 
-use fe_cfg::Program;
-use fe_model::{MachineConfig, SimStats};
+use fe_cfg::{Executor, Program};
+use fe_model::{BlockSource, MachineConfig, SimStats};
 use fe_uarch::{MemStats, MemorySystem};
 
 use crate::pipeline::{backend::Backend, bpu::Bpu, fetch::FetchUnit, stall, PipelineState};
@@ -53,8 +53,34 @@ impl<'p> Simulator<'p> {
         seed: u64,
         mem: MemorySystem,
     ) -> Self {
+        let source = Box::new(Executor::new(program, seed));
+        Self::with_source(program, cfg, scheme, seed, mem, source)
+    }
+
+    /// Builds a simulator whose retired stream comes from an arbitrary
+    /// [`BlockSource`] — the record/replay seam. A live run passes the
+    /// `fe-cfg` executor (what [`Self::with_memory`] does for you); a
+    /// trace-driven run passes an `fe-trace` replayer over a stream
+    /// previously recorded with the same `program` and `seed`, and
+    /// produces bit-identical statistics to the live run.
+    ///
+    /// `seed` still seeds the backend's load RNG (the data side is not
+    /// part of the control-flow trace), so replay must pass the seed
+    /// the trace was recorded with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_source(
+        program: &'p Program,
+        cfg: MachineConfig,
+        scheme: EngineScheme,
+        seed: u64,
+        mem: MemorySystem,
+        source: Box<dyn BlockSource + 'p>,
+    ) -> Self {
         Simulator {
-            state: PipelineState::new(program, cfg, scheme, seed, mem),
+            state: PipelineState::new(program, cfg, scheme, mem, source),
             bpu: Bpu,
             fetch: FetchUnit,
             backend: Backend::new(seed),

@@ -8,6 +8,17 @@
 //! order regardless of completion order. Same seed ⇒ byte-identical
 //! report JSON at any thread count.
 //!
+//! Sweeps are *trace-driven*, matching the paper's methodology (§5.1):
+//! each workload's retired stream is recorded once (an `fe-trace`
+//! recording of the executor walk, sized by
+//! [`RunLength::trace_instrs`]) and replayed into every scheme cell,
+//! so an N-scheme sweep performs one walk per workload instead of N —
+//! with statistics bit-identical to live execution. Multi-context
+//! mixes stay live (a context's stream length depends on its
+//! neighbors' interference, so there is no fixed stream to record).
+//! [`Experiment::trace_dir`] additionally persists the recordings,
+//! letting repeated sweeps skip the walk entirely.
+//!
 //! ```no_run
 //! use fe_cfg::workloads;
 //! use fe_model::MachineConfig;
@@ -24,17 +35,19 @@
 //! report.write_json("BENCH_headline.json").unwrap();
 //! ```
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fe_cfg::{MixSpec, Program, WorkloadSpec};
 use fe_model::stats::{coverage, speedup};
 use fe_model::{MachineConfig, SimStats};
+use fe_trace::Trace;
 use shotgun::{RegionPolicy, ShotgunConfig};
 
 use crate::json::{parse, Json};
 use crate::multi::MultiSimulator;
-use crate::runner::{run_scheme, RunLength, SchemeSpec};
+use crate::runner::{run_scheme_replayed, RunLength, SchemeSpec};
 
 /// Identifies a workload inside a sweep (its spec name).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,6 +111,7 @@ pub struct Experiment {
     threads: usize,
     baseline: Option<SchemeSpec>,
     progress: Option<ProgressFn>,
+    trace_dir: Option<PathBuf>,
 }
 
 impl Experiment {
@@ -118,6 +132,7 @@ impl Experiment {
             threads,
             baseline: None,
             progress: None,
+            trace_dir: None,
         }
     }
 
@@ -194,11 +209,23 @@ impl Experiment {
         self
     }
 
+    /// Persists each workload's recorded trace under `dir` (created if
+    /// missing) and reuses any compatible recording found there —
+    /// matching seed and program fingerprint, and at least as long as
+    /// this sweep needs. The figure binaries plumb `SHOTGUN_TRACE_DIR`
+    /// here, so repeated sweeps skip the executor walk entirely.
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
     /// Runs the sweep and derives per-cell metrics.
     ///
     /// Programs are built once per workload (and per mix member) and
-    /// shared by reference; cells fan out over scoped worker threads —
-    /// a mix runs as one job whose contexts interleave
+    /// shared by reference; each single-context workload's retired
+    /// stream is then recorded once and replayed into every scheme
+    /// cell (see the module docs); cells fan out over scoped worker
+    /// threads — a mix runs as one job whose contexts interleave
     /// deterministically, so reports are byte-identical at any thread
     /// count. Panics if the sweep is empty, if a configured baseline is
     /// not among the schemes, if two schemes share a display label, or
@@ -215,6 +242,7 @@ impl Experiment {
             threads,
             baseline,
             progress,
+            trace_dir,
         } = self;
         assert!(
             !(workloads.is_empty() && mixes.is_empty()),
@@ -312,6 +340,14 @@ impl Experiment {
             offset += mix.members.len();
         }
 
+        // Record once, replay many: one executor walk per workload
+        // feeds every scheme cell. Recorded length covers the run plus
+        // the pipeline's bounded lookahead, so no scheme can outrun it.
+        let needed_instrs = len.trace_instrs(&machine);
+        let traces: Vec<Trace> = parallel_indexed(workloads.len(), threads, |i| {
+            obtain_trace(&programs[i], seed, needed_instrs, trace_dir.as_deref())
+        });
+
         let n_schemes = schemes.len();
         // Mixes run N contexts serially, making them the slowest jobs:
         // claim them first so they never tail the sweep. Results are
@@ -334,7 +370,14 @@ impl Experiment {
                 (mixes[mi].name.clone(), si, stats)
             } else {
                 let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
-                let stats = run_scheme(&programs[wi], &schemes[si], &machine, len, seed);
+                let stats = run_scheme_replayed(
+                    &programs[wi],
+                    &traces[wi],
+                    &schemes[si],
+                    &machine,
+                    len,
+                    seed,
+                );
                 (workloads[wi].name.clone(), si, vec![stats])
             };
             if let Some(cb) = &progress {
@@ -398,6 +441,61 @@ impl Experiment {
             cells,
         }
     }
+}
+
+/// Produces the replay trace for one workload: reuses a compatible
+/// recording from `dir` when present, otherwise records a fresh walk
+/// (and persists it when `dir` is set). A cached trace is compatible
+/// when its seed and program fingerprint match and it is at least as
+/// long as this sweep needs — longer recordings replay as a prefix, so
+/// shortening a sweep never invalidates the cache.
+fn obtain_trace(
+    program: &Program,
+    seed: u64,
+    needed_instrs: u64,
+    dir: Option<&std::path::Path>,
+) -> Trace {
+    let path = dir.map(|d| d.join(format!("{}-{seed:016x}.fetr", program.name())));
+    if let Some(path) = &path {
+        if let Ok(trace) = Trace::read_from(path) {
+            if trace.header().seed == seed
+                && trace.header().instr_count >= needed_instrs
+                && trace.matches(program)
+                && cached_trace_matches_live(&trace, program, seed)
+            {
+                return trace;
+            }
+        }
+    }
+    let trace = Trace::record(program, seed, needed_instrs);
+    if let Some(path) = &path {
+        let write = || -> Result<(), fe_trace::TraceError> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            trace.write_to(path)
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not persist trace {}: {e}", path.display());
+        }
+    }
+    trace
+}
+
+/// Guards the disk cache against executor drift: the trace header
+/// fingerprints the *program layout*, not the walk generator, so a
+/// change to the executor algorithm or its RNG stream would otherwise
+/// replay stale control flow forever. Cross-checking the recording's
+/// opening blocks against a fresh walk catches divergence where it
+/// first appears (seeding, RNG draws, dispatch selection); on mismatch
+/// the caller silently re-records.
+fn cached_trace_matches_live(trace: &Trace, program: &Program, seed: u64) -> bool {
+    use fe_model::BlockSource;
+    const PROBE_BLOCKS: u64 = 1024;
+    let mut live = fe_cfg::Executor::new(program, seed);
+    let mut replay = trace.replayer();
+    (0..PROBE_BLOCKS.min(trace.header().block_count))
+        .all(|_| replay.next_block() == live.next_block())
 }
 
 /// Runs `task(0..count)` across up to `threads` scoped workers and

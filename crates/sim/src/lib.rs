@@ -9,8 +9,12 @@
 //!
 //! The entry point is the [`Experiment`] session builder, which runs a
 //! (workload × scheme) sweep across worker threads and returns a typed
-//! [`SweepReport`] with derived metrics and JSON emission. The one-cell
-//! [`run_scheme`] wrapper remains for single measurements.
+//! [`SweepReport`] with derived metrics and JSON emission. Sweeps are
+//! trace-driven: each workload's retired stream is recorded once (an
+//! `fe-trace` recording) and replayed into every scheme cell, bit-
+//! identical to live execution. The one-cell [`run_scheme`] (live) and
+//! [`run_scheme_replayed`] (trace-driven) wrappers remain for single
+//! measurements.
 //!
 //! ```no_run
 //! use fe_cfg::workloads;
@@ -39,4 +43,4 @@ pub use engine::{EngineScheme, Simulator};
 pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
 pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
-pub use runner::{run_scheme, RunLength, SchemeSpec};
+pub use runner::{run_scheme, run_scheme_replayed, RunLength, SchemeSpec};

@@ -22,8 +22,9 @@
 //! * [`supply::SupplyBuffer`] holds fetched instruction byte ranges
 //!   between the fetch unit and the backend (decode/queue stages).
 //! * [`backend::Backend`] retires up to `width` instructions per cycle
-//!   by matching supplied address ranges against the executor's actual
-//!   retired stream; the first mismatched address is a
+//!   by matching supplied address ranges against the block source's
+//!   actual retired stream (a live executor walk or a replayed
+//!   `fe-trace` recording); the first mismatched address is a
 //!   misfetch/mispredict, discovered exactly when the offending branch
 //!   retires: the pipeline flushes, the BPU redirects, and a refill
 //!   bubble is charged. Retired blocks train TAGE, the RAS, and the
@@ -42,8 +43,8 @@
 
 use std::collections::VecDeque;
 
-use fe_cfg::{Executor, Program};
-use fe_model::{Addr, LineAddr, MachineConfig, RetiredBlock, SimStats};
+use fe_cfg::Program;
+use fe_model::{Addr, BlockSource, LineAddr, MachineConfig, RetiredBlock, SimStats};
 use fe_uarch::scheme::{ControlFlowDelivery, FrontEndCtx, PredRecord};
 use fe_uarch::{BoundedQueue, InflightFills, LineCache, MemorySystem, ReturnAddressStack, Tage};
 
@@ -93,7 +94,11 @@ pub(crate) const FETCH_LINES_PER_CYCLE: u32 = 2;
 pub(crate) struct PipelineState<'p> {
     pub(crate) cfg: MachineConfig,
     pub(crate) program: &'p Program,
-    pub(crate) exec: Executor<'p>,
+    /// Where retired control flow comes from: a live executor walk or
+    /// a trace replayer — the record/replay seam (§5.1). Boxed dynamic
+    /// dispatch: `next_block` is called once per retired basic block,
+    /// far off the per-cycle hot path.
+    pub(crate) source: Box<dyn BlockSource + 'p>,
     /// `Option` only for the split-borrow dance in [`Self::with_scheme`].
     pub(crate) scheme: Option<EngineScheme>,
 
@@ -110,8 +115,8 @@ pub(crate) struct PipelineState<'p> {
     pub(crate) supply: SupplyBuffer,
     /// In-flight direction predictions (snapshot history for training).
     pub(crate) pred_trace: VecDeque<PredRecord>,
-    /// The executor's actual upcoming blocks: consumed by the backend,
-    /// read ahead by the ideal BPU.
+    /// The block source's actual upcoming blocks: consumed by the
+    /// backend, read ahead by the ideal BPU.
     pub(crate) oracle: VecDeque<RetiredBlock>,
 
     // Cross-stage signals.
@@ -137,11 +142,10 @@ impl<'p> PipelineState<'p> {
         program: &'p Program,
         cfg: MachineConfig,
         scheme: EngineScheme,
-        seed: u64,
         mem: MemorySystem,
+        source: Box<dyn BlockSource + 'p>,
     ) -> Self {
         cfg.validate().expect("invalid machine configuration");
-        let exec = Executor::new(program, seed);
         PipelineState {
             l1i: LineCache::new(cfg.l1i),
             mem,
@@ -165,7 +169,7 @@ impl<'p> PipelineState<'p> {
             retired_total: 0,
             scheme: Some(scheme),
             program,
-            exec,
+            source,
             cfg,
         }
     }
@@ -178,7 +182,7 @@ impl<'p> PipelineState<'p> {
     /// Extends the oracle so index `pos` exists.
     pub(crate) fn fill_oracle_to(&mut self, pos: usize) {
         while pos >= self.oracle.len() {
-            let next = self.exec.next_block();
+            let next = self.source.next_block();
             self.oracle.push_back(next);
         }
     }

@@ -1,13 +1,17 @@
 //! Scheme specifications, run-length control, and the one-cell
-//! `run_scheme` convenience the `Experiment` sweep API builds on.
+//! `run_scheme` / `run_scheme_replayed` conveniences the `Experiment`
+//! sweep API builds on.
 
 use fe_cfg::Program;
 use fe_model::{MachineConfig, SimStats};
+use fe_trace::Trace;
+use fe_uarch::MemorySystem;
 use shotgun::{RegionPolicy, ShotgunConfig, ShotgunPrefetcher};
 
 use fe_baselines::{Boomerang, Confluence, ConfluenceConfig, Fdip, NoPrefetch};
 
 use crate::engine::{EngineScheme, Simulator};
+use crate::pipeline::{BPU_BLOCKS_PER_CYCLE, SUPPLY_CAP};
 
 /// A control-flow-delivery scheme to evaluate.
 #[derive(Clone, Debug, PartialEq)]
@@ -145,6 +149,25 @@ impl RunLength {
             measure: parse("SHOTGUN_INSTRS").unwrap_or(self.measure),
         }
     }
+
+    /// Instructions a recorded trace must hold to replay a run of this
+    /// length on `machine`: warmup + measure, plus the pipeline's
+    /// bounded lookahead past the last retired instruction (the ideal
+    /// BPU reads the oracle ahead of retirement, bounded by the FTQ
+    /// and supply capacities) — every bound counted in worst-case
+    /// maximum-size blocks, so a trace of this length can never run
+    /// dry mid-simulation.
+    pub fn trace_instrs(&self, machine: &MachineConfig) -> u64 {
+        let lookahead_blocks = machine.front_end.ftq_entries as u64
+            + SUPPLY_CAP
+            + fe_model::LINE_INSTRS
+            + BPU_BLOCKS_PER_CYCLE as u64
+            + 8;
+        let max_block = fe_model::BasicBlock::MAX_INSTRS as u64;
+        // Warmup can overshoot by a partial retire width, and the last
+        // measured block retires whole.
+        self.warmup + self.measure + machine.core.width as u64 + (lookahead_blocks + 1) * max_block
+    }
 }
 
 /// Runs one scheme over one program — the one-cell convenience wrapper
@@ -160,6 +183,49 @@ pub fn run_scheme(
 ) -> SimStats {
     let scheme = spec.build(machine);
     let mut sim = Simulator::new(program, machine.clone(), scheme, seed);
+    sim.run(len.warmup, len.measure)
+}
+
+/// Runs one scheme over one program with the retired stream replayed
+/// from `trace` instead of walked live — bit-identical statistics to
+/// [`run_scheme`] when the trace was recorded from the same
+/// `(program, seed)` and holds at least
+/// [`RunLength::trace_instrs`] instructions.
+///
+/// # Panics
+///
+/// Panics if `trace` was not recorded against `program` with `seed`
+/// (replaying a mismatched stream would silently produce wrong
+/// timing), or if the trace is too short for `len`.
+pub fn run_scheme_replayed(
+    program: &Program,
+    trace: &Trace,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+) -> SimStats {
+    assert_eq!(
+        trace.header().seed,
+        seed,
+        "trace `{}` was recorded with a different seed",
+        trace.header().name,
+    );
+    assert!(
+        trace.matches(program),
+        "trace `{}` was recorded against a different program",
+        trace.header().name,
+    );
+    let scheme = spec.build(machine);
+    let mem = MemorySystem::new(machine);
+    let mut sim = Simulator::with_source(
+        program,
+        machine.clone(),
+        scheme,
+        seed,
+        mem,
+        Box::new(trace.replayer()),
+    );
     sim.run(len.warmup, len.measure)
 }
 

@@ -1,0 +1,168 @@
+//! Importers bridging external trace formats into [`Trace`].
+//!
+//! The long-term goal (ROADMAP: scenario diversity) is to replay real
+//! captured workloads — CBP/ChampSim-style branch traces — through the
+//! timing model. This module is the format bridge: it converts an
+//! external branch stream into the native record format. It is an
+//! **experimental stub**: imported traces carry
+//! [`ProgramFingerprint::UNKNOWN`] and cannot yet drive the simulator,
+//! which needs a matching static [`Program`](fe_cfg::Program) image
+//! (BTB contents, predecode, footprints) that external traces do not
+//! ship. Reconstructing a program skeleton from the trace itself is
+//! the planned follow-up.
+//!
+//! The accepted interchange format is textual, one branch record per
+//! line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! <pc-hex> <target-hex> <kind> <taken>
+//! ```
+//!
+//! where `kind` is one of `C`onditional, `J`ump, ca`L`l, `R`eturn,
+//! `T`rap, trap-`E`xit, and `taken` is `0`/`1` — the fields a CBP
+//! branch record carries. Each branch becomes a single-instruction
+//! basic block (external traces do not delimit block starts).
+
+use fe_model::addr::VA_BITS;
+use fe_model::{Addr, BasicBlock, BranchKind, RetiredBlock, INSTR_BYTES};
+
+use crate::{ProgramFingerprint, Trace, TraceError, TraceWriter};
+
+fn kind_from_letter(letter: &str) -> Option<BranchKind> {
+    match letter {
+        "C" | "c" => Some(BranchKind::Conditional),
+        "J" | "j" => Some(BranchKind::Jump),
+        "L" | "l" => Some(BranchKind::Call),
+        "R" | "r" => Some(BranchKind::Return),
+        "T" | "t" => Some(BranchKind::Trap),
+        "E" | "e" => Some(BranchKind::TrapReturn),
+        _ => None,
+    }
+}
+
+/// Imports a CBP-style textual branch trace (see module docs).
+///
+/// Returns a valid [`Trace`] whose fingerprint is
+/// [`ProgramFingerprint::UNKNOWN`]; it round-trips through the binary
+/// format and tooling (`trace inspect`), but replaying it requires a
+/// matching program image, which imports do not yet carry.
+pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
+    let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let mut field = |what: &str| {
+            fields
+                .next()
+                .ok_or_else(|| TraceError::Corrupt(format!("line {}: missing {what}", lineno + 1)))
+        };
+        let pc = parse_addr(field("pc")?, lineno)?;
+        let target = parse_addr(field("target")?, lineno)?;
+        let kind = kind_from_letter(field("kind")?).ok_or_else(|| {
+            TraceError::Corrupt(format!("line {}: unknown branch kind", lineno + 1))
+        })?;
+        let taken = match field("taken")? {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(TraceError::Corrupt(format!(
+                    "line {}: taken must be 0 or 1, got `{other}`",
+                    lineno + 1
+                )))
+            }
+        };
+        if taken && kind.is_return() && target == 0 {
+            return Err(TraceError::Corrupt(format!(
+                "line {}: taken return needs its dynamic target",
+                lineno + 1
+            )));
+        }
+        let block = BasicBlock::new(
+            Addr::new(pc),
+            1,
+            kind,
+            // Returns read the RAS, not a static target.
+            if kind.is_return() {
+                Addr::NULL
+            } else {
+                Addr::new(target)
+            },
+        );
+        let next_pc = if taken {
+            Addr::new(target)
+        } else {
+            Addr::new(pc + INSTR_BYTES)
+        };
+        writer.record(&RetiredBlock {
+            block,
+            taken,
+            next_pc,
+        });
+    }
+    if writer.block_count() == 0 {
+        return Err(TraceError::Corrupt(
+            "import contains no branch records".into(),
+        ));
+    }
+    Ok(writer.finish())
+}
+
+fn parse_addr(field: &str, lineno: usize) -> Result<u64, TraceError> {
+    let digits = field
+        .strip_prefix("0x")
+        .or_else(|| field.strip_prefix("0X"))
+        .unwrap_or(field);
+    let value = u64::from_str_radix(digits, 16)
+        .map_err(|_| TraceError::Corrupt(format!("line {}: bad hex `{field}`", lineno + 1)))?;
+    // Reject rather than silently mask to the modeled address space.
+    if value >= 1 << VA_BITS {
+        return Err(TraceError::Corrupt(format!(
+            "line {}: address {field} exceeds the {VA_BITS}-bit address space",
+            lineno + 1,
+        )));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imports_and_round_trips() {
+        let text = "# demo\n\
+                    0x1000 0x2000 L 1\n\
+                    0x2000 0x0 C 0\n\
+                    0x2004 0x1004 R 1\n";
+        let trace = import_cbp(text, "demo").expect("imports");
+        assert_eq!(trace.header().block_count, 3);
+        assert_eq!(trace.header().instr_count, 3);
+        assert!(trace.header().fingerprint.is_unknown());
+
+        let records: Vec<_> = trace.reader().map(|r| r.unwrap()).collect();
+        assert_eq!(records[0].block.kind, BranchKind::Call);
+        assert_eq!(records[0].next_pc, Addr::new(0x2000));
+        assert!(!records[1].taken);
+        assert_eq!(records[1].next_pc, Addr::new(0x2004));
+        assert_eq!(records[2].next_pc, Addr::new(0x1004));
+
+        let back = Trace::from_bytes(&trace.to_bytes()).expect("binary round trip");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(import_cbp("", "empty").is_err());
+        assert!(import_cbp("zzzz 0x0 C 0", "badhex").is_err());
+        assert!(import_cbp("0x1000 0x0 Q 0", "badkind").is_err());
+        assert!(import_cbp("0x1000 0x0 C 2", "badtaken").is_err());
+        assert!(import_cbp("0x1000 0x0 R 1", "badreturn").is_err());
+        // Out-of-space addresses are rejected, not silently masked
+        // (and a full-u64 pc must not overflow the fall-through math).
+        assert!(import_cbp("ffffffffffffffff 0x0 C 0", "hugepc").is_err());
+        assert!(import_cbp("0x1000 1000000000000 J 1", "hugetarget").is_err());
+    }
+}

@@ -7,7 +7,7 @@
 
 use fe_cfg::workloads;
 use fe_model::MachineConfig;
-use fe_sim::{Experiment, RunLength, SchemeSpec, SweepReport};
+use fe_sim::{run_scheme, Experiment, RunLength, SchemeSpec, SweepReport};
 
 const PINNED: &str = include_str!("fixtures/pinned_nutch_smoke.json");
 
@@ -23,12 +23,55 @@ fn pinned_report() -> SweepReport {
 
 #[test]
 fn refactored_pipeline_reproduces_pre_refactor_json_bytes() {
+    // The fixture was emitted by the live (pre-trace-layer) engine, so
+    // this byte comparison also pins record-once/replay-many sweeps to
+    // live execution: `Experiment` now records each workload's stream
+    // and replays it into every cell.
     let report = pinned_report();
     assert_eq!(
         report.to_json(),
         PINNED,
         "staged pipeline diverged from the pre-refactor engine on the pinned cell"
     );
+}
+
+#[test]
+fn replayed_sweep_cells_match_live_execution_for_every_workload() {
+    // Replay fidelity across the whole named suite: every cell of a
+    // trace-driven sweep must carry statistics bit-identical to a live
+    // per-cell simulation — identical stats derive identical metrics,
+    // so the `SweepReport` JSON is byte-identical to what live
+    // execution would emit (the fixture test above pins the bytes
+    // themselves on the pinned cell).
+    let machine = MachineConfig::table3();
+    let len = RunLength {
+        warmup: 25_000,
+        measure: 60_000,
+    };
+    let schemes = [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()];
+    let specs: Vec<_> = workloads::all()
+        .into_iter()
+        .map(|w| w.scaled(0.04))
+        .collect();
+    let report = Experiment::new(machine.clone())
+        .workloads(specs.clone())
+        .schemes(schemes.clone())
+        .len(len)
+        .seed(0x5407)
+        .run();
+    for wl in &specs {
+        let program = wl.build();
+        for scheme in &schemes {
+            let live = run_scheme(&program, scheme, &machine, len, 0x5407);
+            assert_eq!(
+                report.cell(&wl.name, scheme).stats,
+                live,
+                "replayed cell ({}, {}) diverged from live execution",
+                wl.name,
+                scheme.label(),
+            );
+        }
+    }
 }
 
 #[test]
