@@ -19,7 +19,10 @@
 //!   `SweepReport` as `BENCH_<figure>.json` into this directory;
 //! * `SHOTGUN_TRACE_DIR` — when set, sweeps persist each workload's
 //!   recorded control-flow trace there and reuse compatible recordings,
-//!   skipping the executor walk on repeated runs.
+//!   skipping the executor walk on repeated runs;
+//! * `SHOTGUN_SAMPLING` / `SHOTGUN_SAMPLING_*` — shape of sampled
+//!   simulation where a binary supports it (currently `sampling`; see
+//!   `fe_sim::SamplingSpec::from_env`).
 
 use std::io::IsTerminal;
 

@@ -209,9 +209,10 @@ impl Iterator for Executor<'_> {
 }
 
 impl BlockSource for Executor<'_> {
-    /// Live execution: advance the random walk one block.
-    fn next_block(&mut self) -> RetiredBlock {
-        Executor::next_block(self)
+    /// Live execution: advance the random walk one block. The walk is
+    /// infinite, so this never returns `None`.
+    fn next_block(&mut self) -> Option<RetiredBlock> {
+        Some(Executor::next_block(self))
     }
 }
 

@@ -330,6 +330,20 @@ impl ControlFlowDelivery for ShotgunPrefetcher {
         self.resolving = None;
     }
 
+    fn warm_block(&mut self, rb: &RetiredBlock, ctx: &mut FrontEndCtx) {
+        // Retire-side training warms the U-BTB (footprint records) and
+        // the RIB exactly as a full-detail run would.
+        self.on_retire(rb, ctx);
+        // The C-BTB is normally predecode-fed from arriving prefetched
+        // lines (§4.2.3 step 5); during functional warming those
+        // prefetches never happen, so warm it from the retired
+        // conditionals directly — the same blocks the predecoder would
+        // have extracted from the region's lines.
+        if rb.block.kind == BranchKind::Conditional {
+            self.cbtb.install(&rb.block);
+        }
+    }
+
     fn btb_misses(&self) -> u64 {
         self.retire_misses
     }

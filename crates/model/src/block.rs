@@ -160,24 +160,52 @@ impl RetiredBlock {
 /// (`fe-cfg`'s random walk) or from a recorded trace replayed by
 /// `fe-trace` — the paper's trace-driven methodology (§5.1).
 ///
-/// Implementations are infinite for simulation purposes: the simulator
-/// pulls exactly as many blocks as the run length requires, and a
-/// finite source (a trace) must carry enough records for the run (plus
-/// the pipeline's bounded lookahead) or fail loudly.
+/// A live executor is infinite and never returns `None`; a finite
+/// source (a trace) returns `None` when it runs dry, and the simulator
+/// degrades the truncation into a reported stall and an early run end
+/// instead of panicking mid-pipeline.
 pub trait BlockSource {
-    /// Produces the next retired basic block of the stream.
-    fn next_block(&mut self) -> RetiredBlock;
+    /// Produces the next retired basic block of the stream, or `None`
+    /// when the source is exhausted (finite sources only).
+    fn next_block(&mut self) -> Option<RetiredBlock>;
+
+    /// Fast-forwards past at least `min_instrs` instructions without
+    /// handing the blocks to the caller, stopping at the first block
+    /// boundary at or past the target. Returns the instructions
+    /// actually skipped (less than `min_instrs` only on exhaustion).
+    ///
+    /// The default walks [`Self::next_block`]; seekable sources (a
+    /// trace replayer) override it to skip decode work — the sampled-
+    /// simulation fast-forward path.
+    fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < min_instrs {
+            match self.next_block() {
+                Some(rb) => skipped += rb.instr_count(),
+                None => break,
+            }
+        }
+        skipped
+    }
 }
 
 impl<S: BlockSource + ?Sized> BlockSource for &mut S {
-    fn next_block(&mut self) -> RetiredBlock {
+    fn next_block(&mut self) -> Option<RetiredBlock> {
         (**self).next_block()
+    }
+
+    fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        (**self).skip_instrs(min_instrs)
     }
 }
 
 impl<S: BlockSource + ?Sized> BlockSource for Box<S> {
-    fn next_block(&mut self) -> RetiredBlock {
+    fn next_block(&mut self) -> Option<RetiredBlock> {
         (**self).next_block()
+    }
+
+    fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        (**self).skip_instrs(min_instrs)
     }
 }
 

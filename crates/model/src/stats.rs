@@ -170,6 +170,13 @@ impl SimStats {
         self.mpki(self.btb_misses)
     }
 
+    /// Front-end stall cycles per kilo-instruction — the sampled-run
+    /// accuracy metric (MPKI-shaped, but over §6.1 stall cycles, so it
+    /// is comparable across runs of different lengths).
+    pub fn front_end_stall_pki(&self) -> f64 {
+        self.mpki(self.stalls.front_end_total())
+    }
+
     /// Fraction of cycles lost to front-end stalls.
     pub fn front_end_stall_fraction(&self) -> f64 {
         if self.cycles == 0 {

@@ -16,10 +16,10 @@ pub use crate::pipeline::EngineScheme;
 /// For consolidated multi-context runs over a shared memory system,
 /// see [`MultiSimulator`](crate::MultiSimulator).
 pub struct Simulator<'p> {
-    state: PipelineState<'p>,
+    pub(crate) state: PipelineState<'p>,
     bpu: Bpu,
     fetch: FetchUnit,
-    backend: Backend,
+    pub(crate) backend: Backend,
     // Measurement bases (captured when measurement starts).
     base_cycle: u64,
     base_scheme_misses: u64,
@@ -92,15 +92,19 @@ impl<'p> Simulator<'p> {
 
     /// Runs `warmup` instructions untimed-for-stats, then measures
     /// `measure` instructions and returns their statistics.
+    ///
+    /// A finite source (a trace) that runs out of records before the
+    /// run completes ends the run early with the statistics measured so
+    /// far — check [`Self::source_exhausted`] — rather than panicking.
     pub fn run(&mut self, warmup: u64, measure: u64) -> SimStats {
-        while self.state.retired_total < warmup {
+        while self.state.retired_total < warmup && !self.state.stream_ended() {
             self.cycle();
         }
         self.begin_measurement();
         // Measure relative to the actual measurement start (warmup may
         // overshoot by a partial retire-width).
         let end = self.state.retired_total + measure;
-        while self.state.retired_total < end {
+        while self.state.retired_total < end && !self.state.stream_ended() {
             self.cycle();
         }
         self.finalize()
@@ -108,7 +112,7 @@ impl<'p> Simulator<'p> {
 
     /// One simulated cycle: tick the stages front to back, then account
     /// a zero-retire cycle to the stall taxonomy.
-    fn cycle(&mut self) {
+    pub(crate) fn cycle(&mut self) {
         let s = &mut self.state;
         s.bpu_stalled = false;
         self.fetch.process_fills(s);
@@ -150,6 +154,14 @@ impl<'p> Simulator<'p> {
     /// interference; see [`MemStats`]).
     pub fn mem_stats(&self) -> MemStats {
         self.state.mem.stats()
+    }
+
+    /// `true` when the block source ran out of records mid-run (a
+    /// truncated trace). The run degraded into a reported stall and an
+    /// early end instead of panicking; callers that require a complete
+    /// stream (the sweep API) check this and fail loudly themselves.
+    pub fn source_exhausted(&self) -> bool {
+        self.state.source_dry
     }
 
     // ---- testing & diagnostics surface -------------------------------

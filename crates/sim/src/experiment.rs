@@ -47,7 +47,8 @@ use shotgun::{RegionPolicy, ShotgunConfig};
 
 use crate::json::{parse, Json};
 use crate::multi::MultiSimulator;
-use crate::runner::{run_scheme_replayed, RunLength, SchemeSpec};
+use crate::runner::{run_scheme_replayed, run_scheme_sampled_replayed, RunLength, SchemeSpec};
+use crate::sampling::{CellSampling, MeanCi, SamplingSpec};
 
 /// Identifies a workload inside a sweep (its spec name).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,6 +113,7 @@ pub struct Experiment {
     baseline: Option<SchemeSpec>,
     progress: Option<ProgressFn>,
     trace_dir: Option<PathBuf>,
+    sampling: Option<SamplingSpec>,
 }
 
 impl Experiment {
@@ -133,6 +135,7 @@ impl Experiment {
             baseline: None,
             progress: None,
             trace_dir: None,
+            sampling: None,
         }
     }
 
@@ -219,6 +222,24 @@ impl Experiment {
         self
     }
 
+    /// Runs every cell in sampled mode (interval sampling with
+    /// functional warming — see the [`sampling`](crate::sampling)
+    /// module docs): `len.warmup` is functionally warmed and
+    /// `len.measure` covered by alternating fast-forward and timed
+    /// measurement, making paper-scale instruction counts practical.
+    /// Cells carry a [`CellSampling`] summary (interval count, per-
+    /// interval mean ± 95% CI) next to their aggregate statistics, and
+    /// the report JSON grows matching `sampling` fields. Reports stay
+    /// byte-identical at any thread count.
+    ///
+    /// Consolidation mixes are not supported in sampled mode (their
+    /// streams are interference-coupled and cannot fast-forward
+    /// independently); `run` panics on the combination.
+    pub fn sampling(mut self, spec: SamplingSpec) -> Self {
+        self.sampling = Some(spec);
+        self
+    }
+
     /// Runs the sweep and derives per-cell metrics.
     ///
     /// Programs are built once per workload (and per mix member) and
@@ -243,6 +264,7 @@ impl Experiment {
             baseline,
             progress,
             trace_dir,
+            sampling,
         } = self;
         assert!(
             !(workloads.is_empty() && mixes.is_empty()),
@@ -252,6 +274,16 @@ impl Experiment {
             !schemes.is_empty(),
             "Experiment::run: no schemes configured"
         );
+        if let Some(spec) = &sampling {
+            assert!(
+                mixes.is_empty(),
+                "Experiment::run: sampled mode does not support consolidation mixes \
+                 (their streams are interference-coupled and cannot fast-forward independently)"
+            );
+            if let Err(e) = spec.validate() {
+                panic!("Experiment::run: invalid sampling spec: {e}");
+            }
+        }
 
         let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
         for (i, label) in labels.iter().enumerate() {
@@ -355,9 +387,11 @@ impl Experiment {
         let mix_jobs = mixes.len() * n_schemes;
         let total = mix_jobs + workloads.len() * n_schemes;
         let completed = AtomicUsize::new(0);
-        // Each job yields the stats of its cells: one for a single
-        // workload, one per member for a mix.
-        let results: Vec<Vec<SimStats>> = parallel_indexed(total, threads, |job| {
+        // Each job yields the stats of its cells (one for a single
+        // workload, one per member for a mix), plus the sampling
+        // summary when the sweep runs sampled.
+        type CellResult = (SimStats, Option<CellSampling>);
+        let results: Vec<Vec<CellResult>> = parallel_indexed(total, threads, |job| {
             let (name, si, job_stats) = if job < mix_jobs {
                 let (mi, si) = (job / n_schemes, job % n_schemes);
                 let members = mix_programs[mi]
@@ -366,19 +400,40 @@ impl Experiment {
                     .collect();
                 let multi =
                     MultiSimulator::new(&machine, members, seed).run(len.warmup, len.measure);
-                let stats = multi.contexts.into_iter().map(|c| c.stats).collect();
+                let stats = multi
+                    .contexts
+                    .into_iter()
+                    .map(|c| (c.stats, None))
+                    .collect();
                 (mixes[mi].name.clone(), si, stats)
             } else {
                 let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
-                let stats = run_scheme_replayed(
-                    &programs[wi],
-                    &traces[wi],
-                    &schemes[si],
-                    &machine,
-                    len,
-                    seed,
-                );
-                (workloads[wi].name.clone(), si, vec![stats])
+                let cell = match sampling {
+                    Some(spec) => {
+                        let sampled = run_scheme_sampled_replayed(
+                            &programs[wi],
+                            &traces[wi],
+                            &schemes[si],
+                            &machine,
+                            len,
+                            spec,
+                            seed,
+                        );
+                        (sampled.aggregate(), Some(CellSampling::of(&sampled)))
+                    }
+                    None => {
+                        let stats = run_scheme_replayed(
+                            &programs[wi],
+                            &traces[wi],
+                            &schemes[si],
+                            &machine,
+                            len,
+                            seed,
+                        );
+                        (stats, None)
+                    }
+                };
+                (workloads[wi].name.clone(), si, vec![cell])
             };
             if let Some(cb) = &progress {
                 cb(&ProgressEvent {
@@ -393,15 +448,16 @@ impl Experiment {
 
         let mut cells = Vec::new();
         for (wi, wl) in workloads.iter().enumerate() {
-            let base = baseline_idx.map(|bi| &results[mix_jobs + wi * n_schemes + bi][0]);
+            let base = baseline_idx.map(|bi| &results[mix_jobs + wi * n_schemes + bi][0].0);
             for (si, scheme) in schemes.iter().enumerate() {
-                let cell_stats = &results[mix_jobs + wi * n_schemes + si][0];
+                let (cell_stats, cell_sampling) = &results[mix_jobs + wi * n_schemes + si][0];
                 cells.push(SweepCell {
                     workload: WorkloadId(wl.name.clone()),
                     scheme: scheme.clone(),
                     label: labels[si].clone(),
                     metrics: CellMetrics::derive(cell_stats, base),
                     stats: cell_stats.clone(),
+                    sampling: cell_sampling.clone(),
                 });
             }
         }
@@ -409,15 +465,16 @@ impl Experiment {
             for (ctx, member_id) in mix.member_ids().into_iter().enumerate() {
                 // A member's baseline is the *same context of the same
                 // mix* under the baseline scheme — interference-aware.
-                let base = baseline_idx.map(|bi| &results[mi * n_schemes + bi][ctx]);
+                let base = baseline_idx.map(|bi| &results[mi * n_schemes + bi][ctx].0);
                 for (si, scheme) in schemes.iter().enumerate() {
-                    let cell_stats = &results[mi * n_schemes + si][ctx];
+                    let (cell_stats, cell_sampling) = &results[mi * n_schemes + si][ctx];
                     cells.push(SweepCell {
                         workload: WorkloadId(member_id.clone()),
                         scheme: scheme.clone(),
                         label: labels[si].clone(),
                         metrics: CellMetrics::derive(cell_stats, base),
                         stats: cell_stats.clone(),
+                        sampling: cell_sampling.clone(),
                     });
                 }
             }
@@ -436,6 +493,7 @@ impl Experiment {
             len,
             seed,
             baseline: baseline_idx.map(|bi| labels[bi].clone()),
+            sampling,
             workloads: workload_ids,
             schemes,
             cells,
@@ -495,7 +553,7 @@ fn cached_trace_matches_live(trace: &Trace, program: &Program, seed: u64) -> boo
     let mut live = fe_cfg::Executor::new(program, seed);
     let mut replay = trace.replayer();
     (0..PROBE_BLOCKS.min(trace.header().block_count))
-        .all(|_| replay.next_block() == live.next_block())
+        .all(|_| replay.next_block() == Some(live.next_block()))
 }
 
 /// Runs `task(0..count)` across up to `threads` scoped workers and
@@ -571,10 +629,14 @@ pub struct SweepCell {
     pub scheme: SchemeSpec,
     /// The scheme's display label (unique within the sweep).
     pub label: String,
-    /// Raw measured statistics.
+    /// Raw measured statistics (the aggregate over intervals when the
+    /// sweep ran sampled).
     pub stats: SimStats,
     /// Metrics derived against the sweep baseline.
     pub metrics: CellMetrics,
+    /// Sampled-mode summary (interval count, per-interval mean ± 95%
+    /// CI); `None` for full-detail sweeps.
+    pub sampling: Option<CellSampling>,
 }
 
 /// A completed sweep: every cell, keyed by `(WorkloadId, SchemeSpec)`,
@@ -587,6 +649,8 @@ pub struct SweepReport {
     pub seed: u64,
     /// Label of the baseline scheme metrics are derived against.
     pub baseline: Option<String>,
+    /// Sampled-mode shape the sweep ran with (`None` = full detail).
+    pub sampling: Option<SamplingSpec>,
     /// Workloads in sweep order.
     pub workloads: Vec<WorkloadId>,
     /// Schemes in sweep order.
@@ -648,7 +712,7 @@ impl SweepReport {
     }
 
     fn to_json_value(&self) -> Json {
-        let run = Json::Obj(vec![
+        let mut run_members = vec![
             ("warmup".into(), Json::U64(self.len.warmup)),
             ("measure".into(), Json::U64(self.len.measure)),
             ("seed".into(), Json::U64(self.seed)),
@@ -658,7 +722,21 @@ impl SweepReport {
                     .as_ref()
                     .map_or(Json::Null, |b| Json::Str(b.clone())),
             ),
-        ]);
+        ];
+        // Emitted only for sampled sweeps: full-detail reports keep
+        // their historical byte shape (the pinned fixture is a byte
+        // diff).
+        if let Some(spec) = &self.sampling {
+            run_members.push((
+                "sampling".into(),
+                Json::Obj(vec![
+                    ("interval".into(), Json::U64(spec.interval)),
+                    ("detail".into(), Json::U64(spec.detail)),
+                    ("warmup".into(), Json::U64(spec.warmup)),
+                ]),
+            ));
+        }
+        let run = Json::Obj(run_members);
         let workloads = Json::Arr(
             self.workloads
                 .iter()
@@ -686,6 +764,15 @@ impl SweepReport {
             Json::Null => None,
             other => Some(other.as_str()?.to_string()),
         };
+        // Absent in pre-sampling reports (and every full-detail one).
+        let sampling = match run.get("sampling") {
+            None => None,
+            Some(doc) => Some(SamplingSpec {
+                interval: doc.req("interval")?.as_u64()?,
+                detail: doc.req("detail")?.as_u64()?,
+                warmup: doc.req("warmup")?.as_u64()?,
+            }),
+        };
         let workloads = doc
             .req("workloads")?
             .as_arr()?
@@ -708,6 +795,7 @@ impl SweepReport {
             len,
             seed,
             baseline,
+            sampling,
             workloads,
             schemes,
             cells,
@@ -843,13 +931,36 @@ fn cell_to_json(cell: &SweepCell) -> Json {
         ("speedup".into(), opt_f64_to_json(m.speedup)),
         ("coverage".into(), opt_f64_to_json(m.coverage)),
     ]);
-    Json::Obj(vec![
+    let mut members = vec![
         ("workload".into(), Json::Str(cell.workload.0.clone())),
         ("scheme".into(), scheme_to_json(&cell.scheme)),
         ("label".into(), Json::Str(cell.label.clone())),
         ("stats".into(), stats),
         ("metrics".into(), metrics),
-    ])
+    ];
+    // Sampled sweeps only — full-detail cell JSON keeps its historical
+    // byte shape.
+    if let Some(sampling) = &cell.sampling {
+        members.push((
+            "sampling".into(),
+            Json::Obj(vec![
+                ("intervals".into(), Json::U64(sampling.intervals)),
+                ("ipc_mean".into(), f64_to_json(sampling.ipc.mean)),
+                ("ipc_ci95".into(), f64_to_json(sampling.ipc.ci95)),
+                ("l1i_mpki_mean".into(), f64_to_json(sampling.l1i_mpki.mean)),
+                ("l1i_mpki_ci95".into(), f64_to_json(sampling.l1i_mpki.ci95)),
+                (
+                    "fe_stall_pki_mean".into(),
+                    f64_to_json(sampling.fe_stall_pki.mean),
+                ),
+                (
+                    "fe_stall_pki_ci95".into(),
+                    f64_to_json(sampling.fe_stall_pki.ci95),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(members)
 }
 
 fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
@@ -904,12 +1015,34 @@ fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
         speedup: opt_f("speedup")?,
         coverage: opt_f("coverage")?,
     };
+    let sampling = match doc.get("sampling") {
+        None => None,
+        Some(s) => {
+            let sf = |key: &str| s.req(key)?.as_f64();
+            Some(CellSampling {
+                intervals: s.req("intervals")?.as_u64()?,
+                ipc: MeanCi {
+                    mean: sf("ipc_mean")?,
+                    ci95: sf("ipc_ci95")?,
+                },
+                l1i_mpki: MeanCi {
+                    mean: sf("l1i_mpki_mean")?,
+                    ci95: sf("l1i_mpki_ci95")?,
+                },
+                fe_stall_pki: MeanCi {
+                    mean: sf("fe_stall_pki_mean")?,
+                    ci95: sf("fe_stall_pki_ci95")?,
+                },
+            })
+        }
+    };
     Ok(SweepCell {
         workload: WorkloadId(doc.req("workload")?.as_str()?.to_string()),
         scheme: scheme_from_json(doc.req("scheme")?)?,
         label: doc.req("label")?.as_str()?.to_string(),
         stats,
         metrics,
+        sampling,
     })
 }
 
@@ -937,6 +1070,7 @@ mod tests {
                 label: "no-prefetch".into(),
                 metrics: CellMetrics::derive(&base, Some(&base)),
                 stats: base.clone(),
+                sampling: None,
             },
             SweepCell {
                 workload: WorkloadId("wl".into()),
@@ -944,16 +1078,41 @@ mod tests {
                 label: "shotgun".into(),
                 metrics: CellMetrics::derive(&fast, Some(&base)),
                 stats: fast,
+                sampling: None,
             },
         ];
         SweepReport {
             len: RunLength::SMOKE,
             seed: 7,
             baseline: Some("no-prefetch".into()),
+            sampling: None,
             workloads: vec![WorkloadId("wl".into())],
             schemes,
             cells,
         }
+    }
+
+    fn fake_sampled_report() -> SweepReport {
+        let mut report = fake_report();
+        report.sampling = Some(SamplingSpec::DEFAULT);
+        for (i, cell) in report.cells.iter_mut().enumerate() {
+            cell.sampling = Some(CellSampling {
+                intervals: 12,
+                ipc: MeanCi {
+                    mean: 1.5 + i as f64,
+                    ci95: 0.125,
+                },
+                l1i_mpki: MeanCi {
+                    mean: 20.0,
+                    ci95: 1.75,
+                },
+                fe_stall_pki: MeanCi {
+                    mean: 300.5,
+                    ci95: 12.25,
+                },
+            });
+        }
+        report
     }
 
     #[test]
@@ -978,6 +1137,22 @@ mod tests {
         let back = SweepReport::from_json(&text).expect("parses");
         assert_eq!(back, report);
         assert_eq!(back.to_json(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn sampled_report_json_round_trips_and_full_detail_shape_is_unchanged() {
+        let sampled = fake_sampled_report();
+        let text = sampled.to_json();
+        assert!(text.contains("\"sampling\""));
+        assert!(text.contains("\"fe_stall_pki_ci95\""));
+        let back = SweepReport::from_json(&text).expect("parses");
+        assert_eq!(back, sampled);
+        assert_eq!(back.to_json(), text, "re-serialization is stable");
+
+        // Full-detail reports must not grow any sampling keys — the
+        // pinned engine-regression fixture is a byte diff.
+        let full = fake_report();
+        assert!(!full.to_json().contains("sampling"));
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! [`SweepReport`] with derived metrics and JSON emission. Sweeps are
 //! trace-driven: each workload's retired stream is recorded once (an
 //! `fe-trace` recording) and replayed into every scheme cell, bit-
-//! identical to live execution. The one-cell [`run_scheme`] (live) and
-//! [`run_scheme_replayed`] (trace-driven) wrappers remain for single
-//! measurements.
+//! identical to live execution. For paper-scale instruction counts,
+//! [`Experiment::sampling`] switches cells to interval sampling with
+//! functional warming (see the [`sampling`] module). The one-cell
+//! [`run_scheme`] (live), [`run_scheme_replayed`] (trace-driven) and
+//! [`run_scheme_sampled`]/[`run_scheme_sampled_replayed`] wrappers
+//! remain for single measurements.
 //!
 //! ```no_run
 //! use fe_cfg::workloads;
@@ -38,9 +41,14 @@ pub mod multi;
 mod pipeline;
 pub mod report;
 pub mod runner;
+pub mod sampling;
 
 pub use engine::{EngineScheme, Simulator};
 pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
 pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
-pub use runner::{run_scheme, run_scheme_replayed, RunLength, SchemeSpec};
+pub use runner::{
+    run_scheme, run_scheme_replayed, run_scheme_sampled, run_scheme_sampled_replayed, RunLength,
+    SchemeSpec,
+};
+pub use sampling::{CellSampling, MeanCi, SampledStats, SamplingSpec};

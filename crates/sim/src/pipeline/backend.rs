@@ -26,6 +26,10 @@ pub(crate) struct RetireOutcome {
     /// `true` when retirement was blocked by a data miss older than the
     /// ROB shadow (already charged as a backend stall).
     pub(crate) data_blocked: bool,
+    /// `true` when retirement stopped because the block source ran dry
+    /// (a truncated trace): the typed replacement for the old
+    /// panic-on-exhaustion path.
+    pub(crate) source_dry: bool,
 }
 
 /// The retirement stage. Owns the genuinely backend-local state: the
@@ -67,14 +71,22 @@ impl Backend {
                 return RetireOutcome {
                     retired: 0,
                     data_blocked: true,
+                    source_dry: false,
                 };
             }
         }
 
         let mut credits = s.cfg.core.width as u64;
         let mut retired = 0u64;
+        let mut source_dry = false;
         while credits > 0 {
-            s.fill_oracle_to(0);
+            if !s.fill_oracle_to(0) {
+                // The source ran dry: nothing left to retire against.
+                // Degrade into a reported stall; the run loop ends once
+                // it sees the stream is over.
+                source_dry = true;
+                break;
+            }
             let cur = s.oracle[0];
             let expected = cur.block.start + s.consumed * INSTR_BYTES;
 
@@ -94,7 +106,11 @@ impl Backend {
             let step = credits.min(avail).min(remaining);
             debug_assert!(step > 0, "empty supply range in buffer");
 
-            s.supply.consume(step);
+            if !s.supply.consume(step) {
+                // A drained or short supply head no longer panics: the
+                // cycle simply retires what it could.
+                break;
+            }
             s.consumed += step;
             credits -= step;
             retired += step;
@@ -116,6 +132,7 @@ impl Backend {
         RetireOutcome {
             retired,
             data_blocked: false,
+            source_dry,
         }
     }
 
@@ -136,16 +153,16 @@ impl Backend {
         // blocks covered by straight-line speculation were never
         // predicted and train at retired history.
         if rb.block.kind == Conditional {
-            let matched = s
-                .pred_trace
-                .front()
-                .is_some_and(|p| p.block_start == rb.block.start);
-            let mispredicted = if matched {
-                let p = s.pred_trace.pop_front().expect("front exists");
-                s.tage.retire_with(rb.block.branch_pc(), rb.taken, p.hist);
-                p.taken != rb.taken
-            } else {
-                s.tage.retire(rb.block.branch_pc(), rb.taken) != rb.taken
+            // Pop the matching in-flight prediction, if any; a stale or
+            // empty trace (flushed, or a truncated source) degrades to
+            // retired-history training instead of an `expect` panic.
+            let mispredicted = match s.pred_trace.front().copied() {
+                Some(p) if p.block_start == rb.block.start => {
+                    s.pred_trace.pop_front();
+                    s.tage.retire_with(rb.block.branch_pc(), rb.taken, p.hist);
+                    p.taken != rb.taken
+                }
+                _ => s.tage.retire(rb.block.branch_pc(), rb.taken) != rb.taken,
             };
             if mispredicted {
                 s.stats.direction_mispredicts += 1;
@@ -227,5 +244,15 @@ impl Backend {
     /// Outstanding data-miss count (diagnostics).
     pub(crate) fn data_miss_count(&self) -> usize {
         self.data_misses.len()
+    }
+
+    /// Drops interval-local state when sampled simulation re-enters a
+    /// timed window: outstanding data misses cannot survive the epochs
+    /// of functional fast-forward between measurement intervals. The
+    /// load RNG keeps its stream (per-cell determinism).
+    pub(crate) fn reset_transients(&mut self) {
+        self.data_misses.clear();
+        self.load_acc = 0.0;
+        self.last_retired_kind = None;
     }
 }

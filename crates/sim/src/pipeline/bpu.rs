@@ -64,7 +64,11 @@ impl Bpu {
 
     /// Ideal front end: the BPU emits the *actual* upcoming blocks.
     fn step_ideal(&mut self, s: &mut PipelineState) {
-        s.fill_oracle_to(s.oracle_pos);
+        if !s.fill_oracle_to(s.oracle_pos) {
+            // Truncated source: nothing left to read ahead.
+            s.bpu_stalled = true;
+            return;
+        }
         let block = s.oracle[s.oracle_pos].block;
         s.oracle_pos += 1;
         self.push_ftq(

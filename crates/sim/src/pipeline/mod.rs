@@ -6,6 +6,11 @@
 //!   BPU(scheme) → FTQ → fetch unit (L1-I) → supply buffer → backend
 //!        ▲                                                     │
 //!        └──────────────── redirect on divergence ─────────────┘
+//!
+//!   sampled mode (crate::sampling): BlockSource ══▶ functional warm
+//!   (L1-I/LLC residency, TAGE, RAS, scheme.warm_block) — bypasses
+//!   every timed stage above, then re-arms them for the next timed
+//!   detail window
 //! ```
 //!
 //! Each stage is its own module and struct, ticked once per cycle by
@@ -129,6 +134,10 @@ pub(crate) struct PipelineState<'p> {
     pub(crate) oracle_pos: usize,
     /// Instructions of the current oracle block already retired.
     pub(crate) consumed: u64,
+    /// The block source returned `None`: a finite source (a trace) ran
+    /// out of records. The run degrades into a reported stall and ends
+    /// once the already-pulled blocks retire.
+    pub(crate) source_dry: bool,
 
     // Time & accounting.
     pub(crate) now: u64,
@@ -163,6 +172,7 @@ impl<'p> PipelineState<'p> {
             bpu_stalled: false,
             oracle_pos: 0,
             consumed: 0,
+            source_dry: false,
             now: 0,
             stats: SimStats::default(),
             prefetches_issued: 0,
@@ -179,12 +189,27 @@ impl<'p> PipelineState<'p> {
         matches!(self.scheme, Some(EngineScheme::Ideal))
     }
 
-    /// Extends the oracle so index `pos` exists.
-    pub(crate) fn fill_oracle_to(&mut self, pos: usize) {
+    /// Extends the oracle so index `pos` exists. Returns `false` (and
+    /// marks the source dry) when the source is exhausted before the
+    /// index can be reached — the typed replacement for the old
+    /// panic-on-exhaustion path.
+    pub(crate) fn fill_oracle_to(&mut self, pos: usize) -> bool {
         while pos >= self.oracle.len() {
-            let next = self.source.next_block();
-            self.oracle.push_back(next);
+            match self.source.next_block() {
+                Some(next) => self.oracle.push_back(next),
+                None => {
+                    self.source_dry = true;
+                    return false;
+                }
+            }
         }
+        true
+    }
+
+    /// `true` once the source has run dry and every already-pulled
+    /// block has retired — nothing more can ever retire.
+    pub(crate) fn stream_ended(&self) -> bool {
+        self.source_dry && self.oracle.is_empty()
     }
 
     /// Runs `f` with the scheme and a freshly assembled context

@@ -16,6 +16,9 @@ use super::PipelineState;
 /// class, ordered by classification priority.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum StallKind {
+    /// The block source ran dry (truncated trace): the run is over.
+    /// Terminal, so it outranks every ordinary cause.
+    SourceDrained,
     /// Retirement blocked on a data miss older than the ROB shadow.
     Backend,
     /// Pipeline-refill bubble after a mispredict/misfetch redirect.
@@ -32,6 +35,8 @@ pub(crate) enum StallKind {
 /// order; [`StallKind::classify`] applies the priority.
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct StallCauses {
+    /// The block source ran out of records mid-run.
+    pub(crate) source_dry: bool,
     /// A data miss older than the ROB shadow blocked retirement.
     pub(crate) data_blocked: bool,
     /// The cycle fell inside a redirect refill bubble.
@@ -45,7 +50,9 @@ pub(crate) struct StallCauses {
 impl StallKind {
     /// Classifies a zero-retire cycle by its dominant cause.
     pub(crate) fn classify(c: StallCauses) -> StallKind {
-        if c.data_blocked {
+        if c.source_dry {
+            StallKind::SourceDrained
+        } else if c.data_blocked {
             StallKind::Backend
         } else if c.in_redirect {
             StallKind::Redirect
@@ -60,9 +67,12 @@ impl StallKind {
 
     /// Charges this stall to the statistics. `Backend` charges nothing
     /// here: the backend stage already counted the cycle in
-    /// `backend_stall_cycles` when it blocked.
+    /// `backend_stall_cycles` when it blocked. `SourceDrained` also
+    /// charges nothing — the run is ending, and attributing its final
+    /// cycles to a front-end class would pollute the §6.1 partition.
     pub(crate) fn charge(self, stats: &mut SimStats) {
         match self {
+            StallKind::SourceDrained => {}
             StallKind::Backend => {}
             StallKind::Redirect => stats.stalls.redirect += 1,
             StallKind::IcacheMiss => stats.stalls.icache_miss += 1,
@@ -77,6 +87,7 @@ impl StallKind {
 pub(crate) fn account(s: &mut PipelineState, outcome: RetireOutcome) {
     debug_assert_eq!(outcome.retired, 0, "only zero-retire cycles classify");
     let kind = StallKind::classify(StallCauses {
+        source_dry: outcome.source_dry,
         data_blocked: outcome.data_blocked,
         in_redirect: s.now < s.redirect_until,
         icache_waiting: s.waiting_line.is_some(),
@@ -96,11 +107,28 @@ mod tests {
         bpu_starved: bool,
     ) -> StallCauses {
         StallCauses {
+            source_dry: false,
             data_blocked,
             in_redirect,
             icache_waiting,
             bpu_starved,
         }
+    }
+
+    #[test]
+    fn drained_source_is_terminal_and_uncharged() {
+        let c = StallCauses {
+            source_dry: true,
+            data_blocked: true,
+            in_redirect: true,
+            icache_waiting: true,
+            bpu_starved: true,
+        };
+        assert_eq!(StallKind::classify(c), StallKind::SourceDrained);
+        let mut stats = SimStats::default();
+        StallKind::SourceDrained.charge(&mut stats);
+        assert_eq!(stats.stalls.front_end_total(), 0);
+        assert_eq!(stats.backend_stall_cycles, 0);
     }
 
     #[test]

@@ -45,19 +45,24 @@ impl SupplyBuffer {
     }
 
     /// Consumes `step` instructions from the head range, dropping it
-    /// when emptied.
-    ///
-    /// # Panics
-    ///
-    /// Debug-asserts that the head holds at least `step` instructions.
-    pub(crate) fn consume(&mut self, step: u64) {
-        let front = self.ranges.front_mut().expect("consume from empty supply");
+    /// when emptied. Returns `false` — consuming nothing — when the
+    /// buffer is empty or the head holds fewer than `step`
+    /// instructions, so a drained supply surfaces as a typed stall at
+    /// the caller instead of a panic.
+    #[must_use]
+    pub(crate) fn consume(&mut self, step: u64) -> bool {
+        let Some(front) = self.ranges.front_mut() else {
+            return false;
+        };
+        if ((front.end - front.start) as u64) / INSTR_BYTES < step {
+            return false;
+        }
         front.start += step * INSTR_BYTES;
-        debug_assert!(front.start <= front.end, "overconsumed supply range");
         if front.start == front.end {
             self.ranges.pop_front();
         }
         self.instrs -= step;
+        true
     }
 
     /// Buffered instruction count.
@@ -105,11 +110,18 @@ mod tests {
     fn consume_advances_and_pops() {
         let mut s = SupplyBuffer::new();
         s.deliver(a(0), a(4 * INSTR_BYTES));
-        s.consume(3);
+        assert!(s.consume(3));
         assert_eq!(s.front().unwrap().start, a(3 * INSTR_BYTES));
         assert_eq!(s.instrs(), 1);
-        s.consume(1);
+        assert!(s.consume(1));
         assert!(s.is_empty());
+        assert_eq!(s.instrs(), 0);
+    }
+
+    #[test]
+    fn consume_from_empty_supply_is_a_typed_refusal() {
+        let mut s = SupplyBuffer::new();
+        assert!(!s.consume(1), "empty supply refuses instead of panicking");
         assert_eq!(s.instrs(), 0);
     }
 

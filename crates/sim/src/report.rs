@@ -164,6 +164,7 @@ mod tests {
                 label: "base".into(),
                 metrics: metrics(&base, &base),
                 stats: base.clone(),
+                sampling: None,
             });
             cells.push(SweepCell {
                 workload: WorkloadId(wl.into()),
@@ -171,12 +172,14 @@ mod tests {
                 label: "fast".into(),
                 metrics: metrics(&fast, &base),
                 stats: fast,
+                sampling: None,
             });
         }
         SweepReport {
             len: RunLength::SMOKE,
             seed: 0,
             baseline: Some("base".into()),
+            sampling: None,
             workloads: vec![WorkloadId("a".into()), WorkloadId("b".into())],
             schemes,
             cells,

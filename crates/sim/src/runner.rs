@@ -11,7 +11,8 @@ use shotgun::{RegionPolicy, ShotgunConfig, ShotgunPrefetcher};
 use fe_baselines::{Boomerang, Confluence, ConfluenceConfig, Fdip, NoPrefetch};
 
 use crate::engine::{EngineScheme, Simulator};
-use crate::pipeline::{BPU_BLOCKS_PER_CYCLE, SUPPLY_CAP};
+use crate::pipeline::{BPU_BLOCKS_PER_CYCLE, FETCH_LINES_PER_CYCLE, SUPPLY_CAP};
+use crate::sampling::{SampledStats, SamplingSpec};
 
 /// A control-flow-delivery scheme to evaluate.
 #[derive(Clone, Debug, PartialEq)]
@@ -139,6 +140,23 @@ impl RunLength {
         measure: 500_000,
     };
 
+    /// Long run for sampled simulation: 5M warmup + 60M measured —
+    /// enough intervals for a stable confidence interval at the default
+    /// [`SamplingSpec`](crate::SamplingSpec) without trace sizes
+    /// getting out of hand.
+    pub const LONG: RunLength = RunLength {
+        warmup: 5_000_000,
+        measure: 60_000_000,
+    };
+
+    /// Paper-scale run: 10M warmup + 200M measured instructions per
+    /// cell (§5.1's order of magnitude) — practical only under
+    /// [`Experiment::sampling`](crate::Experiment::sampling).
+    pub const PAPER: RunLength = RunLength {
+        warmup: 10_000_000,
+        measure: 200_000_000,
+    };
+
     /// Reads `SHOTGUN_WARMUP` / `SHOTGUN_INSTRS` from the environment,
     /// falling back to `self` — the figure binaries' precision knob.
     pub fn from_env(self) -> RunLength {
@@ -154,19 +172,33 @@ impl RunLength {
     /// length on `machine`: warmup + measure, plus the pipeline's
     /// bounded lookahead past the last retired instruction (the ideal
     /// BPU reads the oracle ahead of retirement, bounded by the FTQ
-    /// and supply capacities) — every bound counted in worst-case
-    /// maximum-size blocks, so a trace of this length can never run
-    /// dry mid-simulation.
+    /// and supply capacities) — every station that can hold a
+    /// pulled-but-unretired block counted in worst-case maximum-size
+    /// blocks, so a trace of this length can never run dry
+    /// mid-simulation.
     pub fn trace_instrs(&self, machine: &MachineConfig) -> u64 {
+        // Deliberately conservative, station by station: the FTQ (one
+        // block per entry), the supply buffer (its instruction cap can
+        // be all one-instruction blocks, plus a line of delivery
+        // overshoot per fetch step), the blocks in flight through the
+        // per-cycle stage throughputs (BPU prediction and fetch
+        // delivery), the backend's current block and its oracle
+        // read-ahead, and a margin for warmup retire-width overshoot
+        // and anything a future stage buffers. Stacked maximum-width
+        // blocks previously squeezed through the old additive slack;
+        // every term here is a block count multiplied out by the
+        // worst-case block width.
         let lookahead_blocks = machine.front_end.ftq_entries as u64
-            + SUPPLY_CAP
-            + fe_model::LINE_INSTRS
+            + (SUPPLY_CAP + FETCH_LINES_PER_CYCLE as u64 * fe_model::LINE_INSTRS)
             + BPU_BLOCKS_PER_CYCLE as u64
-            + 8;
+            + FETCH_LINES_PER_CYCLE as u64
+            + 2 // backend current block + fill_oracle_to(0) read-ahead
+            + 32; // margin
         let max_block = fe_model::BasicBlock::MAX_INSTRS as u64;
-        // Warmup can overshoot by a partial retire width, and the last
-        // measured block retires whole.
-        self.warmup + self.measure + machine.core.width as u64 + (lookahead_blocks + 1) * max_block
+        self.warmup
+            + self.measure
+            + machine.core.width as u64 * max_block
+            + (lookahead_blocks + 1) * max_block
     }
 }
 
@@ -196,7 +228,10 @@ pub fn run_scheme(
 ///
 /// Panics if `trace` was not recorded against `program` with `seed`
 /// (replaying a mismatched stream would silently produce wrong
-/// timing), or if the trace is too short for `len`.
+/// timing), or if the trace ran dry before the run completed (the
+/// pipeline itself degrades a truncated source into a reported stall,
+/// but a sweep cell measured over a partial stream would be silently
+/// wrong, so this wrapper re-checks loudly).
 pub fn run_scheme_replayed(
     program: &Program,
     trace: &Trace,
@@ -205,6 +240,27 @@ pub fn run_scheme_replayed(
     len: RunLength,
     seed: u64,
 ) -> SimStats {
+    assert_trace_matches(trace, program, seed);
+    let scheme = spec.build(machine);
+    let mem = MemorySystem::new(machine);
+    let mut sim = Simulator::with_source(
+        program,
+        machine.clone(),
+        scheme,
+        seed,
+        mem,
+        Box::new(trace.replayer()),
+    );
+    let stats = sim.run(len.warmup, len.measure);
+    assert!(
+        !sim.source_exhausted(),
+        "trace `{}` ran dry mid-run — record at least RunLength::trace_instrs instructions",
+        trace.header().name,
+    );
+    stats
+}
+
+fn assert_trace_matches(trace: &Trace, program: &Program, seed: u64) {
     assert_eq!(
         trace.header().seed,
         seed,
@@ -216,6 +272,43 @@ pub fn run_scheme_replayed(
         "trace `{}` was recorded against a different program",
         trace.header().name,
     );
+}
+
+/// Runs one scheme over one program in sampled mode (see
+/// [`SamplingSpec`] and the `sampling` module docs): `len.warmup`
+/// instructions functionally warmed, `len.measure` covered by
+/// alternating fast-forward / functional warming / timed measurement.
+pub fn run_scheme_sampled(
+    program: &Program,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    sampling: SamplingSpec,
+    seed: u64,
+) -> SampledStats {
+    let scheme = spec.build(machine);
+    let mut sim = Simulator::new(program, machine.clone(), scheme, seed);
+    sim.run_sampled(len.warmup, len.measure, sampling)
+}
+
+/// [`run_scheme_sampled`] over a recorded trace: the fast-forward
+/// phases use the replayer's seekable decode-skip, which is where the
+/// bulk of sampled mode's speedup comes from.
+///
+/// # Panics
+///
+/// Panics if `trace` was not recorded against `program` with `seed`,
+/// or if the trace ran dry before the sampled run completed.
+pub fn run_scheme_sampled_replayed(
+    program: &Program,
+    trace: &Trace,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    sampling: SamplingSpec,
+    seed: u64,
+) -> SampledStats {
+    assert_trace_matches(trace, program, seed);
     let scheme = spec.build(machine);
     let mem = MemorySystem::new(machine);
     let mut sim = Simulator::with_source(
@@ -226,7 +319,13 @@ pub fn run_scheme_replayed(
         mem,
         Box::new(trace.replayer()),
     );
-    sim.run(len.warmup, len.measure)
+    let stats = sim.run_sampled(len.warmup, len.measure, sampling);
+    assert!(
+        !stats.truncated,
+        "trace `{}` ran dry mid-sampled-run — record at least RunLength::trace_instrs instructions",
+        trace.header().name,
+    );
+    stats
 }
 
 #[cfg(test)]

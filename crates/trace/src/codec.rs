@@ -248,6 +248,57 @@ impl<'t> RecordDecoder<'t> {
             next_pc,
         })
     }
+
+    /// Decodes past the next record without materializing it, returning
+    /// its instruction count — the seekable-replay fast path. Only the
+    /// address chain (`prev_next`) is reconstructed; block assembly,
+    /// kind validation and the implied-target check are skipped, so the
+    /// sampled-simulation fast-forward pays a fraction of
+    /// [`Self::decode_record`]'s work per record.
+    #[inline]
+    pub(crate) fn skip_record(&mut self) -> Result<u64, RecordError> {
+        let mut cur = Cursor {
+            bytes: self.bytes,
+            pos: self.pos,
+        };
+        let Some(&[flags, instr_count]) = cur.bytes.get(cur.pos..cur.pos + 2) else {
+            return Err(RecordError::Truncated);
+        };
+        cur.pos += 2;
+        if flags & FLAG_RESERVED != 0 {
+            return Err(RecordError::ReservedFlag);
+        }
+        if instr_count.wrapping_sub(1) >= BasicBlock::MAX_INSTRS {
+            return Err(RecordError::BadCount(instr_count));
+        }
+        let start = if flags & FLAG_CONTIGUOUS != 0 {
+            self.prev_next
+        } else {
+            cur.addr_from(self.prev_next)?
+        };
+        let target = if flags & FLAG_HAS_TARGET != 0 {
+            cur.addr_from(start)?
+        } else {
+            Addr::NULL
+        };
+        let fall_through = start + instr_count as u64 * fe_model::INSTR_BYTES;
+        self.prev_next = if flags & FLAG_NEXT_IMPLIED != 0 {
+            if flags & FLAG_TAKEN != 0 {
+                // An implied taken next PC is the static target; a
+                // taken return (no static target) never sets the flag.
+                if target.is_null() {
+                    return Err(RecordError::ImpliedReturn);
+                }
+                target
+            } else {
+                fall_through
+            }
+        } else {
+            cur.addr_from(fall_through)?
+        };
+        self.pos = cur.pos;
+        Ok(instr_count as u64)
+    }
 }
 
 /// Local decode cursor — see [`RecordDecoder::decode_record`].

@@ -40,67 +40,99 @@ fn kind_from_letter(letter: &str) -> Option<BranchKind> {
     }
 }
 
-/// Imports a CBP-style textual branch trace (see module docs).
+/// Outcome of a lossy import: the trace plus an account of what the
+/// parser had to drop, so callers can report data quality instead of
+/// records vanishing silently.
+#[derive(Debug)]
+pub struct ImportReport {
+    /// The imported trace.
+    pub trace: Trace,
+    /// Branch records imported.
+    pub imported: u64,
+    /// Malformed lines skipped (blank lines and `#` comments are not
+    /// records and are not counted).
+    pub skipped: u64,
+    /// The first skipped line's line-numbered parse error, kept so a
+    /// lossy import can still say *why* records went missing.
+    pub first_error: Option<String>,
+}
+
+/// Parses one record line. `Ok(None)` for blank/comment lines; a
+/// line-numbered [`TraceError::Corrupt`] for malformed ones.
+fn parse_cbp_line(line: &str, lineno: usize) -> Result<Option<RetiredBlock>, TraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let mut field = |what: &str| {
+        fields.next().ok_or_else(|| {
+            TraceError::Corrupt(format!("line {}: missing {what} in `{line}`", lineno + 1))
+        })
+    };
+    let pc = parse_addr(field("pc")?, lineno)?;
+    let target = parse_addr(field("target")?, lineno)?;
+    let kind_field = field("kind")?;
+    let kind = kind_from_letter(kind_field).ok_or_else(|| {
+        TraceError::Corrupt(format!(
+            "line {}: unknown branch kind `{kind_field}`",
+            lineno + 1
+        ))
+    })?;
+    let taken = match field("taken")? {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(TraceError::Corrupt(format!(
+                "line {}: taken must be 0 or 1, got `{other}`",
+                lineno + 1
+            )))
+        }
+    };
+    if taken && kind.is_return() && target == 0 {
+        return Err(TraceError::Corrupt(format!(
+            "line {}: taken return needs its dynamic target",
+            lineno + 1
+        )));
+    }
+    let block = BasicBlock::new(
+        Addr::new(pc),
+        1,
+        kind,
+        // Returns read the RAS, not a static target.
+        if kind.is_return() {
+            Addr::NULL
+        } else {
+            Addr::new(target)
+        },
+    );
+    let next_pc = if taken {
+        Addr::new(target)
+    } else {
+        Addr::new(pc + INSTR_BYTES)
+    };
+    Ok(Some(RetiredBlock {
+        block,
+        taken,
+        next_pc,
+    }))
+}
+
+/// Imports a CBP-style textual branch trace (see module docs),
+/// rejecting the whole import on the first malformed line with a
+/// line-numbered error.
 ///
 /// Returns a valid [`Trace`] whose fingerprint is
 /// [`ProgramFingerprint::UNKNOWN`]; it round-trips through the binary
 /// format and tooling (`trace inspect`), but replaying it requires a
-/// matching program image, which imports do not yet carry.
+/// matching program image, which imports do not yet carry. For
+/// tolerating dirty captures, see [`import_cbp_lossy`].
 pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
     let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
     for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(rb) = parse_cbp_line(line, lineno)? {
+            writer.record(&rb);
         }
-        let mut fields = line.split_whitespace();
-        let mut field = |what: &str| {
-            fields
-                .next()
-                .ok_or_else(|| TraceError::Corrupt(format!("line {}: missing {what}", lineno + 1)))
-        };
-        let pc = parse_addr(field("pc")?, lineno)?;
-        let target = parse_addr(field("target")?, lineno)?;
-        let kind = kind_from_letter(field("kind")?).ok_or_else(|| {
-            TraceError::Corrupt(format!("line {}: unknown branch kind", lineno + 1))
-        })?;
-        let taken = match field("taken")? {
-            "0" => false,
-            "1" => true,
-            other => {
-                return Err(TraceError::Corrupt(format!(
-                    "line {}: taken must be 0 or 1, got `{other}`",
-                    lineno + 1
-                )))
-            }
-        };
-        if taken && kind.is_return() && target == 0 {
-            return Err(TraceError::Corrupt(format!(
-                "line {}: taken return needs its dynamic target",
-                lineno + 1
-            )));
-        }
-        let block = BasicBlock::new(
-            Addr::new(pc),
-            1,
-            kind,
-            // Returns read the RAS, not a static target.
-            if kind.is_return() {
-                Addr::NULL
-            } else {
-                Addr::new(target)
-            },
-        );
-        let next_pc = if taken {
-            Addr::new(target)
-        } else {
-            Addr::new(pc + INSTR_BYTES)
-        };
-        writer.record(&RetiredBlock {
-            block,
-            taken,
-            next_pc,
-        });
     }
     if writer.block_count() == 0 {
         return Err(TraceError::Corrupt(
@@ -108,6 +140,46 @@ pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
         ));
     }
     Ok(writer.finish())
+}
+
+/// Like [`import_cbp`], but skips malformed lines instead of failing —
+/// with the skips *counted* and the first parse error preserved in the
+/// returned [`ImportReport`], never dropped silently. Real capture
+/// pipelines truncate lines and interleave garbage; a lossy import
+/// that accounts for its losses beats both a stonewalling strict
+/// parser and a silent one.
+///
+/// Still errors when not a single record parses (the input is not a
+/// CBP trace at all).
+pub fn import_cbp_lossy(text: &str, name: &str) -> Result<ImportReport, TraceError> {
+    let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
+    let mut skipped = 0u64;
+    let mut first_error = None;
+    for (lineno, line) in text.lines().enumerate() {
+        match parse_cbp_line(line, lineno) {
+            Ok(Some(rb)) => writer.record(&rb),
+            Ok(None) => {}
+            Err(e) => {
+                skipped += 1;
+                if first_error.is_none() {
+                    first_error = Some(e.to_string());
+                }
+            }
+        }
+    }
+    if writer.block_count() == 0 {
+        return Err(TraceError::Corrupt(match first_error {
+            Some(e) => format!("import contains no parseable branch records (first error: {e})"),
+            None => "import contains no branch records".into(),
+        }));
+    }
+    let imported = writer.block_count();
+    Ok(ImportReport {
+        trace: writer.finish(),
+        imported,
+        skipped,
+        first_error,
+    })
 }
 
 fn parse_addr(field: &str, lineno: usize) -> Result<u64, TraceError> {
@@ -164,5 +236,46 @@ mod tests {
         // (and a full-u64 pc must not overflow the fall-through math).
         assert!(import_cbp("ffffffffffffffff 0x0 C 0", "hugepc").is_err());
         assert!(import_cbp("0x1000 1000000000000 J 1", "hugetarget").is_err());
+    }
+
+    #[test]
+    fn strict_errors_carry_the_line_number() {
+        let text = "0x1000 0x2000 L 1\n0x2000 0x0 Q 0\n";
+        let err = import_cbp(text, "badkind").expect_err("line 2 is malformed");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "error must name the line: {msg}");
+        assert!(msg.contains('Q'), "error must name the bad field: {msg}");
+    }
+
+    #[test]
+    fn lossy_import_counts_skipped_records() {
+        let text = "# capture with interleaved garbage\n\
+                    0x1000 0x2000 L 1\n\
+                    zzzz not-a-record\n\
+                    0x2000 0x0 C 0\n\
+                    0x2004 0x0 C 9\n\
+                    0x2004 0x1004 R 1\n";
+        let report = import_cbp_lossy(text, "dirty").expect("imports the good lines");
+        assert_eq!(report.imported, 3);
+        assert_eq!(report.skipped, 2, "comments and blanks are not skips");
+        assert_eq!(report.trace.header().block_count, 3);
+        let first = report.first_error.expect("first error preserved");
+        assert!(
+            first.contains("line 3"),
+            "first error names its line: {first}"
+        );
+
+        // The lossy trace matches a strict import of only the good
+        // lines (record-for-record, not just count).
+        let clean = "0x1000 0x2000 L 1\n0x2000 0x0 C 0\n0x2004 0x1004 R 1\n";
+        let strict = import_cbp(clean, "dirty").expect("clean import");
+        assert_eq!(report.trace, strict);
+    }
+
+    #[test]
+    fn lossy_import_still_rejects_recordless_input() {
+        let err = import_cbp_lossy("garbage\nmore garbage\n", "junk").expect_err("no records");
+        assert!(err.to_string().contains("first error"));
+        assert!(import_cbp_lossy("# only comments\n", "comments").is_err());
     }
 }

@@ -34,7 +34,7 @@
 //! let mut replay = trace.replayer();
 //! let mut live = fe_cfg::Executor::new(&program, 42);
 //! for _ in 0..100 {
-//!     assert_eq!(replay.next_block(), live.next_block());
+//!     assert_eq!(replay.next_block(), Some(live.next_block()));
 //! }
 //! ```
 //!
@@ -469,27 +469,27 @@ impl TraceReplayer<'_> {
 }
 
 impl BlockSource for TraceReplayer<'_> {
+    /// Returns `None` when the trace runs out of records (the recording
+    /// was shorter than the simulated run plus the pipeline's
+    /// lookahead); the simulator degrades the truncation into a
+    /// reported stall and ends the run early instead of panicking.
+    ///
     /// # Panics
     ///
-    /// Panics when the trace runs out of records (the recording was
-    /// shorter than the simulated run plus the pipeline's lookahead)
-    /// or a record fails to decode. Both are programming/recording
-    /// errors: a simulation that consumed a half-replayed stream would
-    /// silently produce wrong timing, so there is no soft failure.
+    /// Panics when a record fails to decode: the payload passed the
+    /// whole-trace checksum at load, so a structural decode failure is
+    /// a programming error — silently truncating there would replay a
+    /// different stream.
     #[inline]
-    fn next_block(&mut self) -> RetiredBlock {
+    fn next_block(&mut self) -> Option<RetiredBlock> {
         if self.remaining == 0 {
-            panic!(
-                "trace `{}` exhausted after {} blocks — record a longer trace \
-                 (the run needs its instruction budget plus the pipeline's lookahead)",
-                self.name, self.replayed,
-            );
+            return None;
         }
         self.remaining -= 1;
         match self.decoder.decode_record() {
             Ok(rb) => {
                 self.replayed += 1;
-                rb
+                Some(rb)
             }
             Err(e) => panic!(
                 "trace `{}` failed to decode at block {}: {}",
@@ -498,6 +498,33 @@ impl BlockSource for TraceReplayer<'_> {
                 TraceError::from(e),
             ),
         }
+    }
+
+    /// Seekable fast-forward: decode-skips whole records (address chain
+    /// only, no block materialization) until at least `min_instrs`
+    /// instructions have passed — the sampled-simulation fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structural decode failure, like [`Self::next_block`].
+    fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < min_instrs && self.remaining > 0 {
+            self.remaining -= 1;
+            match self.decoder.skip_record() {
+                Ok(instrs) => {
+                    self.replayed += 1;
+                    skipped += instrs;
+                }
+                Err(e) => panic!(
+                    "trace `{}` failed to decode at block {}: {}",
+                    self.name,
+                    self.replayed + 1,
+                    TraceError::from(e),
+                ),
+            }
+        }
+        skipped
     }
 }
 
@@ -608,16 +635,45 @@ mod tests {
     }
 
     #[test]
-    fn replayer_panics_cleanly_on_exhaustion() {
+    fn replayer_returns_none_on_exhaustion() {
         let (_, trace) = small_trace();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut replay = trace.replayer();
-            for _ in 0..trace.header().block_count + 1 {
-                replay.next_block();
+        let mut replay = trace.replayer();
+        for _ in 0..trace.header().block_count {
+            assert!(replay.next_block().is_some());
+        }
+        assert_eq!(
+            replay.next_block(),
+            None,
+            "overrun yields None, not a panic"
+        );
+        assert_eq!(replay.next_block(), None, "exhaustion is sticky");
+        assert_eq!(replay.replayed(), trace.header().block_count);
+    }
+
+    #[test]
+    fn skip_instrs_lands_on_the_same_stream_position_as_decoding() {
+        let (_, trace) = small_trace();
+        // Skip some instructions via the fast path, then check the next
+        // decoded block matches a reference replayer that decoded every
+        // record on the way.
+        for target in [0u64, 1, 37, 500, 2_000] {
+            let mut fast = trace.replayer();
+            let skipped = fast.skip_instrs(target);
+            assert!(skipped >= target, "skip must reach its target");
+
+            let mut slow = trace.replayer();
+            let mut walked = 0;
+            while walked < target {
+                walked += slow.next_block().expect("reference walk").instr_count();
             }
-        }));
-        let err = result.expect_err("overrunning the trace must panic");
-        let msg = err.downcast_ref::<String>().expect("string panic");
-        assert!(msg.contains("exhausted"), "unexpected message: {msg}");
+            assert_eq!(skipped, walked, "skip target {target}");
+            assert_eq!(fast.replayed(), slow.replayed(), "skip target {target}");
+            assert_eq!(fast.next_block(), slow.next_block(), "skip target {target}");
+        }
+        // Skipping past the end reports the shortfall via the count.
+        let mut fast = trace.replayer();
+        let all = fast.skip_instrs(u64::MAX);
+        assert_eq!(all, trace.header().instr_count);
+        assert_eq!(fast.next_block(), None);
     }
 }

@@ -223,6 +223,24 @@ impl MemorySystem {
         issued + latency
     }
 
+    /// Functional warming of the LLC: brings `line` (in this context's
+    /// address space) resident and promotes its recency *without*
+    /// queueing a NoC message, advancing the link clock, or counting
+    /// request statistics — the sampled-simulation update-only path
+    /// for the memory hierarchy. Cross-context evictions still count:
+    /// capacity displacement is real whichever path installed the line.
+    pub fn warm_instr(&mut self, line: LineAddr) {
+        let core = &mut *self.core.borrow_mut();
+        let key = llc_key(self.ctx, line);
+        if core.llc.get(key).is_none() {
+            if let Some((_, owner)) = core.llc.insert(key, self.ctx) {
+                if owner != self.ctx {
+                    core.evicted_by_other[owner as usize] += 1;
+                }
+            }
+        }
+    }
+
     /// Requests a data line fill; returns the completion cycle. Data
     /// addresses are abstracted: LLC hit/miss is drawn at the
     /// configured rate (the paper's data working sets are not part of

@@ -158,6 +158,21 @@ pub trait ControlFlowDelivery {
     /// A basic block retired (training hook).
     fn on_retire(&mut self, _rb: &RetiredBlock, _ctx: &mut FrontEndCtx) {}
 
+    /// Functional-warming update for one retired block: bring the
+    /// scheme's predictive state (BTB organization, footprints,
+    /// temporal history) up to date *without any timing side effects* —
+    /// no prefetch probes, no memory requests, no stalls. Sampled
+    /// simulation drains fast-forwarded instructions through this hook
+    /// so measurement intervals start with warm structures.
+    ///
+    /// The default forwards to [`Self::on_retire`], which is
+    /// update-only for every in-tree scheme; schemes whose structures
+    /// are also filled from the prefetch path (Shotgun's predecode-fed
+    /// C-BTB) override it to warm those too.
+    fn warm_block(&mut self, rb: &RetiredBlock, ctx: &mut FrontEndCtx) {
+        self.on_retire(rb, ctx);
+    }
+
     /// The pipeline redirected to `pc`; in-flight resolution state must
     /// be dropped. TAGE and RAS repair is performed by the simulator.
     fn on_redirect(&mut self, _pc: Addr, _ctx: &mut FrontEndCtx) {}

@@ -60,7 +60,7 @@ proptest! {
         let mut live = Executor::new(&program, seed);
         let mut replay = trace.replayer();
         for _ in 0..trace.header().block_count {
-            prop_assert_eq!(replay.next_block(), live.next_block());
+            prop_assert_eq!(replay.next_block(), Some(live.next_block()));
         }
 
         let spec = SchemeSpec::boomerang();
