@@ -1,0 +1,321 @@
+//! Simulator throughput harness: host-side simulated-MIPS per
+//! (scheme × workload) across the engine's run modes, emitted as
+//! `BENCH_perf.json` — the tracked perf trajectory of the hot loop and
+//! the number the CI perf gate enforces.
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin perf
+//! ```
+//!
+//! Modes measured per cell:
+//!
+//! * `full` — live execution: the executor walk feeds the cycle-level
+//!   pipeline directly.
+//! * `replay` — trace-driven: the same stream decoded from an
+//!   `fe-trace` recording (recorded once per workload, untimed).
+//! * `sampled` — interval sampling with functional warming over the
+//!   recorded trace (the paper-scale mode). Its MIPS counts *covered*
+//!   instructions — skip + warm + detail — which is precisely why
+//!   sampling exists.
+//!
+//! Wall-clock numbers live only in `BENCH_perf.json`. Deterministic
+//! sweep reports (`BENCH_fig*.json`, the pinned engine fixture) carry
+//! no timing fields, so this harness can run anywhere without
+//! perturbing byte-identical report diffs. As a self-check, the harness
+//! asserts that `full` and `replay` produce bit-identical statistics.
+//!
+//! Knobs beyond the standard set (`SHOTGUN_INSTRS`/`_WARMUP`/`_SCALE`,
+//! `SHOTGUN_JSON_DIR`, `SHOTGUN_SAMPLING*`):
+//!
+//! * `SHOTGUN_PERF_MIN_MIPS=<x>` — exit non-zero when the overall
+//!   full-detail MIPS falls below `x` (the CI regression floor).
+//! * `SHOTGUN_PERF_MODES=full,replay,sampled` — subset of modes to run.
+
+use std::time::Instant;
+
+use fe_bench::{banner, default_len, env_f64, machine, suite, SEED};
+use fe_cfg::WorkloadSpec;
+use fe_model::SimStats;
+use fe_sim::json::Json;
+use fe_sim::{
+    run_scheme, run_scheme_replayed, run_scheme_sampled_replayed, RunLength, SamplingSpec,
+    SchemeSpec,
+};
+use fe_trace::Trace;
+
+/// One measured (workload, scheme, mode) cell.
+struct PerfCell {
+    workload: String,
+    scheme: String,
+    mode: &'static str,
+    /// Simulated instructions covered (warmup + measure).
+    instructions: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+fn schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::boomerang(),
+        SchemeSpec::shotgun(),
+    ]
+}
+
+fn enabled_modes() -> Vec<String> {
+    std::env::var("SHOTGUN_PERF_MODES")
+        .unwrap_or_else(|_| "full,replay,sampled".into())
+        .split(',')
+        .map(|m| m.trim().to_string())
+        .filter(|m| !m.is_empty())
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Perf",
+        "simulator throughput (simulated MIPS) per scheme x workload x mode",
+    );
+    let machine = machine();
+    let len = default_len();
+    let sampling = SamplingSpec::DEFAULT.from_env();
+    if let Err(e) = sampling.validate() {
+        eprintln!("invalid sampling spec: {e}");
+        std::process::exit(2);
+    }
+    let modes = enabled_modes();
+    if modes.is_empty() {
+        eprintln!("SHOTGUN_PERF_MODES selects no modes — nothing to measure");
+        std::process::exit(2);
+    }
+    for mode in &modes {
+        if !matches!(mode.as_str(), "full" | "replay" | "sampled") {
+            eprintln!("unknown mode `{mode}` in SHOTGUN_PERF_MODES");
+            std::process::exit(2);
+        }
+    }
+    let covered = len.warmup + len.measure;
+    let workloads: Vec<WorkloadSpec> = suite();
+
+    let mut cells: Vec<PerfCell> = Vec::new();
+    for wl in &workloads {
+        let program = wl.build();
+        // Record once (untimed): replay and sampled modes share it.
+        let trace = (modes.iter().any(|m| m == "replay" || m == "sampled"))
+            .then(|| Trace::record(&program, SEED, len.trace_instrs(&machine)));
+        for spec in schemes() {
+            let mut full_stats: Option<SimStats> = None;
+            let mut replay_stats: Option<SimStats> = None;
+            for mode in &modes {
+                let t0 = Instant::now();
+                match mode.as_str() {
+                    "full" => {
+                        full_stats = Some(run_scheme(&program, &spec, &machine, len, SEED));
+                    }
+                    "replay" => {
+                        replay_stats = Some(run_scheme_replayed(
+                            &program,
+                            trace.as_ref().expect("trace recorded"),
+                            &spec,
+                            &machine,
+                            len,
+                            SEED,
+                        ));
+                    }
+                    "sampled" => {
+                        // Sampling needs room for at least one detail
+                        // window; skip the mode on tiny smoke lengths.
+                        if len.measure < sampling.detail {
+                            continue;
+                        }
+                        let _ = run_scheme_sampled_replayed(
+                            &program,
+                            trace.as_ref().expect("trace recorded"),
+                            &spec,
+                            &machine,
+                            len,
+                            sampling,
+                            SEED,
+                        );
+                    }
+                    _ => unreachable!("modes validated above"),
+                }
+                let wall = t0.elapsed().as_secs_f64();
+                let cell = PerfCell {
+                    workload: wl.name.clone(),
+                    scheme: spec.label(),
+                    mode: match mode.as_str() {
+                        "full" => "full",
+                        "replay" => "replay",
+                        _ => "sampled",
+                    },
+                    instructions: covered,
+                    wall_ms: wall * 1e3,
+                    mips: covered as f64 / wall / 1e6,
+                };
+                eprintln!(
+                    "[{:>9}] {:12} {:12} {:9.1} ms  {:7.2} MIPS",
+                    cell.mode, cell.workload, cell.scheme, cell.wall_ms, cell.mips,
+                );
+                cells.push(cell);
+            }
+            // Self-check: replay must be bit-identical to live
+            // execution whenever both modes ran, whatever their order
+            // in SHOTGUN_PERF_MODES (wall-clock differs, stats must
+            // not).
+            if let (Some(full), Some(replay)) = (&full_stats, &replay_stats) {
+                assert_eq!(
+                    replay,
+                    full,
+                    "replay diverged from live execution on ({}, {})",
+                    wl.name,
+                    spec.label(),
+                );
+            }
+        }
+    }
+
+    // Per-mode summary table.
+    println!(
+        "\n{:10} {:>14} {:>12} {:>10}",
+        "mode", "instructions", "wall ms", "MIPS"
+    );
+    for mode in ["full", "replay", "sampled"] {
+        if let Some(pool) = pool_mode(&cells, mode) {
+            println!(
+                "{:10} {:>14} {:>12.1} {:>10.2}",
+                mode, pool.instructions, pool.wall_ms, pool.mips
+            );
+        }
+    }
+
+    write_perf_json(&cells, len, sampling, &modes);
+
+    // The CI regression floor: overall full-detail MIPS. When `full`
+    // is disabled, gate on the first enabled mode alone — pooling
+    // sampled covered-MIPS with timed modes would inflate the gated
+    // number far past any useful floor.
+    let (gate_mode, gate_mips) = if let Some(pool) = pool_mode(&cells, "full") {
+        ("full", Some(pool.mips))
+    } else {
+        let first = modes.first().map(String::as_str).unwrap_or("full");
+        (first, pool_mode(&cells, first).map(|p| p.mips))
+    };
+    let min_mips = env_f64("SHOTGUN_PERF_MIN_MIPS", 0.0);
+    if min_mips > 0.0 {
+        let Some(gate_mips) = gate_mips else {
+            // A floor was requested but nothing was measured (e.g. the
+            // run length was too short for even one sampled window) —
+            // passing silently would defeat the gate.
+            eprintln!("PERF GATE FAILED: no `{gate_mode}` cells were measured");
+            std::process::exit(1);
+        };
+        if gate_mips < min_mips {
+            eprintln!(
+                "PERF GATE FAILED: {gate_mips:.2} {gate_mode} MIPS < floor {min_mips:.2} \
+                 (override via SHOTGUN_PERF_MIN_MIPS)"
+            );
+            std::process::exit(1);
+        }
+        println!("\nperf gate: {gate_mips:.2} {gate_mode} MIPS >= floor {min_mips:.2} — ok");
+    }
+}
+
+/// Pooled totals for one mode's cells — the single aggregation the
+/// summary table, the CI gate, and the JSON `full_mips` field all
+/// share (so they cannot drift apart).
+struct ModePool {
+    instructions: u64,
+    wall_ms: f64,
+    mips: f64,
+}
+
+fn pool_mode(cells: &[PerfCell], mode: &str) -> Option<ModePool> {
+    let in_mode: Vec<&PerfCell> = cells.iter().filter(|c| c.mode == mode).collect();
+    if in_mode.is_empty() {
+        return None;
+    }
+    let instructions: u64 = in_mode.iter().map(|c| c.instructions).sum();
+    let wall_ms: f64 = in_mode.iter().map(|c| c.wall_ms).sum();
+    Some(ModePool {
+        instructions,
+        wall_ms,
+        mips: instructions as f64 / (wall_ms / 1e3) / 1e6,
+    })
+}
+
+/// Emits `BENCH_perf.json` under `SHOTGUN_JSON_DIR`. All wall-clock
+/// fields live here and only here — deterministic sweep reports carry
+/// no timing.
+fn write_perf_json(cells: &[PerfCell], len: RunLength, sampling: SamplingSpec, modes: &[String]) {
+    let Ok(dir) = std::env::var("SHOTGUN_JSON_DIR") else {
+        return;
+    };
+    let run = Json::Obj(vec![
+        ("warmup".into(), Json::U64(len.warmup)),
+        ("measure".into(), Json::U64(len.measure)),
+        ("seed".into(), Json::U64(SEED)),
+        ("scale".into(), Json::F64(env_f64("SHOTGUN_SCALE", 1.0))),
+        (
+            "modes".into(),
+            Json::Arr(modes.iter().map(|m| Json::Str(m.clone())).collect()),
+        ),
+        (
+            "sampling".into(),
+            Json::Obj(vec![
+                ("interval".into(), Json::U64(sampling.interval)),
+                ("detail".into(), Json::U64(sampling.detail)),
+                ("warmup".into(), Json::U64(sampling.warmup)),
+            ]),
+        ),
+    ]);
+    let cell_json = Json::Arr(
+        cells
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("workload".into(), Json::Str(c.workload.clone())),
+                    ("scheme".into(), Json::Str(c.scheme.clone())),
+                    ("mode".into(), Json::Str(c.mode.into())),
+                    ("instructions".into(), Json::U64(c.instructions)),
+                    ("wall_ms".into(), Json::F64(c.wall_ms)),
+                    ("mips".into(), Json::F64(c.mips)),
+                ])
+            })
+            .collect(),
+    );
+    let total_instrs: u64 = cells.iter().map(|c| c.instructions).sum();
+    let total_wall_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    let full_mips = pool_mode(cells, "full").map_or(Json::Null, |p| Json::F64(p.mips));
+    let min_cell = cells.iter().map(|c| c.mips).fold(f64::INFINITY, f64::min);
+    let summary = Json::Obj(vec![
+        ("total_instructions".into(), Json::U64(total_instrs)),
+        ("total_wall_ms".into(), Json::F64(total_wall_ms)),
+        (
+            "overall_mips".into(),
+            Json::F64(total_instrs as f64 / (total_wall_ms / 1e3) / 1e6),
+        ),
+        ("full_mips".into(), full_mips),
+        (
+            "min_cell_mips".into(),
+            if min_cell.is_finite() {
+                Json::F64(min_cell)
+            } else {
+                Json::Null
+            },
+        ),
+    ]);
+    let doc = Json::Obj(vec![
+        ("run".into(), run),
+        ("cells".into(), cell_json),
+        ("summary".into(), summary),
+    ]);
+    let path = std::path::Path::new(&dir).join("BENCH_perf.json");
+    // Warn-and-continue on write failure, like every other binary's
+    // report emission — the CI smoke separately asserts the file
+    // exists, so a broken artifact dir still fails the build there.
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

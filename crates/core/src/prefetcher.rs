@@ -134,16 +134,22 @@ impl ShotgunPrefetcher {
         extent: u8,
     ) {
         self.counters.region_prefetches += 1;
-        for line in self.cfg.policy.prefetch_lines(entry, footprint, extent) {
+        // `RegionPolicy` is `Copy`: lift it out of `self` so the visit
+        // closure can borrow the C-BTB mutably. The callback shape
+        // avoids allocating a line list per burst (this runs on every
+        // U-BTB/RIB hit).
+        let policy = self.cfg.policy;
+        let cbtb = &mut self.cbtb;
+        policy.for_each_prefetch_line(entry, footprint, extent, |line| {
             let issued = ctx.prefetch_line(line);
             if !issued && ctx.l1i.probe(line) {
                 for block in predecode::branches_in_line(ctx.program, line) {
                     if block.kind == BranchKind::Conditional {
-                        self.cbtb.install(&block);
+                        cbtb.install(&block);
                     }
                 }
             }
-        }
+        });
     }
 
     /// Inserts a discovered block into its home structure.

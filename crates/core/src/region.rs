@@ -71,31 +71,53 @@ impl RegionPolicy {
         self.layout().is_some()
     }
 
-    /// The lines to prefetch on entering a region at `entry`, given the
-    /// owning U-BTB entry's recorded `footprint` and `extent`. The
-    /// entry line itself is always first.
+    /// Visits the lines to prefetch on entering a region at `entry`,
+    /// given the owning U-BTB entry's recorded `footprint` and
+    /// `extent`. The entry line itself is always visited first.
+    ///
+    /// Callback-shaped (rather than returning a `Vec`) because region
+    /// bursts fire on every U-BTB/RIB hit — the prefetcher's hottest
+    /// path must not allocate.
+    pub fn for_each_prefetch_line(
+        &self,
+        entry: LineAddr,
+        footprint: SpatialFootprint,
+        extent: u8,
+        mut visit: impl FnMut(LineAddr),
+    ) {
+        visit(entry);
+        match self {
+            RegionPolicy::NoBitVector => {}
+            RegionPolicy::Bit8 => {
+                footprint
+                    .lines(entry, FootprintLayout::BITS8)
+                    .for_each(visit);
+            }
+            RegionPolicy::Bit32 => {
+                footprint
+                    .lines(entry, FootprintLayout::BITS32)
+                    .for_each(visit);
+            }
+            RegionPolicy::EntireRegion => {
+                (1..=extent as i64).for_each(|d| visit(entry.offset(d)));
+            }
+            RegionPolicy::FiveBlocks => {
+                (1..5).for_each(|d| visit(entry.offset(d)));
+            }
+        }
+    }
+
+    /// The lines to prefetch on entering a region at `entry` — the
+    /// collected form of [`Self::for_each_prefetch_line`], for tests
+    /// and diagnostics.
     pub fn prefetch_lines(
         &self,
         entry: LineAddr,
         footprint: SpatialFootprint,
         extent: u8,
     ) -> Vec<LineAddr> {
-        let mut lines = vec![entry];
-        match self {
-            RegionPolicy::NoBitVector => {}
-            RegionPolicy::Bit8 => {
-                lines.extend(footprint.lines(entry, FootprintLayout::BITS8));
-            }
-            RegionPolicy::Bit32 => {
-                lines.extend(footprint.lines(entry, FootprintLayout::BITS32));
-            }
-            RegionPolicy::EntireRegion => {
-                lines.extend((1..=extent as i64).map(|d| entry.offset(d)));
-            }
-            RegionPolicy::FiveBlocks => {
-                lines.extend((1..5).map(|d| entry.offset(d)));
-            }
-        }
+        let mut lines = Vec::new();
+        self.for_each_prefetch_line(entry, footprint, extent, |line| lines.push(line));
         lines
     }
 }

@@ -190,20 +190,27 @@ pub trait BlockSource {
 }
 
 impl<S: BlockSource + ?Sized> BlockSource for &mut S {
+    #[inline]
     fn next_block(&mut self) -> Option<RetiredBlock> {
         (**self).next_block()
     }
 
+    #[inline]
     fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         (**self).skip_instrs(min_instrs)
     }
 }
 
+// `next_block` runs once per retired basic block; the boxed forwarding
+// layer (the dynamic-dispatch extension seam) must add no call of its
+// own on top of the virtual one.
 impl<S: BlockSource + ?Sized> BlockSource for Box<S> {
+    #[inline]
     fn next_block(&mut self) -> Option<RetiredBlock> {
         (**self).next_block()
     }
 
+    #[inline]
     fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         (**self).skip_instrs(min_instrs)
     }

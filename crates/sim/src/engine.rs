@@ -4,12 +4,14 @@
 //! model and the README's "Simulator pipeline" diagram).
 
 use fe_cfg::{Executor, Program};
-use fe_model::{BlockSource, MachineConfig, SimStats};
+use fe_model::{MachineConfig, SimStats};
+use fe_uarch::scheme::ControlFlowDelivery;
 use fe_uarch::{MemStats, MemorySystem};
 
 use crate::pipeline::{backend::Backend, bpu::Bpu, fetch::FetchUnit, stall, PipelineState};
+use crate::source::SourceKind;
 
-pub use crate::pipeline::EngineScheme;
+pub use crate::pipeline::{EngineScheme, SchemeKind};
 
 /// The simulator for one core running one workload under one scheme:
 /// the orchestrator that ticks the pipeline stages in order each cycle.
@@ -53,16 +55,24 @@ impl<'p> Simulator<'p> {
         seed: u64,
         mem: MemorySystem,
     ) -> Self {
-        let source = Box::new(Executor::new(program, seed));
-        Self::with_source(program, cfg, scheme, seed, mem, source)
+        Self::with_source(
+            program,
+            cfg,
+            scheme,
+            seed,
+            mem,
+            Executor::new(program, seed),
+        )
     }
 
-    /// Builds a simulator whose retired stream comes from an arbitrary
-    /// [`BlockSource`] — the record/replay seam. A live run passes the
+    /// Builds a simulator whose retired stream comes from any
+    /// [`SourceKind`] — the record/replay seam. A live run passes the
     /// `fe-cfg` executor (what [`Self::with_memory`] does for you); a
     /// trace-driven run passes an `fe-trace` replayer over a stream
     /// previously recorded with the same `program` and `seed`, and
-    /// produces bit-identical statistics to the live run.
+    /// produces bit-identical statistics to the live run. Anything
+    /// else implements [`BlockSource`](fe_model::BlockSource) and rides
+    /// in boxed as [`SourceKind::Other`].
     ///
     /// `seed` still seeds the backend's load RNG (the data side is not
     /// part of the control-flow trace), so replay must pass the seed
@@ -77,10 +87,10 @@ impl<'p> Simulator<'p> {
         scheme: EngineScheme,
         seed: u64,
         mem: MemorySystem,
-        source: Box<dyn BlockSource + 'p>,
+        source: impl Into<SourceKind<'p>>,
     ) -> Self {
         Simulator {
-            state: PipelineState::new(program, cfg, scheme, mem, source),
+            state: PipelineState::new(program, cfg, scheme, mem, source.into()),
             bpu: Bpu,
             fetch: FetchUnit,
             backend: Backend::new(seed),
@@ -130,7 +140,7 @@ impl<'p> Simulator<'p> {
         s.stats = SimStats::default();
         self.base_cycle = s.now;
         s.mem.reset_stats();
-        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+        if let EngineScheme::Real(sch) = &s.scheme {
             self.base_scheme_misses = sch.btb_misses();
             self.base_scheme_lookups = sch.btb_lookups();
         }
@@ -143,7 +153,7 @@ impl<'p> Simulator<'p> {
         s.stats.prefetch.issued = s.prefetches_issued;
         let mem_stats = s.mem.stats();
         s.stats.noc_messages = mem_stats.messages;
-        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+        if let EngineScheme::Real(sch) = &s.scheme {
             s.stats.btb_misses = sch.btb_misses() - self.base_scheme_misses;
             s.stats.btb_lookups = sch.btb_lookups() - self.base_scheme_lookups;
         }
@@ -205,7 +215,7 @@ impl<'p> Simulator<'p> {
     #[doc(hidden)]
     pub fn scheme_counters(&self) -> Vec<(&'static str, u64)> {
         match &self.state.scheme {
-            Some(EngineScheme::Real(sch)) => sch.debug_counters(),
+            EngineScheme::Real(sch) => sch.debug_counters(),
             _ => Vec::new(),
         }
     }
@@ -266,11 +276,11 @@ mod tests {
     }
 
     fn boomerang(machine: &MachineConfig) -> EngineScheme {
-        EngineScheme::Real(Box::new(fe_baselines::Boomerang::new(
+        EngineScheme::real(fe_baselines::Boomerang::new(
             machine.front_end.btb_entries as usize,
             machine.front_end.btb_ways as usize,
             machine.front_end.btb_prefetch_buffer as usize,
-        )))
+        ))
     }
 
     #[test]
@@ -338,7 +348,7 @@ mod tests {
         // fixture; the baseline cannot.
         let mut base = sim(
             &p,
-            EngineScheme::Real(Box::new(fe_baselines::NoPrefetch::new(2048, 4))),
+            EngineScheme::real(fe_baselines::NoPrefetch::new(2048, 4)),
         );
         let base_stats = base.run(50_000, 300_000);
         assert!(base_stats.stalls.icache_miss > 0);
@@ -388,13 +398,13 @@ mod tests {
         let mut fast = Simulator::new(
             &p,
             fast_cfg,
-            EngineScheme::Real(Box::new(fe_baselines::NoPrefetch::new(2048, 4))),
+            EngineScheme::real(fe_baselines::NoPrefetch::new(2048, 4)),
             9,
         );
         let mut slow = Simulator::new(
             &p,
             slow_cfg,
-            EngineScheme::Real(Box::new(fe_baselines::NoPrefetch::new(2048, 4))),
+            EngineScheme::real(fe_baselines::NoPrefetch::new(2048, 4)),
             9,
         );
         let f = fast.run(50_000, 200_000);

@@ -42,8 +42,9 @@ mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod source;
 
-pub use engine::{EngineScheme, Simulator};
+pub use engine::{EngineScheme, SchemeKind, Simulator};
 pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
 pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
@@ -52,3 +53,4 @@ pub use runner::{
     SchemeSpec,
 };
 pub use sampling::{CellSampling, MeanCi, SampledStats, SamplingSpec};
+pub use source::SourceKind;

@@ -6,6 +6,7 @@
 use std::collections::VecDeque;
 
 use fe_model::{Addr, BranchKind, RetiredBlock, INSTR_BYTES};
+use fe_uarch::scheme::ControlFlowDelivery;
 use fe_uarch::RasEntry;
 
 use super::{EngineScheme, PipelineState, DATA_MISS_CAP};

@@ -4,8 +4,7 @@
 //! ranges enter, §2.2).
 
 use fe_model::addr::lines_covering;
-use fe_model::LineAddr;
-use fe_uarch::scheme::BpuOutcome;
+use fe_uarch::scheme::{BpuOutcome, ControlFlowDelivery};
 
 use super::{EngineScheme, FetchRange, PipelineState, BPU_BLOCKS_PER_CYCLE};
 
@@ -85,13 +84,16 @@ impl Bpu {
         debug_assert!(pushed, "BPU must check FTQ fullness before predicting");
         // FDIP-style prefetch probes for the new fetch range (§2.2).
         let mut ftq_prefetch = false;
-        if let Some(EngineScheme::Real(sch)) = &s.scheme {
+        if let EngineScheme::Real(sch) = &s.scheme {
             ftq_prefetch = sch.ftq_prefetch();
         }
         if ftq_prefetch {
-            let lines: Vec<LineAddr> = lines_covering(range.start, range.end).collect();
+            // `range` is Copy, so the line iterator borrows nothing
+            // from the pipeline state: probe straight off it — this
+            // runs for every predicted block, and used to allocate a
+            // `Vec` of line addresses each time.
             s.with_ctx(|ctx| {
-                for line in lines {
+                for line in lines_covering(range.start, range.end) {
                     ctx.prefetch_line(line);
                 }
             });

@@ -3,6 +3,7 @@
 //! prefetched lines land in the cache and schemes predecode them).
 
 use fe_model::{Addr, LineAddr, LINE_BYTES};
+use fe_uarch::scheme::ControlFlowDelivery;
 
 use super::{EngineScheme, FetchRange, PipelineState, FETCH_LINES_PER_CYCLE, SUPPLY_CAP};
 
@@ -15,11 +16,23 @@ impl FetchUnit {
     /// Drains matured fills into the L1-I and runs the scheme's
     /// predecode hook. Runs at the top of every cycle, before the BPU.
     pub(crate) fn process_fills(&mut self, s: &mut PipelineState) {
-        let mut filled: Vec<(LineAddr, bool, bool)> = Vec::new();
+        if s.inflight.is_empty() {
+            // Nothing in flight — the common cycle. (Stale ready-heap
+            // entries, if any, produce no fills either way; they drain
+            // on a later non-empty pass.)
+            return;
+        }
+        debug_assert!(
+            s.fill_scratch.is_empty(),
+            "fill scratch must be drained between ticks"
+        );
+        // The scratch buffer is hoisted into `PipelineState` so the
+        // per-cycle loop never allocates; `take` keeps its capacity.
+        let mut filled = std::mem::take(&mut s.fill_scratch);
         for (line, info) in s.inflight.pop_ready(s.now) {
             filled.push((line, info.prefetch, info.demand_merged));
         }
-        for (line, prefetch, merged) in filled {
+        for (line, prefetch, merged) in filled.drain(..) {
             if prefetch && merged {
                 s.stats.prefetch.late += 1;
             }
@@ -34,6 +47,8 @@ impl FetchUnit {
                 }
             });
         }
+        // Hand the (drained) buffer back for the next cycle.
+        s.fill_scratch = filled;
     }
 
     /// One cycle of fetch: up to [`FETCH_LINES_PER_CYCLE`] lines,

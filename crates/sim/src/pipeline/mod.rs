@@ -48,10 +48,14 @@
 
 use std::collections::VecDeque;
 
+use fe_baselines::{Boomerang, Confluence, Fdip, NoPrefetch};
 use fe_cfg::Program;
 use fe_model::{Addr, BlockSource, LineAddr, MachineConfig, RetiredBlock, SimStats};
-use fe_uarch::scheme::{ControlFlowDelivery, FrontEndCtx, PredRecord};
+use fe_uarch::scheme::{BpuOutcome, ControlFlowDelivery, FrontEndCtx, PredRecord};
 use fe_uarch::{BoundedQueue, InflightFills, LineCache, MemorySystem, ReturnAddressStack, Tage};
+use shotgun::ShotgunPrefetcher;
+
+use crate::source::SourceKind;
 
 pub(crate) mod backend;
 pub(crate) mod bpu;
@@ -70,11 +74,153 @@ pub(crate) struct FetchRange {
 
 /// Which front end drives the BPU.
 pub enum EngineScheme {
-    /// A real control-flow-delivery scheme.
-    Real(Box<dyn ControlFlowDelivery>),
+    /// A real control-flow-delivery scheme, statically dispatched over
+    /// the known kinds (see [`SchemeKind`]).
+    Real(SchemeKind),
     /// The ideal front end of Fig. 1: perfect BTB, perfect L1-I,
     /// direction mispredictions retained.
     Ideal,
+}
+
+impl EngineScheme {
+    /// Wraps any scheme the engine knows statically — or a boxed
+    /// [`ControlFlowDelivery`] for everything else — into the `Real`
+    /// variant.
+    pub fn real(scheme: impl Into<SchemeKind>) -> EngineScheme {
+        EngineScheme::Real(scheme.into())
+    }
+}
+
+/// Enum dispatch over the control-flow-delivery schemes the evaluation
+/// runs. The BPU queries the scheme several times per simulated cycle
+/// (`predict`, `on_demand_access`, `on_retire`, ...), so the known
+/// kinds are dispatched by `match` — monomorphized and inlinable —
+/// instead of through a vtable. [`ControlFlowDelivery`] remains the
+/// extension seam: anything not in this list rides in
+/// [`SchemeKind::Other`] with exactly the old dynamic dispatch.
+pub enum SchemeKind {
+    /// Conventional front end, no prefetching (the baseline).
+    NoPrefetch(Box<NoPrefetch>),
+    /// Fetch-directed instruction prefetching.
+    Fdip(Box<Fdip>),
+    /// Boomerang (FDIP + reactive BTB fill).
+    Boomerang(Box<Boomerang>),
+    /// Confluence (SHIFT temporal streaming).
+    Confluence(Box<Confluence>),
+    /// Shotgun (the paper's design).
+    Shotgun(Box<ShotgunPrefetcher>),
+    /// Any other [`ControlFlowDelivery`], dynamically dispatched.
+    Other(Box<dyn ControlFlowDelivery>),
+}
+
+macro_rules! dispatch {
+    ($kind:expr, $scheme:ident => $body:expr) => {
+        match $kind {
+            SchemeKind::NoPrefetch($scheme) => $body,
+            SchemeKind::Fdip($scheme) => $body,
+            SchemeKind::Boomerang($scheme) => $body,
+            SchemeKind::Confluence($scheme) => $body,
+            SchemeKind::Shotgun($scheme) => $body,
+            SchemeKind::Other($scheme) => $body,
+        }
+    };
+}
+
+impl ControlFlowDelivery for SchemeKind {
+    #[inline]
+    fn name(&self) -> &'static str {
+        dispatch!(self, s => s.name())
+    }
+
+    #[inline]
+    fn predict(&mut self, pc: Addr, ctx: &mut FrontEndCtx) -> BpuOutcome {
+        dispatch!(self, s => s.predict(pc, ctx))
+    }
+
+    #[inline]
+    fn on_fill(&mut self, line: LineAddr, was_prefetch: bool, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.on_fill(line, was_prefetch, ctx))
+    }
+
+    #[inline]
+    fn on_demand_miss(&mut self, line: LineAddr, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.on_demand_miss(line, ctx))
+    }
+
+    #[inline]
+    fn on_demand_access(&mut self, line: LineAddr, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.on_demand_access(line, ctx))
+    }
+
+    #[inline]
+    fn on_retire(&mut self, rb: &RetiredBlock, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.on_retire(rb, ctx))
+    }
+
+    #[inline]
+    fn warm_block(&mut self, rb: &RetiredBlock, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.warm_block(rb, ctx))
+    }
+
+    #[inline]
+    fn on_redirect(&mut self, pc: Addr, ctx: &mut FrontEndCtx) {
+        dispatch!(self, s => s.on_redirect(pc, ctx))
+    }
+
+    #[inline]
+    fn ftq_prefetch(&self) -> bool {
+        dispatch!(self, s => s.ftq_prefetch())
+    }
+
+    #[inline]
+    fn btb_misses(&self) -> u64 {
+        dispatch!(self, s => s.btb_misses())
+    }
+
+    #[inline]
+    fn btb_lookups(&self) -> u64 {
+        dispatch!(self, s => s.btb_lookups())
+    }
+
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        dispatch!(self, s => s.debug_counters())
+    }
+}
+
+impl From<NoPrefetch> for SchemeKind {
+    fn from(s: NoPrefetch) -> Self {
+        SchemeKind::NoPrefetch(Box::new(s))
+    }
+}
+
+impl From<Fdip> for SchemeKind {
+    fn from(s: Fdip) -> Self {
+        SchemeKind::Fdip(Box::new(s))
+    }
+}
+
+impl From<Boomerang> for SchemeKind {
+    fn from(s: Boomerang) -> Self {
+        SchemeKind::Boomerang(Box::new(s))
+    }
+}
+
+impl From<Confluence> for SchemeKind {
+    fn from(s: Confluence) -> Self {
+        SchemeKind::Confluence(Box::new(s))
+    }
+}
+
+impl From<ShotgunPrefetcher> for SchemeKind {
+    fn from(s: ShotgunPrefetcher) -> Self {
+        SchemeKind::Shotgun(Box::new(s))
+    }
+}
+
+impl From<Box<dyn ControlFlowDelivery>> for SchemeKind {
+    fn from(s: Box<dyn ControlFlowDelivery>) -> Self {
+        SchemeKind::Other(s)
+    }
 }
 
 /// Cap on instructions buffered between fetch and retire (decode/queue
@@ -100,12 +246,10 @@ pub(crate) struct PipelineState<'p> {
     pub(crate) cfg: MachineConfig,
     pub(crate) program: &'p Program,
     /// Where retired control flow comes from: a live executor walk or
-    /// a trace replayer — the record/replay seam (§5.1). Boxed dynamic
-    /// dispatch: `next_block` is called once per retired basic block,
-    /// far off the per-cycle hot path.
-    pub(crate) source: Box<dyn BlockSource + 'p>,
-    /// `Option` only for the split-borrow dance in [`Self::with_scheme`].
-    pub(crate) scheme: Option<EngineScheme>,
+    /// a trace replayer — the record/replay seam (§5.1), dispatched by
+    /// enum (`next_block` runs once per retired basic block).
+    pub(crate) source: SourceKind<'p>,
+    pub(crate) scheme: EngineScheme,
 
     // Shared hardware.
     pub(crate) l1i: LineCache,
@@ -144,6 +288,13 @@ pub(crate) struct PipelineState<'p> {
     pub(crate) stats: SimStats,
     pub(crate) prefetches_issued: u64,
     pub(crate) retired_total: u64,
+
+    // Reusable scratch (hot-loop allocation avoidance). Every buffer
+    // here must be drained back to empty before its tick returns —
+    // the stages assert that on entry.
+    /// Matured L1-I fills staged by [`fetch::FetchUnit::process_fills`]
+    /// between draining the MSHRs and installing into the cache.
+    pub(crate) fill_scratch: Vec<(LineAddr, bool, bool)>,
 }
 
 impl<'p> PipelineState<'p> {
@@ -152,7 +303,7 @@ impl<'p> PipelineState<'p> {
         cfg: MachineConfig,
         scheme: EngineScheme,
         mem: MemorySystem,
-        source: Box<dyn BlockSource + 'p>,
+        source: SourceKind<'p>,
     ) -> Self {
         cfg.validate().expect("invalid machine configuration");
         PipelineState {
@@ -177,7 +328,8 @@ impl<'p> PipelineState<'p> {
             stats: SimStats::default(),
             prefetches_issued: 0,
             retired_total: 0,
-            scheme: Some(scheme),
+            fill_scratch: Vec::with_capacity(8),
+            scheme,
             program,
             source,
             cfg,
@@ -186,7 +338,7 @@ impl<'p> PipelineState<'p> {
 
     /// `true` when the ideal front end drives the BPU.
     pub(crate) fn is_ideal(&self) -> bool {
-        matches!(self.scheme, Some(EngineScheme::Ideal))
+        matches!(self.scheme, EngineScheme::Ideal)
     }
 
     /// Extends the oracle so index `pos` exists. Returns `false` (and
@@ -212,10 +364,12 @@ impl<'p> PipelineState<'p> {
         self.source_dry && self.oracle.is_empty()
     }
 
-    /// Runs `f` with the scheme and a freshly assembled context
-    /// (split-borrow helper).
+    /// Runs `f` with the scheme and a freshly assembled context. The
+    /// scheme and the context borrow disjoint fields, so this is a
+    /// plain split borrow — no `Option` take/put, no moves of the
+    /// scheme state on the per-cycle path.
+    #[inline]
     pub(crate) fn with_scheme(&mut self, f: impl FnOnce(&mut EngineScheme, &mut FrontEndCtx)) {
-        let mut scheme = self.scheme.take().expect("scheme present");
         let mut ctx = FrontEndCtx {
             now: self.now,
             l1i: &mut self.l1i,
@@ -227,10 +381,10 @@ impl<'p> PipelineState<'p> {
             prefetches_issued: &mut self.prefetches_issued,
             pred_trace: &mut self.pred_trace,
         };
-        f(&mut scheme, &mut ctx);
-        self.scheme = Some(scheme);
+        f(&mut self.scheme, &mut ctx);
     }
 
+    #[inline]
     pub(crate) fn with_ctx(&mut self, f: impl FnOnce(&mut FrontEndCtx)) {
         let mut ctx = FrontEndCtx {
             now: self.now,

@@ -88,31 +88,59 @@ impl SchemeSpec {
         }
     }
 
+    /// Instantiates the scheme behind the dynamic-dispatch extension
+    /// seam ([`SchemeKind::Other`](crate::SchemeKind::Other)) instead
+    /// of its devirtualized enum variant. Semantically identical to
+    /// [`Self::build`] — this is the reference path the engine
+    /// regression tests pin the monomorphized tick loop against.
+    pub fn build_dyn(&self, machine: &MachineConfig) -> EngineScheme {
+        use fe_uarch::scheme::ControlFlowDelivery;
+        let ways = machine.front_end.btb_ways as usize;
+        let boxed: Box<dyn ControlFlowDelivery> = match self {
+            SchemeSpec::NoPrefetch => Box::new(NoPrefetch::new(
+                machine.front_end.btb_entries as usize,
+                ways,
+            )),
+            SchemeSpec::Fdip => Box::new(Fdip::new(machine.front_end.btb_entries as usize, ways)),
+            SchemeSpec::Boomerang { btb_entries } => Box::new(Boomerang::new(
+                *btb_entries as usize,
+                ways,
+                machine.front_end.btb_prefetch_buffer as usize,
+            )),
+            SchemeSpec::Confluence => Box::new(Confluence::new(ConfluenceConfig::default())),
+            SchemeSpec::Ideal => return EngineScheme::Ideal,
+            SchemeSpec::Shotgun(cfg) => Box::new(ShotgunPrefetcher::new(
+                *cfg,
+                machine.front_end.ras_entries as usize,
+            )),
+        };
+        EngineScheme::real(boxed)
+    }
+
     /// Instantiates the scheme for a machine configuration.
     pub fn build(&self, machine: &MachineConfig) -> EngineScheme {
         let ways = machine.front_end.btb_ways as usize;
         match self {
-            SchemeSpec::NoPrefetch => EngineScheme::Real(Box::new(NoPrefetch::new(
+            SchemeSpec::NoPrefetch => EngineScheme::real(NoPrefetch::new(
                 machine.front_end.btb_entries as usize,
                 ways,
-            ))),
-            SchemeSpec::Fdip => EngineScheme::Real(Box::new(Fdip::new(
-                machine.front_end.btb_entries as usize,
-                ways,
-            ))),
-            SchemeSpec::Boomerang { btb_entries } => EngineScheme::Real(Box::new(Boomerang::new(
+            )),
+            SchemeSpec::Fdip => {
+                EngineScheme::real(Fdip::new(machine.front_end.btb_entries as usize, ways))
+            }
+            SchemeSpec::Boomerang { btb_entries } => EngineScheme::real(Boomerang::new(
                 *btb_entries as usize,
                 ways,
                 machine.front_end.btb_prefetch_buffer as usize,
-            ))),
+            )),
             SchemeSpec::Confluence => {
-                EngineScheme::Real(Box::new(Confluence::new(ConfluenceConfig::default())))
+                EngineScheme::real(Confluence::new(ConfluenceConfig::default()))
             }
             SchemeSpec::Ideal => EngineScheme::Ideal,
-            SchemeSpec::Shotgun(cfg) => EngineScheme::Real(Box::new(ShotgunPrefetcher::new(
+            SchemeSpec::Shotgun(cfg) => EngineScheme::real(ShotgunPrefetcher::new(
                 *cfg,
                 machine.front_end.ras_entries as usize,
-            ))),
+            )),
         }
     }
 }
@@ -249,7 +277,7 @@ pub fn run_scheme_replayed(
         scheme,
         seed,
         mem,
-        Box::new(trace.replayer()),
+        trace.replayer(),
     );
     let stats = sim.run(len.warmup, len.measure);
     assert!(
@@ -317,7 +345,7 @@ pub fn run_scheme_sampled_replayed(
         scheme,
         seed,
         mem,
-        Box::new(trace.replayer()),
+        trace.replayer(),
     );
     let stats = sim.run_sampled(len.warmup, len.measure, sampling);
     assert!(

@@ -45,6 +45,7 @@
 //! go through this module and stay bit-identical to the pinned engine.
 
 use fe_model::{BlockSource, BranchKind, RetiredBlock, SimStats, INSTR_BYTES};
+use fe_uarch::scheme::ControlFlowDelivery;
 use fe_uarch::RasEntry;
 
 use crate::engine::{EngineScheme, Simulator};

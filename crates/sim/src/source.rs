@@ -1,0 +1,99 @@
+//! Enum dispatch over the known retired-stream producers.
+//!
+//! [`BlockSource`] stays the extension seam — anything can feed the
+//! pipeline through [`SourceKind::Other`] — but the sources every sweep
+//! actually uses are known at compile time, and `next_block` sits on
+//! the hot path (once per retired basic block, tens of millions of
+//! times per cell). Dispatching over this enum instead of a
+//! `Box<dyn BlockSource>` lets the compiler inline the executor walk
+//! and the trace decoder straight into the tick loop.
+
+use fe_cfg::Executor;
+use fe_model::{BlockSource, RetiredBlock};
+use fe_trace::TraceReplayer;
+
+/// Where the retired control-flow stream comes from, dispatched
+/// statically over the kinds the sweeps use.
+pub enum SourceKind<'p> {
+    /// A live executor walk over the program.
+    Live(Executor<'p>),
+    /// Replay of an `fe-trace` recording — in-memory or loaded from
+    /// disk, both replay through the same decoder.
+    Replay(TraceReplayer<'p>),
+    /// The extension seam: any other [`BlockSource`], dynamically
+    /// dispatched exactly as the whole pipeline used to be.
+    Other(Box<dyn BlockSource + 'p>),
+}
+
+impl BlockSource for SourceKind<'_> {
+    #[inline]
+    fn next_block(&mut self) -> Option<RetiredBlock> {
+        match self {
+            SourceKind::Live(exec) => BlockSource::next_block(exec),
+            SourceKind::Replay(replay) => replay.next_block(),
+            SourceKind::Other(source) => source.next_block(),
+        }
+    }
+
+    #[inline]
+    fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        match self {
+            SourceKind::Live(exec) => BlockSource::skip_instrs(exec, min_instrs),
+            SourceKind::Replay(replay) => replay.skip_instrs(min_instrs),
+            SourceKind::Other(source) => source.skip_instrs(min_instrs),
+        }
+    }
+}
+
+impl<'p> From<Executor<'p>> for SourceKind<'p> {
+    fn from(exec: Executor<'p>) -> Self {
+        SourceKind::Live(exec)
+    }
+}
+
+impl<'p> From<TraceReplayer<'p>> for SourceKind<'p> {
+    fn from(replay: TraceReplayer<'p>) -> Self {
+        SourceKind::Replay(replay)
+    }
+}
+
+impl<'p> From<Box<dyn BlockSource + 'p>> for SourceKind<'p> {
+    fn from(source: Box<dyn BlockSource + 'p>) -> Self {
+        SourceKind::Other(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_cfg::workloads;
+    use fe_trace::Trace;
+
+    #[test]
+    fn every_kind_yields_the_same_stream() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let trace = Trace::record(&program, 7, 2_000);
+        let mut live = SourceKind::from(Executor::new(&program, 7));
+        let mut replay = SourceKind::from(trace.replayer());
+        let boxed: Box<dyn BlockSource> = Box::new(trace.replayer());
+        let mut other = SourceKind::from(boxed);
+        assert!(matches!(live, SourceKind::Live(_)));
+        assert!(matches!(replay, SourceKind::Replay(_)));
+        assert!(matches!(other, SourceKind::Other(_)));
+        for _ in 0..trace.header().block_count {
+            let expected = live.next_block();
+            assert_eq!(replay.next_block(), expected);
+            assert_eq!(other.next_block(), expected);
+        }
+    }
+
+    #[test]
+    fn skip_agrees_across_kinds() {
+        let program = workloads::apache().scaled(0.05).build();
+        let trace = Trace::record(&program, 9, 5_000);
+        let mut live = SourceKind::from(Executor::new(&program, 9));
+        let mut replay = SourceKind::from(trace.replayer());
+        assert_eq!(live.skip_instrs(1_234), replay.skip_instrs(1_234));
+        assert_eq!(live.next_block(), replay.next_block());
+    }
+}

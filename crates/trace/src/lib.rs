@@ -507,6 +507,7 @@ impl BlockSource for TraceReplayer<'_> {
     /// # Panics
     ///
     /// Panics on a structural decode failure, like [`Self::next_block`].
+    #[inline]
     fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         let mut skipped = 0;
         while skipped < min_instrs && self.remaining > 0 {

@@ -14,6 +14,8 @@ use std::collections::{BinaryHeap, HashMap};
 
 use fe_model::LineAddr;
 
+use crate::fasthash::BuildSplitMix64;
+
 /// State of one outstanding fill.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FillInfo {
@@ -40,7 +42,10 @@ pub struct FillInfo {
 /// ```
 #[derive(Clone, Debug)]
 pub struct InflightFills {
-    by_line: HashMap<u64, FillInfo>,
+    // Keyed with the deterministic SplitMix64 hasher: the map is
+    // probed several times per simulated cycle, and SipHash was a
+    // measurable slice of total simulator runtime.
+    by_line: HashMap<u64, FillInfo, BuildSplitMix64>,
     ready_heap: BinaryHeap<Reverse<(u64, u64)>>,
     capacity: usize,
 }
@@ -54,7 +59,7 @@ impl InflightFills {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         InflightFills {
-            by_line: HashMap::with_capacity(capacity * 2),
+            by_line: HashMap::with_capacity_and_hasher(capacity * 2, BuildSplitMix64::default()),
             ready_heap: BinaryHeap::with_capacity(capacity * 2),
             capacity,
         }

@@ -20,6 +20,7 @@
 
 pub mod btb;
 pub mod cache;
+pub mod fasthash;
 pub mod inflight;
 pub mod mem;
 pub mod predecode;
@@ -31,6 +32,7 @@ pub mod tage;
 
 pub use btb::Btb;
 pub use cache::{AccessOutcome, Evicted, LineCache};
+pub use fasthash::{BuildSplitMix64, SplitMix64Hasher};
 pub use inflight::InflightFills;
 pub use mem::{MemClass, MemStats, MemorySystem};
 pub use queue::BoundedQueue;

@@ -20,6 +20,12 @@ pub struct SetAssocMap<V> {
     sets: Vec<Vec<Slot<V>>>,
     ways: usize,
     stamp: u64,
+    /// `sets.len() - 1` when the set count is a power of two (every
+    /// in-tree geometry), letting [`Self::set_of`] map keys with a
+    /// mask instead of a 64-bit hardware division — one of the
+    /// costliest single instructions on the per-access path. `None`
+    /// falls back to the modulo that defines the mapping.
+    set_mask: Option<u64>,
 }
 
 #[derive(Clone, Debug)]
@@ -47,6 +53,7 @@ impl<V> SetAssocMap<V> {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
             stamp: 0,
+            set_mask: (sets as u64).is_power_of_two().then(|| sets as u64 - 1),
         }
     }
 
@@ -67,7 +74,10 @@ impl<V> SetAssocMap<V> {
 
     #[inline]
     fn set_of(&self, key: u64) -> usize {
-        (key % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (key & mask) as usize,
+            None => (key % self.sets.len() as u64) as usize,
+        }
     }
 
     /// Looks `key` up, promoting it to most-recently-used on a hit.

@@ -5,9 +5,14 @@
 //! ordering, stall accounting, RNG streams, or JSON shape shows up as
 //! a byte diff here.
 
-use fe_cfg::workloads;
-use fe_model::MachineConfig;
-use fe_sim::{run_scheme, Experiment, RunLength, SchemeSpec, SweepReport};
+use fe_cfg::{workloads, Executor, Program};
+use fe_model::{MachineConfig, SimStats};
+use fe_sim::{
+    run_scheme, Experiment, RunLength, SamplingSpec, SchemeSpec, Simulator, SourceKind, SweepReport,
+};
+use fe_trace::Trace;
+use fe_uarch::MemorySystem;
+use proptest::prelude::*;
 
 const PINNED: &str = include_str!("fixtures/pinned_nutch_smoke.json");
 
@@ -71,6 +76,191 @@ fn replayed_sweep_cells_match_live_execution_for_every_workload() {
                 scheme.label(),
             );
         }
+    }
+}
+
+/// How a parity run feeds the pipeline — every `SourceKind` variant,
+/// with `Other` covering both payloads the engine used to box.
+#[derive(Clone, Copy, Debug)]
+enum SourceFlavor {
+    /// `SourceKind::Live` (devirtualized executor walk).
+    Live,
+    /// `SourceKind::Replay` (devirtualized trace decode).
+    Replay,
+    /// `SourceKind::Other(Box<Executor>)` — the old dyn path, live.
+    DynLive,
+    /// `SourceKind::Other(Box<TraceReplayer>)` — the old dyn path,
+    /// replayed.
+    DynReplay,
+}
+
+impl SourceFlavor {
+    const ALL: [SourceFlavor; 4] = [
+        SourceFlavor::Live,
+        SourceFlavor::Replay,
+        SourceFlavor::DynLive,
+        SourceFlavor::DynReplay,
+    ];
+
+    fn build<'p>(self, program: &'p Program, trace: &'p Trace, seed: u64) -> SourceKind<'p> {
+        match self {
+            SourceFlavor::Live => Executor::new(program, seed).into(),
+            SourceFlavor::Replay => trace.replayer().into(),
+            SourceFlavor::DynLive => SourceKind::Other(Box::new(Executor::new(program, seed))),
+            SourceFlavor::DynReplay => SourceKind::Other(Box::new(trace.replayer())),
+        }
+    }
+}
+
+/// One full-detail run with an explicit source flavor and scheme
+/// dispatch path (`dyn_scheme` selects `SchemeSpec::build_dyn`, the
+/// boxed reference path).
+#[allow(clippy::too_many_arguments)]
+fn run_flavored(
+    program: &Program,
+    trace: &Trace,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+    flavor: SourceFlavor,
+    dyn_scheme: bool,
+) -> SimStats {
+    let scheme = if dyn_scheme {
+        spec.build_dyn(machine)
+    } else {
+        spec.build(machine)
+    };
+    let mem = MemorySystem::new(machine);
+    let mut sim = Simulator::with_source(
+        program,
+        machine.clone(),
+        scheme,
+        seed,
+        mem,
+        flavor.build(program, trace, seed),
+    );
+    let stats = sim.run(len.warmup, len.measure);
+    assert!(!sim.source_exhausted(), "parity trace ran dry");
+    stats
+}
+
+#[test]
+fn enum_dispatch_matches_dyn_dispatch_for_every_named_workload() {
+    // The devirtualized tick path (enum-dispatched scheme + source)
+    // must be bit-identical to the old `Box<dyn>` path on every named
+    // workload: identical `SimStats` derive identical metrics, so the
+    // sweep JSON the devirtualized engine emits is byte-for-byte what
+    // the dynamic engine would have written.
+    let machine = MachineConfig::table3();
+    let len = RunLength {
+        warmup: 20_000,
+        measure: 50_000,
+    };
+    let schemes = [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()];
+    for wl in workloads::all() {
+        let wl = wl.scaled(0.04);
+        let program = wl.build();
+        let trace = Trace::record(&program, 0x5407, len.trace_instrs(&machine));
+        for spec in &schemes {
+            let enum_live = run_flavored(
+                &program,
+                &trace,
+                spec,
+                &machine,
+                len,
+                0x5407,
+                SourceFlavor::Live,
+                false,
+            );
+            for flavor in SourceFlavor::ALL {
+                for dyn_scheme in [false, true] {
+                    let stats = run_flavored(
+                        &program, &trace, spec, &machine, len, 0x5407, flavor, dyn_scheme,
+                    );
+                    assert_eq!(
+                        stats,
+                        enum_live,
+                        "({}, {}) diverged: flavor {flavor:?}, dyn_scheme {dyn_scheme}",
+                        wl.name,
+                        spec.label(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_sweep_json_is_reproducible_on_the_devirtualized_path() {
+    // A sampled sweep exercises the enum dispatch through the
+    // functional-warming path too (`warm_block`, seekable skips); its
+    // report must stay byte-identical across runs and thread counts.
+    let spec = SamplingSpec {
+        interval: 60_000,
+        detail: 10_000,
+        warmup: 10_000,
+    };
+    let sweep = |threads: usize| {
+        Experiment::new(MachineConfig::table3())
+            .workload(workloads::nutch().scaled(0.05))
+            .schemes([SchemeSpec::NoPrefetch, SchemeSpec::shotgun()])
+            .len(RunLength {
+                warmup: 40_000,
+                measure: 240_000,
+            })
+            .sampling(spec)
+            .seed(0x5407)
+            .threads(threads)
+            .run()
+            .to_json()
+    };
+    let single = sweep(1);
+    assert_eq!(single, sweep(8), "sampled sweep must be thread-invariant");
+    assert!(single.contains("\"sampling\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random (source kind, scheme) pairs agree with the old
+    /// `Box<dyn>` dispatch on final statistics — the devirtualization
+    /// is a pure performance refactor with no semantic surface.
+    #[test]
+    fn random_source_and_scheme_pairs_agree_with_the_dyn_path(
+        which_wl in 0usize..6,
+        which_scheme in 0usize..5,
+        which_flavor in 0usize..4,
+        seed in 1u64..1 << 40,
+    ) {
+        let machine = MachineConfig::table3();
+        let len = RunLength {
+            warmup: 10_000,
+            measure: 30_000,
+        };
+        let all = workloads::all();
+        let program = all[which_wl % all.len()].clone().scaled(0.04).build();
+        let trace = Trace::record(&program, seed, len.trace_instrs(&machine));
+        let spec = [
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::Fdip,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Confluence,
+            SchemeSpec::shotgun(),
+        ][which_scheme % 5]
+            .clone();
+        let flavor = SourceFlavor::ALL[which_flavor % SourceFlavor::ALL.len()];
+
+        let enum_path = run_flavored(&program, &trace, &spec, &machine, len, seed, flavor, false);
+        let dyn_path = run_flavored(&program, &trace, &spec, &machine, len, seed, flavor, true);
+        prop_assert_eq!(
+            enum_path,
+            dyn_path,
+            "({}, {}) flavor {:?}: enum and dyn dispatch disagree",
+            program.name(),
+            spec.label(),
+            flavor,
+        );
     }
 }
 

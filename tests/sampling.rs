@@ -119,14 +119,8 @@ fn truncated_trace_degrades_into_reported_stall_not_panic() {
     let trace = Trace::record(&program, 9, 60_000);
     let scheme = SchemeSpec::shotgun().build(&machine);
     let mem = MemorySystem::new(&machine);
-    let mut sim = Simulator::with_source(
-        &program,
-        machine.clone(),
-        scheme,
-        9,
-        mem,
-        Box::new(trace.replayer()),
-    );
+    let mut sim =
+        Simulator::with_source(&program, machine.clone(), scheme, 9, mem, trace.replayer());
     let stats = sim.run(20_000, 500_000);
     assert!(
         sim.source_exhausted(),
@@ -148,7 +142,7 @@ fn truncated_trace_degrades_into_reported_stall_not_panic() {
         EngineScheme::Ideal,
         9,
         mem,
-        Box::new(trace.replayer()),
+        trace.replayer(),
     );
     let stats = ideal.run(20_000, 500_000);
     assert!(ideal.source_exhausted());
@@ -208,7 +202,7 @@ proptest! {
                 scheme,
                 seed,
                 mem,
-                Box::new(trace.replayer()),
+                trace.replayer(),
             );
             let stats = sim.run(len.warmup, len.measure);
             prop_assert!(
