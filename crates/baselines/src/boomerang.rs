@@ -23,7 +23,7 @@ struct Resolving {
 }
 
 /// Boomerang: FDIP + reactive BTB fill + BTB prefetch buffer.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Boomerang {
     btb: Btb,
     /// Predecoded branches awaiting first use (32 entries, §5.2).

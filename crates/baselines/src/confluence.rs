@@ -80,7 +80,7 @@ struct Replay {
 }
 
 /// The Confluence temporal-streaming front end.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Confluence {
     cfg: ConfluenceConfig,
     btb: Btb,

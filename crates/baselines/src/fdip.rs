@@ -17,7 +17,7 @@ use fe_uarch::Btb;
 use crate::noprefetch::straight_line;
 
 /// Fetch-directed instruction prefetching with a conventional BTB.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Fdip {
     btb: Btb,
     lookups: u64,

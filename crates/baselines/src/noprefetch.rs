@@ -11,7 +11,7 @@ use fe_uarch::scheme::{predict_conventional, BpuOutcome, ControlFlowDelivery, Fr
 use fe_uarch::Btb;
 
 /// Conventional front end without prefetching.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NoPrefetch {
     btb: Btb,
     lookups: u64,

@@ -1,0 +1,143 @@
+//! Experiment-service smoke + throughput harness: boots an in-process
+//! `fe-serve` daemon on a loopback port, submits the same sweep twice
+//! over real TCP, and enforces the service's two headline guarantees:
+//!
+//! 1. the second submission is served **entirely** from the
+//!    content-addressed result cache (zero recomputed cells), and
+//! 2. its report is **byte-identical** to the first run's — served
+//!    results are indistinguishable from computed ones.
+//!
+//! Emitted as `BENCH_serve.json` under `SHOTGUN_JSON_DIR`: wall time,
+//! jobs/s, and cache-hit rate per submission — the tracked throughput
+//! trajectory of the service path (queue + checkpoint + cache + wire
+//! protocol overhead rides on top of raw simulation).
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin serve
+//! ```
+//!
+//! Standard knobs apply (`SHOTGUN_INSTRS`/`_WARMUP`/`_SCALE`,
+//! `SHOTGUN_THREADS`, `SHOTGUN_JSON_DIR`); `SHOTGUN_SAMPLING` switches
+//! the sweep to sampled mode, which also exercises the warmed-state
+//! snapshot store. The service root is a per-process temp directory,
+//! removed on success.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fe_bench::{banner, default_len, env_f64, suite, threads, write_serve_json, ServeRun, SEED};
+use fe_serve::{submit_job, ClientOutcome, ExperimentService, JobSpec, JobWorkload, Server};
+use fe_sim::{SamplingSpec, SchemeSpec};
+
+fn main() {
+    banner(
+        "Serve",
+        "experiment service: cold submission, then 100% cache-hit resubmission",
+    );
+    let len = default_len();
+    let sampling = std::env::var("SHOTGUN_SAMPLING")
+        .is_ok()
+        .then(|| SamplingSpec::DEFAULT.from_env());
+    if let Some(s) = sampling {
+        if let Err(e) = s.validate() {
+            eprintln!("invalid sampling spec: {e}");
+            std::process::exit(2);
+        }
+    }
+    let scale = env_f64("SHOTGUN_SCALE", 1.0);
+    let spec = JobSpec {
+        workloads: suite()
+            .iter()
+            .map(|w| JobWorkload {
+                name: w.name.clone(),
+                scale: Some(scale),
+            })
+            .collect(),
+        schemes: vec![
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ],
+        len,
+        seed: SEED,
+        sampling,
+        threads: threads(),
+    };
+    let total = spec.cell_count();
+
+    let root = std::env::temp_dir().join(format!("fe-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let service = Arc::new(ExperimentService::open(&root).expect("open service root"));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.run_until(&stop))
+    };
+
+    let submit = |label: &str| -> (ClientOutcome, f64) {
+        let t0 = Instant::now();
+        let outcome = submit_job(&addr, &spec).expect("submission succeeds");
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "[{label}] job {}: {} cells ({} cached) in {:.1} ms",
+            outcome.job_id,
+            outcome.progress.len(),
+            outcome.cached_cells(),
+            wall * 1e3,
+        );
+        (outcome, wall)
+    };
+    let (cold, cold_wall) = submit("cold");
+    let (warm, warm_wall) = submit("warm");
+    stop.store(true, Ordering::SeqCst);
+    server_thread.join().expect("server thread");
+
+    // Gate 1: the resubmission must be served entirely from the cache.
+    assert_eq!(cold.progress.len(), total, "cold run completes every cell");
+    if warm.cached_cells() != total {
+        eprintln!(
+            "SERVE GATE FAILED: resubmission served {}/{} cells from cache",
+            warm.cached_cells(),
+            total,
+        );
+        std::process::exit(1);
+    }
+    // Gate 2: served == computed, byte for byte.
+    if cold.report != warm.report {
+        eprintln!("SERVE GATE FAILED: cached report differs from the computed one");
+        std::process::exit(1);
+    }
+
+    let hit_rate = |o: &ClientOutcome| o.cached_cells() as f64 / total as f64;
+    println!(
+        "\n{:6} {:>8} {:>12} {:>10} {:>10}",
+        "run", "cells", "wall ms", "jobs/s", "hit rate"
+    );
+    for (label, outcome, wall) in [("cold", &cold, cold_wall), ("warm", &warm, warm_wall)] {
+        println!(
+            "{:6} {:>8} {:>12.1} {:>10.2} {:>9.0}%",
+            label,
+            outcome.progress.len(),
+            wall * 1e3,
+            1.0 / wall,
+            hit_rate(outcome) * 100.0,
+        );
+    }
+    println!("\nserve gate: resubmission 100% cache hit, report byte-identical — ok");
+
+    write_serve_json(&ServeRun {
+        len,
+        sampling,
+        scale,
+        total_cells: total,
+        cold_wall_ms: cold_wall * 1e3,
+        cold_hit_rate: hit_rate(&cold),
+        warm_wall_ms: warm_wall * 1e3,
+        warm_hit_rate: hit_rate(&warm),
+        report_bytes: cold.report.len(),
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}

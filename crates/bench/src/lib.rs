@@ -28,7 +28,8 @@ use std::io::IsTerminal;
 
 use fe_cfg::{workloads, WorkloadSpec};
 use fe_model::{MachineConfig, SimStats};
-use fe_sim::{render_table, Experiment, RunLength, SweepReport};
+use fe_sim::json::Json;
+use fe_sim::{render_table, Experiment, RunLength, SamplingSpec, SweepReport};
 
 /// Workload presentation order used by every figure (the paper's
 /// left-to-right order).
@@ -135,6 +136,89 @@ pub fn write_report(report: &SweepReport, figure: &str) {
     };
     let path = std::path::Path::new(&dir).join(format!("BENCH_{figure}.json"));
     match report.write_json(&path) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+/// One cold + warm submission pair through the experiment service —
+/// what the `serve` binary measures and `BENCH_serve.json` records.
+pub struct ServeRun {
+    /// Per-cell run length of the swept jobs.
+    pub len: RunLength,
+    /// Sampling shape, when the sweep ran in sampled mode.
+    pub sampling: Option<SamplingSpec>,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Cells per job (workloads × schemes).
+    pub total_cells: usize,
+    /// Wall time of the first (computing) submission.
+    pub cold_wall_ms: f64,
+    /// Cache-hit rate of the first submission (0.0 on a fresh root).
+    pub cold_hit_rate: f64,
+    /// Wall time of the resubmission (served from cache).
+    pub warm_wall_ms: f64,
+    /// Cache-hit rate of the resubmission (the gate demands 1.0).
+    pub warm_hit_rate: f64,
+    /// Size of the (byte-identical) report both runs returned.
+    pub report_bytes: usize,
+}
+
+/// Emits `BENCH_serve.json` under `SHOTGUN_JSON_DIR`: service
+/// throughput (jobs/s, cold and cached) and cache-hit rates. Like
+/// `BENCH_perf.json`, all wall-clock fields live here and only here.
+pub fn write_serve_json(run: &ServeRun) {
+    let Ok(dir) = std::env::var("SHOTGUN_JSON_DIR") else {
+        return;
+    };
+    let submission = |wall_ms: f64, hit_rate: f64| {
+        Json::Obj(vec![
+            ("wall_ms".into(), Json::F64(wall_ms)),
+            ("jobs_per_s".into(), Json::F64(1e3 / wall_ms)),
+            ("cache_hit_rate".into(), Json::F64(hit_rate)),
+        ])
+    };
+    let sampling = run.sampling.map_or(Json::Null, |s| {
+        Json::Obj(vec![
+            ("interval".into(), Json::U64(s.interval)),
+            ("detail".into(), Json::U64(s.detail)),
+            ("warmup".into(), Json::U64(s.warmup)),
+        ])
+    });
+    let doc = Json::Obj(vec![
+        (
+            "run".into(),
+            Json::Obj(vec![
+                ("warmup".into(), Json::U64(run.len.warmup)),
+                ("measure".into(), Json::U64(run.len.measure)),
+                ("seed".into(), Json::U64(SEED)),
+                ("scale".into(), Json::F64(run.scale)),
+                ("sampling".into(), sampling),
+                ("cells_per_job".into(), Json::U64(run.total_cells as u64)),
+                ("report_bytes".into(), Json::U64(run.report_bytes as u64)),
+            ]),
+        ),
+        (
+            "cold".into(),
+            submission(run.cold_wall_ms, run.cold_hit_rate),
+        ),
+        (
+            "warm".into(),
+            submission(run.warm_wall_ms, run.warm_hit_rate),
+        ),
+        (
+            "summary".into(),
+            Json::Obj(vec![
+                (
+                    "cached_speedup".into(),
+                    Json::F64(run.cold_wall_ms / run.warm_wall_ms),
+                ),
+                ("cache_hit_rate".into(), Json::F64(run.warm_hit_rate)),
+            ]),
+        ),
+    ]);
+    let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+    match std::fs::write(&path, doc.render()) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }

@@ -60,6 +60,7 @@ pub struct ShotgunCounters {
 }
 
 /// The Shotgun control-flow-delivery engine.
+#[derive(Clone, Debug)]
 pub struct ShotgunPrefetcher {
     cfg: ShotgunConfig,
     ubtb: UBtb,

@@ -1,0 +1,40 @@
+//! # fe-serve — the experiment service
+//!
+//! A daemon that turns the repo's sweep engine into a long-running
+//! service: clients submit sweep specifications over TCP, the service
+//! runs them strictly FIFO through [`fe_sim::Experiment`], streams
+//! per-cell progress, and returns the final
+//! [`SweepReport`](fe_sim::SweepReport) JSON. Three storage layers
+//! make repeated and interrupted work cheap:
+//!
+//! * **Content-addressed result cache** ([`DiskCellStore`]) — every
+//!   completed cell is persisted under its
+//!   [`CellKey`](fe_sim::CellKey) (trace fingerprint × config hash ×
+//!   engine version). Resubmitting a sweep serves every cell from disk,
+//!   **byte-identical** to computing it: cached values run through the
+//!   exact JSON encoders report cells use.
+//! * **Checkpointed sweep state** ([`JobCheckpoint`]) — job specs are
+//!   durable before they are acknowledged, and each job's
+//!   completed-cell set is fsynced per cell (write-to-temp + rename,
+//!   never torn). A killed daemon re-enqueues pending specs on restart
+//!   and recomputes nothing that already finished.
+//! * **Warmed-state snapshots** ([`fe_sim::SnapshotStore`]) — sampled
+//!   cells capture their post-warmup microarchitectural state once per
+//!   (workload, config); re-runs restore it instead of re-warming,
+//!   bit-identically.
+//!
+//! The in-process [`ExperimentService`] carries all the semantics;
+//! [`Server`] is a thin TCP front speaking length-prefixed JSON frames
+//! (see [`protocol`]), and the `fe-serve` binary wires both to a root
+//! directory, an address, and SIGINT/SIGTERM-triggered graceful
+//! shutdown.
+
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod store;
+
+pub use protocol::{submit_job, ClientOutcome};
+pub use server::Server;
+pub use service::{ExperimentService, JobId, JobProgress, JobSpec, JobState, JobWorkload};
+pub use store::{DiskCellStore, JobCheckpoint};

@@ -1,0 +1,119 @@
+//! The TCP front of the service: accepts connections, speaks the
+//! [`protocol`](crate::protocol), and forwards jobs to an
+//! [`ExperimentService`].
+//!
+//! The accept loop polls a shutdown flag between connections (the
+//! listener runs non-blocking with a short sleep), so a signal
+//! delivered to the daemon stops new connections promptly while the
+//! service layer finishes the in-flight cell and flushes its
+//! checkpoint. One connection carries one job; per-connection handler
+//! threads stream progress as the worker produces it.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    accepted_message, error_message, progress_message, read_message, report_message, write_frame,
+    write_message,
+};
+use crate::service::{ExperimentService, JobSpec, JobState};
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// A bound TCP server over an experiment service.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<ExperimentService>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick — tests and the
+    /// bench smoke do).
+    pub fn bind(service: Arc<ExperimentService>, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, service })
+    }
+
+    /// The bound address, e.g. to print or to hand to a client.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `stop` becomes true, then drains: stops accepting,
+    /// shuts the service down gracefully (in-flight cell completes and
+    /// persists), and joins the connection handlers.
+    pub fn run_until(&self, stop: &AtomicBool) {
+        let mut handlers = Vec::new();
+        while !stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((conn, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(conn, &service)
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => {
+                    eprintln!("fe-serve: accept failed: {e}");
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        self.service.shutdown();
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+/// Speaks one job's worth of protocol on `conn`. Protocol errors are
+/// reported to the client when the socket still works, and logged
+/// otherwise; a broken client never takes the daemon down.
+fn handle_connection(mut conn: TcpStream, service: &ExperimentService) {
+    if let Err(e) = try_handle(&mut conn, service) {
+        let _ = write_message(&mut conn, &error_message(&e));
+    }
+}
+
+fn try_handle(conn: &mut TcpStream, service: &ExperimentService) -> Result<(), String> {
+    let msg = read_message(conn)
+        .map_err(|e| format!("reading submit: {e}"))?
+        .ok_or("connection closed before a submit")?;
+    match msg.req("type").and_then(|t| Ok(t.as_str()?.to_string())) {
+        Ok(kind) if kind == "submit" => {}
+        Ok(kind) => return Err(format!("expected a submit, got `{kind}`")),
+        Err(e) => return Err(e),
+    }
+    let spec = JobSpec::from_json(msg.req("job")?)?;
+    let (id, progress) = service.submit(&spec)?;
+    write_message(conn, &accepted_message(id, spec.cell_count()))
+        .map_err(|e| format!("writing accept: {e}"))?;
+    // Stream progress until the worker drops the sender (job done or
+    // interrupted). A vanished client only kills its own streaming.
+    for tick in progress {
+        if write_message(conn, &progress_message(&tick)).is_err() {
+            break;
+        }
+    }
+    match service.wait(id) {
+        Some(JobState::Done(report)) => write_message(conn, &report_message(id))
+            .and_then(|()| write_frame(conn, report.as_bytes()))
+            .and_then(|()| conn.flush())
+            .map_err(|e| format!("writing report: {e}")),
+        Some(JobState::Interrupted) => {
+            Err("job interrupted by shutdown; resubmit after restart to resume".into())
+        }
+        Some(JobState::Failed(e)) => Err(e),
+        Some(JobState::Queued | JobState::Running) | None => {
+            Err("job vanished mid-run (service shutting down?)".into())
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Durable storage: the on-disk content-addressed cell cache and the
+//! per-job checkpoint files.
+//!
+//! Layout under the service root:
+//!
+//! ```text
+//! <root>/cache/<address>.json    one cached cell result per file
+//! <root>/jobs/<id>.json          a pending job's spec (removed on completion)
+//! <root>/jobs/<id>.ckpt.json     the job's completed-cell set (ditto)
+//! <root>/jobs/<id>.report.json   the finished job's full SweepReport
+//! ```
+//!
+//! Every file is written **atomically**: the bytes go to a `.tmp`
+//! sibling first, are fsynced, and the file is renamed into place.
+//! A crash at any instant leaves either the old file or the new one,
+//! never a torn mix — which is what lets a killed daemon trust
+//! whatever it finds on restart.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fe_sim::json::{self, Json};
+use fe_sim::{CellKey, CellStore, CellValue};
+
+/// Writes `bytes` to `path` atomically: temp sibling, fsync, rename.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)
+}
+
+/// Content-addressed result cache on disk, one JSON file per cell
+/// under `<dir>/<CellKey::address()>.json` — the durable twin of
+/// [`fe_sim::MemoryCellStore`]. Safe for concurrent readers/writers:
+/// lookups read whole files, stores rename complete ones into place,
+/// and two daemons sharing a cache directory at worst redo a cell and
+/// overwrite it with identical bytes (cells are deterministic in
+/// their key).
+pub struct DiskCellStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl DiskCellStore {
+    /// Opens (creating if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCellStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCellStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    fn path_of(&self, key: &CellKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.address()))
+    }
+
+    /// Cells currently on disk.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a cached cell.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cells written.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+}
+
+impl CellStore for DiskCellStore {
+    fn get(&self, key: &CellKey) -> Option<CellValue> {
+        let value = fs::read_to_string(self.path_of(key))
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|doc| CellValue::from_json(&doc).ok());
+        match &value {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
+    }
+
+    fn put(&self, key: &CellKey, value: &CellValue) {
+        // A cache write failing (disk full, permissions) must not take
+        // the sweep down — the result still reaches the report; only
+        // reuse is lost. Same policy as a dropped clean cache line.
+        let bytes = value.to_json().render();
+        if write_atomic(&self.path_of(key), bytes.as_bytes()).is_ok() {
+            self.puts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-job checkpoint: a [`CellStore`] wrapper that, besides
+/// delegating to the shared cache, durably records which of the job's
+/// cells are complete (`jobs/<id>.ckpt.json`, rewritten atomically
+/// after every cell). Together with the cache this *is* the sweep
+/// checkpoint: a restarted daemon re-runs the persisted job spec and
+/// every recorded-complete cell is served from the cache instead of
+/// recomputed.
+pub struct JobCheckpoint {
+    inner: std::sync::Arc<DiskCellStore>,
+    path: PathBuf,
+    completed: Mutex<BTreeSet<String>>,
+}
+
+impl JobCheckpoint {
+    /// Wraps the shared cache with a checkpoint at `path`, seeding the
+    /// completed set from an existing checkpoint file if one survives
+    /// from a previous run of this job.
+    pub fn new(inner: std::sync::Arc<DiskCellStore>, path: PathBuf) -> JobCheckpoint {
+        let completed = fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|doc| {
+                let cells = doc.get("completed")?.as_arr().ok()?.to_vec();
+                Some(
+                    cells
+                        .iter()
+                        .filter_map(|c| c.as_str().ok().map(str::to_string))
+                        .collect::<BTreeSet<_>>(),
+                )
+            })
+            .unwrap_or_default();
+        JobCheckpoint {
+            inner,
+            path,
+            completed: Mutex::new(completed),
+        }
+    }
+
+    /// Cells recorded complete so far.
+    pub fn completed(&self) -> usize {
+        self.completed.lock().unwrap().len()
+    }
+
+    fn record(&self, key: &CellKey) {
+        let mut completed = self.completed.lock().unwrap();
+        if !completed.insert(key.address()) {
+            return;
+        }
+        let doc = Json::Obj(vec![(
+            "completed".into(),
+            Json::Arr(completed.iter().cloned().map(Json::Str).collect()),
+        )]);
+        // Fsynced per cell: the checkpoint never claims more than the
+        // cache holds (the cell itself was renamed into place first).
+        let _ = write_atomic(&self.path, doc.render().as_bytes());
+    }
+}
+
+impl CellStore for JobCheckpoint {
+    fn get(&self, key: &CellKey) -> Option<CellValue> {
+        let value = self.inner.get(key);
+        if value.is_some() {
+            // A served cell is as complete as a computed one.
+            self.record(key);
+        }
+        value
+    }
+
+    fn put(&self, key: &CellKey, value: &CellValue) {
+        self.inner.put(key, value);
+        self.record(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fe_model::MachineConfig;
+    use fe_sim::{RunLength, SchemeSpec};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fe-serve-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn a_key(seed: u64) -> CellKey {
+        CellKey::for_cell(
+            fe_sim::ProgramFingerprint {
+                blocks: 7,
+                digest: 7,
+            },
+            &MachineConfig::table3(),
+            &SchemeSpec::shotgun(),
+            RunLength::SMOKE,
+            seed,
+            None,
+        )
+    }
+
+    fn a_value() -> CellValue {
+        CellValue {
+            stats: Default::default(),
+            sampling: None,
+        }
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_counts() {
+        let dir = tmpdir("roundtrip");
+        let store = DiskCellStore::open(&dir).unwrap();
+        let key = a_key(1);
+        assert!(store.get(&key).is_none());
+        store.put(&key, &a_value());
+        let back = store.get(&key).expect("served from disk");
+        assert_eq!(back.to_json().render(), a_value().to_json().render());
+        assert_eq!((store.hits(), store.misses(), store.puts()), (1, 1, 1));
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_records_served_and_computed_cells() {
+        let dir = tmpdir("ckpt");
+        let cache = Arc::new(DiskCellStore::open(dir.join("cache")).unwrap());
+        let ckpt_path = dir.join("1.ckpt.json");
+        let ckpt = JobCheckpoint::new(Arc::clone(&cache), ckpt_path.clone());
+        ckpt.put(&a_key(1), &a_value());
+        assert!(ckpt.get(&a_key(2)).is_none(), "miss records nothing");
+        cache.put(&a_key(2), &a_value());
+        assert!(ckpt.get(&a_key(2)).is_some(), "hit records completion");
+        assert_eq!(ckpt.completed(), 2);
+
+        // A fresh checkpoint over the surviving file resumes the set.
+        let resumed = JobCheckpoint::new(cache, ckpt_path);
+        assert_eq!(resumed.completed(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_file_degrades_to_empty() {
+        let dir = tmpdir("torn");
+        let cache = Arc::new(DiskCellStore::open(dir.join("cache")).unwrap());
+        let path = dir.join("1.ckpt.json");
+        fs::write(&path, b"{\"completed\": [\"abc").unwrap(); // torn
+        let ckpt = JobCheckpoint::new(cache, path);
+        assert_eq!(ckpt.completed(), 0, "unreadable checkpoint = start over");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

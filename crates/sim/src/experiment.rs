@@ -36,19 +36,59 @@
 //! ```
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use fe_cfg::{MixSpec, Program, WorkloadSpec};
 use fe_model::stats::{coverage, speedup};
 use fe_model::{MachineConfig, SimStats};
-use fe_trace::Trace;
+use fe_trace::{ProgramFingerprint, Trace};
 use shotgun::{RegionPolicy, ShotgunConfig};
 
+use crate::cache::{CellKey, CellStore, CellValue};
 use crate::json::{parse, Json};
 use crate::multi::MultiSimulator;
-use crate::runner::{run_scheme_replayed, run_scheme_sampled_replayed, RunLength, SchemeSpec};
+use crate::runner::{
+    run_scheme_replayed, run_scheme_sampled_replayed_snapshot, RunLength, SchemeSpec,
+};
 use crate::sampling::{CellSampling, MeanCi, SamplingSpec};
+use crate::snapshot::SnapshotStore;
+
+/// Process-wide count of sweep cells actually *simulated* (cache hits
+/// do not count; a consolidation mix counts one per member cell).
+/// Probe for tests asserting zero-recompute resume behavior;
+/// meaningful only when the probing test runs in its own process.
+static CELLS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Sweep cells simulated so far in this process (tests).
+#[doc(hidden)]
+pub fn cells_executed() -> u64 {
+    CELLS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// A sweep stopped by its cancel flag before every cell completed (see
+/// [`Experiment::cancel_flag`]). Cells finished before the stop were
+/// still written to the configured [`CellStore`], so a re-run resumes
+/// from them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Jobs that completed before the sweep stopped.
+    pub completed: usize,
+    /// Total jobs in the sweep.
+    pub total: usize,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep interrupted after {}/{} jobs",
+            self.completed, self.total
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
 
 /// Identifies a workload inside a sweep (its spec name).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -93,6 +133,9 @@ pub struct ProgressEvent {
     pub workload: WorkloadId,
     /// Scheme label of the cell that just finished.
     pub scheme: String,
+    /// Whether the cell was served from the configured [`CellStore`]
+    /// instead of being simulated.
+    pub cached: bool,
 }
 
 type ProgressFn = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
@@ -114,6 +157,9 @@ pub struct Experiment {
     progress: Option<ProgressFn>,
     trace_dir: Option<PathBuf>,
     sampling: Option<SamplingSpec>,
+    cell_store: Option<Arc<dyn CellStore>>,
+    snapshots: Option<Arc<SnapshotStore>>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Experiment {
@@ -136,6 +182,9 @@ impl Experiment {
             progress: None,
             trace_dir: None,
             sampling: None,
+            cell_store: None,
+            snapshots: None,
+            cancel: None,
         }
     }
 
@@ -240,6 +289,37 @@ impl Experiment {
         self
     }
 
+    /// Installs a content-addressed result cache (see the
+    /// [`cache`](crate::cache) module): before simulating each
+    /// single-workload cell the sweep consults the store by
+    /// [`CellKey`], and every freshly simulated cell is written back.
+    /// A fully cached workload skips its executor walk and trace
+    /// recording entirely. Consolidation mixes always simulate.
+    pub fn cell_store(mut self, store: Arc<dyn CellStore>) -> Self {
+        self.cell_store = Some(store);
+        self
+    }
+
+    /// Installs a warmed-state snapshot store (see the
+    /// [`snapshot`](crate::snapshot) module): sampled cells capture
+    /// their post-warmup microarchitectural state on first run and
+    /// restore it on repeats, skipping functional warming. Statistics
+    /// are bit-identical either way. Ignored for full-detail sweeps
+    /// (their warmup runs through the timed pipeline).
+    pub fn snapshots(mut self, store: Arc<SnapshotStore>) -> Self {
+        self.snapshots = Some(store);
+        self
+    }
+
+    /// Installs a cooperative cancel flag: once set, workers finish the
+    /// cells already in flight (persisting them to the cell store) and
+    /// stop claiming new ones, making [`Self::try_run`] return
+    /// [`Interrupted`]. The graceful-shutdown hook for long sweeps.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
     /// Runs the sweep and derives per-cell metrics.
     ///
     /// Programs are built once per workload (and per mix member) and
@@ -253,6 +333,16 @@ impl Experiment {
     /// if workload/mix names collide (which would make cells ambiguous
     /// in reports and JSON).
     pub fn run(self) -> SweepReport {
+        self.try_run()
+            .unwrap_or_else(|i| panic!("Experiment::run: {i} (use try_run with a cancel flag)"))
+    }
+
+    /// Like [`Self::run`], but returns [`Interrupted`] instead of a
+    /// report when the [cancel flag](Self::cancel_flag) stopped the
+    /// sweep early. Completed cells were already persisted to the
+    /// configured [`CellStore`], so re-running the same sweep resumes
+    /// where it stopped.
+    pub fn try_run(self) -> Result<SweepReport, Interrupted> {
         let Experiment {
             machine,
             workloads,
@@ -265,6 +355,9 @@ impl Experiment {
             progress,
             trace_dir,
             sampling,
+            cell_store,
+            snapshots,
+            cancel,
         } = self;
         assert!(
             !(workloads.is_empty() && mixes.is_empty()),
@@ -372,79 +465,156 @@ impl Experiment {
             offset += mix.members.len();
         }
 
-        // Record once, replay many: one executor walk per workload
-        // feeds every scheme cell. Recorded length covers the run plus
-        // the pipeline's bounded lookahead, so no scheme can outrun it.
-        let needed_instrs = len.trace_instrs(&machine);
-        let traces: Vec<Trace> = parallel_indexed(workloads.len(), threads, |i| {
-            obtain_trace(&programs[i], seed, needed_instrs, trace_dir.as_deref())
-        });
-
         let n_schemes = schemes.len();
         // Mixes run N contexts serially, making them the slowest jobs:
         // claim them first so they never tail the sweep. Results are
         // slotted by index, so ordering is invisible in the report.
         let mix_jobs = mixes.len() * n_schemes;
         let total = mix_jobs + workloads.len() * n_schemes;
+
+        // Cache consult: resolve every single-workload cell's content
+        // address and load whatever the store already holds. Mix cells
+        // are interference-coupled and never cached.
+        let fingerprints: Vec<ProgramFingerprint> =
+            programs.iter().map(ProgramFingerprint::of).collect();
+        let keys: Vec<Option<CellKey>> = (0..total)
+            .map(|job| {
+                if cell_store.is_none() || job < mix_jobs {
+                    return None;
+                }
+                let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
+                Some(CellKey::for_cell(
+                    fingerprints[wi],
+                    &machine,
+                    &schemes[si],
+                    len,
+                    seed,
+                    sampling,
+                ))
+            })
+            .collect();
+        let cached: Vec<Option<CellValue>> = keys
+            .iter()
+            .map(|key| {
+                let key = key.as_ref()?;
+                cell_store.as_ref()?.get(key)
+            })
+            .collect();
+
+        // Record once, replay many: one executor walk per workload
+        // feeds every scheme cell. Recorded length covers the run plus
+        // the pipeline's bounded lookahead, so no scheme can outrun it.
+        // A workload whose every cell came out of the cache skips the
+        // walk and the recording entirely.
+        let needed_instrs = len.trace_instrs(&machine);
+        let traces: Vec<Option<Trace>> = parallel_indexed(workloads.len(), threads, |wi| {
+            let all_cached =
+                (0..n_schemes).all(|si| cached[mix_jobs + wi * n_schemes + si].is_some());
+            if all_cached {
+                None
+            } else {
+                Some(obtain_trace(
+                    &programs[wi],
+                    seed,
+                    needed_instrs,
+                    trace_dir.as_deref(),
+                ))
+            }
+        });
+
         let completed = AtomicUsize::new(0);
         // Each job yields the stats of its cells (one for a single
         // workload, one per member for a mix), plus the sampling
-        // summary when the sweep runs sampled.
+        // summary when the sweep runs sampled. `None` slots are jobs a
+        // set cancel flag kept workers from claiming.
         type CellResult = (SimStats, Option<CellSampling>);
-        let results: Vec<Vec<CellResult>> = parallel_indexed(total, threads, |job| {
-            let (name, si, job_stats) = if job < mix_jobs {
-                let (mi, si) = (job / n_schemes, job % n_schemes);
-                let members = mix_programs[mi]
-                    .iter()
-                    .map(|p| (*p, schemes[si].build(&machine)))
-                    .collect();
-                let multi =
-                    MultiSimulator::new(&machine, members, seed).run(len.warmup, len.measure);
-                let stats = multi
-                    .contexts
-                    .into_iter()
-                    .map(|c| (c.stats, None))
-                    .collect();
-                (mixes[mi].name.clone(), si, stats)
-            } else {
-                let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
-                let cell = match sampling {
-                    Some(spec) => {
-                        let sampled = run_scheme_sampled_replayed(
-                            &programs[wi],
-                            &traces[wi],
-                            &schemes[si],
-                            &machine,
-                            len,
-                            spec,
-                            seed,
-                        );
-                        (sampled.aggregate(), Some(CellSampling::of(&sampled)))
-                    }
-                    None => {
-                        let stats = run_scheme_replayed(
-                            &programs[wi],
-                            &traces[wi],
-                            &schemes[si],
-                            &machine,
-                            len,
-                            seed,
-                        );
-                        (stats, None)
+        let results: Vec<Option<Vec<CellResult>>> =
+            parallel_indexed_cancellable(total, threads, cancel.as_deref(), |job| {
+                let (name, si, was_cached, job_stats) = if job < mix_jobs {
+                    let (mi, si) = (job / n_schemes, job % n_schemes);
+                    let members = mix_programs[mi]
+                        .iter()
+                        .map(|p| (*p, schemes[si].build(&machine)))
+                        .collect();
+                    let multi =
+                        MultiSimulator::new(&machine, members, seed).run(len.warmup, len.measure);
+                    let stats: Vec<CellResult> = multi
+                        .contexts
+                        .into_iter()
+                        .map(|c| (c.stats, None))
+                        .collect();
+                    CELLS_EXECUTED.fetch_add(stats.len() as u64, Ordering::Relaxed);
+                    (mixes[mi].name.clone(), si, false, stats)
+                } else {
+                    let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
+                    if let Some(value) = &cached[job] {
+                        let cell = (value.stats.clone(), value.sampling.clone());
+                        (workloads[wi].name.clone(), si, true, vec![cell])
+                    } else {
+                        let trace = traces[wi]
+                            .as_ref()
+                            .expect("trace recorded for every workload with uncached cells");
+                        let cell = match sampling {
+                            Some(spec) => {
+                                let sampled = run_scheme_sampled_replayed_snapshot(
+                                    &programs[wi],
+                                    trace,
+                                    &schemes[si],
+                                    &machine,
+                                    len,
+                                    spec,
+                                    seed,
+                                    snapshots.as_deref(),
+                                );
+                                (sampled.aggregate(), Some(CellSampling::of(&sampled)))
+                            }
+                            None => {
+                                let stats = run_scheme_replayed(
+                                    &programs[wi],
+                                    trace,
+                                    &schemes[si],
+                                    &machine,
+                                    len,
+                                    seed,
+                                );
+                                (stats, None)
+                            }
+                        };
+                        CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                        if let (Some(store), Some(key)) = (&cell_store, &keys[job]) {
+                            store.put(
+                                key,
+                                &CellValue {
+                                    stats: cell.0.clone(),
+                                    sampling: cell.1.clone(),
+                                },
+                            );
+                        }
+                        (workloads[wi].name.clone(), si, false, vec![cell])
                     }
                 };
-                (workloads[wi].name.clone(), si, vec![cell])
-            };
-            if let Some(cb) = &progress {
-                cb(&ProgressEvent {
-                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
-                    total,
-                    workload: WorkloadId(name),
-                    scheme: labels[si].clone(),
-                });
-            }
-            job_stats
-        });
+                if let Some(cb) = &progress {
+                    cb(&ProgressEvent {
+                        completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                        total,
+                        workload: WorkloadId(name),
+                        scheme: labels[si].clone(),
+                        cached: was_cached,
+                    });
+                }
+                job_stats
+            });
+        let done = results.iter().filter(|r| r.is_some()).count();
+        if done < total {
+            return Err(Interrupted {
+                completed: done,
+                total,
+            });
+        }
+        let results: Vec<Vec<CellResult>> = results
+            .into_iter()
+            .map(|r| r.expect("all jobs completed"))
+            .collect();
 
         let mut cells = Vec::new();
         for (wi, wl) in workloads.iter().enumerate() {
@@ -489,7 +659,7 @@ impl Experiment {
                     .flat_map(|m| m.member_ids().into_iter().map(WorkloadId)),
             )
             .collect();
-        SweepReport {
+        Ok(SweepReport {
             len,
             seed,
             baseline: baseline_idx.map(|bi| labels[bi].clone()),
@@ -497,7 +667,7 @@ impl Experiment {
             workloads: workload_ids,
             schemes,
             cells,
-        }
+        })
     }
 }
 
@@ -563,12 +733,31 @@ fn parallel_indexed<T: Send>(
     threads: usize,
     task: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    parallel_indexed_cancellable(count, threads, None, task)
+        .into_iter()
+        .map(|slot| slot.expect("no cancel flag: every cell completes"))
+        .collect()
+}
+
+/// [`parallel_indexed`] with cooperative cancellation: workers check
+/// `cancel` before *claiming* each index and stop claiming once it is
+/// set — already-claimed work always runs to completion, so a set flag
+/// never leaves a task half-done. Unclaimed slots come back `None`.
+fn parallel_indexed_cancellable<T: Send>(
+    count: usize,
+    threads: usize,
+    cancel: Option<&AtomicBool>,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<Option<T>> {
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = threads.min(count).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                    return;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     return;
@@ -578,12 +767,7 @@ fn parallel_indexed<T: Send>(
             });
         }
     });
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|slot| slot.expect("worker completed every claimed cell"))
-        .collect()
+    slots.into_inner().unwrap()
 }
 
 /// Metrics derived once per cell when the sweep completes — what the
@@ -820,7 +1004,9 @@ fn policy_from_token(token: &str) -> Result<RegionPolicy, String> {
         .ok_or_else(|| format!("unknown region policy `{token}`"))
 }
 
-fn scheme_to_json(spec: &SchemeSpec) -> Json {
+/// Encodes a scheme spec as the canonical JSON object used in report
+/// cells, cache keys, and the experiment-service wire protocol.
+pub fn scheme_to_json(spec: &SchemeSpec) -> Json {
     let mut members = Vec::new();
     match spec {
         SchemeSpec::NoPrefetch => members.push(("kind".into(), Json::Str("no-prefetch".into()))),
@@ -847,7 +1033,8 @@ fn scheme_to_json(spec: &SchemeSpec) -> Json {
     Json::Obj(members)
 }
 
-fn scheme_from_json(doc: &Json) -> Result<SchemeSpec, String> {
+/// Decodes a scheme spec from its [`scheme_to_json`] encoding.
+pub fn scheme_from_json(doc: &Json) -> Result<SchemeSpec, String> {
     let as_u32 = |key: &str| -> Result<u32, String> {
         let v = doc.req(key)?.as_u64()?;
         u32::try_from(v).map_err(|_| format!("`{key}` out of range: {v}"))
@@ -882,9 +1069,11 @@ fn opt_f64_to_json(v: Option<f64>) -> Json {
     v.map_or(Json::Null, Json::F64)
 }
 
-fn cell_to_json(cell: &SweepCell) -> Json {
-    let s = &cell.stats;
-    let stats = Json::Obj(vec![
+/// Encodes measured statistics exactly as report cells do — shared
+/// with the cell cache so that served results are byte-identical to
+/// computed ones.
+pub(crate) fn stats_to_json(s: &SimStats) -> Json {
+    Json::Obj(vec![
         ("cycles".into(), Json::U64(s.cycles)),
         ("instructions".into(), Json::U64(s.instructions)),
         ("branches".into(), Json::U64(s.branches)),
@@ -920,7 +1109,31 @@ fn cell_to_json(cell: &SweepCell) -> Json {
         ("l1d_misses".into(), Json::U64(s.l1d_misses)),
         ("l1d_fill_cycles".into(), Json::U64(s.l1d_fill_cycles)),
         ("noc_messages".into(), Json::U64(s.noc_messages)),
-    ]);
+    ])
+}
+
+/// Encodes a sampled-cell summary exactly as report cells do (see
+/// [`stats_to_json`]).
+pub(crate) fn sampling_to_json(sampling: &CellSampling) -> Json {
+    Json::Obj(vec![
+        ("intervals".into(), Json::U64(sampling.intervals)),
+        ("ipc_mean".into(), f64_to_json(sampling.ipc.mean)),
+        ("ipc_ci95".into(), f64_to_json(sampling.ipc.ci95)),
+        ("l1i_mpki_mean".into(), f64_to_json(sampling.l1i_mpki.mean)),
+        ("l1i_mpki_ci95".into(), f64_to_json(sampling.l1i_mpki.ci95)),
+        (
+            "fe_stall_pki_mean".into(),
+            f64_to_json(sampling.fe_stall_pki.mean),
+        ),
+        (
+            "fe_stall_pki_ci95".into(),
+            f64_to_json(sampling.fe_stall_pki.ci95),
+        ),
+    ])
+}
+
+fn cell_to_json(cell: &SweepCell) -> Json {
+    let stats = stats_to_json(&cell.stats);
     let m = &cell.metrics;
     let metrics = Json::Obj(vec![
         ("ipc".into(), f64_to_json(m.ipc)),
@@ -941,32 +1154,15 @@ fn cell_to_json(cell: &SweepCell) -> Json {
     // Sampled sweeps only — full-detail cell JSON keeps its historical
     // byte shape.
     if let Some(sampling) = &cell.sampling {
-        members.push((
-            "sampling".into(),
-            Json::Obj(vec![
-                ("intervals".into(), Json::U64(sampling.intervals)),
-                ("ipc_mean".into(), f64_to_json(sampling.ipc.mean)),
-                ("ipc_ci95".into(), f64_to_json(sampling.ipc.ci95)),
-                ("l1i_mpki_mean".into(), f64_to_json(sampling.l1i_mpki.mean)),
-                ("l1i_mpki_ci95".into(), f64_to_json(sampling.l1i_mpki.ci95)),
-                (
-                    "fe_stall_pki_mean".into(),
-                    f64_to_json(sampling.fe_stall_pki.mean),
-                ),
-                (
-                    "fe_stall_pki_ci95".into(),
-                    f64_to_json(sampling.fe_stall_pki.ci95),
-                ),
-            ]),
-        ));
+        members.push(("sampling".into(), sampling_to_json(sampling)));
     }
     Json::Obj(members)
 }
 
-fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
-    let stats_doc = doc.req("stats")?;
+/// Decodes [`stats_to_json`] output.
+pub(crate) fn stats_from_json(stats_doc: &Json) -> Result<SimStats, String> {
     let u = |key: &str| stats_doc.req(key)?.as_u64();
-    let stats = SimStats {
+    Ok(SimStats {
         cycles: u("cycles")?,
         instructions: u("instructions")?,
         branches: u("branches")?,
@@ -997,7 +1193,31 @@ fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
         l1d_misses: u("l1d_misses")?,
         l1d_fill_cycles: u("l1d_fill_cycles")?,
         noc_messages: u("noc_messages")?,
-    };
+    })
+}
+
+/// Decodes [`sampling_to_json`] output.
+pub(crate) fn sampling_from_json(s: &Json) -> Result<CellSampling, String> {
+    let sf = |key: &str| s.req(key)?.as_f64();
+    Ok(CellSampling {
+        intervals: s.req("intervals")?.as_u64()?,
+        ipc: MeanCi {
+            mean: sf("ipc_mean")?,
+            ci95: sf("ipc_ci95")?,
+        },
+        l1i_mpki: MeanCi {
+            mean: sf("l1i_mpki_mean")?,
+            ci95: sf("l1i_mpki_ci95")?,
+        },
+        fe_stall_pki: MeanCi {
+            mean: sf("fe_stall_pki_mean")?,
+            ci95: sf("fe_stall_pki_ci95")?,
+        },
+    })
+}
+
+fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
+    let stats = stats_from_json(doc.req("stats")?)?;
     let metrics_doc = doc.req("metrics")?;
     let f = |key: &str| metrics_doc.req(key)?.as_f64();
     let opt_f = |key: &str| -> Result<Option<f64>, String> {
@@ -1017,24 +1237,7 @@ fn cell_from_json(doc: &Json) -> Result<SweepCell, String> {
     };
     let sampling = match doc.get("sampling") {
         None => None,
-        Some(s) => {
-            let sf = |key: &str| s.req(key)?.as_f64();
-            Some(CellSampling {
-                intervals: s.req("intervals")?.as_u64()?,
-                ipc: MeanCi {
-                    mean: sf("ipc_mean")?,
-                    ci95: sf("ipc_ci95")?,
-                },
-                l1i_mpki: MeanCi {
-                    mean: sf("l1i_mpki_mean")?,
-                    ci95: sf("l1i_mpki_ci95")?,
-                },
-                fe_stall_pki: MeanCi {
-                    mean: sf("fe_stall_pki_mean")?,
-                    ci95: sf("fe_stall_pki_ci95")?,
-                },
-            })
-        }
+        Some(s) => Some(sampling_from_json(s)?),
     };
     Ok(SweepCell {
         workload: WorkloadId(doc.req("workload")?.as_str()?.to_string()),

@@ -34,6 +34,7 @@
 //! println!("speedup {:.2}", cell.metrics.speedup.unwrap());
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod experiment;
 pub mod json;
@@ -42,15 +43,22 @@ mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod snapshot;
 pub mod source;
 
+pub use cache::{config_hash, CellKey, CellStore, CellValue, MemoryCellStore, ENGINE_VERSION};
 pub use engine::{EngineScheme, SchemeKind, Simulator};
-pub use experiment::{CellMetrics, Experiment, ProgressEvent, SweepCell, SweepReport, WorkloadId};
+pub use experiment::{
+    cells_executed, scheme_from_json, scheme_to_json, CellMetrics, Experiment, Interrupted,
+    ProgressEvent, SweepCell, SweepReport, WorkloadId,
+};
+pub use fe_trace::ProgramFingerprint;
 pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
 pub use runner::{
-    run_scheme, run_scheme_replayed, run_scheme_sampled, run_scheme_sampled_replayed, RunLength,
-    SchemeSpec,
+    run_scheme, run_scheme_replayed, run_scheme_sampled, run_scheme_sampled_replayed,
+    run_scheme_sampled_replayed_snapshot, RunLength, SchemeSpec,
 };
 pub use sampling::{CellSampling, MeanCi, SampledStats, SamplingSpec};
+pub use snapshot::{SnapshotKey, SnapshotStore, WarmSnapshot};
 pub use source::SourceKind;

@@ -13,6 +13,7 @@ use fe_baselines::{Boomerang, Confluence, ConfluenceConfig, Fdip, NoPrefetch};
 use crate::engine::{EngineScheme, Simulator};
 use crate::pipeline::{BPU_BLOCKS_PER_CYCLE, FETCH_LINES_PER_CYCLE, SUPPLY_CAP};
 use crate::sampling::{SampledStats, SamplingSpec};
+use crate::snapshot::{SnapshotKey, SnapshotStore};
 
 /// A control-flow-delivery scheme to evaluate.
 #[derive(Clone, Debug, PartialEq)]
@@ -348,6 +349,60 @@ pub fn run_scheme_sampled_replayed(
         trace.replayer(),
     );
     let stats = sim.run_sampled(len.warmup, len.measure, sampling);
+    assert!(
+        !stats.truncated,
+        "trace `{}` ran dry mid-sampled-run — record at least RunLength::trace_instrs instructions",
+        trace.header().name,
+    );
+    stats
+}
+
+/// [`run_scheme_sampled_replayed`] with warmed-state snapshots (see
+/// the [`snapshot`](crate::snapshot) module): on a store hit the
+/// initial functional warm of `len.warmup` instructions is replaced by
+/// a decode-skip plus a restore of the captured structures, which is
+/// bit-identical and many times faster; on a miss the run warms
+/// functionally and captures the state for next time. With
+/// `snapshots: None` this is exactly [`run_scheme_sampled_replayed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheme_sampled_replayed_snapshot(
+    program: &Program,
+    trace: &Trace,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    sampling: SamplingSpec,
+    seed: u64,
+    snapshots: Option<&SnapshotStore>,
+) -> SampledStats {
+    assert_trace_matches(trace, program, seed);
+    let scheme = spec.build(machine);
+    let mem = MemorySystem::new(machine);
+    let mut sim = Simulator::with_source(
+        program,
+        machine.clone(),
+        scheme,
+        seed,
+        mem,
+        trace.replayer(),
+    );
+    let key = snapshots
+        .map(|_| SnapshotKey::for_run(trace.header().fingerprint, machine, spec, seed, len.warmup));
+    let stats = match key.and_then(|k| snapshots.unwrap().get(&k)) {
+        Some(snap) => {
+            sim.restore_warm(&snap);
+            sim.run_sampled_measure(len.measure, sampling)
+        }
+        None => {
+            sim.warm_functional(len.warmup);
+            if let (Some(store), Some(key)) = (snapshots, key) {
+                if let Some(snap) = sim.capture_warm() {
+                    store.put(key, snap);
+                }
+            }
+            sim.run_sampled_measure(len.measure, sampling)
+        }
+    };
     assert!(
         !stats.truncated,
         "trace `{}` ran dry mid-sampled-run — record at least RunLength::trace_instrs instructions",

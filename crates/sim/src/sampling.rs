@@ -256,6 +256,15 @@ impl<'p> Simulator<'p> {
     /// silently measured zero intervals would report all-zero
     /// statistics.
     pub fn run_sampled(&mut self, warmup: u64, measure: u64, spec: SamplingSpec) -> SampledStats {
+        self.warm_functional(warmup);
+        self.run_sampled_measure(measure, spec)
+    }
+
+    /// The measured half of [`Self::run_sampled`]: assumes the initial
+    /// warmup already happened (functionally, or restored from a
+    /// [`WarmSnapshot`](crate::snapshot::WarmSnapshot)) and covers
+    /// `measure` instructions in `spec`-shaped intervals.
+    pub(crate) fn run_sampled_measure(&mut self, measure: u64, spec: SamplingSpec) -> SampledStats {
         if let Err(e) = spec.validate() {
             panic!("invalid sampling spec: {e}");
         }
@@ -265,7 +274,6 @@ impl<'p> Simulator<'p> {
              {}-instruction detail window (shrink the spec or run full detail)",
             spec.detail,
         );
-        self.warm_functional(warmup);
         let mut intervals = Vec::new();
         let end = self.state.retired_total.saturating_add(measure);
         while self.state.retired_total < end && !self.state.stream_ended() {
@@ -313,7 +321,7 @@ impl<'p> Simulator<'p> {
     /// the source through the update-only paths (no cycles, no memory
     /// traffic), stopping at the first block boundary at or past the
     /// target. Returns the instructions actually warmed.
-    fn warm_functional(&mut self, instrs: u64) -> u64 {
+    pub(crate) fn warm_functional(&mut self, instrs: u64) -> u64 {
         let mut warmed = 0u64;
         while warmed < instrs {
             // Blocks the timed pipeline already pulled ahead retire
@@ -378,7 +386,7 @@ impl<'p> Simulator<'p> {
     /// instructions without updating any state. Already-pulled oracle
     /// blocks count first; the rest goes through the source's seekable
     /// skip. Returns the instructions actually skipped.
-    fn skip_functional(&mut self, instrs: u64) -> u64 {
+    pub(crate) fn skip_functional(&mut self, instrs: u64) -> u64 {
         let mut skipped = 0u64;
         while skipped < instrs {
             let Some(front) = self.state.oracle.pop_front() else {

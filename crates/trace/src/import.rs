@@ -3,13 +3,15 @@
 //! The long-term goal (ROADMAP: scenario diversity) is to replay real
 //! captured workloads — CBP/ChampSim-style branch traces — through the
 //! timing model. This module is the format bridge: it converts an
-//! external branch stream into the native record format. It is an
-//! **experimental stub**: imported traces carry
-//! [`ProgramFingerprint::UNKNOWN`] and cannot yet drive the simulator,
-//! which needs a matching static [`Program`](fe_cfg::Program) image
-//! (BTB contents, predecode, footprints) that external traces do not
-//! ship. Reconstructing a program skeleton from the trace itself is
-//! the planned follow-up.
+//! external branch stream into the native record format. Imported
+//! traces carry a **content fingerprint** — an order-sensitive digest
+//! of the imported record stream itself (see [`ContentFingerprint`]) —
+//! so distinct captures are distinguishable and content-addressed
+//! tooling (result caches keyed by trace identity) works on them. They
+//! cannot yet drive the simulator, which needs a matching static
+//! [`Program`](fe_cfg::Program) image (BTB contents, predecode,
+//! footprints) that external traces do not ship; reconstructing a
+//! program skeleton from the trace itself is the planned follow-up.
 //!
 //! The accepted interchange format is textual, one branch record per
 //! line (`#` comments and blank lines ignored):
@@ -26,7 +28,52 @@
 use fe_model::addr::VA_BITS;
 use fe_model::{Addr, BasicBlock, BranchKind, RetiredBlock, INSTR_BYTES};
 
+use crate::codec::fnv1a_update;
 use crate::{ProgramFingerprint, Trace, TraceError, TraceWriter};
+
+/// Running content fingerprint over the imported record stream.
+///
+/// External traces ship no static program image, so an import's
+/// identity *is* its branch stream: the digest folds every imported
+/// record's fields in order, and `blocks` counts them — giving each
+/// distinct capture a distinct, deterministic [`ProgramFingerprint`]
+/// (never [`ProgramFingerprint::UNKNOWN`], whose `blocks` is 0 while a
+/// valid import has at least one record). Content addressing — result
+/// caches keyed by trace identity — needs this; the sentinel would
+/// alias every import to one cache line.
+struct ContentFingerprint {
+    digest: u64,
+    blocks: u64,
+}
+
+impl ContentFingerprint {
+    /// FNV-1a offset basis — matches the digest seed used everywhere
+    /// else in the codec.
+    fn new() -> Self {
+        ContentFingerprint {
+            digest: 0xcbf2_9ce4_8422_2325,
+            blocks: 0,
+        }
+    }
+
+    fn fold(&mut self, rb: &RetiredBlock) {
+        let mut bytes = [0u8; 26];
+        bytes[..8].copy_from_slice(&rb.block.start.get().to_le_bytes());
+        bytes[8..16].copy_from_slice(&rb.block.target.get().to_le_bytes());
+        bytes[16..24].copy_from_slice(&rb.next_pc.get().to_le_bytes());
+        bytes[24] = rb.block.kind as u8;
+        bytes[25] = rb.taken as u8;
+        self.digest = fnv1a_update(self.digest, &bytes);
+        self.blocks += 1;
+    }
+
+    fn finish(self) -> ProgramFingerprint {
+        ProgramFingerprint {
+            blocks: self.blocks,
+            digest: self.digest,
+        }
+    }
+}
 
 fn kind_from_letter(letter: &str) -> Option<BranchKind> {
     match letter {
@@ -122,16 +169,19 @@ fn parse_cbp_line(line: &str, lineno: usize) -> Result<Option<RetiredBlock>, Tra
 /// rejecting the whole import on the first malformed line with a
 /// line-numbered error.
 ///
-/// Returns a valid [`Trace`] whose fingerprint is
-/// [`ProgramFingerprint::UNKNOWN`]; it round-trips through the binary
-/// format and tooling (`trace inspect`), but replaying it requires a
-/// matching program image, which imports do not yet carry. For
-/// tolerating dirty captures, see [`import_cbp_lossy`].
+/// Returns a valid [`Trace`] fingerprinted by its own content (a
+/// digest of the imported record stream — deterministic, and distinct
+/// for distinct captures); it round-trips through the binary format
+/// and tooling (`trace inspect`), but replaying it requires a matching
+/// program image, which imports do not yet carry. For tolerating dirty
+/// captures, see [`import_cbp_lossy`].
 pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
     let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
+    let mut fingerprint = ContentFingerprint::new();
     for (lineno, line) in text.lines().enumerate() {
         if let Some(rb) = parse_cbp_line(line, lineno)? {
             writer.record(&rb);
+            fingerprint.fold(&rb);
         }
     }
     if writer.block_count() == 0 {
@@ -139,7 +189,7 @@ pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
             "import contains no branch records".into(),
         ));
     }
-    Ok(writer.finish())
+    Ok(writer.finish_with_fingerprint(fingerprint.finish()))
 }
 
 /// Like [`import_cbp`], but skips malformed lines instead of failing —
@@ -153,11 +203,15 @@ pub fn import_cbp(text: &str, name: &str) -> Result<Trace, TraceError> {
 /// CBP trace at all).
 pub fn import_cbp_lossy(text: &str, name: &str) -> Result<ImportReport, TraceError> {
     let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
+    let mut fingerprint = ContentFingerprint::new();
     let mut skipped = 0u64;
     let mut first_error = None;
     for (lineno, line) in text.lines().enumerate() {
         match parse_cbp_line(line, lineno) {
-            Ok(Some(rb)) => writer.record(&rb),
+            Ok(Some(rb)) => {
+                writer.record(&rb);
+                fingerprint.fold(&rb);
+            }
             Ok(None) => {}
             Err(e) => {
                 skipped += 1;
@@ -175,7 +229,7 @@ pub fn import_cbp_lossy(text: &str, name: &str) -> Result<ImportReport, TraceErr
     }
     let imported = writer.block_count();
     Ok(ImportReport {
-        trace: writer.finish(),
+        trace: writer.finish_with_fingerprint(fingerprint.finish()),
         imported,
         skipped,
         first_error,
@@ -212,7 +266,10 @@ mod tests {
         let trace = import_cbp(text, "demo").expect("imports");
         assert_eq!(trace.header().block_count, 3);
         assert_eq!(trace.header().instr_count, 3);
-        assert!(trace.header().fingerprint.is_unknown());
+        assert!(
+            !trace.header().fingerprint.is_unknown(),
+            "imports carry a real content fingerprint"
+        );
 
         let records: Vec<_> = trace.reader().map(|r| r.unwrap()).collect();
         assert_eq!(records[0].block.kind, BranchKind::Call);
@@ -223,6 +280,24 @@ mod tests {
 
         let back = Trace::from_bytes(&trace.to_bytes()).expect("binary round trip");
         assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn content_fingerprint_identifies_the_capture() {
+        let a = "0x1000 0x2000 L 1\n0x2000 0x0 C 0\n";
+        let b = "0x1000 0x2000 L 1\n0x2000 0x0 C 1\n"; // one flipped outcome
+        let fp = |text: &str| import_cbp(text, "t").unwrap().header().fingerprint;
+        assert_eq!(fp(a), fp(a), "fingerprint is deterministic");
+        assert_ne!(fp(a), fp(b), "different content, different fingerprint");
+        // Order matters: the stream is the identity, not a record set.
+        let swapped = "0x2000 0x0 C 0\n0x1000 0x2000 L 1\n";
+        assert_ne!(fp(a), fp(swapped));
+        // The name does not enter the fingerprint (same capture under
+        // two filenames is the same content).
+        assert_eq!(
+            import_cbp(a, "x").unwrap().header().fingerprint,
+            import_cbp(a, "y").unwrap().header().fingerprint,
+        );
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl From<std::io::Error> for TraceError {
 /// Identity of the program a trace was recorded against, carried in
 /// the header so replay can refuse a mismatched program (a trace is
 /// only meaningful against the exact code layout it walked).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ProgramFingerprint {
     /// Block count of the program.
     pub blocks: u64,
@@ -410,13 +410,22 @@ impl TraceWriter {
 
     /// Seals the recording.
     pub fn finish(self) -> Trace {
+        let fingerprint = self.fingerprint;
+        self.finish_with_fingerprint(fingerprint)
+    }
+
+    /// Seals the recording under a fingerprint computed *during*
+    /// recording — for sources (importers) whose identity is the
+    /// record stream itself rather than a static program known
+    /// up front.
+    pub fn finish_with_fingerprint(self, fingerprint: ProgramFingerprint) -> Trace {
         Trace {
             header: TraceHeader {
                 name: self.name,
                 seed: self.seed,
                 block_count: self.block_count,
                 instr_count: self.instr_count,
-                fingerprint: self.fingerprint,
+                fingerprint,
             },
             payload: self.payload,
         }

@@ -1,0 +1,248 @@
+//! Content-addressed cell cache invariants: structural config hashing
+//! (field order and JSON round-trips must not change a key), engine
+//! versioning (a bumped engine invalidates every entry), and
+//! cache-backed sweeps (served results byte-identical to computed
+//! ones, with repeated sweeps recomputing nothing).
+//!
+//! This file owns the only tests that assert on the process-global
+//! `fe_sim::cells_executed` / `fe_cfg::exec::walks_started` deltas
+//! outside `record_once.rs` — keep counter-delta assertions within a
+//! single `#[test]` so parallel test threads cannot interfere.
+
+use std::sync::Arc;
+
+use fe_cfg::workloads;
+use fe_model::MachineConfig;
+use fe_sim::cache::cell_config_json;
+use fe_sim::json::{self, Json};
+use fe_sim::{
+    config_hash, CellKey, CellStore, Experiment, MemoryCellStore, ProgramFingerprint, RunLength,
+    SamplingSpec, SchemeSpec,
+};
+use proptest::prelude::*;
+use shotgun::ShotgunConfig;
+
+/// Deterministically reorders every object's members (rotation by
+/// `rot`, applied recursively) — a permutation oracle for structural
+/// hashing.
+fn reorder(doc: &Json, rot: usize) -> Json {
+    match doc {
+        Json::Arr(items) => Json::Arr(items.iter().map(|i| reorder(i, rot)).collect()),
+        Json::Obj(members) => {
+            let mut rotated: Vec<(String, Json)> = members
+                .iter()
+                .map(|(k, v)| (k.clone(), reorder(v, rot)))
+                .collect();
+            if !rotated.is_empty() {
+                let mid = rot % rotated.len();
+                rotated.rotate_left(mid);
+            }
+            Json::Obj(rotated)
+        }
+        other => other.clone(),
+    }
+}
+
+fn a_scheme(which: usize) -> SchemeSpec {
+    match which % 4 {
+        0 => SchemeSpec::NoPrefetch,
+        1 => SchemeSpec::boomerang(),
+        2 => SchemeSpec::Confluence,
+        _ => SchemeSpec::Shotgun(ShotgunConfig::default()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The config hash is structural: reordering object members or
+    /// round-tripping the document through rendered JSON must produce
+    /// the same hash, or cache keys would depend on encoder quirks.
+    #[test]
+    fn config_hash_is_order_and_roundtrip_invariant(
+        which in 0usize..4,
+        seed in 0u64..1 << 48,
+        warmup in 1_000u64..1_000_000,
+        measure in 10_000u64..10_000_000,
+        sampled in any::<bool>(),
+        rot in 1usize..7,
+    ) {
+        let sampling = sampled.then_some(SamplingSpec::DEFAULT);
+        let doc = cell_config_json(
+            &MachineConfig::table3(),
+            &a_scheme(which),
+            RunLength { warmup, measure },
+            seed,
+            sampling,
+        );
+        let baseline = config_hash(&doc);
+        prop_assert_eq!(
+            config_hash(&reorder(&doc, rot)),
+            baseline,
+            "member order must not matter"
+        );
+        let reparsed = json::parse(&doc.render()).expect("canonical JSON reparses");
+        prop_assert_eq!(
+            config_hash(&reparsed),
+            baseline,
+            "render/parse round trip must not matter"
+        );
+    }
+
+    /// Distinct run configurations must produce distinct hashes (the
+    /// other half of being a usable key).
+    #[test]
+    fn config_hash_separates_distinct_configs(
+        which in 0usize..4,
+        seed in 0u64..1 << 48,
+        warmup in 1_000u64..1_000_000,
+        measure in 10_000u64..10_000_000,
+    ) {
+        let len = RunLength { warmup, measure };
+        let machine = MachineConfig::table3();
+        let base = config_hash(&cell_config_json(&machine, &a_scheme(which), len, seed, None));
+        let bumped_seed =
+            config_hash(&cell_config_json(&machine, &a_scheme(which), len, seed + 1, None));
+        let other_scheme =
+            config_hash(&cell_config_json(&machine, &a_scheme(which + 1), len, seed, None));
+        prop_assert!(base != bumped_seed, "seed must feed the hash");
+        prop_assert!(base != other_scheme, "scheme must feed the hash");
+    }
+}
+
+#[test]
+fn engine_version_bump_invalidates_every_entry() {
+    let store = MemoryCellStore::new();
+    let machine = MachineConfig::table3();
+    // Populate entries across schemes/seeds under the current engine
+    // version, then look every one of them up as the next engine
+    // version would: none may be served, and every address changes.
+    let keys: Vec<CellKey> = (0..8)
+        .map(|i| {
+            CellKey::for_cell(
+                ProgramFingerprint {
+                    blocks: 100 + i,
+                    digest: 0xfeed + i,
+                },
+                &machine,
+                &a_scheme(i as usize),
+                RunLength::SMOKE,
+                i,
+                (i % 2 == 0).then_some(SamplingSpec::DEFAULT),
+            )
+        })
+        .collect();
+    for key in &keys {
+        store.put(
+            key,
+            &fe_sim::CellValue {
+                stats: Default::default(),
+                sampling: None,
+            },
+        );
+    }
+    for key in &keys {
+        assert!(
+            store.get(key).is_some(),
+            "sanity: served under same version"
+        );
+        let bumped = CellKey {
+            engine_version: key.engine_version + 1,
+            ..*key
+        };
+        assert!(
+            store.get(&bumped).is_none(),
+            "a bumped engine version must miss every existing entry"
+        );
+        assert_ne!(
+            key.address(),
+            bumped.address(),
+            "the content address must encode the engine version"
+        );
+    }
+}
+
+/// The tentpole guarantee, in-process: a sweep run against a warm cache
+/// is byte-identical to the sweep that populated it, recomputes zero
+/// cells, and skips the executor walks entirely.
+#[test]
+fn cached_sweep_is_byte_identical_and_recomputes_nothing() {
+    let store = Arc::new(MemoryCellStore::new());
+    let len = RunLength {
+        warmup: 20_000,
+        measure: 50_000,
+    };
+    let sweep = |store: Arc<MemoryCellStore>| {
+        Experiment::new(MachineConfig::table3())
+            .workload(workloads::nutch().scaled(0.05))
+            .workload(workloads::zeus().scaled(0.05))
+            .schemes([
+                SchemeSpec::NoPrefetch,
+                SchemeSpec::boomerang(),
+                SchemeSpec::shotgun(),
+            ])
+            .len(len)
+            .seed(9)
+            .threads(2)
+            .cell_store(store)
+            .run()
+    };
+
+    let cells0 = fe_sim::cells_executed();
+    let cold = sweep(Arc::clone(&store));
+    let computed = fe_sim::cells_executed() - cells0;
+    assert_eq!(computed, 6, "cold sweep computes every cell");
+    assert_eq!(store.puts(), 6, "...and persists every cell");
+
+    let walks0 = fe_cfg::exec::walks_started();
+    let cells1 = fe_sim::cells_executed();
+    let warm = sweep(store);
+    assert_eq!(
+        fe_sim::cells_executed() - cells1,
+        0,
+        "warm sweep recomputes nothing"
+    );
+    assert_eq!(
+        fe_cfg::exec::walks_started() - walks0,
+        0,
+        "fully cached workloads skip the executor walk and recording"
+    );
+    assert_eq!(
+        cold.to_json(),
+        warm.to_json(),
+        "served results must be byte-identical to computed ones"
+    );
+}
+
+/// Same guarantee in sampled mode, where cached cells carry the
+/// sampling summary and the snapshot store rides along.
+#[test]
+fn cached_sampled_sweep_is_byte_identical() {
+    let store = Arc::new(MemoryCellStore::new());
+    let snapshots = Arc::new(fe_sim::SnapshotStore::new());
+    let sweep = |store: Arc<MemoryCellStore>, snapshots: Arc<fe_sim::SnapshotStore>| {
+        Experiment::new(MachineConfig::table3())
+            .workload(workloads::nutch().scaled(0.05))
+            .schemes([SchemeSpec::NoPrefetch, SchemeSpec::shotgun()])
+            .len(RunLength {
+                warmup: 60_000,
+                measure: 300_000,
+            })
+            .sampling(SamplingSpec {
+                interval: 100_000,
+                detail: 20_000,
+                warmup: 20_000,
+            })
+            .seed(9)
+            .cell_store(store)
+            .snapshots(snapshots)
+            .run()
+    };
+    let cold = sweep(Arc::clone(&store), Arc::clone(&snapshots));
+    assert_eq!(snapshots.len(), 2, "one warm snapshot per scheme");
+    let warm = sweep(store, snapshots);
+    assert_eq!(cold.to_json(), warm.to_json());
+    for cell in &warm.cells {
+        assert!(cell.sampling.is_some(), "sampled cells keep their summary");
+    }
+}

@@ -1,0 +1,164 @@
+//! Experiment-service integration: checkpoint/resume after a mid-sweep
+//! shutdown and graceful-shutdown semantics (the TCP round trip lives
+//! in `serve_tcp.rs`).
+//!
+//! The kill/resume test relies on the process-global
+//! `fe_sim::cells_executed` counter; its delta assertions live in one
+//! `#[test]` and the other tests here run no sweeps at all, so the
+//! parallel test threads cannot skew the deltas.
+
+use std::path::PathBuf;
+
+use fe_cfg::workloads;
+use fe_model::MachineConfig;
+use fe_serve::{ExperimentService, JobSpec, JobState, JobWorkload};
+use fe_sim::{Experiment, RunLength, SchemeSpec};
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fe-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const LEN: RunLength = RunLength {
+    warmup: 20_000,
+    measure: 50_000,
+};
+
+fn small_job() -> JobSpec {
+    JobSpec {
+        workloads: vec![
+            JobWorkload {
+                name: "nutch".into(),
+                scale: Some(0.05),
+            },
+            JobWorkload {
+                name: "zeus".into(),
+                scale: Some(0.05),
+            },
+        ],
+        schemes: vec![
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ],
+        len: LEN,
+        seed: 9,
+        sampling: None,
+        threads: 1,
+    }
+}
+
+/// The exact sweep `small_job` describes, run directly — the
+/// uninterrupted control every service path must reproduce
+/// byte-identically.
+fn control_report() -> String {
+    Experiment::new(MachineConfig::table3())
+        .workload(workloads::nutch().scaled(0.05))
+        .workload(workloads::zeus().scaled(0.05))
+        .schemes([
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ])
+        .len(LEN)
+        .seed(9)
+        .threads(1)
+        .run()
+        .to_json()
+}
+
+#[test]
+fn killed_service_resumes_without_recomputing() {
+    let root = tmp_root("resume");
+    let spec = small_job();
+    let total = spec.cell_count() as u64;
+    let control = control_report();
+    let cells_before = fe_sim::cells_executed();
+
+    // Phase 1: submit, let the first cell finish, then shut down
+    // gracefully mid-sweep ("kill" the daemon as SIGTERM would).
+    let interrupted_cells;
+    {
+        let service = ExperimentService::open(&root).expect("opens");
+        let (id, progress) = service.submit(&spec).expect("accepts");
+        let first = progress.recv().expect("at least one cell completes");
+        assert!(!first.cached, "a fresh root has nothing cached");
+        service.shutdown();
+        let state = service.wait(id).expect("job tracked");
+        interrupted_cells = fe_sim::cells_executed() - cells_before;
+        assert!(
+            matches!(state, JobState::Interrupted),
+            "shutdown after the first of {total} cells must interrupt, got {state:?}"
+        );
+        assert!(
+            interrupted_cells < total,
+            "sanity: the sweep must not have finished before shutdown"
+        );
+        assert!(
+            root.join("jobs").join("1.json").exists(),
+            "the pending spec must survive shutdown"
+        );
+        assert!(
+            root.join("jobs").join("1.ckpt.json").exists(),
+            "the checkpoint must survive shutdown"
+        );
+    }
+
+    // Phase 2: a fresh service over the same root resumes the pending
+    // job by itself and completes it from the cache + fresh compute.
+    let service = ExperimentService::open(&root).expect("reopens");
+    let resumed = service.wait(1).expect("pending job re-enqueued");
+    let JobState::Done(report) = resumed else {
+        panic!("resumed job must complete, got {resumed:?}");
+    };
+    assert_eq!(
+        fe_sim::cells_executed() - cells_before,
+        total,
+        "across kill + resume, every cell is computed exactly once"
+    );
+    assert_eq!(
+        report.as_str(),
+        &control,
+        "resumed report must be byte-identical to an uninterrupted run"
+    );
+    assert!(
+        !root.join("jobs").join("1.json").exists(),
+        "completed jobs leave the pending queue"
+    );
+    assert!(
+        root.join("jobs").join("1.report.json").exists(),
+        "the report is durable"
+    );
+    drop(service);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn draining_service_refuses_new_jobs() {
+    let root = tmp_root("refuse");
+    let service = ExperimentService::open(&root).expect("opens");
+    service.shutdown();
+    assert!(service.is_draining());
+    let err = service.submit(&small_job()).expect_err("must refuse");
+    assert!(
+        err.contains("shut"),
+        "refusal must say the service is shutting down: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn malformed_submissions_are_refused_politely() {
+    let root = tmp_root("badjob");
+    let service = ExperimentService::open(&root).expect("opens");
+    let doc = fe_sim::json::parse(
+        r#"{"workloads": [{"name": "no-such-workload"}], "schemes": [{"kind": "fdip"}],
+            "warmup": 1000, "measure": 1000, "seed": 1}"#,
+    )
+    .unwrap();
+    let err = JobSpec::from_json(&doc).expect_err("unknown workload");
+    assert!(err.contains("no-such-workload"));
+    drop(service);
+    let _ = std::fs::remove_dir_all(&root);
+}

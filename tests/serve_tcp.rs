@@ -1,0 +1,70 @@
+//! TCP protocol round trip against a live `fe-serve` daemon core:
+//! a repeated submission must be a 100% cache hit with a report
+//! byte-identical to the computed one.
+//!
+//! Lives in its own file (= its own test process) so its sweeps cannot
+//! race the process-global counter deltas asserted in
+//! `serve_service.rs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fe_serve::{submit_job, ExperimentService, JobSpec, JobWorkload, Server};
+use fe_sim::{RunLength, SchemeSpec};
+
+fn tmp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fe-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const LEN: RunLength = RunLength {
+    warmup: 20_000,
+    measure: 50_000,
+};
+
+#[test]
+fn tcp_round_trip_serves_second_submission_from_cache() {
+    let root = tmp_root("tcp");
+    let service = Arc::new(ExperimentService::open(&root).expect("opens"));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("binds");
+    let addr = server.local_addr().expect("bound").to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.run_until(&stop))
+    };
+
+    let spec = JobSpec {
+        workloads: vec![JobWorkload {
+            name: "nutch".into(),
+            scale: Some(0.05),
+        }],
+        schemes: vec![SchemeSpec::NoPrefetch, SchemeSpec::shotgun()],
+        len: LEN,
+        seed: 9,
+        sampling: None,
+        threads: 1,
+    };
+    let total = spec.cell_count();
+
+    let first = submit_job(&addr, &spec).expect("first submission");
+    assert_eq!(first.progress.len(), total, "one tick per cell");
+    assert_eq!(first.cached_cells(), 0, "cold cache computes everything");
+
+    let second = submit_job(&addr, &spec).expect("second submission");
+    assert_eq!(
+        second.cached_cells(),
+        total,
+        "the repeated sweep must be a 100% cache hit"
+    );
+    assert_eq!(
+        second.report, first.report,
+        "served report must be byte-identical to the computed one"
+    );
+    assert!(second.job_id > first.job_id);
+
+    stop.store(true, Ordering::SeqCst);
+    server_thread.join().expect("server drains");
+    let _ = std::fs::remove_dir_all(&root);
+}
