@@ -12,24 +12,36 @@
 //! * `full` — live execution: the executor walk feeds the cycle-level
 //!   pipeline directly.
 //! * `replay` — trace-driven: the same stream decoded from an
-//!   `fe-trace` recording (recorded once per workload, untimed).
+//!   `fe-trace` recording (recorded once per workload, untimed). This
+//!   is the *serial* reference the batch speedup is judged against.
 //! * `sampled` — interval sampling with functional warming over the
 //!   recorded trace (the paper-scale mode). Its MIPS counts *covered*
 //!   instructions — skip + warm + detail — which is precisely why
 //!   sampling exists.
+//! * `batch` — the shared-decode batch engine: one pass over the
+//!   recording drives every scheme's pipeline in lockstep. Per-cell
+//!   numbers are *effective* MIPS (the group's wall clock split evenly
+//!   across its cells), so the batch column is directly comparable to
+//!   the serial `replay` column for the same cell.
+//! * `batch-sampled` — the batch engine in sampled mode, against the
+//!   serial `sampled` column.
 //!
 //! Wall-clock numbers live only in `BENCH_perf.json`. Deterministic
 //! sweep reports (`BENCH_fig*.json`, the pinned engine fixture) carry
 //! no timing fields, so this harness can run anywhere without
 //! perturbing byte-identical report diffs. As a self-check, the harness
-//! asserts that `full` and `replay` produce bit-identical statistics.
+//! asserts that `full`, `replay`, and `batch` produce bit-identical
+//! statistics (and `sampled` vs `batch-sampled` likewise).
 //!
 //! Knobs beyond the standard set (`SHOTGUN_INSTRS`/`_WARMUP`/`_SCALE`,
 //! `SHOTGUN_JSON_DIR`, `SHOTGUN_SAMPLING*`):
 //!
-//! * `SHOTGUN_PERF_MIN_MIPS=<x>` — exit non-zero when the overall
-//!   full-detail MIPS falls below `x` (the CI regression floor).
-//! * `SHOTGUN_PERF_MODES=full,replay,sampled` — subset of modes to run.
+//! * `SHOTGUN_PERF_MIN_MIPS=<x>` — exit non-zero when the gated MIPS
+//!   pool falls below `x` (the CI regression floor). The gate prefers
+//!   the `batch` pool — the throughput sweeps actually run at — and
+//!   falls back to `full`, then to the first enabled mode.
+//! * `SHOTGUN_PERF_MODES=full,replay,sampled,batch,batch-sampled` —
+//!   subset of modes to run.
 
 use std::time::Instant;
 
@@ -38,8 +50,8 @@ use fe_cfg::WorkloadSpec;
 use fe_model::SimStats;
 use fe_sim::json::Json;
 use fe_sim::{
-    run_scheme, run_scheme_replayed, run_scheme_sampled_replayed, RunLength, SamplingSpec,
-    SchemeSpec,
+    run_scheme, run_scheme_replayed, run_scheme_sampled_replayed, run_schemes_batch_replayed,
+    run_schemes_batch_sampled_replayed, RunLength, SampledStats, SamplingSpec, SchemeSpec,
 };
 use fe_trace::Trace;
 
@@ -62,13 +74,23 @@ fn schemes() -> Vec<SchemeSpec> {
     ]
 }
 
+const ALL_MODES: [&str; 5] = ["full", "replay", "sampled", "batch", "batch-sampled"];
+
 fn enabled_modes() -> Vec<String> {
     std::env::var("SHOTGUN_PERF_MODES")
-        .unwrap_or_else(|_| "full,replay,sampled".into())
+        .unwrap_or_else(|_| ALL_MODES.join(","))
         .split(',')
         .map(|m| m.trim().to_string())
         .filter(|m| !m.is_empty())
         .collect()
+}
+
+/// Interns a validated mode string to the `&'static str` cells carry.
+fn static_mode(mode: &str) -> &'static str {
+    ALL_MODES
+        .iter()
+        .find(|m| **m == mode)
+        .expect("modes validated at startup")
 }
 
 fn main() {
@@ -89,34 +111,37 @@ fn main() {
         std::process::exit(2);
     }
     for mode in &modes {
-        if !matches!(mode.as_str(), "full" | "replay" | "sampled") {
+        if !ALL_MODES.contains(&mode.as_str()) {
             eprintln!("unknown mode `{mode}` in SHOTGUN_PERF_MODES");
             std::process::exit(2);
         }
     }
+    let has = |m: &str| modes.iter().any(|x| x == m);
     let covered = len.warmup + len.measure;
     let workloads: Vec<WorkloadSpec> = suite();
+    let specs = schemes();
 
     let mut cells: Vec<PerfCell> = Vec::new();
     for wl in &workloads {
         let program = wl.build();
-        // Record once (untimed): replay and sampled modes share it.
-        let trace = (modes.iter().any(|m| m == "replay" || m == "sampled"))
+        // Record once (untimed): every trace-driven mode shares it.
+        let trace = (modes.iter().any(|m| m != "full"))
             .then(|| Trace::record(&program, SEED, len.trace_instrs(&machine)));
-        for spec in schemes() {
+        let mut replay_stats: Vec<Option<SimStats>> = vec![None; specs.len()];
+        let mut sampled_stats: Vec<Option<SampledStats>> = vec![None; specs.len()];
+        for (si, spec) in specs.iter().enumerate() {
             let mut full_stats: Option<SimStats> = None;
-            let mut replay_stats: Option<SimStats> = None;
             for mode in &modes {
                 let t0 = Instant::now();
                 match mode.as_str() {
                     "full" => {
-                        full_stats = Some(run_scheme(&program, &spec, &machine, len, SEED));
+                        full_stats = Some(run_scheme(&program, spec, &machine, len, SEED));
                     }
                     "replay" => {
-                        replay_stats = Some(run_scheme_replayed(
+                        replay_stats[si] = Some(run_scheme_replayed(
                             &program,
                             trace.as_ref().expect("trace recorded"),
-                            &spec,
+                            spec,
                             &machine,
                             len,
                             SEED,
@@ -128,42 +153,34 @@ fn main() {
                         if len.measure < sampling.detail {
                             continue;
                         }
-                        let _ = run_scheme_sampled_replayed(
+                        sampled_stats[si] = Some(run_scheme_sampled_replayed(
                             &program,
                             trace.as_ref().expect("trace recorded"),
-                            &spec,
+                            spec,
                             &machine,
                             len,
                             sampling,
                             SEED,
-                        );
+                        ));
                     }
-                    _ => unreachable!("modes validated above"),
+                    // Batch modes run once per workload group, below.
+                    _ => continue,
                 }
                 let wall = t0.elapsed().as_secs_f64();
-                let cell = PerfCell {
-                    workload: wl.name.clone(),
-                    scheme: spec.label(),
-                    mode: match mode.as_str() {
-                        "full" => "full",
-                        "replay" => "replay",
-                        _ => "sampled",
-                    },
-                    instructions: covered,
-                    wall_ms: wall * 1e3,
-                    mips: covered as f64 / wall / 1e6,
-                };
-                eprintln!(
-                    "[{:>9}] {:12} {:12} {:9.1} ms  {:7.2} MIPS",
-                    cell.mode, cell.workload, cell.scheme, cell.wall_ms, cell.mips,
+                push_cell(
+                    &mut cells,
+                    wl.name.clone(),
+                    spec.label(),
+                    static_mode(mode),
+                    covered,
+                    wall,
                 );
-                cells.push(cell);
             }
             // Self-check: replay must be bit-identical to live
             // execution whenever both modes ran, whatever their order
             // in SHOTGUN_PERF_MODES (wall-clock differs, stats must
             // not).
-            if let (Some(full), Some(replay)) = (&full_stats, &replay_stats) {
+            if let (Some(full), Some(replay)) = (&full_stats, &replay_stats[si]) {
                 assert_eq!(
                     replay,
                     full,
@@ -173,29 +190,96 @@ fn main() {
                 );
             }
         }
+        // The batch engine decodes the recording once and drives every
+        // scheme's pipeline from the shared stream; wall clock covers
+        // the whole group, so each cell is charged an even share.
+        if has("batch") {
+            let trace = trace.as_ref().expect("trace recorded");
+            let t0 = Instant::now();
+            let stats = run_schemes_batch_replayed(&program, trace, &specs, &machine, len, SEED);
+            let wall = t0.elapsed().as_secs_f64() / specs.len() as f64;
+            for (si, spec) in specs.iter().enumerate() {
+                // Self-check: the batch engine must be bit-identical to
+                // the serial trace-driven run.
+                if let Some(replay) = &replay_stats[si] {
+                    assert_eq!(
+                        &stats[si],
+                        replay,
+                        "batch diverged from serial replay on ({}, {})",
+                        wl.name,
+                        spec.label(),
+                    );
+                }
+                push_cell(
+                    &mut cells,
+                    wl.name.clone(),
+                    spec.label(),
+                    "batch",
+                    covered,
+                    wall,
+                );
+            }
+        }
+        if has("batch-sampled") && len.measure >= sampling.detail {
+            let trace = trace.as_ref().expect("trace recorded");
+            let t0 = Instant::now();
+            let stats = run_schemes_batch_sampled_replayed(
+                &program, trace, &specs, &machine, len, sampling, SEED,
+            );
+            let wall = t0.elapsed().as_secs_f64() / specs.len() as f64;
+            for (si, spec) in specs.iter().enumerate() {
+                if let Some(sampled) = &sampled_stats[si] {
+                    assert_eq!(
+                        &stats[si],
+                        sampled,
+                        "batch-sampled diverged from serial sampled on ({}, {})",
+                        wl.name,
+                        spec.label(),
+                    );
+                }
+                push_cell(
+                    &mut cells,
+                    wl.name.clone(),
+                    spec.label(),
+                    "batch-sampled",
+                    covered,
+                    wall,
+                );
+            }
+        }
     }
 
     // Per-mode summary table.
     println!(
-        "\n{:10} {:>14} {:>12} {:>10}",
+        "\n{:14} {:>14} {:>12} {:>10}",
         "mode", "instructions", "wall ms", "MIPS"
     );
-    for mode in ["full", "replay", "sampled"] {
+    for mode in ALL_MODES {
         if let Some(pool) = pool_mode(&cells, mode) {
             println!(
-                "{:10} {:>14} {:>12.1} {:>10.2}",
+                "{:14} {:>14} {:>12.1} {:>10.2}",
                 mode, pool.instructions, pool.wall_ms, pool.mips
             );
         }
     }
+    if let Some(s) = speedup(&cells, "batch", "replay") {
+        println!("\nbatch speedup over serial replay: {s:.2}x");
+    }
+    if let Some(s) = speedup(&cells, "batch-sampled", "sampled") {
+        println!("batch-sampled speedup over serial sampled: {s:.2}x");
+    }
 
     write_perf_json(&cells, len, sampling, &modes);
 
-    // The CI regression floor: overall full-detail MIPS. When `full`
-    // is disabled, gate on the first enabled mode alone — pooling
-    // sampled covered-MIPS with timed modes would inflate the gated
-    // number far past any useful floor.
-    let (gate_mode, gate_mips) = if let Some(pool) = pool_mode(&cells, "full") {
+    // The CI regression floor. Gate on the batch pool when it was
+    // measured — sweeps run batched by default, so that is the
+    // throughput that matters — falling back to serial full detail,
+    // then to the first enabled mode alone. Pooling sampled
+    // covered-MIPS with timed modes would inflate the gated number far
+    // past any useful floor, hence a single-mode gate.
+    let (gate_mode, gate_mips) = if let Some(pool) = pool_mode(&cells, "batch") {
+        ("batch", Some(pool.mips))
+    } else if let Some(pool) = pool_mode(&cells, "full") {
         ("full", Some(pool.mips))
     } else {
         let first = modes.first().map(String::as_str).unwrap_or("full");
@@ -221,9 +305,33 @@ fn main() {
     }
 }
 
+/// Records and prints one measured cell.
+fn push_cell(
+    cells: &mut Vec<PerfCell>,
+    workload: String,
+    scheme: String,
+    mode: &'static str,
+    instructions: u64,
+    wall: f64,
+) {
+    let cell = PerfCell {
+        workload,
+        scheme,
+        mode,
+        instructions,
+        wall_ms: wall * 1e3,
+        mips: instructions as f64 / wall / 1e6,
+    };
+    eprintln!(
+        "[{:>13}] {:12} {:12} {:9.1} ms  {:7.2} MIPS",
+        cell.mode, cell.workload, cell.scheme, cell.wall_ms, cell.mips,
+    );
+    cells.push(cell);
+}
+
 /// Pooled totals for one mode's cells — the single aggregation the
-/// summary table, the CI gate, and the JSON `full_mips` field all
-/// share (so they cannot drift apart).
+/// summary table, the CI gate, and the JSON summary fields all share
+/// (so they cannot drift apart).
 struct ModePool {
     instructions: u64,
     wall_ms: f64,
@@ -242,6 +350,14 @@ fn pool_mode(cells: &[PerfCell], mode: &str) -> Option<ModePool> {
         wall_ms,
         mips: instructions as f64 / (wall_ms / 1e3) / 1e6,
     })
+}
+
+/// Pooled-MIPS ratio of `fast` over `slow`, when both modes ran.
+fn speedup(cells: &[PerfCell], fast: &str, slow: &str) -> Option<f64> {
+    match (pool_mode(cells, fast), pool_mode(cells, slow)) {
+        (Some(f), Some(s)) => Some(f.mips / s.mips),
+        _ => None,
+    }
 }
 
 /// Emits `BENCH_perf.json` under `SHOTGUN_JSON_DIR`. All wall-clock
@@ -286,7 +402,8 @@ fn write_perf_json(cells: &[PerfCell], len: RunLength, sampling: SamplingSpec, m
     );
     let total_instrs: u64 = cells.iter().map(|c| c.instructions).sum();
     let total_wall_ms: f64 = cells.iter().map(|c| c.wall_ms).sum();
-    let full_mips = pool_mode(cells, "full").map_or(Json::Null, |p| Json::F64(p.mips));
+    let mode_mips = |mode: &str| pool_mode(cells, mode).map_or(Json::Null, |p| Json::F64(p.mips));
+    let ratio = |fast: &str, slow: &str| speedup(cells, fast, slow).map_or(Json::Null, Json::F64);
     let min_cell = cells.iter().map(|c| c.mips).fold(f64::INFINITY, f64::min);
     let summary = Json::Obj(vec![
         ("total_instructions".into(), Json::U64(total_instrs)),
@@ -295,7 +412,16 @@ fn write_perf_json(cells: &[PerfCell], len: RunLength, sampling: SamplingSpec, m
             "overall_mips".into(),
             Json::F64(total_instrs as f64 / (total_wall_ms / 1e3) / 1e6),
         ),
-        ("full_mips".into(), full_mips),
+        ("full_mips".into(), mode_mips("full")),
+        ("batch_mips".into(), mode_mips("batch")),
+        // The tentpole ratio: shared-decode batch engine over the
+        // serial trace-driven path, full detail. CI asserts a floor on
+        // this field.
+        ("batch_speedup".into(), ratio("batch", "replay")),
+        (
+            "batch_sampled_speedup".into(),
+            ratio("batch-sampled", "sampled"),
+        ),
         (
             "min_cell_mips".into(),
             if min_cell.is_finite() {

@@ -4,12 +4,15 @@
 //! jobs stay on disk for the next start).
 //!
 //! ```text
-//! fe-serve [--root DIR] [--addr HOST:PORT]
+//! fe-serve [--root DIR] [--addr HOST:PORT] [--cache-max-bytes N]
 //! ```
 //!
 //! Defaults: root `fe-serve-data` in the working directory, address
 //! `127.0.0.1:7407`. `--addr 127.0.0.1:0` picks a free port and prints
-//! it.
+//! it. `--cache-max-bytes` bounds the disk cell cache: after every
+//! finished job the least-recently-used cells are evicted until the
+//! cache fits (underscores allowed, e.g. `512_000_000`); without the
+//! flag the cache grows unbounded.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +46,7 @@ fn install_signal_handlers() {
 fn main() -> ExitCode {
     let mut root = String::from("fe-serve-data");
     let mut addr = String::from("127.0.0.1:7407");
+    let mut cache_max_bytes = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,8 +58,17 @@ fn main() -> ExitCode {
                 Some(v) => addr = v,
                 None => return usage("--addr needs host:port"),
             },
+            "--cache-max-bytes" => {
+                match args
+                    .next()
+                    .and_then(|v| v.replace('_', "").parse::<u64>().ok())
+                {
+                    Some(v) => cache_max_bytes = Some(v),
+                    None => return usage("--cache-max-bytes needs a byte count"),
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: fe-serve [--root DIR] [--addr HOST:PORT]");
+                println!("usage: fe-serve [--root DIR] [--addr HOST:PORT] [--cache-max-bytes N]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -63,7 +76,7 @@ fn main() -> ExitCode {
     }
 
     install_signal_handlers();
-    let service = match ExperimentService::open(&root) {
+    let service = match ExperimentService::open_with_cache_limit(&root, cache_max_bytes) {
         Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("fe-serve: cannot open root `{root}`: {e}");
@@ -87,6 +100,8 @@ fn main() -> ExitCode {
 }
 
 fn usage(problem: &str) -> ExitCode {
-    eprintln!("fe-serve: {problem}\nusage: fe-serve [--root DIR] [--addr HOST:PORT]");
+    eprintln!(
+        "fe-serve: {problem}\nusage: fe-serve [--root DIR] [--addr HOST:PORT] [--cache-max-bytes N]"
+    );
     ExitCode::FAILURE
 }

@@ -212,6 +212,11 @@ pub struct JobProgress {
     pub scheme: String,
     /// Served from the result cache instead of simulated.
     pub cached: bool,
+    /// Batch-group id when the cell ran on the sweep's shared-decode
+    /// batch engine (cells of one group share one trace pass); `None`
+    /// for serial, cached, and mix cells. Additive — absent on the
+    /// wire for non-batched cells.
+    pub batch_id: Option<u64>,
 }
 
 struct JobTable {
@@ -238,6 +243,7 @@ struct QueuedJob {
 struct Worker {
     jobs_dir: PathBuf,
     cache: Arc<DiskCellStore>,
+    cache_max_bytes: Option<u64>,
     snapshots: Arc<SnapshotStore>,
     table: Arc<JobTable>,
     draining: Arc<AtomicBool>,
@@ -261,10 +267,26 @@ impl ExperimentService {
     /// any pending job specs a previous process left behind — they run
     /// before anything submitted later, preserving global FIFO order.
     pub fn open(root: impl AsRef<Path>) -> io::Result<ExperimentService> {
+        Self::open_with_cache_limit(root, None)
+    }
+
+    /// [`Self::open`] with a cache size budget: after every finished
+    /// job (and once at startup) the disk cell cache is garbage-
+    /// collected down to `max_bytes`, evicting least-recently-used
+    /// cells first (see [`DiskCellStore::gc`]). `None` = unbounded.
+    pub fn open_with_cache_limit(
+        root: impl AsRef<Path>,
+        cache_max_bytes: Option<u64>,
+    ) -> io::Result<ExperimentService> {
         let root = root.as_ref();
         let jobs_dir = root.join("jobs");
         fs::create_dir_all(&jobs_dir)?;
         let cache = Arc::new(DiskCellStore::open(root.join("cache"))?);
+        if let Some(max) = cache_max_bytes {
+            // Startup trim: a lowered budget takes effect immediately,
+            // not only after the first job.
+            cache.gc(max);
+        }
         let snapshots = Arc::new(SnapshotStore::new());
         let table = Arc::new(JobTable {
             states: Mutex::new(HashMap::new()),
@@ -316,6 +338,7 @@ impl ExperimentService {
         let worker = Worker {
             jobs_dir: jobs_dir.clone(),
             cache: Arc::clone(&cache),
+            cache_max_bytes,
             snapshots: Arc::clone(&snapshots),
             table: Arc::clone(&table),
             draining: Arc::clone(&draining),
@@ -441,6 +464,12 @@ impl Worker {
             self.table.set(job.id, JobState::Running);
             let state = self.run_job(&job);
             self.table.set(job.id, state);
+            if let Some(max) = self.cache_max_bytes {
+                // Trim after the job's cells (and checkpoint reads)
+                // have refreshed recency, so its working set is the
+                // last evicted.
+                self.cache.gc(max);
+            }
         }
     }
 
@@ -473,6 +502,7 @@ impl Worker {
                         workload: event.workload.as_str().to_string(),
                         scheme: event.scheme.clone(),
                         cached: event.cached,
+                        batch_id: event.batch_id,
                     });
                 }
             });

@@ -98,16 +98,66 @@ impl DiskCellStore {
     pub fn puts(&self) -> u64 {
         self.puts.load(Ordering::Relaxed)
     }
+
+    /// Bounds the cache to `max_bytes` of cell files by evicting
+    /// least-recently-used cells first — mtime order, and cache hits
+    /// touch their file's mtime, so recency tracks *use*, not just
+    /// writes. Returns the number of cells evicted.
+    ///
+    /// Eviction is as crash-safe as the cache itself: losing a clean
+    /// cell file only costs a recompute, and a concurrently re-written
+    /// cell that loses the race is re-put with identical bytes on the
+    /// next sweep.
+    pub fn gc(&self, max_bytes: u64) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut cells: Vec<(PathBuf, std::time::SystemTime, u64)> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                Some((e.path(), meta.modified().ok()?, meta.len()))
+            })
+            .collect();
+        let mut total: u64 = cells.iter().map(|(_, _, size)| size).sum();
+        if total <= max_bytes {
+            return 0;
+        }
+        // Oldest first; path as tie-break so same-instant cells evict
+        // deterministically.
+        cells.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+        let mut evicted = 0;
+        for (path, _, size) in cells {
+            if total <= max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= size;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 impl CellStore for DiskCellStore {
     fn get(&self, key: &CellKey) -> Option<CellValue> {
-        let value = fs::read_to_string(self.path_of(key))
+        let path = self.path_of(key);
+        let value = fs::read_to_string(&path)
             .ok()
             .and_then(|text| json::parse(&text).ok())
             .and_then(|doc| CellValue::from_json(&doc).ok());
         match &value {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                // Refresh mtime so [`Self::gc`]'s LRU order tracks use,
+                // not just writes. Best-effort: a read-only cache
+                // directory simply degrades to eviction by write age.
+                if let Ok(f) = File::options().write(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         value
@@ -262,6 +312,45 @@ mod tests {
         // A fresh checkpoint over the surviving file resumes the set.
         let resumed = JobCheckpoint::new(cache, ckpt_path);
         assert_eq!(resumed.completed(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_until_under_budget() {
+        use std::time::{Duration, SystemTime};
+        let dir = tmpdir("gc");
+        let store = DiskCellStore::open(&dir).unwrap();
+        for seed in 1..=3 {
+            store.put(&a_key(seed), &a_value());
+        }
+        let cell_bytes = fs::metadata(store.path_of(&a_key(1))).unwrap().len();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.gc(u64::MAX), 0, "under budget evicts nothing");
+
+        // Pin distinct mtimes (oldest = seed 1) instead of sleeping.
+        let base = SystemTime::now() - Duration::from_secs(600);
+        for seed in 1..=3 {
+            let f = File::options()
+                .write(true)
+                .open(store.path_of(&a_key(seed)))
+                .unwrap();
+            f.set_modified(base + Duration::from_secs(60 * seed))
+                .unwrap();
+        }
+        // A hit refreshes recency: the oldest cell becomes the newest.
+        assert!(store.get(&a_key(1)).is_some());
+
+        // Budget for one cell: the two *least recently used* (2, 3 —
+        // cell 1 was just touched) must go.
+        assert_eq!(store.gc(cell_bytes), 2);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&a_key(1)).is_some(), "recently used survives");
+        assert!(store.get(&a_key(2)).is_none());
+        assert!(store.get(&a_key(3)).is_none());
+
+        // Evicted cells recompute and re-enter cleanly.
+        store.put(&a_key(2), &a_value());
+        assert_eq!(store.len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

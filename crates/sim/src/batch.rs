@@ -1,0 +1,765 @@
+//! The single-decode multi-scheme batch engine.
+//!
+//! A sweep is N cells timing the *same* retired-instruction stream
+//! under different delivery schemes. The serial path decodes the shared
+//! trace once per cell; on a single-core host that decode (and the
+//! executor walk behind it) is pure replicated work. This module runs a
+//! whole same-workload scheme group in one pass:
+//!
+//! ```text
+//!            ┌────────────── SharedWindow ──────────────┐
+//! trace ──▶  │ decode once ─▶ VecDeque<RetiredBlock>    │
+//!            │        cursor 0 ─▶ cell 0 (no-prefetch)  │
+//!            │        cursor 1 ─▶ cell 1 (boomerang)    │
+//!            │        cursor 2 ─▶ cell 2 (shotgun)      │
+//!            └──────────────────────────────────────────┘
+//! ```
+//!
+//! * [`SharedWindow`] wraps one [`SourceKind`] decoder and buffers the
+//!   blocks between the slowest and fastest cursor; each cell's
+//!   pipeline pulls through its own [`SharedCursor`]
+//!   ([`SourceKind::Shared`]), so every block is decoded exactly once
+//!   for the whole group and the window is pruned as the trailing
+//!   cursor advances.
+//! * [`BatchSimulator`] owns the cell array ([`Simulator`] pipelines in
+//!   a contiguous `Vec`, each cell's hot per-pipeline state — TAGE fold
+//!   scratch, BTB set-maps, fetch-fill scratch — allocated per cell and
+//!   touched in round-robin order) and advances the cells in bounded
+//!   retired-instruction rounds. Chunked rounds rather than strict
+//!   cycle lockstep: a measured probe showed per-cycle interleaving
+//!   thrashes every cell's predictor tables in and out of cache, while
+//!   ~10⁶-instruction chunks keep each cell's tables hot *and* still
+//!   bound the window.
+//! * Each cell runs with the batch accelerations armed: the TAGE fold
+//!   scratch ([`Tage::enable_fold_scratch`](fe_uarch::Tage::
+//!   enable_fold_scratch), O(1) folded-history maintenance instead of
+//!   per-lookup folding — the single hottest loop in the simulator)
+//!   and quiescent-span skipping
+//!   (`Simulator::try_skip_quiet_span`, bulk-accounting stretches
+//!   where every stage is provably inert). Both are bit-identical by
+//!   construction and double-checked by `tests/batch_engine.rs`
+//!   byte-for-byte against the serial path, which keeps the classic
+//!   code as the reference.
+//!
+//! Statistics are per-cell exactly as before: every cell keeps its own
+//! pipeline, memory system, RNG stream, and stall accounting — only
+//! the *decode* is shared. `Experiment::run` routes compatible cell
+//! groups here (see its docs for the grouping rule) and falls back to
+//! the serial path for singletons and incompatible cells.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use fe_cfg::Program;
+use fe_model::{BlockSource, MachineConfig, RetiredBlock, SimStats};
+use fe_trace::Trace;
+use fe_uarch::MemorySystem;
+
+use crate::engine::Simulator;
+use crate::runner::{assert_trace_matches, RunLength, SchemeSpec};
+use crate::sampling::{SampledStats, SamplingSpec, RAMP_CAP};
+use crate::source::SourceKind;
+
+/// Retired instructions each cell advances per round-robin turn. Large
+/// enough that a cell's predictor tables stay cache-resident across
+/// the turn, small enough that the shared window stays bounded (a
+/// round of blocks is a few MB of `Copy` data). Swept empirically:
+/// 50K/200K/1M/4M gave 6.3/6.8/7.4/7.1 MIPS on the default sweep —
+/// the tables benefit from longer residency right up until the window
+/// itself starts fighting for the same cache.
+const ROUND_INSTRS: u64 = 1_000_000;
+/// Cursor advances between window prunes.
+const PRUNE_PERIOD: u32 = 8_192;
+
+struct WindowInner<'p> {
+    source: SourceKind<'p>,
+    /// Decoded blocks between the trailing and leading cursor;
+    /// `buf[0]` is stream index `base`.
+    buf: VecDeque<RetiredBlock>,
+    base: u64,
+    /// Per-cursor absolute stream index (`u64::MAX` = released).
+    pos: Vec<u64>,
+    since_prune: u32,
+}
+
+impl WindowInner<'_> {
+    fn next_for(&mut self, id: usize) -> Option<RetiredBlock> {
+        let off = (self.pos[id] - self.base) as usize;
+        debug_assert!(off <= self.buf.len(), "cursor ran ahead of the window");
+        if off == self.buf.len() {
+            // Leading cursor: decode one more block — the single decode
+            // the whole batch shares.
+            self.buf.push_back(self.source.next_block()?);
+        }
+        let rb = self.buf[off];
+        self.pos[id] += 1;
+        self.since_prune += 1;
+        if self.since_prune >= PRUNE_PERIOD {
+            self.prune();
+        }
+        Some(rb)
+    }
+
+    fn skip_for(&mut self, id: usize, min_instrs: u64) -> u64 {
+        // Same contract as `BlockSource::skip_instrs`: whole blocks
+        // until at least `min_instrs`, so a shared cursor lands on the
+        // exact stream position a private replayer would. (The blocks
+        // are decoded for the window — a later cursor may need them —
+        // so decode-skip does not apply here.)
+        let mut skipped = 0;
+        while skipped < min_instrs {
+            match self.next_for(id) {
+                Some(rb) => skipped += rb.instr_count(),
+                None => break,
+            }
+        }
+        skipped
+    }
+
+    fn prune(&mut self) {
+        self.since_prune = 0;
+        let min = self.pos.iter().copied().min().unwrap_or(self.base);
+        while self.base < min && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// One decoder fanned out to N readers; see the module docs.
+pub struct SharedWindow<'p> {
+    inner: Rc<RefCell<WindowInner<'p>>>,
+}
+
+impl<'p> SharedWindow<'p> {
+    /// Wraps `source` for shared consumption.
+    pub fn new(source: impl Into<SourceKind<'p>>) -> Self {
+        SharedWindow {
+            inner: Rc::new(RefCell::new(WindowInner {
+                source: source.into(),
+                buf: VecDeque::with_capacity(1024),
+                base: 0,
+                pos: Vec::new(),
+                since_prune: 0,
+            })),
+        }
+    }
+
+    /// Registers a new reader at the start of the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window has already been pruned past the stream
+    /// start — create every cursor before any of them reads.
+    pub fn cursor(&self) -> SharedCursor<'p> {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.base, 0,
+            "shared cursors must be created before consumption starts"
+        );
+        inner.pos.push(0);
+        SharedCursor {
+            inner: Rc::clone(&self.inner),
+            id: inner.pos.len() - 1,
+        }
+    }
+
+    /// Marks a cursor finished so the window no longer retains blocks
+    /// for it.
+    fn release(&self, id: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.pos[id] = u64::MAX;
+        inner.prune();
+    }
+}
+
+/// One reader of a [`SharedWindow`] — a [`BlockSource`]-shaped handle
+/// that rides into the pipeline as [`SourceKind::Shared`].
+///
+/// [`BlockSource`]: fe_model::BlockSource
+pub struct SharedCursor<'p> {
+    inner: Rc<RefCell<WindowInner<'p>>>,
+    id: usize,
+}
+
+impl SharedCursor<'_> {
+    /// The next block at this cursor's stream position.
+    #[inline]
+    pub fn next_block(&mut self) -> Option<RetiredBlock> {
+        self.inner.borrow_mut().next_for(self.id)
+    }
+
+    /// Fast-forwards this cursor; same contract as
+    /// [`BlockSource::skip_instrs`](fe_model::BlockSource::skip_instrs).
+    pub fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
+        self.inner.borrow_mut().skip_for(self.id, min_instrs)
+    }
+}
+
+/// Where one cell is in its run — the serial control flow of
+/// `Simulator::run` / `run_sampled` unrolled into a resumable state
+/// machine so cells can advance in bounded turns.
+enum Phase {
+    /// Full detail: timed warmup before measurement starts.
+    Warmup,
+    /// Full detail: measuring until `retired_total` reaches `end`.
+    Measure {
+        end: u64,
+    },
+    /// Sampled: initial functional warm, `remaining` instructions to
+    /// go. Chunked against the running remainder, which lands on the
+    /// same block boundary as one whole-length warm.
+    InitWarm {
+        remaining: u64,
+    },
+    /// Sampled: the interval loop, one whole interval per turn.
+    Intervals {
+        end: u64,
+    },
+    Done,
+}
+
+struct BatchCell<'p> {
+    sim: Simulator<'p>,
+    len: RunLength,
+    label: String,
+    cursor_id: usize,
+    phase: Phase,
+    stats: Option<SimStats>,
+    intervals: Vec<SimStats>,
+    truncated: bool,
+}
+
+impl<'p> BatchCell<'p> {
+    fn done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// One tick with the quiescent-span fast path.
+    #[inline]
+    fn tick(&mut self) {
+        if self.sim.try_skip_quiet_span() == 0 {
+            self.sim.cycle();
+        }
+    }
+
+    /// Advances until this cell has retired `target` instructions (or
+    /// finished), mirroring the serial control flow phase for phase.
+    fn advance(&mut self, target: u64, sampling: Option<SamplingSpec>, window: &SharedWindow<'p>) {
+        loop {
+            if self.done() || self.sim.state.retired_total >= target {
+                return;
+            }
+            match self.phase {
+                Phase::Warmup => {
+                    if self.sim.state.retired_total >= self.len.warmup
+                        || self.sim.state.stream_ended()
+                    {
+                        self.sim.begin_measurement();
+                        let end = self.sim.state.retired_total + self.len.measure;
+                        self.phase = Phase::Measure { end };
+                    } else {
+                        self.tick();
+                    }
+                }
+                Phase::Measure { end } => {
+                    if self.sim.state.retired_total >= end || self.sim.state.stream_ended() {
+                        self.stats = Some(self.sim.finalize());
+                        self.finish(window);
+                    } else {
+                        self.tick();
+                    }
+                }
+                Phase::InitWarm { remaining } => {
+                    if remaining == 0 || self.sim.state.stream_ended() {
+                        let end = self
+                            .sim
+                            .state
+                            .retired_total
+                            .saturating_add(self.len.measure);
+                        self.phase = Phase::Intervals { end };
+                    } else {
+                        // Chunked against the running remainder: each
+                        // chunk stops at the first block boundary at or
+                        // past its sub-target, so the final boundary is
+                        // the first one at or past the whole warmup —
+                        // exactly where one unchunked warm would stop.
+                        // `warmed < chunk` only happens when the source
+                        // ran dry, which makes `stream_ended()` true
+                        // and transitions on the next turn.
+                        let chunk = remaining.min(ROUND_INSTRS);
+                        let warmed = self.sim.warm_functional(chunk);
+                        self.phase = Phase::InitWarm {
+                            remaining: remaining.saturating_sub(warmed),
+                        };
+                    }
+                }
+                Phase::Intervals { end } => {
+                    let spec = sampling.expect("sampled phase without a sampling spec");
+                    if self.sim.state.retired_total >= end || self.sim.state.stream_ended() {
+                        self.finish(window);
+                        continue;
+                    }
+                    self.step_interval(end, spec, window);
+                }
+                Phase::Done => unreachable!("checked above"),
+            }
+        }
+    }
+
+    /// One iteration of the serial `run_sampled_measure` loop: tail
+    /// warm, or skip + functional warm + timed detail window.
+    fn step_interval(&mut self, end: u64, spec: SamplingSpec, window: &SharedWindow<'p>) {
+        let budget = (end - self.sim.state.retired_total).min(spec.interval);
+        if budget < spec.detail {
+            // Tail shorter than a detail window: cover it functionally
+            // (a sub-length measured window would skew the interval
+            // statistics — same rule as the serial loop).
+            self.sim.warm_functional(budget);
+            return;
+        }
+        let detail = spec.detail;
+        let fwarm = spec.warmup.min(budget - detail);
+        let skip = budget - detail - fwarm;
+        self.sim.skip_functional(skip);
+        self.sim.warm_functional(fwarm);
+        if self.sim.state.stream_ended() || !self.sim.begin_interval() {
+            self.finish(window);
+            return;
+        }
+        let ramp = (detail / 16).min(RAMP_CAP);
+        let ramp_end = self.sim.state.retired_total + ramp;
+        while self.sim.state.retired_total < ramp_end && !self.sim.state.stream_ended() {
+            self.tick();
+        }
+        self.sim.begin_measurement();
+        let measure_end = self.sim.state.retired_total + (detail - ramp);
+        while self.sim.state.retired_total < measure_end && !self.sim.state.stream_ended() {
+            self.tick();
+        }
+        let stats = self.sim.finalize();
+        if stats.instructions > 0 {
+            self.intervals.push(stats);
+        }
+    }
+
+    fn finish(&mut self, window: &SharedWindow<'p>) {
+        self.truncated = self.sim.state.source_dry;
+        self.phase = Phase::Done;
+        window.release(self.cursor_id);
+    }
+}
+
+/// N scheme pipelines over one decoded stream; see the module docs.
+///
+/// Add every cell with [`Self::add_cell`], then consume the batch with
+/// [`Self::run`] (full detail) or [`Self::run_sampled`] (interval
+/// sampling). Results come back in cell-insertion order and are
+/// byte-identical to running each cell alone through the serial path.
+pub struct BatchSimulator<'p> {
+    program: &'p Program,
+    machine: MachineConfig,
+    seed: u64,
+    sampling: Option<SamplingSpec>,
+    window: SharedWindow<'p>,
+    cells: Vec<BatchCell<'p>>,
+}
+
+impl<'p> BatchSimulator<'p> {
+    /// Builds a batch over `source` (typically a trace replayer). Pass
+    /// `sampling` to run every cell in sampled mode; cells of a batch
+    /// all run the same mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` fails validation (on the first `add_cell`)
+    /// or `sampling` fails [`SamplingSpec::validate`].
+    pub fn new(
+        program: &'p Program,
+        machine: MachineConfig,
+        source: impl Into<SourceKind<'p>>,
+        seed: u64,
+        sampling: Option<SamplingSpec>,
+    ) -> Self {
+        if let Some(spec) = sampling {
+            if let Err(e) = spec.validate() {
+                panic!("invalid sampling spec: {e}");
+            }
+        }
+        BatchSimulator {
+            program,
+            machine,
+            seed,
+            sampling,
+            window: SharedWindow::new(source),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one scheme cell running `len` instructions. Cells may have
+    /// heterogeneous run lengths; each finishes (and stops holding the
+    /// shared window back) on its own schedule.
+    ///
+    /// # Panics
+    ///
+    /// In sampled mode, panics if `len.measure` cannot fit one detail
+    /// window — same guard as the serial sampled run.
+    pub fn add_cell(&mut self, spec: &SchemeSpec, len: RunLength) {
+        if let Some(s) = self.sampling {
+            assert!(
+                len.measure >= s.detail,
+                "sampled batch cell measures {} instructions — too short for even one \
+                 {}-instruction detail window (shrink the spec or run full detail)",
+                len.measure,
+                s.detail,
+            );
+        }
+        let cursor = self.window.cursor();
+        let cursor_id = cursor.id;
+        let scheme = spec.build(&self.machine);
+        let mem = MemorySystem::new(&self.machine);
+        let mut sim = Simulator::with_source(
+            self.program,
+            self.machine.clone(),
+            scheme,
+            self.seed,
+            mem,
+            cursor,
+        );
+        sim.enable_batch_accel();
+        self.cells.push(BatchCell {
+            sim,
+            len,
+            label: spec.label(),
+            cursor_id,
+            phase: match self.sampling {
+                Some(_) => Phase::InitWarm {
+                    remaining: len.warmup,
+                },
+                None => Phase::Warmup,
+            },
+            stats: None,
+            intervals: Vec::new(),
+            truncated: false,
+        });
+    }
+
+    /// Cells added so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cells have been added.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Round-robin drive: every cell advances to the same retired-
+    /// instruction quota each round, so no cursor runs more than one
+    /// round (plus pipeline lookahead) ahead of the slowest.
+    fn drive(&mut self) {
+        let mut quota = ROUND_INSTRS;
+        loop {
+            let mut all_done = true;
+            for cell in &mut self.cells {
+                cell.advance(quota, self.sampling, &self.window);
+                all_done &= cell.done();
+            }
+            if all_done {
+                return;
+            }
+            quota = quota.saturating_add(ROUND_INSTRS);
+        }
+    }
+
+    /// Runs every full-detail cell to completion; statistics in
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built with a sampling spec, or if the
+    /// shared source ran dry mid-run (a sweep cell measured over a
+    /// partial stream would be silently wrong — same loud check as
+    /// `run_scheme_replayed`).
+    pub fn run(mut self) -> Vec<SimStats> {
+        assert!(
+            self.sampling.is_none(),
+            "batch built with a sampling spec — use run_sampled"
+        );
+        self.drive();
+        self.cells
+            .into_iter()
+            .map(|c| {
+                assert!(
+                    !c.truncated,
+                    "batch cell `{}` ran dry mid-run — record at least \
+                     RunLength::trace_instrs instructions",
+                    c.label,
+                );
+                c.stats.expect("driven cell must finish")
+            })
+            .collect()
+    }
+
+    /// Runs every sampled cell to completion; per-cell interval
+    /// statistics in insertion order (truncation reported per cell,
+    /// exactly as the serial sampled run does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was built without a sampling spec.
+    pub fn run_sampled(mut self) -> Vec<SampledStats> {
+        assert!(
+            self.sampling.is_some(),
+            "batch built without a sampling spec — use run"
+        );
+        self.drive();
+        self.cells
+            .into_iter()
+            .map(|c| SampledStats {
+                intervals: c.intervals,
+                truncated: c.truncated,
+            })
+            .collect()
+    }
+}
+
+/// Runs one workload's scheme group in one shared-decode pass — the
+/// batch counterpart of N calls to
+/// [`run_scheme_replayed`](crate::run_scheme_replayed), byte-identical
+/// per cell. Results are in `specs` order.
+///
+/// # Panics
+///
+/// Panics if `trace` was not recorded against `program` with `seed`,
+/// or ran dry before every cell completed.
+pub fn run_schemes_batch_replayed(
+    program: &Program,
+    trace: &Trace,
+    specs: &[SchemeSpec],
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+) -> Vec<SimStats> {
+    assert_trace_matches(trace, program, seed);
+    let mut batch = BatchSimulator::new(program, machine.clone(), trace.replayer(), seed, None);
+    for spec in specs {
+        batch.add_cell(spec, len);
+    }
+    batch.run()
+}
+
+/// Sampled-mode [`run_schemes_batch_replayed`]: the batch counterpart
+/// of N calls to
+/// [`run_scheme_sampled_replayed`](crate::run_scheme_sampled_replayed),
+/// byte-identical per cell — the cells share the one decode pass, and
+/// their functional-warming phases advance together in the same
+/// bounded rounds as the timed windows.
+///
+/// # Panics
+///
+/// Panics if `trace` was not recorded against `program` with `seed`,
+/// or ran dry before every cell completed.
+pub fn run_schemes_batch_sampled_replayed(
+    program: &Program,
+    trace: &Trace,
+    specs: &[SchemeSpec],
+    machine: &MachineConfig,
+    len: RunLength,
+    sampling: SamplingSpec,
+    seed: u64,
+) -> Vec<SampledStats> {
+    assert_trace_matches(trace, program, seed);
+    let mut batch = BatchSimulator::new(
+        program,
+        machine.clone(),
+        trace.replayer(),
+        seed,
+        Some(sampling),
+    );
+    for spec in specs {
+        batch.add_cell(spec, len);
+    }
+    let results = batch.run_sampled();
+    for (spec, stats) in specs.iter().zip(&results) {
+        assert!(
+            !stats.truncated,
+            "trace `{}` ran dry mid-sampled-run of `{}` — record at least \
+             RunLength::trace_instrs instructions",
+            trace.header().name,
+            spec.label(),
+        );
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_scheme_replayed, run_scheme_sampled_replayed};
+    use fe_cfg::workloads;
+
+    const SEED: u64 = 0x5407;
+
+    #[test]
+    fn shared_cursors_each_see_the_whole_stream() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let trace = Trace::record(&program, SEED, 20_000);
+        let window = SharedWindow::new(trace.replayer());
+        let mut a = window.cursor();
+        let mut b = window.cursor();
+        let mut reference = trace.replayer();
+        // Interleave unevenly: `a` sprints ahead, `b` trails, and the
+        // window must keep `b`'s blocks buffered until it catches up.
+        let mut a_blocks = Vec::new();
+        let mut b_blocks = Vec::new();
+        loop {
+            let mut progressed = false;
+            for _ in 0..7 {
+                if let Some(rb) = a.next_block() {
+                    a_blocks.push(rb);
+                    progressed = true;
+                }
+            }
+            if let Some(rb) = b.next_block() {
+                b_blocks.push(rb);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        while let Some(rb) = b.next_block() {
+            b_blocks.push(rb);
+        }
+        let mut expected = Vec::new();
+        while let Some(rb) = reference.next_block() {
+            expected.push(rb);
+        }
+        assert_eq!(a_blocks, expected);
+        assert_eq!(b_blocks, expected);
+    }
+
+    #[test]
+    fn shared_skip_matches_private_replayer() {
+        let program = workloads::apache().scaled(0.05).build();
+        let trace = Trace::record(&program, SEED, 20_000);
+        let window = SharedWindow::new(trace.replayer());
+        let mut shared = window.cursor();
+        let mut private = trace.replayer();
+        assert_eq!(shared.skip_instrs(1_234), private.skip_instrs(1_234));
+        assert_eq!(shared.next_block(), private.next_block());
+        assert_eq!(shared.skip_instrs(5_000), private.skip_instrs(5_000));
+        assert_eq!(shared.next_block(), private.next_block());
+    }
+
+    #[test]
+    fn batch_full_detail_matches_serial_cells() {
+        let program = workloads::zeus().scaled(0.2).build();
+        let len = RunLength {
+            warmup: 30_000,
+            measure: 80_000,
+        };
+        let machine = MachineConfig::table3();
+        let trace = Trace::record(&program, SEED, len.trace_instrs(&machine));
+        let specs = [
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::shotgun(),
+        ];
+        let batch = run_schemes_batch_replayed(&program, &trace, &specs, &machine, len, SEED);
+        for (spec, got) in specs.iter().zip(&batch) {
+            let serial = run_scheme_replayed(&program, &trace, spec, &machine, len, SEED);
+            assert_eq!(
+                got,
+                &serial,
+                "batch diverged from serial for {}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sampled_matches_serial_cells() {
+        let program = workloads::streaming().scaled(0.2).build();
+        let len = RunLength {
+            warmup: 20_000,
+            measure: 200_000,
+        };
+        let machine = MachineConfig::table3();
+        let trace = Trace::record(&program, SEED, len.trace_instrs(&machine));
+        let spec = SamplingSpec {
+            interval: 40_000,
+            detail: 8_000,
+            warmup: 10_000,
+        };
+        let schemes = [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()];
+        let batch = run_schemes_batch_sampled_replayed(
+            &program, &trace, &schemes, &machine, len, spec, SEED,
+        );
+        for (scheme, got) in schemes.iter().zip(&batch) {
+            let serial =
+                run_scheme_sampled_replayed(&program, &trace, scheme, &machine, len, spec, SEED);
+            assert_eq!(
+                got.intervals,
+                serial.intervals,
+                "sampled batch diverged from serial for {}",
+                scheme.label()
+            );
+            assert_eq!(got.truncated, serial.truncated);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_run_lengths_release_short_cells_early() {
+        let program = workloads::db2().scaled(0.2).build();
+        let long = RunLength {
+            warmup: 30_000,
+            measure: 90_000,
+        };
+        let short = RunLength {
+            warmup: 10_000,
+            measure: 20_000,
+        };
+        let machine = MachineConfig::table3();
+        let trace = Trace::record(&program, SEED, long.trace_instrs(&machine));
+        let mut batch =
+            BatchSimulator::new(&program, machine.clone(), trace.replayer(), SEED, None);
+        batch.add_cell(&SchemeSpec::shotgun(), long);
+        batch.add_cell(&SchemeSpec::NoPrefetch, short);
+        let stats = batch.run();
+        let serial_long = run_scheme_replayed(
+            &program,
+            &trace,
+            &SchemeSpec::shotgun(),
+            &machine,
+            long,
+            SEED,
+        );
+        let serial_short = run_scheme_replayed(
+            &program,
+            &trace,
+            &SchemeSpec::NoPrefetch,
+            &machine,
+            short,
+            SEED,
+        );
+        assert_eq!(stats[0], serial_long);
+        assert_eq!(stats[1], serial_short);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran dry mid-run")]
+    fn truncated_trace_panics_like_serial() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let len = RunLength {
+            warmup: 20_000,
+            measure: 1_000_000,
+        };
+        let trace = Trace::record(&program, SEED, 50_000);
+        let machine = MachineConfig::table3();
+        let specs = [SchemeSpec::NoPrefetch];
+        run_schemes_batch_replayed(&program, &trace, &specs, &machine, len, SEED);
+    }
+}

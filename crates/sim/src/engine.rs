@@ -135,6 +135,85 @@ impl<'p> Simulator<'p> {
         s.now += 1;
     }
 
+    /// Arms the batch-path accelerations on this cell: the TAGE fold
+    /// scratch (incrementally-maintained folded histories — bit-
+    /// identical predictions, O(1) per history push). The serial path
+    /// never calls this, staying the byte-for-byte reference the batch
+    /// engine is checked against.
+    pub(crate) fn enable_batch_accel(&mut self) {
+        self.state.tage.enable_fold_scratch();
+    }
+
+    /// Batch-path fast-forward over a *quiescent span*: a stretch of
+    /// cycles in which every stage is provably inert — the BPU boxed
+    /// out (redirect bubble, or FTQ full), fetch parked (redirect, or
+    /// waiting on an L1-I miss whose fill is already outstanding), the
+    /// supply empty so the backend cannot retire — and the only
+    /// per-cycle effects are the stall charges, which
+    /// [`Backend::charge_quiet_span`] reproduces in bulk. Advances
+    /// `now` to the first cycle at which anything can change (redirect
+    /// bubble end, or the earliest possibly-ready fill) and returns the
+    /// cycles skipped; returns 0 when the current cycle is not provably
+    /// quiescent, in which case the caller runs a normal [`Self::
+    /// cycle`]. Bit-identical to ticking the span cycle by cycle.
+    pub(crate) fn try_skip_quiet_span(&mut self) -> u64 {
+        let s = &mut self.state;
+        if !s.supply.is_empty() || s.source_dry {
+            return 0;
+        }
+        let in_redirect = s.now < s.redirect_until;
+        let limit = if in_redirect {
+            // BPU and fetch are both gated on `now < redirect_until`;
+            // fills may still mature mid-bubble and must be processed
+            // at their exact cycle.
+            match s.inflight.next_ready_at() {
+                Some(next) => s.redirect_until.min(next),
+                None => s.redirect_until,
+            }
+        } else {
+            // Quiet only when the BPU is boxed out by a full FTQ and
+            // fetch is parked on a miss it has already requested (the
+            // ideal front end never parks: probe-or-ideal resumes it).
+            if s.is_ideal() || !s.ftq.is_full() {
+                return 0;
+            }
+            let Some(w) = s.waiting_line else {
+                return 0;
+            };
+            if s.l1i.probe(w) {
+                return 0;
+            }
+            if s.inflight.contains(w) {
+                // The serial fetch unit re-merges the demand every
+                // waiting cycle; merging is idempotent, so once covers
+                // the whole span.
+                s.inflight.merge_demand(w);
+            } else if !s.inflight.is_full() {
+                // The fetch unit would issue the demand request this
+                // cycle — a memory-system interaction at this exact
+                // timestamp, so the cycle must run for real.
+                return 0;
+            }
+            let Some(next) = s.inflight.next_ready_at() else {
+                return 0;
+            };
+            next
+        };
+        if limit <= s.now {
+            return 0;
+        }
+        // The backend consults the oracle head every cycle of the span;
+        // if the source is about to run dry, the serial path discovers
+        // that mid-span — so only skip with the head already in hand.
+        if !s.fill_oracle_to(0) {
+            return 0;
+        }
+        let skipped = limit - s.now;
+        self.backend.charge_quiet_span(s, limit, in_redirect);
+        s.now = limit;
+        skipped
+    }
+
     pub(crate) fn begin_measurement(&mut self) {
         let s = &mut self.state;
         s.stats = SimStats::default();

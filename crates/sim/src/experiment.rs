@@ -136,6 +136,11 @@ pub struct ProgressEvent {
     /// Whether the cell was served from the configured [`CellStore`]
     /// instead of being simulated.
     pub cached: bool,
+    /// When the cell ran on the [batch engine](crate::batch), the id of
+    /// its batch group (cells sharing one decode pass share the id);
+    /// `None` for serial, cached, and mix cells. Additive: streaming
+    /// clients that predate it see the field as simply absent.
+    pub batch_id: Option<u64>,
 }
 
 type ProgressFn = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
@@ -160,6 +165,7 @@ pub struct Experiment {
     cell_store: Option<Arc<dyn CellStore>>,
     snapshots: Option<Arc<SnapshotStore>>,
     cancel: Option<Arc<AtomicBool>>,
+    batch: bool,
 }
 
 impl Experiment {
@@ -185,6 +191,7 @@ impl Experiment {
             cell_store: None,
             snapshots: None,
             cancel: None,
+            batch: true,
         }
     }
 
@@ -320,6 +327,16 @@ impl Experiment {
         self
     }
 
+    /// Enables or disables the [batch engine](crate::batch) (default:
+    /// enabled). When enabled, a workload's uncached scheme cells run
+    /// as one shared-decode batch — statistics stay byte-identical
+    /// either way, so this knob exists for the perf harness's
+    /// batch-vs-serial comparison and as an escape hatch.
+    pub fn batch(mut self, enabled: bool) -> Self {
+        self.batch = enabled;
+        self
+    }
+
     /// Runs the sweep and derives per-cell metrics.
     ///
     /// Programs are built once per workload (and per mix member) and
@@ -358,6 +375,7 @@ impl Experiment {
             cell_store,
             snapshots,
             cancel,
+            batch,
         } = self;
         assert!(
             !(workloads.is_empty() && mixes.is_empty()),
@@ -470,7 +488,13 @@ impl Experiment {
         // claim them first so they never tail the sweep. Results are
         // slotted by index, so ordering is invisible in the report.
         let mix_jobs = mixes.len() * n_schemes;
+        // Total *cells* — what progress events and `Interrupted` count.
         let total = mix_jobs + workloads.len() * n_schemes;
+        // A single-context workload is ONE job covering all its scheme
+        // cells: its uncached cells run as a shared-decode batch (see
+        // the `batch` module) instead of decoding the trace once per
+        // scheme. A mix keeps one job per (mix, scheme).
+        let jobs = mix_jobs + workloads.len();
 
         // Cache consult: resolve every single-workload cell's content
         // address and load whatever the store already holds. Mix cells
@@ -478,11 +502,11 @@ impl Experiment {
         let fingerprints: Vec<ProgramFingerprint> =
             programs.iter().map(ProgramFingerprint::of).collect();
         let keys: Vec<Option<CellKey>> = (0..total)
-            .map(|job| {
-                if cell_store.is_none() || job < mix_jobs {
+            .map(|cell| {
+                if cell_store.is_none() || cell < mix_jobs {
                     return None;
                 }
-                let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
+                let (wi, si) = ((cell - mix_jobs) / n_schemes, (cell - mix_jobs) % n_schemes);
                 Some(CellKey::for_cell(
                     fingerprints[wi],
                     &machine,
@@ -523,14 +547,38 @@ impl Experiment {
         });
 
         let completed = AtomicUsize::new(0);
-        // Each job yields the stats of its cells (one for a single
-        // workload, one per member for a mix), plus the sampling
+        // Each job yields the stats of its cells (one per scheme for a
+        // single workload, one per member for a mix), plus the sampling
         // summary when the sweep runs sampled. `None` slots are jobs a
         // set cancel flag kept workers from claiming.
         type CellResult = (SimStats, Option<CellSampling>);
+        let emit = |name: &str, si: usize, was_cached: bool, batch_id: Option<u64>| {
+            if let Some(cb) = &progress {
+                cb(&ProgressEvent {
+                    completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
+                    total,
+                    workload: WorkloadId(name.to_string()),
+                    scheme: labels[si].clone(),
+                    cached: was_cached,
+                    batch_id,
+                });
+            }
+        };
+        let store_cell = |cell_idx: usize, cell: &CellResult| {
+            CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+            if let (Some(store), Some(key)) = (&cell_store, &keys[cell_idx]) {
+                store.put(
+                    key,
+                    &CellValue {
+                        stats: cell.0.clone(),
+                        sampling: cell.1.clone(),
+                    },
+                );
+            }
+        };
         let results: Vec<Option<Vec<CellResult>>> =
-            parallel_indexed_cancellable(total, threads, cancel.as_deref(), |job| {
-                let (name, si, was_cached, job_stats) = if job < mix_jobs {
+            parallel_indexed_cancellable(jobs, threads, cancel.as_deref(), |job| {
+                if job < mix_jobs {
                     let (mi, si) = (job / n_schemes, job % n_schemes);
                     let members = mix_programs[mi]
                         .iter()
@@ -544,16 +592,77 @@ impl Experiment {
                         .map(|c| (c.stats, None))
                         .collect();
                     CELLS_EXECUTED.fetch_add(stats.len() as u64, Ordering::Relaxed);
-                    (mixes[mi].name.clone(), si, false, stats)
-                } else {
-                    let (wi, si) = ((job - mix_jobs) / n_schemes, (job - mix_jobs) % n_schemes);
-                    if let Some(value) = &cached[job] {
-                        let cell = (value.stats.clone(), value.sampling.clone());
-                        (workloads[wi].name.clone(), si, true, vec![cell])
+                    emit(&mixes[mi].name, si, false, None);
+                    return stats;
+                }
+
+                let wi = job - mix_jobs;
+                let name = workloads[wi].name.as_str();
+                let mut cells: Vec<Option<CellResult>> = vec![None; n_schemes];
+                let mut uncached: Vec<usize> = Vec::new();
+                for si in 0..n_schemes {
+                    match &cached[mix_jobs + wi * n_schemes + si] {
+                        Some(value) => {
+                            cells[si] = Some((value.stats.clone(), value.sampling.clone()));
+                            emit(name, si, true, None);
+                        }
+                        None => uncached.push(si),
+                    }
+                }
+                // Batch the uncached cells when sharing a decode pays
+                // (two or more) and nothing forces the serial path: a
+                // snapshot store under sampling restores per-cell warm
+                // state the shared cursor cannot represent.
+                let use_batch =
+                    batch && uncached.len() >= 2 && !(sampling.is_some() && snapshots.is_some());
+                let trace = |uncached: &[usize]| {
+                    if uncached.is_empty() {
+                        None
                     } else {
-                        let trace = traces[wi]
-                            .as_ref()
-                            .expect("trace recorded for every workload with uncached cells");
+                        Some(
+                            traces[wi]
+                                .as_ref()
+                                .expect("trace recorded for every workload with uncached cells"),
+                        )
+                    }
+                };
+                if use_batch {
+                    let trace = trace(&uncached).expect("uncached cells imply a trace");
+                    let specs: Vec<SchemeSpec> =
+                        uncached.iter().map(|&si| schemes[si].clone()).collect();
+                    let batch_results: Vec<CellResult> = match sampling {
+                        Some(spec) => crate::batch::run_schemes_batch_sampled_replayed(
+                            &programs[wi],
+                            trace,
+                            &specs,
+                            &machine,
+                            len,
+                            spec,
+                            seed,
+                        )
+                        .into_iter()
+                        .map(|sampled| (sampled.aggregate(), Some(CellSampling::of(&sampled))))
+                        .collect(),
+                        None => crate::batch::run_schemes_batch_replayed(
+                            &programs[wi],
+                            trace,
+                            &specs,
+                            &machine,
+                            len,
+                            seed,
+                        )
+                        .into_iter()
+                        .map(|stats| (stats, None))
+                        .collect(),
+                    };
+                    for (&si, cell) in uncached.iter().zip(batch_results) {
+                        store_cell(mix_jobs + wi * n_schemes + si, &cell);
+                        cells[si] = Some(cell);
+                        emit(name, si, false, Some(job as u64));
+                    }
+                } else {
+                    for &si in &uncached {
+                        let trace = trace(&uncached).expect("uncached cells imply a trace");
                         let cell = match sampling {
                             Some(spec) => {
                                 let sampled = run_scheme_sampled_replayed_snapshot(
@@ -580,31 +689,22 @@ impl Experiment {
                                 (stats, None)
                             }
                         };
-                        CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);
-                        if let (Some(store), Some(key)) = (&cell_store, &keys[job]) {
-                            store.put(
-                                key,
-                                &CellValue {
-                                    stats: cell.0.clone(),
-                                    sampling: cell.1.clone(),
-                                },
-                            );
-                        }
-                        (workloads[wi].name.clone(), si, false, vec![cell])
+                        store_cell(mix_jobs + wi * n_schemes + si, &cell);
+                        cells[si] = Some(cell);
+                        emit(name, si, false, None);
                     }
-                };
-                if let Some(cb) = &progress {
-                    cb(&ProgressEvent {
-                        completed: completed.fetch_add(1, Ordering::Relaxed) + 1,
-                        total,
-                        workload: WorkloadId(name),
-                        scheme: labels[si].clone(),
-                        cached: was_cached,
-                    });
                 }
-                job_stats
+                cells
+                    .into_iter()
+                    .map(|c| c.expect("every scheme cell resolved"))
+                    .collect()
             });
-        let done = results.iter().filter(|r| r.is_some()).count();
+        let done: usize = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(j, _)| if j < mix_jobs { 1 } else { n_schemes })
+            .sum();
         if done < total {
             return Err(Interrupted {
                 completed: done,
@@ -618,9 +718,9 @@ impl Experiment {
 
         let mut cells = Vec::new();
         for (wi, wl) in workloads.iter().enumerate() {
-            let base = baseline_idx.map(|bi| &results[mix_jobs + wi * n_schemes + bi][0].0);
+            let base = baseline_idx.map(|bi| &results[mix_jobs + wi][bi].0);
             for (si, scheme) in schemes.iter().enumerate() {
-                let (cell_stats, cell_sampling) = &results[mix_jobs + wi * n_schemes + si][0];
+                let (cell_stats, cell_sampling) = &results[mix_jobs + wi][si];
                 cells.push(SweepCell {
                     workload: WorkloadId(wl.name.clone()),
                     scheme: scheme.clone(),

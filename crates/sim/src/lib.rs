@@ -34,6 +34,7 @@
 //! println!("speedup {:.2}", cell.metrics.speedup.unwrap());
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod experiment;
@@ -46,6 +47,10 @@ pub mod sampling;
 pub mod snapshot;
 pub mod source;
 
+pub use batch::{
+    run_schemes_batch_replayed, run_schemes_batch_sampled_replayed, BatchSimulator, SharedCursor,
+    SharedWindow,
+};
 pub use cache::{config_hash, CellKey, CellStore, CellValue, MemoryCellStore, ENGINE_VERSION};
 pub use engine::{EngineScheme, SchemeKind, Simulator};
 pub use experiment::{

@@ -256,4 +256,51 @@ impl Backend {
         self.load_acc = 0.0;
         self.last_retired_kind = None;
     }
+
+    /// Bulk accounting for a quiescent span `[s.now, until)` the batch
+    /// engine fast-forwards over (see `Simulator::try_skip_quiet_span`):
+    /// zero-retire cycles whose only per-cycle state change is the stall
+    /// charge itself. Reproduces the serial per-cycle classification
+    /// exactly: with `retired_total` frozen, a data miss's ROB-shadow
+    /// age is frozen too, so the front miss blocks either until its
+    /// fill (`Backend` cycles, charged to `backend_stall_cycles` as the
+    /// tick would) or not at all — and `instrs_at_issue` is
+    /// nondecreasing along the queue, so once the front is
+    /// non-blocking every remaining cycle of the span classifies as
+    /// `Redirect`/`IcacheMiss`. Matured misses are popped exactly when
+    /// the per-cycle tick would pop them.
+    pub(crate) fn charge_quiet_span(
+        &mut self,
+        s: &mut PipelineState,
+        until: u64,
+        in_redirect: bool,
+    ) {
+        let shadow = s.cfg.backend.miss_shadow_instrs as u64;
+        let mut cur = s.now;
+        while cur < until {
+            while let Some(front) = self.data_misses.front() {
+                if front.fill_at <= cur {
+                    self.data_misses.pop_front();
+                } else {
+                    break;
+                }
+            }
+            match self.data_misses.front() {
+                Some(front) if s.retired_total - front.instrs_at_issue >= shadow => {
+                    let end = until.min(front.fill_at);
+                    s.stats.backend_stall_cycles += end - cur;
+                    cur = end;
+                }
+                _ => {
+                    let n = until - cur;
+                    if in_redirect {
+                        s.stats.stalls.redirect += n;
+                    } else {
+                        s.stats.stalls.icache_miss += n;
+                    }
+                    cur = until;
+                }
+            }
+        }
+    }
 }

@@ -289,7 +289,7 @@ pub fn run_scheme_replayed(
     stats
 }
 
-fn assert_trace_matches(trace: &Trace, program: &Program, seed: u64) {
+pub(crate) fn assert_trace_matches(trace: &Trace, program: &Program, seed: u64) {
     assert_eq!(
         trace.header().seed,
         seed,

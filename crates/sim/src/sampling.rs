@@ -53,7 +53,7 @@ use crate::engine::{EngineScheme, Simulator};
 /// Cap on the unmeasured timed ramp that refills the pipeline before
 /// each measured window (the window's first instructions otherwise
 /// charge artificial FTQ-empty stalls).
-const RAMP_CAP: u64 = 2_048;
+pub(crate) const RAMP_CAP: u64 = 2_048;
 
 /// How a sampled run divides each interval, in instructions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -412,7 +412,7 @@ impl<'p> Simulator<'p> {
     /// state, outstanding fills completed (the functional gap spans
     /// epochs), and the speculative PC pointed at the next block to
     /// retire. Returns `false` when the source is already dry.
-    fn begin_interval(&mut self) -> bool {
+    pub(crate) fn begin_interval(&mut self) -> bool {
         let s = &mut self.state;
         let matured: Vec<_> = s
             .inflight

@@ -12,6 +12,8 @@ use fe_cfg::Executor;
 use fe_model::{BlockSource, RetiredBlock};
 use fe_trace::TraceReplayer;
 
+use crate::batch::SharedCursor;
+
 /// Where the retired control-flow stream comes from, dispatched
 /// statically over the kinds the sweeps use.
 pub enum SourceKind<'p> {
@@ -20,6 +22,10 @@ pub enum SourceKind<'p> {
     /// Replay of an `fe-trace` recording — in-memory or loaded from
     /// disk, both replay through the same decoder.
     Replay(TraceReplayer<'p>),
+    /// One reader of a batch engine's shared decode window (see the
+    /// [`batch`](crate::batch) module): the underlying trace is decoded
+    /// once for every cell of the batch.
+    Shared(SharedCursor<'p>),
     /// The extension seam: any other [`BlockSource`], dynamically
     /// dispatched exactly as the whole pipeline used to be.
     Other(Box<dyn BlockSource + 'p>),
@@ -31,6 +37,7 @@ impl BlockSource for SourceKind<'_> {
         match self {
             SourceKind::Live(exec) => BlockSource::next_block(exec),
             SourceKind::Replay(replay) => replay.next_block(),
+            SourceKind::Shared(cursor) => cursor.next_block(),
             SourceKind::Other(source) => source.next_block(),
         }
     }
@@ -40,6 +47,7 @@ impl BlockSource for SourceKind<'_> {
         match self {
             SourceKind::Live(exec) => BlockSource::skip_instrs(exec, min_instrs),
             SourceKind::Replay(replay) => replay.skip_instrs(min_instrs),
+            SourceKind::Shared(cursor) => cursor.skip_instrs(min_instrs),
             SourceKind::Other(source) => source.skip_instrs(min_instrs),
         }
     }
@@ -60,6 +68,12 @@ impl<'p> From<TraceReplayer<'p>> for SourceKind<'p> {
 impl<'p> From<Box<dyn BlockSource + 'p>> for SourceKind<'p> {
     fn from(source: Box<dyn BlockSource + 'p>) -> Self {
         SourceKind::Other(source)
+    }
+}
+
+impl<'p> From<SharedCursor<'p>> for SourceKind<'p> {
+    fn from(cursor: SharedCursor<'p>) -> Self {
+        SourceKind::Shared(cursor)
     }
 }
 

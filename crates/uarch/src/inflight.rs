@@ -129,6 +129,19 @@ impl InflightFills {
     pub fn pop_ready(&mut self, now: u64) -> PopReady<'_> {
         PopReady { fills: self, now }
     }
+
+    /// Earliest cycle at which any outstanding fill *may* complete, or
+    /// `None` when nothing is in flight. Stale heap entries (a line
+    /// re-requested after completion) can make this earlier than the
+    /// true next completion, never later — callers using it to skip
+    /// quiet stretches simply wake once, find nothing ready, and ask
+    /// again, exactly as a per-cycle poll would.
+    pub fn next_ready_at(&self) -> Option<u64> {
+        if self.by_line.is_empty() {
+            return None;
+        }
+        self.ready_heap.peek().map(|&Reverse((ready, _))| ready)
+    }
 }
 
 /// Iterator over completed fills; see [`InflightFills::pop_ready`].

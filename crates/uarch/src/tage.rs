@@ -59,6 +59,127 @@ struct Lookup {
     indices: [u32; MAX_TAGGED_TABLES],
 }
 
+/// Incrementally-maintained folded histories — the "fold scratch".
+///
+/// A lookup folds the masked history into three widths per tagged
+/// table (index, tag, tag−1). Folding is XOR over `w`-wide chunks,
+/// which is reduction of the history polynomial mod `x^w + 1` in
+/// GF(2) — a linear map, so pushing one bit updates the fold in O(1):
+///
+/// ```text
+/// fold' = rotl_w(fold) ^ inserted ^ (evicted << (len mod w))
+/// ```
+///
+/// where `evicted` is bit `len−1` of the pre-shift history. One
+/// register set tracks the speculative history, one the retired; a
+/// redirect copies retired over speculative, mirroring the history
+/// registers themselves. Derived state: rebuildable from the history
+/// registers at any time (that is exactly what [`Tage::
+/// enable_fold_scratch`] does), so it needs no serialization.
+#[derive(Clone, Debug)]
+struct FoldState {
+    /// Push-invariant constants, precomputed once at enable time.
+    meta: FoldMeta,
+    /// Per tagged table, per width: fold of the spec-history mask.
+    spec: [[u64; 3]; MAX_TAGGED_TABLES],
+    /// Per tagged table, per width: fold of the retired-history mask.
+    retired: [[u64; 3]; MAX_TAGGED_TABLES],
+}
+
+/// The push-invariant constants of a [`FoldState`]: the per-width
+/// rotate masks and — critically — the `len mod w` evicted-bit
+/// positions. The modulo is a hardware divide, and a push runs it
+/// 3 × tables times for *every* retired branch (spec push at predict,
+/// retired push at commit); hoisting it out of the loop is worth
+/// several percent of whole-simulation wall clock.
+#[derive(Clone, Debug)]
+struct FoldMeta {
+    /// The three fold widths: `[tagged_bits, tag_width, tag_width-1]`.
+    widths: [u32; 3],
+    /// `(1 << w) − 1` per width.
+    masks: [u64; 3],
+    /// Tagged-table count (fold registers beyond it stay zero).
+    n_tables: usize,
+    /// Per table: history length, hoisted out of the table structs so
+    /// the push loop walks three flat arrays and nothing else.
+    lens: [u32; MAX_TAGGED_TABLES],
+    /// Per table, per width: `hist_len mod w`.
+    evict_shift: [[u32; 3]; MAX_TAGGED_TABLES],
+}
+
+impl FoldMeta {
+    fn new(widths: [u32; 3], tables: &[TaggedTable]) -> Self {
+        let mut masks = [0u64; 3];
+        for (m, &w) in masks.iter_mut().zip(widths.iter()) {
+            if w > 0 {
+                *m = (1u64 << w) - 1;
+            }
+        }
+        let mut lens = [0u32; MAX_TAGGED_TABLES];
+        let mut evict_shift = [[0u32; 3]; MAX_TAGGED_TABLES];
+        for (t, table) in tables.iter().enumerate() {
+            lens[t] = table.hist_len;
+            for (s, &w) in evict_shift[t].iter_mut().zip(widths.iter()) {
+                if w > 0 {
+                    *s = table.hist_len % w;
+                }
+            }
+        }
+        FoldMeta {
+            widths,
+            masks,
+            n_tables: tables.len(),
+            lens,
+            evict_shift,
+        }
+    }
+}
+
+/// Advances one register set for a history push of `bit`, where `hist`
+/// is the register value *before* the shift.
+#[inline]
+fn push_folds(regs: &mut [[u64; 3]; MAX_TAGGED_TABLES], meta: &FoldMeta, hist: u128, bit: bool) {
+    let bit = bit as u64;
+    for ((regs_t, &len), shifts) in regs
+        .iter_mut()
+        .zip(meta.lens.iter())
+        .zip(meta.evict_shift.iter())
+        .take(meta.n_tables)
+    {
+        if len == 0 {
+            continue;
+        }
+        let evicted = ((hist >> (len - 1)) & 1) as u64;
+        for ((reg, &shift), (&w, &mask)) in regs_t
+            .iter_mut()
+            .zip(shifts.iter())
+            .zip(meta.widths.iter().zip(meta.masks.iter()))
+        {
+            if w == 0 {
+                continue;
+            }
+            let rot = ((*reg << 1) | (*reg >> (w - 1))) & mask;
+            *reg = rot ^ bit ^ (evicted << shift);
+        }
+    }
+}
+
+/// Rebuilds one register set from scratch for the given history.
+fn init_folds(
+    widths: &[u32; 3],
+    tables: &[TaggedTable],
+    hist: u128,
+) -> [[u64; 3]; MAX_TAGGED_TABLES] {
+    let mut regs = [[0u64; 3]; MAX_TAGGED_TABLES];
+    for (t, table) in tables.iter().enumerate() {
+        let h = MaskedHist::new(hist, table.hist_len);
+        for (reg, &w) in regs[t].iter_mut().zip(widths.iter()) {
+            *reg = h.fold(w);
+        }
+    }
+    regs
+}
+
 /// The TAGE predictor.
 ///
 /// ```
@@ -85,6 +206,9 @@ pub struct Tage {
     lfsr: u32,
     updates: u64,
     tag_mask: u16,
+    /// Opt-in incremental fold registers (see [`FoldState`]); `None`
+    /// keeps the classic fold-per-lookup path byte-for-byte intact.
+    fold: Option<Box<FoldState>>,
 }
 
 impl Tage {
@@ -117,25 +241,52 @@ impl Tage {
             lfsr: 0xACE1,
             updates: 0,
             tag_mask: ((1u32 << cfg.tag_width) - 1) as u16,
+            fold: None,
             cfg,
         }
+    }
+
+    /// Switches lookups to incrementally-maintained folded histories
+    /// (see [`FoldState`]): O(1) per history push instead of O(len/w)
+    /// folds per table per lookup. Predictions and state remain
+    /// bit-identical — the registers are a cached form of the same
+    /// folds. The batch sweep engine enables this per cell; the serial
+    /// path stays on the classic folds as the reference.
+    pub fn enable_fold_scratch(&mut self) {
+        let widths = [
+            self.cfg.tagged_bits,
+            self.cfg.tag_width,
+            self.cfg.tag_width.saturating_sub(1),
+        ];
+        self.fold = Some(Box::new(FoldState {
+            meta: FoldMeta::new(widths, &self.tables),
+            spec: init_folds(&widths, &self.tables, self.spec_hist),
+            retired: init_folds(&widths, &self.tables, self.retired_hist),
+        }));
     }
 
     /// Predicts the direction of the conditional branch at `pc` using
     /// the *speculative* history (branch-prediction-unit path).
     pub fn predict(&self, pc: Addr) -> bool {
-        let l = self.lookup(pc, self.spec_hist);
+        let scratch = self.fold.as_ref().map(|f| &f.spec);
+        let l = self.lookup(pc, self.spec_hist, scratch);
         self.resolve(&l)
     }
 
     /// Advances the speculative history with a predicted outcome.
     pub fn push_spec(&mut self, taken: bool) {
+        if let Some(f) = self.fold.as_deref_mut() {
+            push_folds(&mut f.spec, &f.meta, self.spec_hist, taken);
+        }
         self.spec_hist = (self.spec_hist << 1) | taken as u128;
     }
 
     /// Repairs the speculative history from retired state after a
     /// pipeline redirect.
     pub fn redirect(&mut self) {
+        if let Some(f) = self.fold.as_deref_mut() {
+            f.spec = f.retired;
+        }
         self.spec_hist = self.retired_hist;
     }
 
@@ -159,9 +310,24 @@ impl Tage {
     /// update indexes with that same history, keeping training and
     /// prediction coherent in a decoupled front end.
     pub fn retire_with(&mut self, pc: Addr, taken: bool, hist: u128) -> bool {
-        let lookup = self.lookup(pc, hist);
+        // Take the fold state out so its registers can be read while
+        // `update` mutates the tables. The retired register set is only
+        // valid for `hist == retired_hist` (the common case: in-order
+        // retirement trains under the retired history, and decoupled
+        // snapshots match it on the correct path); any other snapshot
+        // falls back to folding from scratch.
+        let fold = self.fold.take();
+        let scratch = match fold.as_deref() {
+            Some(f) if hist == self.retired_hist => Some(&f.retired),
+            _ => None,
+        };
+        let lookup = self.lookup(pc, hist, scratch);
         let predicted = self.resolve(&lookup);
-        self.update(pc, taken, &lookup, predicted, hist);
+        self.update(pc, taken, &lookup, predicted, hist, scratch);
+        if let Some(mut f) = fold {
+            push_folds(&mut f.retired, &f.meta, self.retired_hist, taken);
+            self.fold = Some(f);
+        }
         self.retired_hist = (self.retired_hist << 1) | taken as u128;
         predicted
     }
@@ -182,7 +348,12 @@ impl Tage {
         }
     }
 
-    fn lookup(&self, pc: Addr, hist: u128) -> Lookup {
+    fn lookup(
+        &self,
+        pc: Addr,
+        hist: u128,
+        scratch: Option<&[[u64; 3]; MAX_TAGGED_TABLES]>,
+    ) -> Lookup {
         let pc_bits = pc.get() >> 2;
         let bimodal_index = (pc_bits & ((1 << self.cfg.base_bits) - 1)) as usize;
         let bimodal_pred = self.bimodal[bimodal_index] >= 2;
@@ -192,25 +363,38 @@ impl Tage {
         let mut provider_index = 0;
         let mut alt: Option<bool> = None;
         let same_width = self.cfg.tag_width == self.cfg.tagged_bits;
-        // Scan longest history first. The history is masked and folded
-        // once per table (the index fold doubles as the first tag fold
-        // in the default geometry); tags are only folded for valid
-        // entries, exactly as the tag comparison needs them.
+        // Scan longest history first. Without fold scratch the history
+        // is masked and folded once per table (the index fold doubles as
+        // the first tag fold in the default geometry); tags are only
+        // folded for valid entries, exactly as the tag comparison needs
+        // them. With scratch every fold is a register read.
         for t in (0..self.tables.len()).rev() {
             let table = &self.tables[t];
-            let h = MaskedHist::new(hist, table.hist_len);
-            let f_idx = h.fold(self.cfg.tagged_bits);
+            let h = match scratch {
+                Some(_) => None,
+                None => Some(MaskedHist::new(hist, table.hist_len)),
+            };
+            let f_idx = match scratch {
+                Some(regs) => regs[t][0],
+                None => h.unwrap().fold(self.cfg.tagged_bits),
+            };
             let idx = ((pc_bits ^ (pc_bits >> (self.cfg.tagged_bits as u64 + t as u64)) ^ f_idx)
                 & table.index_mask) as usize;
             indices[t] = idx as u32;
             let entry = &table.entries[idx];
             if entry.valid {
-                let f1 = if same_width {
-                    f_idx
-                } else {
-                    h.fold(self.cfg.tag_width)
+                let (f1, f2) = match scratch {
+                    Some(regs) => (regs[t][1], regs[t][2] << 1),
+                    None => {
+                        let h = h.unwrap();
+                        let f1 = if same_width {
+                            f_idx
+                        } else {
+                            h.fold(self.cfg.tag_width)
+                        };
+                        (f1, h.fold(self.cfg.tag_width.saturating_sub(1)) << 1)
+                    }
                 };
-                let f2 = h.fold(self.cfg.tag_width.saturating_sub(1)) << 1;
                 let tag = ((pc_bits ^ f1 ^ f2) as u16) & self.tag_mask;
                 if entry.tag == tag {
                     if provider.is_none() {
@@ -249,7 +433,15 @@ impl Tage {
         }
     }
 
-    fn update(&mut self, pc: Addr, taken: bool, l: &Lookup, final_pred: bool, hist: u128) {
+    fn update(
+        &mut self,
+        pc: Addr,
+        taken: bool,
+        l: &Lookup,
+        final_pred: bool,
+        hist: u128,
+        scratch: Option<&[[u64; 3]; MAX_TAGGED_TABLES]>,
+    ) {
         self.updates += 1;
         if self.updates.is_multiple_of(U_RESET_PERIOD) {
             for table in &mut self.tables {
@@ -315,7 +507,7 @@ impl Tage {
                 } else {
                     candidates[1 + self.lfsr_bits(8) as usize % (found - 1)]
                 };
-                let tag = self.tag(pick, pc.get() >> 2, hist);
+                let tag = self.tag(pick, pc.get() >> 2, hist, scratch);
                 self.tables[pick].entries[l.indices[pick] as usize] = TaggedEntry {
                     valid: true,
                     tag,
@@ -338,10 +530,23 @@ impl Tage {
     /// Tag of `pc` in table `t` under `hist` — the allocation path's
     /// one-table fold (the lookup folds tags inline, sharing the index
     /// fold).
-    fn tag(&self, t: usize, pc_bits: u64, hist: u128) -> u16 {
-        let h = MaskedHist::new(hist, self.tables[t].hist_len);
-        let f1 = h.fold(self.cfg.tag_width);
-        let f2 = h.fold(self.cfg.tag_width.saturating_sub(1)) << 1;
+    fn tag(
+        &self,
+        t: usize,
+        pc_bits: u64,
+        hist: u128,
+        scratch: Option<&[[u64; 3]; MAX_TAGGED_TABLES]>,
+    ) -> u16 {
+        let (f1, f2) = match scratch {
+            Some(regs) => (regs[t][1], regs[t][2] << 1),
+            None => {
+                let h = MaskedHist::new(hist, self.tables[t].hist_len);
+                (
+                    h.fold(self.cfg.tag_width),
+                    h.fold(self.cfg.tag_width.saturating_sub(1)) << 1,
+                )
+            }
+        };
         ((pc_bits ^ f1 ^ f2) as u16) & self.tag_mask
     }
 
@@ -622,6 +827,90 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn incremental_folds_track_from_scratch_folds() {
+        // Push random bits through a register set and check every
+        // register against a from-scratch fold of the history after
+        // each push — the O(1) update must be exact at every length
+        // boundary the geometry produces.
+        let t = tage();
+        let widths = [t.cfg.tagged_bits, t.cfg.tag_width, 0];
+        let meta = FoldMeta::new(widths, &t.tables);
+        let mut hist: u128 = 0;
+        let mut regs = init_folds(&widths, &t.tables, hist);
+        let mut next = splitmix(0xF01D);
+        for _ in 0..4_000 {
+            let bit = next() & 1 == 1;
+            push_folds(&mut regs, &meta, hist, bit);
+            hist = (hist << 1) | bit as u128;
+            assert_eq!(regs, init_folds(&widths, &t.tables, hist));
+        }
+    }
+
+    #[test]
+    fn fold_scratch_is_bit_identical_to_classic_folding() {
+        // Drive two predictors — one with scratch enabled mid-stream,
+        // one without — through the decoupled-front-end idiom: predict
+        // under spec history, snapshot it, retire under the snapshot,
+        // with periodic redirects repairing spec from retired. Every
+        // prediction and every retire-time result must agree.
+        let mut classic = tage();
+        let mut scratch = tage();
+        let mut next = splitmix(0xBEEF);
+        let mut pending: Vec<(Addr, bool, u128)> = Vec::new();
+        for step in 0..30_000u32 {
+            if step == 5_000 {
+                scratch.enable_fold_scratch();
+            }
+            let pc = Addr::new(0x1000 + (next() % 512) * 0x10);
+            let taken = !next().is_multiple_of(3);
+            assert_eq!(classic.predict(pc), scratch.predict(pc), "step {step}");
+            pending.push((pc, taken, classic.spec_snapshot()));
+            assert_eq!(classic.spec_snapshot(), scratch.spec_snapshot());
+            classic.push_spec(taken);
+            scratch.push_spec(taken);
+            // Retire with a lag, as the pipeline does.
+            if pending.len() > 4 {
+                let (rpc, rtaken, snap) = pending.remove(0);
+                assert_eq!(
+                    classic.retire_with(rpc, rtaken, snap),
+                    scratch.retire_with(rpc, rtaken, snap),
+                    "retire at step {step}"
+                );
+            }
+            if next().is_multiple_of(64) {
+                // A redirect drops the in-flight window, retires the
+                // oldest under a stale snapshot (exercising the
+                // fallback), and repairs spec history.
+                if let Some((rpc, rtaken, snap)) = pending.pop() {
+                    assert_eq!(
+                        classic.retire_with(rpc, rtaken, snap),
+                        scratch.retire_with(rpc, rtaken, snap),
+                    );
+                }
+                pending.clear();
+                classic.redirect();
+                scratch.redirect();
+            }
+        }
+        assert_eq!(classic.retired_hist, scratch.retired_hist);
+        assert_eq!(classic.spec_hist, scratch.spec_hist);
+        for pc in (0..256u64).map(|i| Addr::new(0x2000 + i * 0x20)) {
+            assert_eq!(classic.predict(pc), scratch.predict(pc));
         }
     }
 

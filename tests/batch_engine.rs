@@ -1,0 +1,169 @@
+//! Batch-engine equivalence: the shared-decode batch path must be
+//! *byte-identical* to the serial path at the report level — same
+//! `SweepReport` JSON, cell for cell — across workloads, scheme sets,
+//! seeds, and run shapes. The serial path is the reference (it runs
+//! none of the batch accelerations), so these tests are what licenses
+//! `Experiment`'s batch-by-default routing.
+
+use fe_cfg::workloads;
+use fe_model::MachineConfig;
+use fe_sim::{
+    run_scheme_replayed, BatchSimulator, Experiment, RunLength, SamplingSpec, SchemeSpec,
+    SweepReport,
+};
+use fe_trace::Trace;
+use proptest::prelude::*;
+
+/// Short but non-trivial: long enough to cross redirects, i-cache
+/// misses, and (sampled) several intervals in every workload.
+const LEN: RunLength = RunLength {
+    warmup: 30_000,
+    measure: 90_000,
+};
+
+fn all_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::NoPrefetch,
+        SchemeSpec::Fdip,
+        SchemeSpec::boomerang(),
+        SchemeSpec::Confluence,
+        SchemeSpec::Ideal,
+        SchemeSpec::shotgun(),
+    ]
+}
+
+fn sweep(batch: bool, schemes: Vec<SchemeSpec>, seed: u64) -> SweepReport {
+    Experiment::new(MachineConfig::table3())
+        .workloads(workloads::all().into_iter().map(|w| w.scaled(0.1)))
+        .schemes(schemes)
+        .len(LEN)
+        .seed(seed)
+        .threads(3)
+        .batch(batch)
+        .run()
+}
+
+#[test]
+fn batch_report_is_byte_identical_across_all_named_workloads_and_schemes() {
+    let batched = sweep(true, all_schemes(), 0x5407);
+    let serial = sweep(false, all_schemes(), 0x5407);
+    assert_eq!(
+        batched.to_json(),
+        serial.to_json(),
+        "batch and serial sweeps must serialize to identical bytes"
+    );
+}
+
+#[test]
+fn sampled_batch_report_is_byte_identical() {
+    let spec = SamplingSpec {
+        interval: 30_000,
+        detail: 6_000,
+        warmup: 8_000,
+    };
+    let run = |batch: bool| {
+        Experiment::new(MachineConfig::table3())
+            .workloads([
+                workloads::zeus().scaled(0.15),
+                workloads::nutch().scaled(0.15),
+            ])
+            .schemes([
+                SchemeSpec::NoPrefetch,
+                SchemeSpec::boomerang(),
+                SchemeSpec::shotgun(),
+            ])
+            .len(RunLength {
+                warmup: 40_000,
+                measure: 150_000,
+            })
+            .sampling(spec)
+            .seed(11)
+            .threads(2)
+            .batch(batch)
+            .run()
+    };
+    assert_eq!(
+        run(true).to_json(),
+        run(false).to_json(),
+        "sampled batch and serial sweeps must serialize to identical bytes"
+    );
+}
+
+/// `Experiment` fixes one `RunLength` per sweep, but the engine itself
+/// accepts a length per cell; a short cell must finish, release its
+/// shared-window cursor (so the window keeps pruning), and leave the
+/// longer cells bit-identical to their solo runs.
+#[test]
+fn heterogeneous_run_lengths_batch_without_cross_talk() {
+    let program = workloads::apache().scaled(0.15).build();
+    let machine = MachineConfig::table3();
+    let seed = 0x5407;
+    let long = RunLength {
+        warmup: 40_000,
+        measure: 120_000,
+    };
+    let short = RunLength {
+        warmup: 10_000,
+        measure: 20_000,
+    };
+    let trace = Trace::record(&program, seed, long.trace_instrs(&machine));
+
+    let mut batch = BatchSimulator::new(&program, machine.clone(), trace.replayer(), seed, None);
+    batch.add_cell(&SchemeSpec::shotgun(), long);
+    batch.add_cell(&SchemeSpec::NoPrefetch, short);
+    batch.add_cell(&SchemeSpec::boomerang(), long);
+    let stats = batch.run();
+
+    for (i, (spec, len)) in [
+        (SchemeSpec::shotgun(), long),
+        (SchemeSpec::NoPrefetch, short),
+        (SchemeSpec::boomerang(), long),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let solo = run_scheme_replayed(&program, &trace, spec, &machine, *len, seed);
+        assert_eq!(
+            stats[i],
+            solo,
+            "cell {} ({}) diverged from its solo run",
+            i,
+            spec.label(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Byte-identity must hold for *any* cell group the sweep could
+    /// form: random workload, random scheme subset (any batch width
+    /// from singleton fallback to the full set), random seed.
+    #[test]
+    fn random_cell_groups_batch_byte_identically(
+        which in 0usize..6,
+        subset in 1u32..64,
+        seed in 1u64..1 << 40,
+    ) {
+        let schemes: Vec<SchemeSpec> = all_schemes()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| subset & (1 << i) != 0)
+            .map(|(_, s)| s)
+            .collect();
+        let all = workloads::all();
+        let wl = all[which % all.len()].clone().scaled(0.08);
+        let run = |batch: bool| {
+            Experiment::new(MachineConfig::table3())
+                .workload(wl.clone())
+                .schemes(schemes.clone())
+                .len(RunLength { warmup: 15_000, measure: 45_000 })
+                .seed(seed)
+                .threads(2)
+                .batch(batch)
+                .run()
+                .to_json()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
