@@ -119,6 +119,65 @@ pub struct Program {
     /// Pre-resolved taken-target block id per block (`NO_TARGET` for
     /// returns); keeps the executor's hot path free of binary searches.
     target_ids: Vec<BlockId>,
+    /// Per-line branch partition points; makes [`Self::branches_in_line`]
+    /// a table lookup instead of two binary searches. That query sits
+    /// under every predecode probe the BPU and prefetchers issue —
+    /// several per simulated cycle in both engines.
+    line_index: Vec<LineIndex>,
+}
+
+/// Partition points of block branch-PCs over one contiguous run of
+/// code lines. `pp[i]` is the number of blocks whose branch PC lies
+/// below line `base + i`; the run covers lines `base` through
+/// `base + pp.len() - 2`. Code is split into runs (user segment,
+/// kernel segment) so the sparse gap between them costs no table
+/// space.
+#[derive(Clone, Debug)]
+struct LineIndex {
+    base: u64,
+    pp: Vec<BlockId>,
+}
+
+/// Line gaps at least this wide start a new [`LineIndex`] segment;
+/// narrower gaps are absorbed as empty table entries. 2^14 lines = 1
+/// MiB of address space, far below the user/kernel split.
+const LINE_SEG_GAP: u64 = 1 << 14;
+
+fn build_line_index(blocks: &[BasicBlock]) -> Vec<LineIndex> {
+    let mut segments: Vec<LineIndex> = Vec::new();
+    for (id, b) in blocks.iter().enumerate() {
+        let id = id as BlockId;
+        let line = b.branch_pc().line().get();
+        let covered = segments
+            .last()
+            .map(|s| s.base + s.pp.len() as u64 - 1)
+            .filter(|end| line < end + LINE_SEG_GAP);
+        match covered {
+            None => {
+                // Close the previous segment (partition point one past
+                // its last line) and open a new one at this block.
+                if let Some(prev) = segments.last_mut() {
+                    prev.pp.push(id);
+                }
+                segments.push(LineIndex {
+                    base: line,
+                    pp: vec![id],
+                });
+            }
+            Some(_) => {
+                let seg = segments.last_mut().expect("covered implies a segment");
+                // Fill empty lines up to this block's line; the first
+                // block on a line fixes that line's partition point.
+                while (seg.pp.len() as u64) <= line - seg.base {
+                    seg.pp.push(id);
+                }
+            }
+        }
+    }
+    if let Some(last) = segments.last_mut() {
+        last.pp.push(blocks.len() as BlockId);
+    }
+    segments
 }
 
 /// Sentinel target id for blocks whose target is dynamic (returns).
@@ -167,6 +226,7 @@ impl Program {
                 }
             })
             .collect();
+        let line_index = build_line_index(&blocks);
         Program {
             blocks,
             behaviors,
@@ -176,6 +236,7 @@ impl Program {
             handler_table,
             name,
             target_ids,
+            line_index,
         }
     }
 
@@ -270,8 +331,33 @@ impl Program {
     /// fetched line (§4.2.3, Fig. 5b steps 4–5).
     ///
     /// Branch PCs are strictly increasing across blocks, so this is a
-    /// binary-searched contiguous id range.
+    /// contiguous id range, answered from the precomputed per-line
+    /// partition table (at most two segments to probe).
     pub fn branches_in_line(&self, line: LineAddr) -> std::ops::Range<BlockId> {
+        let l = line.get();
+        let mut range = None;
+        for seg in &self.line_index {
+            if l < seg.base {
+                range = Some(seg.pp[0]..seg.pp[0]);
+                break;
+            }
+            let i = (l - seg.base) as usize;
+            if i + 1 < seg.pp.len() {
+                range = Some(seg.pp[i]..seg.pp[i + 1]);
+                break;
+            }
+        }
+        let range = range.unwrap_or_else(|| {
+            let n = self.blocks.len() as BlockId;
+            n..n
+        });
+        debug_assert_eq!(range, self.branches_in_line_search(line));
+        range
+    }
+
+    /// Reference implementation of [`Self::branches_in_line`] — the
+    /// definition the table is checked against in debug builds.
+    fn branches_in_line_search(&self, line: LineAddr) -> std::ops::Range<BlockId> {
         let lo_addr = line.base();
         let hi_addr = line.offset(1).base();
         let lo = self.blocks.partition_point(|b| b.branch_pc() < lo_addr) as BlockId;

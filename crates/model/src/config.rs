@@ -199,6 +199,17 @@ impl Default for TageConfig {
 }
 
 impl TageConfig {
+    /// Upper bound on tagged components. The predictor keeps per-lookup
+    /// index caches and fold registers in fixed arrays of this many
+    /// slots; [`MachineConfig::validate`] enforces the bound so an
+    /// oversized sweep configuration fails at build time with a clear
+    /// error instead of a debug-only overflow in the hot loop.
+    pub const MAX_TAGGED_TABLES: u32 = 16;
+    /// Widest tagged-table index and tag supported: both are cached in
+    /// 16-bit slots (the index cache per lookup, the tag per packed
+    /// entry), also enforced by [`MachineConfig::validate`].
+    pub const MAX_COMPONENT_BITS: u32 = 16;
+
     /// Approximate storage cost in bits (bimodal + tagged tables).
     pub fn storage_bits(&self) -> u64 {
         let bimodal = (1u64 << self.base_bits) * 2;
@@ -358,6 +369,18 @@ impl MachineConfig {
         if self.noc.background_factor < 0.0 || self.noc.link_bandwidth <= 0.0 {
             return Err(ConfigError::Rate("noc traffic parameters"));
         }
+        if self.tage.tagged_tables > TageConfig::MAX_TAGGED_TABLES {
+            return Err(ConfigError::Tage(
+                "tage.tagged_tables exceeds the supported maximum of 16 tagged components",
+            ));
+        }
+        if self.tage.tagged_bits > TageConfig::MAX_COMPONENT_BITS
+            || self.tage.tag_width > TageConfig::MAX_COMPONENT_BITS
+        {
+            return Err(ConfigError::Tage(
+                "tage.tagged_bits and tage.tag_width are limited to 16 (indices and tags are cached 16-bit)",
+            ));
+        }
         Ok(())
     }
 }
@@ -371,6 +394,9 @@ pub enum ConfigError {
     Geometry(&'static str),
     /// A probability or rate parameter is out of range.
     Rate(&'static str),
+    /// A TAGE sizing parameter exceeds the predictor's structural
+    /// limits (see [`TageConfig::MAX_TAGGED_TABLES`]).
+    Tage(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -384,6 +410,7 @@ impl fmt::Display for ConfigError {
                 )
             }
             ConfigError::Rate(what) => write!(f, "rate parameter {what} out of range"),
+            ConfigError::Tage(what) => write!(f, "invalid TAGE configuration: {what}"),
         }
     }
 }
@@ -471,5 +498,25 @@ mod tests {
             c.validate(),
             Err(ConfigError::Rate("backend.l1d_miss_rate"))
         );
+    }
+
+    #[test]
+    fn validation_rejects_oversized_tage() {
+        let mut c = MachineConfig::table3();
+        c.tage.tagged_tables = TageConfig::MAX_TAGGED_TABLES + 1;
+        assert!(matches!(c.validate(), Err(ConfigError::Tage(_))));
+
+        let mut c = MachineConfig::table3();
+        c.tage.tagged_bits = TageConfig::MAX_COMPONENT_BITS + 1;
+        assert!(matches!(c.validate(), Err(ConfigError::Tage(_))));
+
+        let mut c = MachineConfig::table3();
+        c.tage.tag_width = TageConfig::MAX_COMPONENT_BITS + 1;
+        assert!(matches!(c.validate(), Err(ConfigError::Tage(_))));
+
+        // The limits themselves are accepted.
+        let mut c = MachineConfig::table3();
+        c.tage.tagged_tables = TageConfig::MAX_TAGGED_TABLES;
+        assert_eq!(c.validate(), Ok(()));
     }
 }

@@ -40,6 +40,26 @@
 //!   construction and double-checked by `tests/batch_engine.rs`
 //!   byte-for-byte against the serial path, which keeps the classic
 //!   code as the reference.
+//! * In sampled mode the *initial functional warm* is shared too:
+//!   cells with the same warmup length form a group whose leader walks
+//!   the warm window once, feeding every follower's scheme the same
+//!   retired blocks as riders; when the group's warm completes, deep
+//!   copies of the leader's scheme-independent structures (L1-I, TAGE,
+//!   retire RAS, memory image) are installed into each follower, which
+//!   merely seeks its cursor past the warmed prefix. The structures
+//!   depend only on the retired stream — never on the scheme riding
+//!   above them, and no in-tree scheme's warm hook writes through the
+//!   front-end context — so each follower lands in exactly the state
+//!   its own serial warm would have produced.
+//! * Cells whose conditional retirement streams are provably identical
+//!   share the TAGE retire-side work: the first cell to reach each
+//!   retirement computes the tables' evolution once and records the
+//!   few entry writes it made; the rest verify the `(pc, taken,
+//!   history)` key and replay the writes instead of re-deriving them
+//!   (see [`TageShare`] and `setup_retire_share`). Any key mismatch
+//!   permanently drops the cell back to local computation, so the
+//!   share can only ever reproduce — never approximate — the serial
+//!   result. `SHOTGUN_NO_RETIRE_SHARE=1` switches it off for triage.
 //!
 //! Statistics are per-cell exactly as before: every cell keeps its own
 //! pipeline, memory system, RNG stream, and stall accounting — only
@@ -54,9 +74,9 @@ use std::rc::Rc;
 use fe_cfg::Program;
 use fe_model::{BlockSource, MachineConfig, RetiredBlock, SimStats};
 use fe_trace::Trace;
-use fe_uarch::MemorySystem;
+use fe_uarch::{MemorySystem, TageShare};
 
-use crate::engine::Simulator;
+use crate::engine::{EngineScheme, SchemeKind, Simulator};
 use crate::runner::{assert_trace_matches, RunLength, SchemeSpec};
 use crate::sampling::{SampledStats, SamplingSpec, RAMP_CAP};
 use crate::source::SourceKind;
@@ -99,6 +119,35 @@ impl WindowInner<'_> {
             self.prune();
         }
         Some(rb)
+    }
+
+    /// Bulk [`Self::next_for`]: appends up to `n` blocks to `out` under
+    /// one window lock, returning how many were delivered (short only
+    /// when the source runs dry). One offset computation, one cursor
+    /// advance, and one prune check cover the whole run — the
+    /// per-block overhead that dominates a pipeline's oracle refill
+    /// when every block bounces through the shared window.
+    fn next_n_for(&mut self, id: usize, n: usize, out: &mut VecDeque<RetiredBlock>) -> usize {
+        let mut off = (self.pos[id] - self.base) as usize;
+        debug_assert!(off <= self.buf.len(), "cursor ran ahead of the window");
+        let mut taken = 0;
+        while taken < n {
+            if off == self.buf.len() {
+                match self.source.next_block() {
+                    Some(rb) => self.buf.push_back(rb),
+                    None => break,
+                }
+            }
+            out.push_back(self.buf[off]);
+            off += 1;
+            taken += 1;
+        }
+        self.pos[id] += taken as u64;
+        self.since_prune += taken as u32;
+        if self.since_prune >= PRUNE_PERIOD {
+            self.prune();
+        }
+        taken
     }
 
     fn skip_for(&mut self, id: usize, min_instrs: u64) -> u64 {
@@ -194,6 +243,12 @@ impl SharedCursor<'_> {
     /// [`BlockSource::skip_instrs`](fe_model::BlockSource::skip_instrs).
     pub fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         self.inner.borrow_mut().skip_for(self.id, min_instrs)
+    }
+
+    /// Appends up to `n` blocks to `out` under one window lock; short
+    /// only when the stream ends (see `WindowInner::next_n_for`).
+    pub fn next_blocks_into(&mut self, n: usize, out: &mut VecDeque<RetiredBlock>) -> usize {
+        self.inner.borrow_mut().next_n_for(self.id, n, out)
     }
 }
 
@@ -347,6 +402,7 @@ impl<'p> BatchCell<'p> {
     fn finish(&mut self, window: &SharedWindow<'p>) {
         self.truncated = self.sim.state.source_dry;
         self.phase = Phase::Done;
+        self.sim.release_tage_share();
         window.release(self.cursor_id);
     }
 }
@@ -455,10 +511,212 @@ impl<'p> BatchSimulator<'p> {
         self.cells.is_empty()
     }
 
+    /// Wires a TAGE retire-share through every group of cells whose
+    /// conditional retirement streams are provably identical, so one
+    /// cell computes each table update and the rest replay the recorded
+    /// writes (see [`TageShare`]). Real statically-dispatched schemes
+    /// all discover direction mispredicts at retirement and flush, so
+    /// their surviving prediction-time history snapshots equal the
+    /// retired history — the share key `(pc, taken, hist)` is then a
+    /// pure function of the shared stream. Two kinds of cell stay out:
+    /// `Ideal` cells keep mispredicted bits in their speculative
+    /// history (no flush), so their keys diverge from the group's; and
+    /// dynamic-dispatch (`Other`) schemes hold a `&mut` to the cell's
+    /// TAGE through the front-end context, voiding the identical-state
+    /// induction. In sampled mode cells additionally group by run
+    /// lengths, whose warm/skip schedule shapes the retirement stream.
+    fn setup_retire_share(&mut self) {
+        let mut by_len: Vec<((u64, u64), Vec<usize>)> = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            match cell.sim.state.scheme {
+                EngineScheme::Real(SchemeKind::Other(_)) | EngineScheme::Ideal => continue,
+                EngineScheme::Real(_) => {}
+            }
+            // Full-detail cells all retire every block from the stream
+            // start — run lengths only decide when they stop — so they
+            // form a single group.
+            let key = match self.sampling {
+                Some(_) => (cell.len.warmup, cell.len.measure),
+                None => (0, 0),
+            };
+            match by_len.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => by_len.push((key, vec![i])),
+            }
+        }
+        for (_, idxs) in by_len {
+            if idxs.len() < 2 {
+                continue;
+            }
+            let share = TageShare::new();
+            for &i in &idxs {
+                self.cells[i].sim.attach_tage_share(share.cursor());
+            }
+        }
+    }
+
+    /// Runs every sampled cell's initial functional warm, sharing the
+    /// walk across same-warmup-length cells (see the module docs).
+    /// Groups advance in bounded per-round chunks so the shared window
+    /// stays pruned against cells warming solo or in other groups.
+    fn shared_warm(&mut self) {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut solo: Vec<usize> = Vec::new();
+        let mut by_len: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let Phase::InitWarm { remaining } = cell.phase else {
+                continue;
+            };
+            // Dynamic-dispatch schemes are opaque: their warm hook may
+            // write through the front-end context, which would leak
+            // into the leader's shared structures. They warm solo.
+            if matches!(
+                cell.sim.state.scheme,
+                EngineScheme::Real(SchemeKind::Other(_))
+            ) {
+                solo.push(i);
+                continue;
+            }
+            match by_len.iter_mut().find(|(len, _)| *len == remaining) {
+                Some((_, idxs)) => idxs.push(i),
+                None => by_len.push((remaining, vec![i])),
+            }
+        }
+        for (_, idxs) in by_len {
+            if idxs.len() >= 2 {
+                groups.push(idxs);
+            } else {
+                solo.extend(idxs);
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for group in &groups {
+                progressed |= self.shared_warm_round(group);
+            }
+            for &i in &solo {
+                progressed |= self.solo_warm_round(i);
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// One bounded chunk of a group's shared warm. The leader pulls and
+    /// warms the blocks with every follower's scheme riding along; the
+    /// followers then seek their cursors past the same blocks. On
+    /// completion the leader's warmed structures are installed into
+    /// each follower and the whole group enters the interval loop.
+    /// Returns `true` while warming still has work left.
+    fn shared_warm_round(&mut self, group: &[usize]) -> bool {
+        let leader = group[0];
+        let Phase::InitWarm { remaining } = self.cells[leader].phase else {
+            return false;
+        };
+        if remaining > 0 && !self.cells[leader].sim.state.stream_ended() {
+            let chunk = remaining.min(ROUND_INSTRS);
+            let mut riders: Vec<EngineScheme> = group[1..]
+                .iter()
+                .map(|&i| {
+                    std::mem::replace(&mut self.cells[i].sim.state.scheme, EngineScheme::Ideal)
+                })
+                .collect();
+            let warmed = self.cells[leader]
+                .sim
+                .warm_functional_with(chunk, &mut riders);
+            for (&i, scheme) in group[1..].iter().zip(riders) {
+                self.cells[i].sim.state.scheme = scheme;
+                // Identical streams: the follower's skip lands on the
+                // exact block boundary the leader's warm stopped at.
+                self.cells[i].sim.skip_functional(warmed);
+            }
+            // A leader in a retire-share group recorded its warm
+            // retirements through its cursor; pull the followers' past
+            // them each round so the share log prunes instead of
+            // buffering the whole warm. (The followers never consume
+            // warm deltas — the leader's warmed structures are
+            // installed wholesale below.)
+            if let Some(seq) = self.cells[leader].sim.tage_share_seq() {
+                for &i in &group[1..] {
+                    self.cells[i].sim.sync_tage_share(seq);
+                }
+            }
+            let left = remaining.saturating_sub(warmed);
+            for &i in group {
+                self.cells[i].phase = Phase::InitWarm { remaining: left };
+            }
+            true
+        } else {
+            let structures = self.cells[leader]
+                .sim
+                .capture_warm_structures()
+                .expect("batch cells own private, snapshottable memory systems");
+            let dry = self.cells[leader].sim.state.source_dry;
+            let seq = self.cells[leader].sim.tage_share_seq();
+            for (k, &i) in group.iter().enumerate() {
+                if k > 0 {
+                    self.cells[i].sim.install_warm_structures(&structures);
+                    self.cells[i].sim.state.source_dry = dry;
+                    // The installed TAGE already reflects the leader's
+                    // warm retirements: reposition the follower's share
+                    // cursor to match.
+                    if let Some(seq) = seq {
+                        self.cells[i].sim.sync_tage_share(seq);
+                    }
+                }
+                let end = self.cells[i]
+                    .sim
+                    .state
+                    .retired_total
+                    .saturating_add(self.cells[i].len.measure);
+                self.cells[i].phase = Phase::Intervals { end };
+            }
+            false
+        }
+    }
+
+    /// One bounded chunk of an ungrouped cell's initial warm — the
+    /// `Phase::InitWarm` arm of `BatchCell::advance`, run here so solo
+    /// cells keep pace with the shared groups and the window stays
+    /// bounded. Returns `true` while warming still has work left.
+    fn solo_warm_round(&mut self, i: usize) -> bool {
+        let cell = &mut self.cells[i];
+        let Phase::InitWarm { remaining } = cell.phase else {
+            return false;
+        };
+        if remaining == 0 || cell.sim.state.stream_ended() {
+            let end = cell
+                .sim
+                .state
+                .retired_total
+                .saturating_add(cell.len.measure);
+            cell.phase = Phase::Intervals { end };
+            false
+        } else {
+            let chunk = remaining.min(ROUND_INSTRS);
+            let warmed = cell.sim.warm_functional(chunk);
+            cell.phase = Phase::InitWarm {
+                remaining: remaining.saturating_sub(warmed),
+            };
+            true
+        }
+    }
+
     /// Round-robin drive: every cell advances to the same retired-
     /// instruction quota each round, so no cursor runs more than one
     /// round (plus pipeline lookahead) ahead of the slowest.
     fn drive(&mut self) {
+        // Escape hatch for A/B perf triage and bisecting: the share is
+        // bit-exact by construction, but being able to switch it off
+        // without a rebuild is how its win was measured in the first
+        // place.
+        if std::env::var_os("SHOTGUN_NO_RETIRE_SHARE").is_none() {
+            self.setup_retire_share();
+        }
+        if self.sampling.is_some() {
+            self.shared_warm();
+        }
         let mut quota = ROUND_INSTRS;
         loop {
             let mut all_done = true;
@@ -694,7 +952,16 @@ mod tests {
             detail: 8_000,
             warmup: 10_000,
         };
-        let schemes = [SchemeSpec::NoPrefetch, SchemeSpec::shotgun()];
+        // One cell per scheme family: every follower kind rides the
+        // shared initial warm, and the Ideal cell exercises the
+        // scheme-less rider slot.
+        let schemes = [
+            SchemeSpec::NoPrefetch,
+            SchemeSpec::boomerang(),
+            SchemeSpec::Confluence,
+            SchemeSpec::shotgun(),
+            SchemeSpec::Ideal,
+        ];
         let batch = run_schemes_batch_sampled_replayed(
             &program, &trace, &schemes, &machine, len, spec, SEED,
         );

@@ -8,7 +8,9 @@ use fe_model::{MachineConfig, SimStats};
 use fe_uarch::scheme::ControlFlowDelivery;
 use fe_uarch::{MemStats, MemorySystem};
 
-use crate::pipeline::{backend::Backend, bpu::Bpu, fetch::FetchUnit, stall, PipelineState};
+use crate::pipeline::{
+    backend::Backend, bpu::Bpu, fetch::FetchUnit, stall, PipelineState, SUPPLY_CAP,
+};
 use crate::source::SourceKind;
 
 pub use crate::pipeline::{EngineScheme, SchemeKind};
@@ -144,23 +146,62 @@ impl<'p> Simulator<'p> {
         self.state.tage.enable_fold_scratch();
     }
 
+    /// Joins this cell to a batch retire-share group (see
+    /// [`fe_uarch::TageShare`]).
+    pub(crate) fn attach_tage_share(&mut self, cursor: fe_uarch::TageShareCursor) {
+        self.state.tage_share = Some(cursor);
+    }
+
+    /// This cell's retire-share sequence number, if it is in a group.
+    pub(crate) fn tage_share_seq(&self) -> Option<u64> {
+        self.state.tage_share.as_ref().map(|c| c.seq())
+    }
+
+    /// Repositions this cell's retire-share cursor after a shared warm
+    /// installed the leader's predictor state.
+    pub(crate) fn sync_tage_share(&mut self, seq: u64) {
+        if let Some(cur) = self.state.tage_share.as_mut() {
+            cur.sync_to(seq);
+        }
+    }
+
+    /// Detaches this cell from its retire-share group so the log no
+    /// longer retains deltas for it.
+    pub(crate) fn release_tage_share(&mut self) {
+        if let Some(cur) = self.state.tage_share.as_mut() {
+            cur.release();
+        }
+    }
+
     /// Batch-path fast-forward over a *quiescent span*: a stretch of
-    /// cycles in which every stage is provably inert — the BPU boxed
-    /// out (redirect bubble, or FTQ full), fetch parked (redirect, or
-    /// waiting on an L1-I miss whose fill is already outstanding), the
-    /// supply empty so the backend cannot retire — and the only
-    /// per-cycle effects are the stall charges, which
-    /// [`Backend::charge_quiet_span`] reproduces in bulk. Advances
-    /// `now` to the first cycle at which anything can change (redirect
-    /// bubble end, or the earliest possibly-ready fill) and returns the
-    /// cycles skipped; returns 0 when the current cycle is not provably
-    /// quiescent, in which case the caller runs a normal [`Self::
-    /// cycle`]. Bit-identical to ticking the span cycle by cycle.
+    /// cycles in which every stage is provably inert and the only
+    /// per-cycle effects are stall charges, reproduced in bulk.
+    /// Dispatches on what the backend is starved of: an empty supply
+    /// means the front end is the bottleneck (starved span); a
+    /// non-empty supply with the backend blocked behind an aged data
+    /// miss is a data-stall span. Advances `now` to the first cycle at
+    /// which anything can change and returns the cycles skipped;
+    /// returns 0 when the current cycle is not provably quiescent, in
+    /// which case the caller runs a normal [`Self::cycle`].
+    /// Bit-identical to ticking the span cycle by cycle.
     pub(crate) fn try_skip_quiet_span(&mut self) -> u64 {
-        let s = &mut self.state;
-        if !s.supply.is_empty() || s.source_dry {
+        if self.state.source_dry {
             return 0;
         }
+        if self.state.supply.is_empty() {
+            self.try_skip_starved_span()
+        } else {
+            self.try_skip_data_stall_span()
+        }
+    }
+
+    /// Starved-span skip: the supply is empty so the backend cannot
+    /// retire, the BPU is boxed out (redirect bubble, or FTQ full) and
+    /// fetch is parked (redirect, or waiting on an L1-I miss whose fill
+    /// is already outstanding). The span's stall charges are reproduced
+    /// by [`Backend::charge_quiet_span`].
+    fn try_skip_starved_span(&mut self) -> u64 {
+        let s = &mut self.state;
         let in_redirect = s.now < s.redirect_until;
         let limit = if in_redirect {
             // BPU and fetch are both gated on `now < redirect_until`;
@@ -210,6 +251,81 @@ impl<'p> Simulator<'p> {
         }
         let skipped = limit - s.now;
         self.backend.charge_quiet_span(s, limit, in_redirect);
+        s.now = limit;
+        skipped
+    }
+
+    /// Data-stall-span skip: the backend is blocked behind a data miss
+    /// older than the ROB shadow whose fill is still in the future.
+    /// Retirement — and with it `retired_total`, the clock that ages
+    /// data misses — is frozen, so the block holds until the fill.
+    /// When the front end is simultaneously inert (FTQ full boxes out
+    /// the BPU; fetch at the supply cap or parked on an
+    /// already-requested L1-I miss), the span's only per-cycle effect
+    /// is the backend-stall charge. Batching that accounting into one
+    /// addition is what makes skipping pay: the serial path's per-cycle
+    /// early returns are individually cheap, but ~12% of all cycles
+    /// sit in these windows.
+    fn try_skip_data_stall_span(&mut self) -> u64 {
+        let s = &mut self.state;
+        // This dispatcher runs before every cycle and rejects on the
+        // vast majority of them, so the pure-read preconditions are
+        // ordered cheapest-reject-first.
+        //
+        // A redirect bubble with buffered supply (ideal-mode mispredict)
+        // is rare and short: not worth proving inert here.
+        if s.now < s.redirect_until {
+            return 0;
+        }
+        // BPU inert: outside a bubble only a full FTQ boxes it out.
+        if !s.ftq.is_full() {
+            return 0;
+        }
+        let shadow = s.cfg.backend.miss_shadow_instrs as u64;
+        let Some(fill_at) = self
+            .backend
+            .blocking_fill_at(s.now, s.retired_total, shadow)
+        else {
+            return 0;
+        };
+        // Fetch inert: at the supply cap it early-outs before touching
+        // the FTQ or the miss machinery; otherwise it must be parked on
+        // a miss that is already outstanding (the serial unit re-merges
+        // the demand every waiting cycle — idempotent, so once covers
+        // the whole span). Anything else could mutate state mid-span.
+        if s.supply.instrs() < SUPPLY_CAP {
+            if s.is_ideal() {
+                return 0;
+            }
+            let Some(w) = s.waiting_line else {
+                return 0;
+            };
+            if s.l1i.probe(w) {
+                return 0;
+            }
+            if s.inflight.contains(w) {
+                s.inflight.merge_demand(w);
+            } else if !s.inflight.is_full() {
+                // The fetch unit would issue the demand request this
+                // cycle — a memory-system interaction at this exact
+                // timestamp, so the cycle must run for real.
+                return 0;
+            }
+        }
+        // In-flight I-fills may mature mid-span and must be installed
+        // at their exact cycle; stop at the earliest.
+        let mut limit = fill_at;
+        if let Some(next) = s.inflight.next_ready_at() {
+            limit = limit.min(next);
+        }
+        if limit <= s.now {
+            return 0;
+        }
+        // Every span cycle the backend tick would charge exactly one
+        // backend-stall cycle and return before consulting the oracle;
+        // the whole span nets to a single addition.
+        let skipped = limit - s.now;
+        s.stats.backend_stall_cycles += skipped;
         s.now = limit;
         skipped
     }

@@ -160,10 +160,10 @@ impl Backend {
             let mispredicted = match s.pred_trace.front().copied() {
                 Some(p) if p.block_start == rb.block.start => {
                     s.pred_trace.pop_front();
-                    s.tage.retire_with(rb.block.branch_pc(), rb.taken, p.hist);
+                    s.tage_retire(rb.block.branch_pc(), rb.taken, Some(p.hist));
                     p.taken != rb.taken
                 }
-                _ => s.tage.retire(rb.block.branch_pc(), rb.taken) != rb.taken,
+                _ => s.tage_retire(rb.block.branch_pc(), rb.taken, None) != rb.taken,
             };
             if mispredicted {
                 s.stats.direction_mispredicts += 1;
@@ -245,6 +245,23 @@ impl Backend {
     /// Outstanding data-miss count (diagnostics).
     pub(crate) fn data_miss_count(&self) -> usize {
         self.data_misses.len()
+    }
+
+    /// When the front data miss blocks retirement *past* `now` — it is
+    /// older than the ROB shadow and its fill lies in the future —
+    /// returns the fill cycle. This is the span-skip precondition: with
+    /// retirement frozen the miss's age is frozen too, so [`Self::
+    /// tick`] reproduces the same blocked early-return every cycle
+    /// until the fill, charging one backend-stall cycle each.
+    pub(crate) fn blocking_fill_at(
+        &self,
+        now: u64,
+        retired_total: u64,
+        shadow: u64,
+    ) -> Option<u64> {
+        let front = self.data_misses.front()?;
+        (front.fill_at > now && retired_total - front.instrs_at_issue >= shadow)
+            .then_some(front.fill_at)
     }
 
     /// Drops interval-local state when sampled simulation re-enters a

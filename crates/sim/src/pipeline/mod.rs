@@ -50,7 +50,7 @@ use std::collections::VecDeque;
 
 use fe_baselines::{Boomerang, Confluence, Fdip, NoPrefetch};
 use fe_cfg::Program;
-use fe_model::{Addr, BlockSource, LineAddr, MachineConfig, RetiredBlock, SimStats};
+use fe_model::{Addr, LineAddr, MachineConfig, RetiredBlock, SimStats};
 use fe_uarch::scheme::{BpuOutcome, ControlFlowDelivery, FrontEndCtx, PredRecord};
 use fe_uarch::{BoundedQueue, InflightFills, LineCache, MemorySystem, ReturnAddressStack, Tage};
 use shotgun::ShotgunPrefetcher;
@@ -255,6 +255,10 @@ pub(crate) struct PipelineState<'p> {
     pub(crate) l1i: LineCache,
     pub(crate) mem: MemorySystem,
     pub(crate) tage: Tage,
+    /// When this cell belongs to a batch retire-share group, the
+    /// group's delta-log cursor; TAGE retirements then go through
+    /// [`fe_uarch::Tage::retire_shared`] (see [`PipelineState::tage_retire`]).
+    pub(crate) tage_share: Option<fe_uarch::TageShareCursor>,
     pub(crate) spec_ras: ReturnAddressStack,
     pub(crate) retire_ras: ReturnAddressStack,
     pub(crate) inflight: InflightFills,
@@ -310,6 +314,7 @@ impl<'p> PipelineState<'p> {
             l1i: LineCache::new(cfg.l1i),
             mem,
             tage: Tage::new(cfg.tage),
+            tage_share: None,
             spec_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
             retire_ras: ReturnAddressStack::new(cfg.front_end.ras_entries as usize),
             inflight: InflightFills::new(cfg.front_end.l1i_mshrs as usize),
@@ -337,6 +342,25 @@ impl<'p> PipelineState<'p> {
     }
 
     /// `true` when the ideal front end drives the BPU.
+    /// Retires one conditional branch against TAGE, through the batch
+    /// retire-share log when this cell is in a group. `hist` is the
+    /// prediction-time history snapshot; `None` trains at retired
+    /// history (the never-predicted case — same value `Tage::retire`
+    /// uses).
+    #[inline]
+    pub(crate) fn tage_retire(
+        &mut self,
+        pc: fe_model::Addr,
+        taken: bool,
+        hist: Option<u128>,
+    ) -> bool {
+        let hist = hist.unwrap_or_else(|| self.tage.retired_snapshot());
+        match self.tage_share.as_mut() {
+            Some(cur) => self.tage.retire_shared(pc, taken, hist, cur),
+            None => self.tage.retire_with(pc, taken, hist),
+        }
+    }
+
     pub(crate) fn is_ideal(&self) -> bool {
         matches!(self.scheme, EngineScheme::Ideal)
     }
@@ -345,17 +369,26 @@ impl<'p> PipelineState<'p> {
     /// marks the source dry) when the source is exhausted before the
     /// index can be reached — the typed replacement for the old
     /// panic-on-exhaustion path.
+    ///
+    /// Whenever a refill is needed, a few blocks beyond `pos` are
+    /// pulled in the same pass: the backend asks for the oracle head
+    /// once per retired block, and read-ahead amortizes the per-call
+    /// source dispatch (for the batch engine, a shared-window borrow)
+    /// across `ORACLE_READAHEAD` blocks. Pure buffering — consumption
+    /// order, stats, and the retired position at which dryness is
+    /// observable are unchanged (an early `source_dry` flag only makes
+    /// the span-skip paths decline a few end-of-stream cycles they
+    /// would otherwise have skipped; every skip is result-transparent).
     pub(crate) fn fill_oracle_to(&mut self, pos: usize) -> bool {
-        while pos >= self.oracle.len() {
-            match self.source.next_block() {
-                Some(next) => self.oracle.push_back(next),
-                None => {
-                    self.source_dry = true;
-                    return false;
-                }
-            }
+        const ORACLE_READAHEAD: usize = 8;
+        if pos < self.oracle.len() {
+            return true;
         }
-        true
+        let want = pos + ORACLE_READAHEAD + 1 - self.oracle.len();
+        if self.source.next_blocks_into(want, &mut self.oracle) < want {
+            self.source_dry = true;
+        }
+        pos < self.oracle.len()
     }
 
     /// `true` once the source has run dry and every already-pulled

@@ -322,6 +322,21 @@ impl<'p> Simulator<'p> {
     /// traffic), stopping at the first block boundary at or past the
     /// target. Returns the instructions actually warmed.
     pub(crate) fn warm_functional(&mut self, instrs: u64) -> u64 {
+        self.warm_functional_with(instrs, &mut [])
+    }
+
+    /// [`Self::warm_functional`] with ride-along schemes: every warmed
+    /// block is also fed to each rider's
+    /// [`warm_block`](ControlFlowDelivery::warm_block) hook against
+    /// this cell's front-end context — the batch engine's shared-warm
+    /// pass, where one leader walks the warm window and the other
+    /// cells' schemes ride along instead of re-walking it themselves.
+    /// The context the riders see is the leader's post-`warm_one`
+    /// state, exactly what each rider's own serial warm would show at
+    /// the same block (the warmed structures are identical across
+    /// same-config cells). With no riders this is the serial warm path,
+    /// unchanged.
+    pub(crate) fn warm_functional_with(&mut self, instrs: u64, riders: &mut [EngineScheme]) -> u64 {
         let mut warmed = 0u64;
         while warmed < instrs {
             // Blocks the timed pipeline already pulled ahead retire
@@ -341,6 +356,15 @@ impl<'p> Simulator<'p> {
                 },
             };
             self.warm_one(&rb);
+            if !riders.is_empty() {
+                self.state.with_ctx(|ctx| {
+                    for rider in riders.iter_mut() {
+                        if let EngineScheme::Real(sch) = rider {
+                            sch.warm_block(&rb, ctx);
+                        }
+                    }
+                });
+            }
             warmed += fresh;
             self.state.retired_total += fresh;
         }
@@ -364,7 +388,7 @@ impl<'p> Simulator<'p> {
         }
         match rb.block.kind {
             BranchKind::Conditional => {
-                s.tage.retire(rb.block.branch_pc(), rb.taken);
+                s.tage_retire(rb.block.branch_pc(), rb.taken, None);
             }
             BranchKind::Call | BranchKind::Trap => s.retire_ras.push(RasEntry {
                 ret: rb.block.fall_through(),

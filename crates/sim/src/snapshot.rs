@@ -122,33 +122,63 @@ impl WarmScheme {
     }
 }
 
+/// Deep copy of the scheme-*independent* structures the functional
+/// warm path mutates: L1-I, TAGE, retire RAS, and the memory image.
+/// Shared by [`WarmSnapshot`] (cross-run caching) and the batch
+/// engine's shared-warm pass (within one batch, one leader warms these
+/// once and clones of them are installed into every same-config cell —
+/// the structures depend only on the retired stream, never on the
+/// scheme riding above them).
+#[derive(Clone)]
+pub(crate) struct WarmStructures {
+    l1i: LineCache,
+    tage: Tage,
+    retire_ras: ReturnAddressStack,
+    mem: MemSnapshot,
+}
+
 /// Deep copy of every structure the functional warm path mutates, plus
 /// the stream position warming stopped at. See the module docs for the
 /// exactness argument.
 pub struct WarmSnapshot {
-    l1i: LineCache,
-    tage: Tage,
-    retire_ras: ReturnAddressStack,
+    structures: WarmStructures,
     scheme: WarmScheme,
-    mem: MemSnapshot,
     /// Instructions the warm phase consumed (block-aligned).
     warmed: u64,
 }
 
 impl<'p> Simulator<'p> {
+    /// Captures the scheme-independent warmed structures. `None` when
+    /// the memory system is not snapshottable (shared memory group).
+    pub(crate) fn capture_warm_structures(&self) -> Option<WarmStructures> {
+        let s = &self.state;
+        Some(WarmStructures {
+            l1i: s.l1i.clone(),
+            tage: s.tage.clone(),
+            retire_ras: s.retire_ras.clone(),
+            mem: s.mem.snapshot()?,
+        })
+    }
+
+    /// Installs deep copies of scheme-independent warmed structures.
+    /// The stream position must already match the capture point.
+    pub(crate) fn install_warm_structures(&mut self, ws: &WarmStructures) {
+        let s = &mut self.state;
+        s.l1i = ws.l1i.clone();
+        s.tage = ws.tage.clone();
+        s.retire_ras = ws.retire_ras.clone();
+        s.mem = ws.mem.thaw();
+    }
+
     /// Captures the current warmed state. Call immediately after the
     /// initial functional warm of a sampled run, before any interval.
     /// `None` when the scheme or the memory system is not
     /// snapshottable (dynamic-dispatch scheme, shared memory group).
     pub(crate) fn capture_warm(&self) -> Option<WarmSnapshot> {
-        let s = &self.state;
         Some(WarmSnapshot {
-            l1i: s.l1i.clone(),
-            tage: s.tage.clone(),
-            retire_ras: s.retire_ras.clone(),
-            scheme: WarmScheme::capture(&s.scheme)?,
-            mem: s.mem.snapshot()?,
-            warmed: s.retired_total,
+            scheme: WarmScheme::capture(&self.state.scheme)?,
+            structures: self.capture_warm_structures()?,
+            warmed: self.state.retired_total,
         })
     }
 
@@ -163,19 +193,17 @@ impl<'p> Simulator<'p> {
             skipped, snap.warmed,
             "snapshot warmed past the source's end — mismatched snapshot?"
         );
-        let s = &mut self.state;
-        s.l1i = snap.l1i.clone();
-        s.tage = snap.tage.clone();
-        s.retire_ras = snap.retire_ras.clone();
-        s.scheme = snap.scheme.install();
-        s.mem = snap.mem.thaw();
+        self.install_warm_structures(&snap.structures);
+        self.state.scheme = snap.scheme.install();
     }
 }
 
 /// In-memory, process-lifetime store of [`WarmSnapshot`]s, bounded to
-/// `capacity` entries with insertion-order eviction. Thread-safe;
-/// entries are shared out as [`Arc`]s so restores never copy the
-/// stored state until installation.
+/// `capacity` entries with least-recently-used eviction — a hit
+/// refreshes the entry's recency, so a snapshot in steady reuse is
+/// never the one evicted by newly warmed cells. Thread-safe; entries
+/// are shared out as [`Arc`]s so restores never copy the stored state
+/// until installation.
 pub struct SnapshotStore {
     entries: Mutex<Store>,
     capacity: usize,
@@ -186,7 +214,18 @@ pub struct SnapshotStore {
 #[derive(Default)]
 struct Store {
     map: HashMap<SnapshotKey, Arc<WarmSnapshot>>,
+    /// Recency order, least recently used first.
     order: Vec<SnapshotKey>,
+}
+
+impl Store {
+    /// Moves `key` to the most-recently-used end of the order.
+    fn touch(&mut self, key: &SnapshotKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
 }
 
 impl SnapshotStore {
@@ -210,20 +249,27 @@ impl SnapshotStore {
         }
     }
 
-    /// Looks up a warmed state.
+    /// Looks up a warmed state; a hit refreshes the entry's recency.
     pub fn get(&self, key: &SnapshotKey) -> Option<Arc<WarmSnapshot>> {
-        let found = self.entries.lock().unwrap().map.get(key).cloned();
+        let mut store = self.entries.lock().unwrap();
+        let found = store.map.get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                store.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
     }
 
-    /// Stores a warmed state, evicting the oldest entry when full.
+    /// Stores a warmed state, evicting the least recently used entry
+    /// when full. Re-putting an existing key keeps the stored snapshot
+    /// but refreshes its recency.
     pub fn put(&self, key: SnapshotKey, snapshot: WarmSnapshot) {
         let mut store = self.entries.lock().unwrap();
         if store.map.contains_key(&key) {
+            store.touch(&key);
             return;
         }
         if store.order.len() >= self.capacity {
@@ -356,5 +402,41 @@ mod tests {
             );
         }
         assert_eq!(store.len(), 1, "older snapshot evicted");
+    }
+
+    #[test]
+    fn hit_refreshes_recency_so_eviction_targets_the_stale_entry() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let machine = MachineConfig::table3();
+        let trace = Trace::record(&program, 7, LEN.trace_instrs(&machine));
+        let store = SnapshotStore::with_capacity(2);
+        let run = |scheme: &SchemeSpec| {
+            run_scheme_sampled_replayed_snapshot(
+                &program,
+                &trace,
+                scheme,
+                &machine,
+                LEN,
+                SPEC,
+                7,
+                Some(&store),
+            );
+        };
+        // Fill: NoPrefetch is now the oldest insertion, Fdip the newest.
+        run(&SchemeSpec::NoPrefetch);
+        run(&SchemeSpec::Fdip);
+        // Hit NoPrefetch: under stale insertion-order eviction it would
+        // still be first in line; the hit must move it to the back.
+        run(&SchemeSpec::NoPrefetch);
+        assert_eq!(store.hits(), 1);
+        // Third distinct key: the eviction victim must be Fdip (least
+        // recently used), not the just-hit NoPrefetch.
+        run(&SchemeSpec::boomerang());
+        assert_eq!(store.len(), 2);
+        run(&SchemeSpec::NoPrefetch);
+        assert_eq!(store.hits(), 2, "refreshed entry survived the eviction");
+        run(&SchemeSpec::Fdip);
+        assert_eq!(store.hits(), 2, "stale entry was the one evicted");
+        assert_eq!(store.misses(), 4, "cold runs plus the re-warmed Fdip");
     }
 }

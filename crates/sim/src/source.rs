@@ -53,6 +53,33 @@ impl BlockSource for SourceKind<'_> {
     }
 }
 
+impl SourceKind<'_> {
+    /// Appends up to `n` blocks to `out`, returning how many arrived
+    /// (short only when the stream ends). A shared cursor delivers the
+    /// whole run under one window lock; every other kind degrades to
+    /// `n` plain `next_block` calls.
+    pub(crate) fn next_blocks_into(
+        &mut self,
+        n: usize,
+        out: &mut std::collections::VecDeque<RetiredBlock>,
+    ) -> usize {
+        if let SourceKind::Shared(cursor) = self {
+            return cursor.next_blocks_into(n, out);
+        }
+        let mut taken = 0;
+        while taken < n {
+            match self.next_block() {
+                Some(rb) => {
+                    out.push_back(rb);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+}
+
 impl<'p> From<Executor<'p>> for SourceKind<'p> {
     fn from(exec: Executor<'p>) -> Self {
         SourceKind::Live(exec)

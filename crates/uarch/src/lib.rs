@@ -39,4 +39,4 @@ pub use queue::BoundedQueue;
 pub use ras::{RasEntry, ReturnAddressStack};
 pub use scheme::{BpuOutcome, ControlFlowDelivery, FrontEndCtx, PredictedBlock};
 pub use setmap::SetAssocMap;
-pub use tage::Tage;
+pub use tage::{Tage, TageShare, TageShareCursor};
