@@ -1,0 +1,148 @@
+#![forbid(unsafe_code)]
+//! The `fe-audit` binary: audit the workspace, print the report,
+//! optionally emit JSON and check the committed waiver-census
+//! baseline.
+//!
+//! ```text
+//! fe-audit [--root DIR] [--json PATH] [--baseline PATH] [--list-waivers]
+//! ```
+//!
+//! * `--root DIR` — workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` with a `[workspace]` table).
+//! * `--json PATH` — write the machine-readable report there.
+//! * `--baseline PATH` — require the current waiver census to appear
+//!   verbatim in that file (the committed `BENCH_audit.json`): adding,
+//!   removing, or editing a waiver without refreshing the baseline in
+//!   the same commit fails the audit.
+//! * `--list-waivers` — print the waiver census after the table.
+//!
+//! Exit code 0 when clean, 1 on unwaivered findings or a stale
+//! baseline, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fe_audit::{analyze, render_json, render_table, render_waiver_census, walk_workspace};
+
+/// stdout write that shrugs off a closed pipe (`fe-audit | head`)
+/// instead of panicking like `print!` would.
+fn say(text: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fe-audit: {msg}");
+    eprintln!("usage: fe-audit [--root DIR] [--json PATH] [--baseline PATH] [--list-waivers]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut list_waivers = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--list-waivers" => list_waivers = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fe-audit [--root DIR] [--json PATH] [--baseline PATH] [--list-waivers]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| fe_audit::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => return usage("no workspace root found (pass --root)"),
+    };
+
+    let files = match walk_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fe-audit: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analysis = analyze(&files);
+    say(&render_table(&analysis));
+
+    if list_waivers {
+        say("\nwaiver census:\n");
+        for w in &analysis.waivers {
+            say(&format!(
+                "  {}:{} [{}] {}\n",
+                w.file,
+                w.line,
+                w.rules.join(","),
+                w.reason
+            ));
+        }
+    }
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, render_json(&analysis)) {
+            eprintln!("fe-audit: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failed = false;
+    if analysis.unwaivered() > 0 {
+        eprintln!(
+            "\nfe-audit: FAIL — {} unwaivered finding(s); fix them or add \
+             `audit-allow(<rule>): <reason>` waivers",
+            analysis.unwaivered()
+        );
+        failed = true;
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let census = render_waiver_census(&analysis);
+                if !text.contains(&census) {
+                    eprintln!(
+                        "\nfe-audit: FAIL — waiver census changed but the baseline {} was \
+                         not updated in the same commit; refresh it with \
+                         `cargo run -p fe-audit -- --json {}`",
+                        path.display(),
+                        path.display()
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("fe-audit: reading baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        say("\nfe-audit: OK\n");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,463 @@
+//! Waiver parsing, finding/waiver matching, and report rendering.
+//!
+//! A waiver is a comment of the form
+//!
+//! ```text
+//! // audit-allow(<rule>[, <rule>...]): <reason>
+//! ```
+//!
+//! The reason is mandatory — a waiver is a named exception to a
+//! determinism invariant, and the name is the point. A waiver on a
+//! code line covers that line; a waiver on a comment-only line covers
+//! the next line carrying code (so it can sit above the site, next to
+//! a SAFETY comment). A missing-crate-attribute finding (which has no
+//! single site) is covered by a matching waiver anywhere in its file.
+//! Waivers that cover nothing, name an unknown rule, or omit the
+//! reason are themselves findings (`unused-waiver`,
+//! `malformed-waiver`) — the waiver census can only shrink by deleting
+//! dead waivers, never by letting them rot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{check_file, is_known_rule, Finding, RULES};
+use crate::scan::SourceFile;
+
+/// One parsed waiver site.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub file: String,
+    pub line: usize,
+    /// Rule ids this waiver names, lexically sorted.
+    pub rules: Vec<String>,
+    pub reason: String,
+    /// Line whose findings this waiver covers (its own line, or the
+    /// next code-carrying line when the waiver stands alone).
+    pub covers_line: usize,
+}
+
+/// The marker that introduces a waiver inside a comment. A waiver
+/// must *start* its comment (modulo whitespace) — mentions of the
+/// syntax mid-prose, or doc-comment examples prefixed with a nested
+/// `//`, are not waivers.
+const MARKER: &str = "audit-allow(";
+
+/// Parses the waivers (and malformed-waiver findings) of one file.
+fn parse_waivers(f: &SourceFile) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for (idx, line) in f.lines.iter().enumerate() {
+        let trimmed = line.comment.trim_start();
+        if !trimmed.starts_with(MARKER) {
+            continue;
+        }
+        let pos = line.comment.len() - trimmed.len();
+        let mut bad = |why: &str| {
+            malformed.push(Finding {
+                rule: "malformed-waiver",
+                file: f.ctx.rel_path.clone(),
+                line: line.number,
+                message: format!("{why}: {}", line.comment.trim()),
+                file_anchored: false,
+            });
+        };
+        let after = &line.comment[pos + MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            bad("waiver missing closing parenthesis");
+            continue;
+        };
+        let mut rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        rules.sort();
+        rules.dedup();
+        if rules.is_empty() {
+            bad("waiver names no rule");
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !is_known_rule(r)) {
+            bad(&format!("waiver names unknown rule `{unknown}`"));
+            continue;
+        }
+        let rest = after[close + 1..].trim_start();
+        let reason = match rest.strip_prefix(':') {
+            Some(r) => r.trim(),
+            None => {
+                bad("waiver missing `: <reason>`");
+                continue;
+            }
+        };
+        if reason.is_empty() {
+            bad("waiver reason is empty");
+            continue;
+        }
+        // Standalone comment line: cover the next code-carrying line
+        // (skipping further comment-only lines, e.g. SAFETY text).
+        let covers_line = if line.code.trim().is_empty() {
+            f.lines[idx + 1..]
+                .iter()
+                .find(|l| !l.code.trim().is_empty())
+                .map(|l| l.number)
+                .unwrap_or(line.number)
+        } else {
+            line.number
+        };
+        waivers.push(Waiver {
+            file: f.ctx.rel_path.clone(),
+            line: line.number,
+            rules,
+            reason: reason.to_string(),
+            covers_line,
+        });
+    }
+    (waivers, malformed)
+}
+
+/// A finding after waiver matching.
+#[derive(Clone, Debug)]
+pub struct Judged {
+    pub finding: Finding,
+    pub waived: bool,
+}
+
+/// Full result of auditing a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub files_scanned: usize,
+    /// All findings (rule violations + meta-findings), sorted by
+    /// (file, line, rule), each marked waived or not.
+    pub findings: Vec<Judged>,
+    /// All well-formed waivers, sorted by (file, line).
+    pub waivers: Vec<Waiver>,
+    /// Indices into `waivers` of waivers that covered nothing.
+    pub unused_waivers: Vec<usize>,
+}
+
+impl Analysis {
+    /// Findings not covered by a waiver — the gate condition.
+    pub fn unwaivered(&self) -> usize {
+        self.findings.iter().filter(|j| !j.waived).count()
+    }
+
+    /// (findings, waived) per rule id, in catalog order with the two
+    /// meta rules appended.
+    pub fn per_rule(&self) -> Vec<(&'static str, usize, usize)> {
+        let mut order: Vec<&'static str> = RULES.iter().map(|r| r.id).collect();
+        order.push("malformed-waiver");
+        order.push("unused-waiver");
+        order
+            .into_iter()
+            .map(|id| {
+                let total = self
+                    .findings
+                    .iter()
+                    .filter(|j| j.finding.rule == id)
+                    .count();
+                let waived = self
+                    .findings
+                    .iter()
+                    .filter(|j| j.finding.rule == id && j.waived)
+                    .count();
+                (id, total, waived)
+            })
+            .collect()
+    }
+}
+
+/// Audits a set of lexed files: run rules, parse waivers, match them.
+pub fn analyze(files: &[SourceFile]) -> Analysis {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut used: Vec<bool> = Vec::new();
+
+    for f in files {
+        let file_findings = check_file(f);
+        let (file_waivers, malformed) = parse_waivers(f);
+        let base = waivers.len();
+        used.resize(base + file_waivers.len(), false);
+
+        for finding in file_findings {
+            findings.push(finding);
+        }
+        findings.extend(malformed);
+        waivers.extend(file_waivers);
+        let _ = base;
+    }
+
+    // Match findings to waivers (same file; same/covered line, or
+    // anywhere-in-file for file-anchored findings).
+    let mut judged: Vec<Judged> = findings
+        .into_iter()
+        .map(|finding| {
+            let waivable = finding.rule != "unused-waiver" && finding.rule != "malformed-waiver";
+            let mut waived = false;
+            if waivable {
+                for (i, w) in waivers.iter().enumerate() {
+                    if w.file != finding.file || !w.rules.iter().any(|r| r == finding.rule) {
+                        continue;
+                    }
+                    let hits = finding.file_anchored
+                        || w.covers_line == finding.line
+                        || w.line == finding.line;
+                    if hits {
+                        used[i] = true;
+                        waived = true;
+                    }
+                }
+            }
+            Judged { finding, waived }
+        })
+        .collect();
+
+    let unused: Vec<usize> = (0..waivers.len()).filter(|&i| !used[i]).collect();
+    for &i in &unused {
+        let w = &waivers[i];
+        judged.push(Judged {
+            finding: Finding {
+                rule: "unused-waiver",
+                file: w.file.clone(),
+                line: w.line,
+                message: format!(
+                    "waiver for `{}` covers no finding — delete it",
+                    w.rules.join(", ")
+                ),
+                file_anchored: false,
+            },
+            waived: false,
+        });
+    }
+
+    judged.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, a.finding.rule).cmp(&(
+            &b.finding.file,
+            b.finding.line,
+            b.finding.rule,
+        ))
+    });
+
+    Analysis {
+        files_scanned: files.len(),
+        findings: judged,
+        waivers,
+        unused_waivers: unused,
+    }
+}
+
+/// Renders the human-readable report (deterministic byte-for-byte).
+pub fn render_table(a: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fe-audit: {} files, {} findings ({} unwaivered), {} waivers ({} unused)",
+        a.files_scanned,
+        a.findings.len(),
+        a.unwaivered(),
+        a.waivers.len(),
+        a.unused_waivers.len(),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>8} {:>10}",
+        "rule", "findings", "waived", "unwaivered"
+    );
+    for (id, total, waived) in a.per_rule() {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>8} {:>10}",
+            id,
+            total,
+            waived,
+            total - waived
+        );
+    }
+    let unwaivered: Vec<&Judged> = a.findings.iter().filter(|j| !j.waived).collect();
+    if !unwaivered.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "unwaivered findings:");
+        for j in unwaivered {
+            let _ = writeln!(
+                out,
+                "  {}:{} [{}] {}",
+                j.finding.file, j.finding.line, j.finding.rule, j.finding.message
+            );
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the waiver census as a JSON fragment. This exact fragment
+/// is embedded in [`render_json`], which is what lets the committed
+/// `BENCH_audit.json` act as a baseline: the census either appears
+/// verbatim in it, or the baseline is stale.
+pub fn render_waiver_census(a: &Analysis) -> String {
+    let mut sites: Vec<&Waiver> = a.waivers.iter().collect();
+    sites.sort_by_key(|w| (w.file.clone(), w.line));
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "    \"total\": {},", a.waivers.len());
+    let _ = writeln!(out, "    \"unused\": {},", a.unused_waivers.len());
+    out.push_str("    \"sites\": [");
+    for (i, w) in sites.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n      {{\"file\": \"{}\", \"line\": {}, \"rules\": \"{}\", \"reason\": \"{}\"}}",
+            json_escape(&w.file),
+            w.line,
+            json_escape(&w.rules.join(",")),
+            json_escape(&w.reason),
+        );
+    }
+    if !sites.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }");
+    out
+}
+
+/// Renders the machine-readable report (`BENCH_audit.json`).
+pub fn render_json(a: &Analysis) -> String {
+    let mut rules: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (id, total, waived) in a.per_rule() {
+        rules.insert(id, (total, waived));
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"fe-audit/v1\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", a.files_scanned);
+    let _ = writeln!(out, "  \"findings\": {},", a.findings.len());
+    let _ = writeln!(out, "  \"unwaivered\": {},", a.unwaivered());
+    out.push_str("  \"rules\": {\n");
+    let n = rules.len();
+    for (i, (id, (total, waived))) in rules.into_iter().enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    \"{id}\": {{\"findings\": {total}, \"waived\": {waived}}}{comma}"
+        );
+    }
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"waivers\": {}", render_waiver_census(a));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::lex_rel_path;
+
+    fn analyze_one(path: &str, src: &str) -> Analysis {
+        analyze(&[lex_rel_path(path, src)])
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let a = analyze_one(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap; // audit-allow(no-siphash): test of trailing waivers\n",
+        );
+        assert_eq!(a.findings.len(), 1);
+        assert!(a.findings[0].waived);
+        assert_eq!(a.unwaivered(), 0);
+        assert!(a.unused_waivers.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line_past_comments() {
+        let a = analyze_one(
+            "crates/sim/src/x.rs",
+            "// audit-allow(no-unchecked-panic): invariant xyz holds by construction\n\
+             // SAFETY-adjacent prose explaining xyz.\n\
+             fn f() { x.unwrap(); }\n",
+        );
+        assert_eq!(a.unwaivered(), 0);
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let a = analyze_one(
+            "crates/sim/src/x.rs",
+            "// audit-allow(no-siphash): nothing here actually violates\nfn f() {}\n",
+        );
+        assert_eq!(a.unwaivered(), 1);
+        assert_eq!(a.findings[0].finding.rule, "unused-waiver");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_malformed() {
+        for bad in [
+            "// audit-allow(no-siphash)\nuse std::collections::HashMap;\n",
+            "// audit-allow(no-siphash):\nuse std::collections::HashMap;\n",
+            "// audit-allow(): because\nuse std::collections::HashMap;\n",
+            "// audit-allow(not-a-rule): because\nuse std::collections::HashMap;\n",
+        ] {
+            let a = analyze_one("crates/sim/src/x.rs", bad);
+            assert!(
+                a.findings
+                    .iter()
+                    .any(|j| j.finding.rule == "malformed-waiver" && !j.waived),
+                "expected malformed-waiver for {bad:?}"
+            );
+            // The underlying violation stays unwaivered too.
+            assert!(a.unwaivered() >= 2, "for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let a = analyze_one(
+            "crates/sim/src/x.rs",
+            "// audit-allow(no-siphash, no-unchecked-panic): both on one line for a reason\n\
+             fn f() { let m = std::collections::HashMap::new(); m.get(&1).unwrap(); }\n",
+        );
+        assert_eq!(a.unwaivered(), 0, "{:?}", a.findings);
+    }
+
+    #[test]
+    fn file_anchored_waiver_matches_anywhere() {
+        let a = analyze_one(
+            "crates/serve/src/main.rs",
+            "fn main() {\n\
+             // audit-allow(forbid-unsafe): signal handler registration, see SAFETY\n\
+             unsafe { sig(); }\n\
+             }\n",
+        );
+        // Both the missing-attribute finding and the unsafe site are
+        // covered by the one waiver.
+        assert_eq!(a.unwaivered(), 0, "{:?}", a.findings);
+        assert_eq!(a.findings.len(), 2);
+    }
+
+    #[test]
+    fn census_fragment_is_embedded_in_full_json() {
+        let a = analyze_one(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap; // audit-allow(no-siphash): census embedding check\n",
+        );
+        let json = render_json(&a);
+        let census = render_waiver_census(&a);
+        assert!(json.contains(&census));
+    }
+}

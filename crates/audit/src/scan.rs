@@ -1,0 +1,224 @@
+//! Workspace walking and per-file lexing.
+//!
+//! The audit covers every Rust source the workspace builds: the root
+//! package's `src/`, `tests/`, and `examples/`, plus each member
+//! crate's `src/`, `tests/`, and `benches/`. Directories named
+//! `fixtures` are skipped — they hold test inputs (including this
+//! crate's own deliberately-violating audit fixtures), not workspace
+//! code — as is `target/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::tokenize::{split_line, LexState};
+
+/// Where a file sits in the workspace — everything the rules need to
+/// decide which checks apply.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated (stable across hosts).
+    pub rel_path: String,
+    /// Member crate short name (`sim`, `uarch`, …) or `root` for the
+    /// umbrella package.
+    pub crate_name: String,
+    /// `true` for compilation-unit roots (`src/lib.rs`, `src/main.rs`,
+    /// `src/bin/*.rs`) — the files that must carry crate attributes.
+    pub is_crate_root: bool,
+    /// `true` for files under `tests/`, `benches/`, or `examples/`.
+    pub is_test_file: bool,
+}
+
+/// One lexed source line.
+#[derive(Debug)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text (comments removed, string contents blanked).
+    pub code: String,
+    /// Comment text.
+    pub comment: String,
+    /// Raw line, for finding excerpts.
+    pub raw: String,
+    /// `true` inside test code: a test file, or at/after the file's
+    /// first `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    pub ctx: FileCtx,
+    pub lines: Vec<Line>,
+}
+
+/// Lexes `text` under `ctx` into per-line code/comment streams.
+pub fn lex_source(ctx: FileCtx, text: &str) -> SourceFile {
+    let mut state = LexState::default();
+    let mut in_tests = ctx.is_test_file;
+    let lines = text
+        .lines()
+        .enumerate()
+        .map(|(idx, raw)| {
+            let split = split_line(&mut state, raw);
+            if split.code.contains("#[cfg(test)]") {
+                in_tests = true;
+            }
+            Line {
+                number: idx + 1,
+                code: split.code,
+                comment: split.comment,
+                raw: raw.to_string(),
+                is_test: in_tests,
+            }
+        })
+        .collect();
+    SourceFile { ctx, lines }
+}
+
+/// Classifies and lexes one workspace file given its relative path.
+pub fn lex_rel_path(rel_path: &str, text: &str) -> SourceFile {
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("root")
+        .to_string();
+    let in_crate = rel_path
+        .strip_prefix(&format!("crates/{crate_name}/"))
+        .unwrap_or(rel_path);
+    let is_crate_root = in_crate == "src/lib.rs"
+        || in_crate == "src/main.rs"
+        || (in_crate.starts_with("src/bin/")
+            && in_crate.ends_with(".rs")
+            && in_crate["src/bin/".len()..].matches('/').count() == 0);
+    let is_test_file = in_crate.starts_with("tests/")
+        || in_crate.starts_with("benches/")
+        || in_crate.starts_with("examples/");
+    lex_source(
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_crate_root,
+            is_test_file,
+        },
+        text,
+    )
+}
+
+fn collect_rs(dir: &Path, acc: &mut Vec<PathBuf>) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs(&path, acc)?;
+        } else if name.ends_with(".rs") {
+            acc.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace at `root` and lexes every audited source file,
+/// sorted by relative path (deterministic output order).
+pub fn walk_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for dir in ["src", "tests", "examples"] {
+        collect_rs(&root.join(dir), &mut paths)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            for dir in ["src", "tests", "benches"] {
+                collect_rs(&member.join(dir), &mut paths)?;
+            }
+        }
+    }
+    let mut rels: Vec<String> = paths
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rels.sort();
+    rels.dedup();
+    rels.iter()
+        .map(|rel| {
+            let text =
+                fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+            Ok(lex_rel_path(rel, &text))
+        })
+        .collect()
+}
+
+/// Finds the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        let f = lex_rel_path("crates/sim/src/engine.rs", "fn x() {}\n");
+        assert_eq!(f.ctx.crate_name, "sim");
+        assert!(!f.ctx.is_crate_root);
+        assert!(!f.ctx.is_test_file);
+
+        let f = lex_rel_path("crates/bench/src/bin/perf.rs", "fn main() {}\n");
+        assert!(f.ctx.is_crate_root);
+
+        let f = lex_rel_path("crates/uarch/tests/props.rs", "");
+        assert!(f.ctx.is_test_file);
+
+        let f = lex_rel_path("tests/integration.rs", "");
+        assert_eq!(f.ctx.crate_name, "root");
+        assert!(f.ctx.is_test_file);
+
+        let f = lex_rel_path("src/lib.rs", "");
+        assert!(f.ctx.is_crate_root);
+    }
+
+    #[test]
+    fn cfg_test_marks_the_tail_of_a_file() {
+        let f = lex_rel_path(
+            "crates/sim/src/x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n",
+        );
+        assert!(!f.lines[0].is_test);
+        assert!(f.lines[1].is_test);
+        assert!(f.lines[3].is_test);
+    }
+}

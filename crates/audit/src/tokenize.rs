@@ -1,0 +1,265 @@
+//! Comment/string-literal-aware line splitting.
+//!
+//! The rule catalog matches *code*, and waivers live in *comments* —
+//! so every source line is split into the two streams before any rule
+//! runs. A full Rust lexer would be overkill (and a dependency); this
+//! is a line-at-a-time state machine that understands exactly the
+//! constructs that can smuggle rule patterns across the code/comment
+//! boundary:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * block comments (`/* */`, nested, possibly spanning lines),
+//! * string and byte-string literals (escapes, spanning lines),
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! * char literals (`'x'`, `'\n'`, `'\u{…}'`) versus lifetimes (`'a`).
+//!
+//! String-literal *contents* are blanked from the code stream (the
+//! delimiting quotes remain), so a doc string mentioning `HashMap` or
+//! `panic!` never trips a rule — and a waiver marker inside a string
+//! never counts as a waiver.
+
+/// Cross-line lexer state: whether the next line starts inside a
+/// block comment, a string, or plain code.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LexState {
+    /// Plain code.
+    #[default]
+    Code,
+    /// Inside a block comment, `depth` levels deep (they nest).
+    BlockComment(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    RawStr(u8),
+}
+
+/// One source line split into its code and comment text.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct SplitLine {
+    /// The line with comments removed and string contents blanked.
+    pub code: String,
+    /// The concatenated comment text on the line.
+    pub comment: String,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Splits `raw` (one line, no terminator) into code and comment,
+/// carrying `state` across lines.
+pub fn split_line(state: &mut LexState, raw: &str) -> SplitLine {
+    let mut out = SplitLine::default();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match *state {
+            LexState::BlockComment(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *state = match depth {
+                        0 | 1 => LexState::Code,
+                        d => LexState::BlockComment(d - 1),
+                    };
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = LexState::BlockComment(depth + 1);
+                    out.comment.push_str("/*");
+                    i += 2;
+                } else {
+                    out.comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            LexState::Str => {
+                match chars[i] {
+                    '\\' => i += 2, // escape: skip the escaped char too
+                    '"' => {
+                        *state = LexState::Code;
+                        out.code.push('"');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            LexState::RawStr(hashes) => {
+                let closes = chars[i] == '"'
+                    && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    *state = LexState::Code;
+                    out.code.push('"');
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            LexState::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: the rest of the line, minus the
+                    // doc-comment sigils, is comment text.
+                    let mut rest: &str = &chars[i + 2..].iter().collect::<String>();
+                    rest = rest.strip_prefix(['/', '!']).unwrap_or(rest);
+                    out.comment.push_str(rest);
+                    break;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *state = LexState::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw (byte) string start: r"…", r#"…"#, br"…".
+                let raw_at = if c == 'r' {
+                    Some(i)
+                } else if c == 'b' && chars.get(i + 1) == Some(&'r') {
+                    Some(i + 1)
+                } else {
+                    None
+                };
+                if let Some(r) = raw_at {
+                    let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                    let mut j = r + 1;
+                    while chars.get(j) == Some(&'#') {
+                        j += 1;
+                    }
+                    if !prev_ident && chars.get(j) == Some(&'"') {
+                        *state = LexState::RawStr((j - r - 1) as u8);
+                        out.code.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    *state = LexState::Str;
+                    out.code.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                    // After an identifier (`x'` can't start a literal
+                    // in Rust, but `'` in `&'a` never follows one
+                    // either) still treat as potential literal start.
+                    let _ = prev_ident;
+                    if chars.get(i + 1) == Some(&'\\') {
+                        // Escape literal: scan to the closing quote.
+                        out.code.push_str("''");
+                        i += 2;
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        // Plain one-char literal.
+                        out.code.push_str("''");
+                        i += 3;
+                        continue;
+                    }
+                    // Lifetime (or label): keep the tick as code.
+                    out.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                out.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    // A string literal cannot actually continue past a line end unless
+    // it is a multi-line string; both plain and raw strings may.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(line: &str) -> String {
+        split_line(&mut LexState::default(), line).code
+    }
+
+    fn comment(line: &str) -> String {
+        split_line(&mut LexState::default(), line).comment
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        assert_eq!(code("let x = 1; // HashMap here"), "let x = 1; ");
+        assert_eq!(comment("let x = 1; // HashMap here"), " HashMap here");
+        assert_eq!(comment("/// doc with panic!()"), " doc with panic!()");
+        assert_eq!(comment("//! inner doc"), " inner doc");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        assert_eq!(code(r#"let s = "HashMap::new()";"#), r#"let s = "";"#);
+        assert_eq!(code(r#"let s = "esc \" quote";"#), r#"let s = "";"#);
+        assert_eq!(
+            code(r##"let s = r#"raw "HashMap" here"#;"##),
+            r#"let s = "";"#
+        );
+        assert_eq!(code(r#"let b = b"panic!";"#), r#"let b = b"";"#);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            code("let c = '\"'; let d = 'x';"),
+            "let c = ''; let d = '';"
+        );
+        assert_eq!(code(r"let c = '\n';"), "let c = '';");
+        assert_eq!(code("fn f<'a>(x: &'a str) {}"), "fn f<'a>(x: &'a str) {}");
+        // A quote inside a char literal must not open a string.
+        assert_eq!(
+            code("if c == '\"' { x(\"HashMap\") }"),
+            "if c == '' { x(\"\") }"
+        );
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let mut st = LexState::default();
+        let a = split_line(&mut st, "code(); /* start HashMap");
+        assert_eq!(a.code, "code(); ");
+        assert_eq!(st, LexState::BlockComment(1));
+        let b = split_line(&mut st, "still /* nested */ comment");
+        assert!(b.code.is_empty());
+        assert_eq!(st, LexState::BlockComment(1));
+        let c = split_line(&mut st, "done */ tail_code();");
+        assert_eq!(c.code, " tail_code();");
+        assert_eq!(st, LexState::Code);
+        assert!(a.comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let mut st = LexState::default();
+        let a = split_line(&mut st, r#"let s = "first"#);
+        assert_eq!(a.code, r#"let s = ""#);
+        assert_eq!(st, LexState::Str);
+        let b = split_line(&mut st, r#"second HashMap"; after();"#);
+        assert_eq!(b.code, r#""; after();"#);
+        assert_eq!(st, LexState::Code);
+    }
+
+    #[test]
+    fn raw_string_hash_depth_matters() {
+        let mut st = LexState::default();
+        let a = split_line(&mut st, r###"let s = r##"x "# y"###);
+        assert_eq!(a.code, r#"let s = ""#);
+        assert_eq!(st, LexState::RawStr(2));
+        let b = split_line(&mut st, r###"end"## tail"###);
+        assert_eq!(b.code, r#"" tail"#);
+        assert_eq!(st, LexState::Code);
+    }
+
+    #[test]
+    fn waiver_marker_in_string_is_not_a_comment() {
+        let s = split_line(
+            &mut LexState::default(),
+            r#"let m = "audit-allow(no-siphash): not real";"#,
+        );
+        assert!(s.comment.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Fixture-based rule tests: for every rule in the catalog, a
+//! positive fixture (violation → finding), a negative fixture (clean
+//! code → no finding), and a waivered fixture (violation + waiver →
+//! finding counted but not gating). Fixtures live in `fixtures/`,
+//! which the workspace walker deliberately skips — so fe-audit never
+//! trips over its own test corpus.
+//!
+//! The fixture *text* is what matters; each test lexes it under a
+//! chosen relative path, because crate attribution (engine or not,
+//! crate root or not, test file or not) is part of every rule.
+
+use fe_audit::{analyze, lex_rel_path, Analysis};
+
+/// Lexes one fixture under `rel_path` and audits it alone.
+fn audit(rel_path: &str, fixture: &str) -> Analysis {
+    analyze(&[lex_rel_path(rel_path, fixture)])
+}
+
+/// Asserts every finding in `a` is `rule`, with `total` of them and
+/// `unwaivered` still gating.
+fn expect_rule(a: &Analysis, rule: &str, total: usize, unwaivered: usize) {
+    assert_eq!(a.findings.len(), total, "findings: {:#?}", a.findings);
+    for j in &a.findings {
+        assert_eq!(j.finding.rule, rule, "unexpected rule: {:#?}", j.finding);
+    }
+    assert_eq!(a.unwaivered(), unwaivered, "findings: {:#?}", a.findings);
+}
+
+// ---------------------------------------------------------- no-siphash
+
+#[test]
+fn siphash_positive() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/siphash_bad.rs"),
+    );
+    assert!(a.unwaivered() >= 1);
+    expect_rule(&a, "no-siphash", a.findings.len(), a.findings.len());
+}
+
+#[test]
+fn siphash_negative() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/siphash_ok.rs"),
+    );
+    expect_rule(&a, "no-siphash", 0, 0);
+}
+
+#[test]
+fn siphash_outside_engine_crates_is_fine() {
+    // The same violating text is clean in a non-engine crate.
+    let a = audit(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/siphash_bad.rs"),
+    );
+    expect_rule(&a, "no-siphash", 0, 0);
+}
+
+#[test]
+fn siphash_waivered() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/siphash_waived.rs"),
+    );
+    expect_rule(&a, "no-siphash", 1, 0);
+    assert!(a.findings[0].waived);
+    assert!(a.unused_waivers.is_empty());
+}
+
+// -------------------------------------------------------- no-wallclock
+
+#[test]
+fn wallclock_positive() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/wallclock_bad.rs"),
+    );
+    expect_rule(&a, "no-wallclock", 1, 1);
+}
+
+#[test]
+fn wallclock_negative() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/wallclock_ok.rs"),
+    );
+    expect_rule(&a, "no-wallclock", 0, 0);
+}
+
+#[test]
+fn wallclock_allowed_in_bench() {
+    let a = audit(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/wallclock_bad.rs"),
+    );
+    expect_rule(&a, "no-wallclock", 0, 0);
+}
+
+#[test]
+fn wallclock_waivered() {
+    let a = audit(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/wallclock_waived.rs"),
+    );
+    expect_rule(&a, "no-wallclock", 1, 0);
+    assert!(a.findings[0].waived);
+}
+
+// -------------------------------------------------- no-unchecked-panic
+
+#[test]
+fn panic_positive() {
+    let a = audit(
+        "crates/trace/src/fixture.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    expect_rule(&a, "no-unchecked-panic", 1, 1);
+}
+
+#[test]
+fn panic_negative_expect_is_sanctioned() {
+    let a = audit(
+        "crates/trace/src/fixture.rs",
+        include_str!("fixtures/panic_ok.rs"),
+    );
+    expect_rule(&a, "no-unchecked-panic", 0, 0);
+}
+
+#[test]
+fn panic_in_test_code_is_fine() {
+    // Same violating text under tests/ — unwrap in tests is idiomatic.
+    let a = audit(
+        "crates/trace/tests/fixture.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    expect_rule(&a, "no-unchecked-panic", 0, 0);
+}
+
+#[test]
+fn panic_waivered() {
+    let a = audit(
+        "crates/trace/src/fixture.rs",
+        include_str!("fixtures/panic_waived.rs"),
+    );
+    expect_rule(&a, "no-unchecked-panic", 1, 0);
+    assert!(a.findings[0].waived);
+}
+
+// ------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn unsafe_positive() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/unsafe_bad.rs"),
+    );
+    expect_rule(&a, "forbid-unsafe", 1, 1);
+}
+
+#[test]
+fn unsafe_negative_with_crate_attribute() {
+    let a = audit(
+        "crates/sim/src/lib.rs",
+        include_str!("fixtures/unsafe_ok.rs"),
+    );
+    expect_rule(&a, "forbid-unsafe", 0, 0);
+}
+
+#[test]
+fn crate_root_without_forbid_attribute_is_flagged() {
+    // A clean file, but at a crate root and missing the attribute:
+    // the file-anchored variant of the rule.
+    let a = audit(
+        "crates/sim/src/lib.rs",
+        include_str!("fixtures/wallclock_ok.rs"),
+    );
+    expect_rule(&a, "forbid-unsafe", 1, 1);
+    assert!(a.findings[0].finding.file_anchored);
+}
+
+#[test]
+fn unsafe_waivered_with_safety_prose_between() {
+    // The SAFETY comment sits between the waiver and the `unsafe`
+    // block — comment-only lines must not break waiver coverage.
+    let a = audit(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/unsafe_waived.rs"),
+    );
+    expect_rule(&a, "forbid-unsafe", 1, 0);
+    assert!(a.findings[0].waived);
+}
+
+// ---------------------------------------------------- no-env-in-engine
+
+#[test]
+fn env_positive() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/env_bad.rs"),
+    );
+    expect_rule(&a, "no-env-in-engine", 1, 1);
+}
+
+#[test]
+fn env_negative() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/env_ok.rs"),
+    );
+    expect_rule(&a, "no-env-in-engine", 0, 0);
+}
+
+#[test]
+fn env_allowed_outside_engine() {
+    let a = audit(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/env_bad.rs"),
+    );
+    expect_rule(&a, "no-env-in-engine", 0, 0);
+}
+
+#[test]
+fn env_waivered() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/env_waived.rs"),
+    );
+    expect_rule(&a, "no-env-in-engine", 1, 0);
+    assert!(a.findings[0].waived);
+}
+
+// --------------------------------------------------------- float-state
+
+#[test]
+fn float_positive() {
+    let a = audit(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/float_bad.rs"),
+    );
+    expect_rule(&a, "float-state", 1, 1);
+}
+
+#[test]
+fn float_negative_derived_structs_are_fine() {
+    let a = audit(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/float_ok.rs"),
+    );
+    expect_rule(&a, "float-state", 0, 0);
+}
+
+#[test]
+fn float_waivered() {
+    let a = audit(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/float_waived.rs"),
+    );
+    expect_rule(&a, "float-state", 1, 0);
+    assert!(a.findings[0].waived);
+}
+
+// ------------------------------------------------------- meta findings
+
+#[test]
+fn unused_waiver_is_itself_a_finding() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/unused_waiver.rs"),
+    );
+    expect_rule(&a, "unused-waiver", 1, 1);
+    assert_eq!(a.unused_waivers.len(), 1);
+}
+
+#[test]
+fn malformed_waiver_missing_reason_is_a_finding() {
+    let a = audit(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/malformed_waiver.rs"),
+    );
+    // The reason-less waiver is malformed AND the HashMap lines it
+    // failed to waive still gate.
+    assert!(a
+        .findings
+        .iter()
+        .any(|j| j.finding.rule == "malformed-waiver" && !j.waived));
+    assert!(a
+        .findings
+        .iter()
+        .any(|j| j.finding.rule == "no-siphash" && !j.waived));
+    assert!(a.unwaivered() >= 2);
+}

@@ -1,0 +1,3 @@
+pub fn knob() -> Option<String> {
+    std::env::var("SHOTGUN_KNOB").ok()
+}

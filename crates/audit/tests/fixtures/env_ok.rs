@@ -1,0 +1,3 @@
+pub fn knob(explicit: Option<u64>) -> u64 {
+    explicit.unwrap_or(42)
+}

@@ -1,0 +1,4 @@
+pub fn knob() -> Option<String> {
+    // audit-allow(no-env-in-engine): A/B triage escape hatch — absent in normal runs, bit-exact either way
+    std::env::var("SHOTGUN_KNOB").ok()
+}

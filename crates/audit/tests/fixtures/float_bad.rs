@@ -1,0 +1,4 @@
+pub struct FetchStats {
+    pub fetched: u64,
+    pub ipc: f64,
+}

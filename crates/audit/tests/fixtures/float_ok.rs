@@ -1,0 +1,8 @@
+pub struct FetchStats {
+    pub fetched: u64,
+    pub cycles: u64,
+}
+
+pub struct Summary {
+    pub ipc: f64,
+}

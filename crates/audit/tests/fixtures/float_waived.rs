@@ -1,0 +1,5 @@
+pub struct FetchStats {
+    pub fetched: u64,
+    // audit-allow(float-state): derived presentation-only field — recomputed from the integer counters at report time, never accumulated
+    pub ipc: f64,
+}

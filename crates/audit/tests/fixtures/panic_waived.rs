@@ -1,0 +1,7 @@
+pub fn decode(byte: u8) -> u8 {
+    if byte > 0x7f {
+        // audit-allow(no-unchecked-panic): corrupt input mid-stream is unrecoverable — continuing would silently produce a different stream
+        panic!("corrupt stream");
+    }
+    byte
+}

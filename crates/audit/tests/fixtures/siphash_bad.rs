@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}

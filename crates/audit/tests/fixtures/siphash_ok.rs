@@ -1,0 +1,12 @@
+use fe_uarch::FastMap;
+use std::collections::BTreeMap;
+
+pub fn build() -> FastMap<u64, u64> {
+    let mut m = FastMap::default();
+    m.insert(1, 2);
+    m
+}
+
+pub fn ordered() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

@@ -1,0 +1,3 @@
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn read(v: &[u64]) -> u64 {
+    v[0]
+}

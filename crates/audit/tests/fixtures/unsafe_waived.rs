@@ -1,0 +1,8 @@
+pub fn install() {
+    // audit-allow(forbid-unsafe): raw signal(2) registration — the handler body is a single atomic store
+    // SAFETY: the handler is an extern "C" fn with the exact signature
+    // the libc entry point expects, and it performs no allocation.
+    unsafe {
+        libc_signal(2, handler as usize);
+    }
+}

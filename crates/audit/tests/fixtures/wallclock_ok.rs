@@ -1,0 +1,3 @@
+pub fn cycles(n: u64) -> u64 {
+    n * 3
+}

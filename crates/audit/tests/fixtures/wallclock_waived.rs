@@ -1,0 +1,4 @@
+pub fn touch(f: &std::fs::File) {
+    // audit-allow(no-wallclock): cache recency metadata only — never enters a simulated result
+    let _ = f.set_modified(std::time::SystemTime::now());
+}

@@ -1,0 +1,89 @@
+//! Gate-level tests: the real workspace audits clean, and the
+//! fe-audit binary is deterministic byte-for-byte across separate
+//! processes (each process gets fresh SipHash keys — exactly the
+//! nondeterminism the tool exists to police, so the tool itself must
+//! not exhibit it).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("crates/audit always sits two levels under the workspace root")
+}
+
+/// The tree this test runs in must itself pass the gate — every
+/// violation fixed or waivered. This is the test that keeps the CI
+/// step green *and* strict: a new violation fails here first.
+#[test]
+fn workspace_audits_clean() {
+    let files = fe_audit::walk_workspace(&workspace_root()).expect("workspace sources readable");
+    let analysis = fe_audit::analyze(&files);
+    let gating: Vec<_> = analysis.findings.iter().filter(|j| !j.waived).collect();
+    assert!(
+        gating.is_empty(),
+        "unwaivered findings in the workspace:\n{:#?}",
+        gating
+    );
+}
+
+/// Two separate runs of the binary — separate processes, separate
+/// hasher keys — must produce byte-identical stdout and JSON.
+#[test]
+fn binary_output_is_byte_identical_across_runs() {
+    let bin = env!("CARGO_BIN_EXE_fe-audit");
+    let root = workspace_root();
+    let tmp = std::env::temp_dir().join(format!("fe-audit-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir creatable");
+
+    let mut outputs = Vec::new();
+    for run in 0..2 {
+        let json_path = tmp.join(format!("run{run}.json"));
+        let out = Command::new(bin)
+            .arg("--root")
+            .arg(&root)
+            .arg("--json")
+            .arg(&json_path)
+            .output()
+            .expect("fe-audit binary runs");
+        assert!(
+            out.status.success(),
+            "fe-audit failed on the workspace:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let json = std::fs::read(&json_path).expect("JSON report written");
+        assert!(!json.is_empty());
+        outputs.push((out.stdout, json));
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "stdout differs between two runs"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "JSON report differs between two runs"
+    );
+}
+
+/// The committed baseline matches the tree: the waiver census fragment
+/// in `BENCH_audit.json` is exactly what a fresh run renders. Growing
+/// the waiver set without regenerating the baseline fails here (and in
+/// the CI `--baseline` check) in the same commit.
+#[test]
+fn committed_baseline_is_current() {
+    let root = workspace_root();
+    let baseline_path = root.join("BENCH_audit.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .expect("BENCH_audit.json is committed at the workspace root");
+    let files = fe_audit::walk_workspace(&root).expect("workspace sources readable");
+    let analysis = fe_audit::analyze(&files);
+    let census = fe_audit::render_waiver_census(&analysis);
+    assert!(
+        baseline.contains(&census),
+        "BENCH_audit.json is stale — regenerate with `cargo run -p fe-audit -- --json BENCH_audit.json`"
+    );
+}

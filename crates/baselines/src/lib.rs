@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-baselines — the published schemes Shotgun is evaluated against
 //!
 //! Every control-flow-delivery mechanism from the paper's §5.2 except

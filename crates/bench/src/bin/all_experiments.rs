@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Runs every table/figure experiment in sequence — the full
 //! reproduction pass (see the experiment index in the repository
 //! README).

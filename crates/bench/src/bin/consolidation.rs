@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Consolidation experiment: what happens to each workload when the
 //! paper's server suite shares a chip instead of owning it.
 //!

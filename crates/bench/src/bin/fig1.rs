@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 1: speedup of the state-of-the-art unified front-end
 //! prefetchers (Confluence, Boomerang) and an ideal front end over a
 //! no-prefetch baseline.

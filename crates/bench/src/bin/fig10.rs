@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 10: Shotgun prefetch accuracy under the 8-bit vector,
 //! Entire Region and 5-Blocks region prefetching mechanisms.
 //!

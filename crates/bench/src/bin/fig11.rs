@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 11: cycles to fill an L1-D miss under the 8-bit vector,
 //! Entire Region and 5-Blocks mechanisms — the NoC-congestion cost of
 //! over-prefetching.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 12: Shotgun speedup sensitivity to C-BTB capacity
 //! (64 / 128 / 1K entries).
 //!

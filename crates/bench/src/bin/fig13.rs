@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 13: Boomerang vs Shotgun speedup across BTB storage budgets
 //! (512-entry to 8K-entry conventional-BTB equivalents) on the two
 //! OLTP workloads.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 3: cumulative instruction-cache-block access probability by
 //! distance from the code-region entry point. Pure offline program
 //! analytics — no timing simulation, hence no `Experiment` sweep.

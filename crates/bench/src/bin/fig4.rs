@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 4: contribution of the hottest static branches to dynamic
 //! branch execution — all branches vs unconditional-only — for Oracle
 //! and DB2. Pure offline program analytics — no timing simulation,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 6: front-end stall cycles covered by each prefetching scheme
 //! over the no-prefetch baseline.
 //!

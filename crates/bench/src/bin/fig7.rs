@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 7: speedup of Confluence, Boomerang and Shotgun over the
 //! no-prefetch baseline — the paper's headline result.
 //!

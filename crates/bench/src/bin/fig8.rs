@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 8: Shotgun front-end stall-cycle coverage under the five
 //! spatial-region prefetching mechanisms of §6.3.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Figure 9: Shotgun speedup under the five spatial-region prefetching
 //! mechanisms of §6.3.
 //!

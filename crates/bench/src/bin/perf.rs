@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulator throughput harness: host-side simulated-MIPS per
 //! (scheme × workload) across the engine's run modes, emitted as
 //! `BENCH_perf.json` — the tracked perf trajectory of the hot loop and

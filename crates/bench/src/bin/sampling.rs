@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Sampled vs full-detail comparison: runs a fig1-style sweep twice —
 //! once cycle-accurate, once under interval sampling with functional
 //! warming — and reports per-cell error and the wall-clock speedup.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment-service smoke + throughput harness: boots an in-process
 //! `fe-serve` daemon on a loopback port, submits the same sweep twice
 //! over real TCP, and enforces the service's two headline guarantees:

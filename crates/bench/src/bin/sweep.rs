@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Full per-cell metric dump across the suite and the five main
 //! schemes — the kitchen-sink diagnostic table.
 //!

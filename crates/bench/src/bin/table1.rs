@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table 1: BTB miss rate (MPKI) of a 2K-entry BTB without
 //! prefetching, per workload.
 //!

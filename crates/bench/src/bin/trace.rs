@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Control-flow trace tooling: record workload traces, inspect trace
 //! files, replay them through the timing model, and verify replay
 //! fidelity against live execution.

@@ -4,7 +4,7 @@
 //! These run the [`Executor`] standalone — no timing simulation — so
 //! they are cheap enough to sweep all six workloads in seconds.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fe_model::LineAddr;
 
@@ -130,7 +130,7 @@ fn coverage(desc: &[u64], k: usize) -> f64 {
 /// instructions (Fig. 4's input).
 pub fn branch_profile(program: &Program, seed: u64, instructions: u64) -> BranchProfile {
     let mut exec = Executor::new(program, seed);
-    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
     while exec.instructions() < instructions {
         let r = exec.next_block();
         *counts.entry(r.block.branch_pc().get()).or_insert(0) += 1;

@@ -221,7 +221,7 @@ mod tests {
     use super::*;
     use crate::spec::{LayerSpec, WorkloadSpec};
     use fe_model::BranchKind;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn test_program() -> Program {
         WorkloadSpec {
@@ -308,7 +308,7 @@ mod tests {
     fn transactions_progress_and_vary() {
         let p = test_program();
         let mut exec = Executor::new(&p, 21);
-        let mut handlers_seen = HashSet::new();
+        let mut handlers_seen = BTreeSet::new();
         for _ in 0..400_000 {
             let r = exec.next_block();
             // Record which handler call-blocks fire in the dispatcher.
@@ -350,7 +350,7 @@ mod tests {
         let mut exec = Executor::new(&p, 13);
         // Find a loop back-edge and check it is taken multiple times in
         // a row but eventually falls through.
-        let mut consecutive: std::collections::HashMap<BlockId, (u32, u32)> = Default::default();
+        let mut consecutive: std::collections::BTreeMap<BlockId, (u32, u32)> = Default::default();
         for _ in 0..500_000 {
             let r = exec.next_block();
             let id = p.block_id_at(r.block.start).expect(

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-cfg — synthetic server-workload substrate
 //!
 //! The paper evaluates Shotgun on commercial server stacks (Oracle, DB2,

@@ -221,6 +221,7 @@ impl Program {
                         .binary_search_by(|probe| probe.start.cmp(&b.target))
                         .map(|i| i as BlockId)
                         .unwrap_or_else(|_| {
+                            // audit-allow(no-unchecked-panic): construction-time validation — a branch into the middle of a block means the generator itself is broken, and Program has no error path by design
                             panic!("branch target {} is not a block start", b.target)
                         })
                 }

@@ -125,7 +125,10 @@ pub(crate) fn synthesize(spec: &WorkloadSpec) -> Program {
             let callee_pick = |rng: &mut SmallRng| -> Option<(u32, bool)> {
                 // Trap into the kernel?
                 if spec.kernel_entries > 0 && rng.gen::<f64>() < spec.trap_rate {
-                    let k = kernel_entry_zipf.as_ref().unwrap().sample(rng) as u32;
+                    let k = kernel_entry_zipf
+                        .as_ref()
+                        .expect("kernel_entry_zipf built above whenever kernel_entries > 0")
+                        .sample(rng) as u32;
                     return Some((kernel_entry_base + k, true));
                 }
                 // Ordinary call into the next layer down.
@@ -422,7 +425,7 @@ fn plan_function(
         .into_iter()
         .map(|k| BlockPlan {
             instrs: sample_instr_count(rng),
-            kind: k.unwrap(),
+            kind: k.expect("every block index was assigned a plan in the loop above"),
         })
         .collect();
     FnPlan {

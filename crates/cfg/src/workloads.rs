@@ -311,7 +311,7 @@ mod tests {
         assert_eq!(homo.name, "apache.x4");
         assert_eq!(homo.members.len(), 4);
         let ids = homo.member_ids();
-        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        let unique: std::collections::BTreeSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), 4, "repeated members still get unique ids");
     }
 

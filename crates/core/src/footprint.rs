@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn bit_positions_are_unique() {
         for layout in [FootprintLayout::BITS8, FootprintLayout::BITS32] {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = fe_uarch::FastSet::default();
             for delta in -(layout.before as i64)..=(layout.after as i64) {
                 if delta == 0 {
                     continue;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # shotgun — the ASPLOS'18 BTB-directed front-end prefetcher
 //!
 //! Reproduction of the primary contribution of *"Blasting Through The

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-model — common vocabulary for the Shotgun front-end reproduction
 //!
 //! This crate defines the types shared by every other crate in the

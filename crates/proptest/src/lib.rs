@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the surface the workspace's property tests use — the

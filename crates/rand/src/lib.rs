@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate.
 //!
 //! The workload synthesizer and executor only need a seedable small

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-serve — the experiment service
 //!
 //! A daemon that turns the repo's sweep engine into a long-running

@@ -37,6 +37,13 @@ extern "C" {
 }
 
 fn install_signal_handlers() {
+    // audit-allow(forbid-unsafe): lone unsafe block in the workspace — raw signal(2) registration so the daemon can drain gracefully without a signal crate
+    // SAFETY: `on_signal` is an `extern "C" fn` with the exact
+    // signature signal(2) expects, and its body is async-signal-safe
+    // (a single atomic store, no allocation, no locks). The handler
+    // pointer outlives the process, and `signal` itself is the libc
+    // entry point with no aliasing or lifetime obligations beyond a
+    // valid function pointer.
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);

@@ -154,6 +154,7 @@ impl CellStore for DiskCellStore {
                 // not just writes. Best-effort: a read-only cache
                 // directory simply degrades to eviction by write age.
                 if let Ok(f) = File::options().write(true).open(&path) {
+                    // audit-allow(no-wallclock): LRU recency metadata only — the mtime orders eviction and never enters a report, cache key, or simulated result
                     let _ = f.set_modified(std::time::SystemTime::now());
                 }
                 self.hits.fetch_add(1, Ordering::Relaxed)
@@ -214,11 +215,17 @@ impl JobCheckpoint {
 
     /// Cells recorded complete so far.
     pub fn completed(&self) -> usize {
-        self.completed.lock().unwrap().len()
+        self.completed
+            .lock()
+            .expect("completed-set mutex poisoned: a recording thread panicked")
+            .len()
     }
 
     fn record(&self, key: &CellKey) {
-        let mut completed = self.completed.lock().unwrap();
+        let mut completed = self
+            .completed
+            .lock()
+            .expect("completed-set mutex poisoned: a recording thread panicked");
         if !completed.insert(key.address()) {
             return;
         }
@@ -328,6 +335,7 @@ mod tests {
         assert_eq!(store.gc(u64::MAX), 0, "under budget evicts nothing");
 
         // Pin distinct mtimes (oldest = seed 1) instead of sleeping.
+        // audit-allow(no-wallclock): test pins file mtimes relative to now to force a known LRU order — nothing is asserted against wall-clock time
         let base = SystemTime::now() - Duration::from_secs(600);
         for seed in 1..=3 {
             let f = File::options()

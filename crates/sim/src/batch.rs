@@ -440,6 +440,7 @@ impl<'p> BatchSimulator<'p> {
     ) -> Self {
         if let Some(spec) = sampling {
             if let Err(e) = spec.validate() {
+                // audit-allow(no-unchecked-panic): constructor contract — an invalid sampling spec is a caller bug, not a runtime condition; Experiment::try_run is the typed path
                 panic!("invalid sampling spec: {e}");
             }
         }
@@ -711,6 +712,7 @@ impl<'p> BatchSimulator<'p> {
         // bit-exact by construction, but being able to switch it off
         // without a rebuild is how its win was measured in the first
         // place.
+        // audit-allow(no-env-in-engine): A/B triage escape hatch — absent in normal runs, and the share is bit-exact either way, so the knob can never change a result
         if std::env::var_os("SHOTGUN_NO_RETIRE_SHARE").is_none() {
             self.setup_retire_share();
         }

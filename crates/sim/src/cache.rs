@@ -24,12 +24,12 @@
 //! form). Consolidation mixes bypass the cache: their cells are
 //! interference-coupled and not individually addressable.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use fe_model::MachineConfig;
 use fe_trace::ProgramFingerprint;
+use fe_uarch::FastMap;
 
 use crate::experiment::{
     sampling_from_json, sampling_to_json, scheme_to_json, stats_from_json, stats_to_json,
@@ -350,7 +350,7 @@ pub trait CellStore: Send + Sync {
 /// process-lifetime caching.
 #[derive(Default)]
 pub struct MemoryCellStore {
-    cells: Mutex<HashMap<CellKey, CellValue>>,
+    cells: Mutex<FastMap<CellKey, CellValue>>,
     hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
@@ -379,7 +379,10 @@ impl MemoryCellStore {
 
     /// Entries currently stored.
     pub fn len(&self) -> usize {
-        self.cells.lock().unwrap().len()
+        self.cells
+            .lock()
+            .expect("cell-store mutex poisoned: a sweep worker panicked")
+            .len()
     }
 
     /// Whether the store holds no entries.
@@ -390,7 +393,12 @@ impl MemoryCellStore {
 
 impl CellStore for MemoryCellStore {
     fn get(&self, key: &CellKey) -> Option<CellValue> {
-        let found = self.cells.lock().unwrap().get(key).cloned();
+        let found = self
+            .cells
+            .lock()
+            .expect("cell-store mutex poisoned: a sweep worker panicked")
+            .get(key)
+            .cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -400,7 +408,10 @@ impl CellStore for MemoryCellStore {
 
     fn put(&self, key: &CellKey, value: &CellValue) {
         self.puts.fetch_add(1, Ordering::Relaxed);
-        self.cells.lock().unwrap().insert(*key, value.clone());
+        self.cells
+            .lock()
+            .expect("cell-store mutex poisoned: a sweep worker panicked")
+            .insert(*key, value.clone());
     }
 }
 

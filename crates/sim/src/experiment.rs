@@ -351,6 +351,7 @@ impl Experiment {
     /// in reports and JSON).
     pub fn run(self) -> SweepReport {
         self.try_run()
+            // audit-allow(no-unchecked-panic): run() documents this panic — it only fires when a cancel flag tripped, and try_run is the typed alternative
             .unwrap_or_else(|i| panic!("Experiment::run: {i} (use try_run with a cancel flag)"))
     }
 
@@ -392,6 +393,7 @@ impl Experiment {
                  (their streams are interference-coupled and cannot fast-forward independently)"
             );
             if let Err(e) = spec.validate() {
+                // audit-allow(no-unchecked-panic): sweep-configuration contract — an invalid sampling spec is a caller bug caught before any cell runs
                 panic!("Experiment::run: invalid sampling spec: {e}");
             }
         }
@@ -863,11 +865,16 @@ fn parallel_indexed_cancellable<T: Send>(
                     return;
                 }
                 let value = task(i);
-                slots.lock().unwrap()[i] = Some(value);
+                slots
+                    .lock()
+                    .expect("result-slot mutex poisoned: a sibling worker panicked")[i] =
+                    Some(value);
             });
         }
     });
-    slots.into_inner().unwrap()
+    slots
+        .into_inner()
+        .expect("result-slot mutex poisoned: a worker panicked")
 }
 
 /// Metrics derived once per cell when the sweep completes — what the
@@ -950,6 +957,7 @@ impl SweepReport {
         self.cells
             .iter()
             .find(|c| c.workload == *workload && c.scheme == *scheme)
+            // audit-allow(no-unchecked-panic): documented accessor contract — asking for a cell the sweep never ran is a figure-binary bug, and the panic names the key
             .unwrap_or_else(|| panic!("no cell ({workload}, {scheme:?}) in sweep"))
     }
 
@@ -958,6 +966,7 @@ impl SweepReport {
         self.cells
             .iter()
             .find(|c| c.workload == *workload && c.label == label)
+            // audit-allow(no-unchecked-panic): documented accessor contract — asking for a cell the sweep never ran is a figure-binary bug, and the panic names the key
             .unwrap_or_else(|| panic!("no cell ({workload}, {label}) in sweep"))
     }
 

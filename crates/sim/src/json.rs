@@ -339,7 +339,9 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("scanner advanced over whole UTF-8 sequences, so the slice ends on a char boundary");
+                    out.push_str(chunk);
                 }
             }
         }
@@ -374,7 +376,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number scanner consumed only ASCII digits, signs, and exponents");
         if !is_float {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::U64(v));

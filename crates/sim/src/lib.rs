@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-sim — cycle-level front-end timing simulation
 //!
 //! Drives any control-flow-delivery scheme (the `shotgun` crate's

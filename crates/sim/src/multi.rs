@@ -189,7 +189,7 @@ mod tests {
         // derived seeds collide (mod the low bit). Prove they don't,
         // across contexts and against the base seed itself.
         for base in [0u64, 1, 9, 0x5407, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = fe_uarch::FastSet::default();
             seen.insert(base | 1);
             for ctx in 0..64u32 {
                 let derived = derive_ctx_seed(base, ctx);

@@ -190,6 +190,7 @@ impl RunLength {
     /// falling back to `self` — the figure binaries' precision knob.
     pub fn from_env(self) -> RunLength {
         let parse =
+            // audit-allow(no-env-in-engine): figure-binary precision knobs — read once at startup by the binaries that opt in via from_env, never during measurement, defaults everywhere else
             |name: &str| -> Option<u64> { std::env::var(name).ok()?.replace('_', "").parse().ok() };
         RunLength {
             warmup: parse("SHOTGUN_WARMUP").unwrap_or(self.warmup),
@@ -388,7 +389,11 @@ pub fn run_scheme_sampled_replayed_snapshot(
     );
     let key = snapshots
         .map(|_| SnapshotKey::for_run(trace.header().fingerprint, machine, spec, seed, len.warmup));
-    let stats = match key.and_then(|k| snapshots.unwrap().get(&k)) {
+    let snap = match (snapshots, key) {
+        (Some(store), Some(k)) => store.get(&k),
+        _ => None,
+    };
+    let stats = match snap {
         Some(snap) => {
             sim.restore_warm(&snap);
             sim.run_sampled_measure(len.measure, sampling)

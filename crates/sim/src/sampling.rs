@@ -109,6 +109,7 @@ impl SamplingSpec {
     pub fn from_env(self) -> SamplingSpec {
         let parse = |text: &str| -> Option<u64> { text.replace('_', "").parse().ok() };
         let mut spec = self;
+        // audit-allow(no-env-in-engine): sampling-shape knobs — read once by binaries that opt in via from_env; the resolved spec is recorded in every report, so results stay attributable
         if let Ok(compact) = std::env::var("SHOTGUN_SAMPLING") {
             let mut fields = compact.split(':');
             if let Some(v) = fields.next().and_then(parse) {
@@ -121,6 +122,7 @@ impl SamplingSpec {
                 spec.warmup = v;
             }
         }
+        // audit-allow(no-env-in-engine): same from_env opt-in as above — per-field overrides of the compact spec
         let env = |name: &str| std::env::var(name).ok().as_deref().and_then(parse);
         if let Some(v) = env("SHOTGUN_SAMPLING_INTERVAL") {
             spec.interval = v;
@@ -266,6 +268,7 @@ impl<'p> Simulator<'p> {
     /// `measure` instructions in `spec`-shaped intervals.
     pub(crate) fn run_sampled_measure(&mut self, measure: u64, spec: SamplingSpec) -> SampledStats {
         if let Err(e) = spec.validate() {
+            // audit-allow(no-unchecked-panic): internal entry point — the public constructors already validated the spec, so reaching here means a crate bug
             panic!("invalid sampling spec: {e}");
         }
         assert!(

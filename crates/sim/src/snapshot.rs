@@ -28,14 +28,13 @@
 //! ([`SchemeKind::Other`](crate::SchemeKind)) is not cloneable, so
 //! such cells simply never snapshot (and never lose correctness).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fe_baselines::{Boomerang, Confluence, Fdip, NoPrefetch};
 use fe_model::MachineConfig;
 use fe_trace::ProgramFingerprint;
-use fe_uarch::{LineCache, MemSnapshot, ReturnAddressStack, Tage};
+use fe_uarch::{FastMap, LineCache, MemSnapshot, ReturnAddressStack, Tage};
 use shotgun::ShotgunPrefetcher;
 
 use crate::cache::{config_hash, machine_to_json, ENGINE_VERSION};
@@ -213,7 +212,7 @@ pub struct SnapshotStore {
 
 #[derive(Default)]
 struct Store {
-    map: HashMap<SnapshotKey, Arc<WarmSnapshot>>,
+    map: FastMap<SnapshotKey, Arc<WarmSnapshot>>,
     /// Recency order, least recently used first.
     order: Vec<SnapshotKey>,
 }
@@ -251,7 +250,7 @@ impl SnapshotStore {
 
     /// Looks up a warmed state; a hit refreshes the entry's recency.
     pub fn get(&self, key: &SnapshotKey) -> Option<Arc<WarmSnapshot>> {
-        let mut store = self.entries.lock().unwrap();
+        let mut store = self.entries.lock().expect("snapshot-store mutex poisoned");
         let found = store.map.get(key).cloned();
         match &found {
             Some(_) => {
@@ -267,7 +266,7 @@ impl SnapshotStore {
     /// when full. Re-putting an existing key keeps the stored snapshot
     /// but refreshes its recency.
     pub fn put(&self, key: SnapshotKey, snapshot: WarmSnapshot) {
-        let mut store = self.entries.lock().unwrap();
+        let mut store = self.entries.lock().expect("snapshot-store mutex poisoned");
         if store.map.contains_key(&key) {
             store.touch(&key);
             return;
@@ -292,7 +291,11 @@ impl SnapshotStore {
 
     /// Snapshots currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().map.len()
+        self.entries
+            .lock()
+            .expect("snapshot-store mutex poisoned")
+            .map
+            .len()
     }
 
     /// Whether the store holds no snapshots.

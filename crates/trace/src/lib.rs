@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-trace — recorded control-flow traces
 //!
 //! The paper's methodology is trace-driven (§5.1): workloads are
@@ -295,8 +296,20 @@ impl Trace {
         if bytes[..4] != MAGIC {
             return Err(TraceError::BadMagic);
         }
-        let u16_at = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
-        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        let u16_at = |off: usize| {
+            u16::from_le_bytes(
+                bytes[off..off + 2]
+                    .try_into()
+                    .expect("slice is exactly 2 bytes"),
+            )
+        };
+        let u64_at = |off: usize| {
+            u64::from_le_bytes(
+                bytes[off..off + 8]
+                    .try_into()
+                    .expect("slice is exactly 8 bytes"),
+            )
+        };
         let version = u16_at(4);
         if version != VERSION {
             return Err(TraceError::UnsupportedVersion(version));
@@ -500,6 +513,7 @@ impl BlockSource for TraceReplayer<'_> {
                 self.replayed += 1;
                 Some(rb)
             }
+            // audit-allow(no-unchecked-panic): corrupt trace mid-replay is unrecoverable — returning None would silently replay a truncated stream and corrupt every downstream stat
             Err(e) => panic!(
                 "trace `{}` failed to decode at block {}: {}",
                 self.name,
@@ -526,6 +540,7 @@ impl BlockSource for TraceReplayer<'_> {
                     self.replayed += 1;
                     skipped += instrs;
                 }
+                // audit-allow(no-unchecked-panic): corrupt trace mid-skip is unrecoverable — see next_block; the `# Panics` doc above is the contract
                 Err(e) => panic!(
                     "trace `{}` failed to decode at block {}: {}",
                     self.name,

@@ -28,6 +28,19 @@ pub struct SplitMix64Hasher {
 /// `HashSet` as the third type parameter.
 pub type BuildSplitMix64 = BuildHasherDefault<SplitMix64Hasher>;
 
+/// Hash map with the deterministic SplitMix64 hasher — the sanctioned
+/// replacement for a default-hasher map in engine crates, where
+/// SipHash's per-process random keying would make iteration order (and
+/// probe cost) vary run to run. Enforced by the `no-siphash` rule of
+/// `fe-audit`; where iteration order is *observable*, use `BTreeMap`
+/// instead.
+// audit-allow(no-siphash): alias definition site — this line is what the rule points everyone else at
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildSplitMix64>;
+
+/// Hash set twin of [`FastMap`]; same determinism argument.
+// audit-allow(no-siphash): alias definition site — this line is what the rule points everyone else at
+pub type FastSet<K> = std::collections::HashSet<K, BuildSplitMix64>;
+
 impl Hasher for SplitMix64Hasher {
     #[inline]
     fn finish(&self) -> u64 {
@@ -69,7 +82,6 @@ impl Hasher for SplitMix64Hasher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
 
     #[test]
     fn deterministic_across_instances() {
@@ -89,9 +101,9 @@ mod tests {
             h.write_u64(key);
             h.finish()
         };
-        // Adjacent line indices must not cluster in low bits (HashMap
+        // Adjacent line indices must not cluster in low bits (the map
         // uses the low bits for bucket selection).
-        let mut low_bits = std::collections::HashSet::new();
+        let mut low_bits = FastSet::default();
         for key in 0..64u64 {
             low_bits.insert(hash(key) & 0x3F);
         }
@@ -100,7 +112,7 @@ mod tests {
 
     #[test]
     fn works_as_a_hashmap_hasher() {
-        let mut map: HashMap<u64, u32, BuildSplitMix64> = HashMap::default();
+        let mut map: FastMap<u64, u32> = FastMap::default();
         for i in 0..1000 {
             map.insert(i, (i * 2) as u32);
         }

@@ -10,11 +10,11 @@
 
 use std::cmp::Reverse;
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use fe_model::LineAddr;
 
-use crate::fasthash::BuildSplitMix64;
+use crate::fasthash::FastMap;
 
 /// State of one outstanding fill.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,7 +45,7 @@ pub struct InflightFills {
     // Keyed with the deterministic SplitMix64 hasher: the map is
     // probed several times per simulated cycle, and SipHash was a
     // measurable slice of total simulator runtime.
-    by_line: HashMap<u64, FillInfo, BuildSplitMix64>,
+    by_line: FastMap<u64, FillInfo>,
     ready_heap: BinaryHeap<Reverse<(u64, u64)>>,
     capacity: usize,
 }
@@ -59,7 +59,7 @@ impl InflightFills {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         InflightFills {
-            by_line: HashMap::with_capacity_and_hasher(capacity * 2, BuildSplitMix64::default()),
+            by_line: FastMap::with_capacity_and_hasher(capacity * 2, Default::default()),
             ready_heap: BinaryHeap::with_capacity(capacity * 2),
             capacity,
         }

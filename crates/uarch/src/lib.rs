@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fe-uarch — microarchitectural substrate
 //!
 //! Hardware building blocks shared by every control-flow-delivery scheme
@@ -32,7 +33,7 @@ pub mod tage;
 
 pub use btb::Btb;
 pub use cache::{AccessOutcome, Evicted, LineCache};
-pub use fasthash::{BuildSplitMix64, SplitMix64Hasher};
+pub use fasthash::{BuildSplitMix64, FastMap, FastSet, SplitMix64Hasher};
 pub use inflight::InflightFills;
 pub use mem::{MemClass, MemSnapshot, MemStats, MemorySystem};
 pub use queue::BoundedQueue;

@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn every_block_kind_survives_decode() {
         let p = program();
-        let mut kinds_seen = std::collections::HashSet::new();
+        let mut kinds_seen = crate::fasthash::FastSet::default();
         for id in 0..p.block_count() as u32 {
             let b = p.block(id);
             for decoded in branches_in_line(&p, b.branch_pc().line()) {

@@ -40,7 +40,7 @@ proptest! {
         lines in prop::collection::vec(0u64..256, 1..200),
     ) {
         let mut cache = LineCache::new(CacheConfig { kib: 1, ways: 2, latency: 2 });
-        let mut shadow: std::collections::HashSet<u64> = Default::default();
+        let mut shadow: fe_uarch::FastSet<u64> = Default::default();
         for &l in &lines {
             let line = LineAddr::from_index(l);
             if let Some(evicted) = cache.install(line, false) {
@@ -96,7 +96,7 @@ proptest! {
         reqs in prop::collection::vec((0u64..64, 1u64..1000), 1..100),
     ) {
         let mut fills = InflightFills::new(16);
-        let mut outstanding: std::collections::HashSet<u64> = Default::default();
+        let mut outstanding: fe_uarch::FastSet<u64> = Default::default();
         let mut completed = 0usize;
         let mut accepted = 0usize;
         let mut now = 0u64;

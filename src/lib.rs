@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workspace umbrella for the Shotgun front-end reproduction.
 //!
 //! The code lives in the `crates/` members; this package only hosts the
