@@ -1,0 +1,288 @@
+#![forbid(unsafe_code)]
+//! External-trace ingestion: convert CBP-style captures (textual or
+//! binary) and flat `fe-trace` recordings into the chunk-compressed,
+//! seekable v2 store format, verifying losslessness on the way (see
+//! `docs/TRACE_FORMAT.md` and the `fe_trace::ingest` module).
+//!
+//! ```sh
+//! cargo run --release -p fe-bench --bin ingest -- \
+//!     convert capture.cbp nutch.fets --provenance "cbp5 capture"
+//! cargo run --release -p fe-bench --bin ingest -- inspect nutch.fets
+//! cargo run --release -p fe-bench --bin ingest -- verify nutch.fets
+//! ```
+//!
+//! `convert` prints a human-readable ingest report and, with
+//! `--report <path>`, writes the same facts as JSON. Stores named
+//! after a preset workload drop into `SHOTGUN_TRACE_DIR` as
+//! `<name>-<seed:016x>.fets` and the sweeps pick them up like any
+//! cached recording.
+
+use std::process::ExitCode;
+
+use fe_sim::json::Json;
+use fe_trace::{ingest_file, IngestOptions, IngestReport, TraceStore};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ingest <command>\n\
+         \n\
+         commands:\n\
+         \x20 convert <src> [dest]  ingest a capture/trace into a v2 store\n\
+         \x20                       (default dest: <src stem>.fets)\n\
+         \x20 inspect <path>        print store header, provenance and chunk stats\n\
+         \x20 verify  <path>        re-check an existing store end to end\n\
+         \n\
+         convert flags:\n\
+         \x20 --name <name>           workload name to record in the store\n\
+         \x20 --provenance <text>     origin string stored with the trace\n\
+         \x20 --chunk-records <n>     records per chunk (default {})\n\
+         \x20 --lossy                 skip malformed lines in textual captures\n\
+         \x20 --report <path>         also write the ingest report as JSON\n\
+         \n\
+         accepted sources: fe-trace v1 (.fetr), v2 stores (.fets,\n\
+         re-chunked), CBP-style text, CBP-style binary (CBPB)",
+        fe_trace::DEFAULT_CHUNK_RECORDS,
+    );
+    ExitCode::from(2)
+}
+
+/// The ingest report as a JSON document (the machine-readable twin of
+/// the printed report).
+fn report_json(report: &IngestReport, dest: &str) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(report.name.clone())),
+        ("dest".into(), Json::Str(dest.to_string())),
+        (
+            "source_format".into(),
+            Json::Str(report.format.label().to_string()),
+        ),
+        ("source_bytes".into(), Json::U64(report.source_bytes)),
+        ("store_bytes".into(), Json::U64(report.store_bytes)),
+        ("records".into(), Json::U64(report.records)),
+        ("instrs".into(), Json::U64(report.instrs)),
+        ("chunks".into(), Json::U64(report.chunks)),
+        (
+            "payload_raw_bytes".into(),
+            Json::U64(report.payload_raw_bytes),
+        ),
+        (
+            "payload_stored_bytes".into(),
+            Json::U64(report.payload_stored_bytes),
+        ),
+        (
+            "compression_ratio".into(),
+            Json::F64(report.payload_raw_bytes as f64 / report.payload_stored_bytes.max(1) as f64),
+        ),
+        ("skipped_lines".into(), Json::U64(report.skipped)),
+        (
+            "first_error".into(),
+            report.first_error.clone().map_or(Json::Null, Json::Str),
+        ),
+        (
+            "fingerprint".into(),
+            Json::Obj(vec![
+                ("blocks".into(), Json::U64(report.fingerprint.blocks)),
+                ("digest".into(), Json::U64(report.fingerprint.digest)),
+            ]),
+        ),
+        ("verified".into(), Json::Bool(report.verified)),
+    ])
+}
+
+fn print_report(report: &IngestReport, dest: &str) {
+    println!("ingested `{}` -> {dest}", report.name);
+    println!(
+        "  source       {} ({} bytes)",
+        report.format.label(),
+        report.source_bytes
+    );
+    println!(
+        "  store        {} bytes, {} chunks ({} records each at most)",
+        report.store_bytes,
+        report.chunks,
+        report.records.div_ceil(report.chunks.max(1)),
+    );
+    println!("  records      {}", report.records);
+    println!("  instructions {}", report.instrs);
+    println!(
+        "  payload      {} raw -> {} stored ({:.2}x)",
+        report.payload_raw_bytes,
+        report.payload_stored_bytes,
+        report.payload_raw_bytes as f64 / report.payload_stored_bytes.max(1) as f64,
+    );
+    if report.skipped > 0 {
+        println!(
+            "  skipped      {} malformed line(s); first: {}",
+            report.skipped,
+            report.first_error.as_deref().unwrap_or("(unrecorded)"),
+        );
+    }
+    println!(
+        "  fingerprint  {} blocks, digest {:#018x}",
+        report.fingerprint.blocks, report.fingerprint.digest,
+    );
+    println!("  verified     replay + reconstruction round-trip ok");
+}
+
+struct ConvertArgs {
+    src: String,
+    dest: Option<String>,
+    report_path: Option<String>,
+    opts: IngestOptions,
+}
+
+fn parse_convert(args: &[String]) -> Option<ConvertArgs> {
+    let mut positional = Vec::new();
+    let mut opts = IngestOptions::default();
+    let mut report_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--name" => opts.name = Some(take_value(&mut i)?),
+            "--provenance" => opts.provenance = take_value(&mut i)?,
+            "--chunk-records" => {
+                let v = take_value(&mut i)?;
+                match v.parse() {
+                    Ok(n) => opts.chunk_records = n,
+                    Err(_) => {
+                        eprintln!("--chunk-records wants a number, got `{v}`");
+                        return None;
+                    }
+                }
+            }
+            "--lossy" => opts.lossy = true,
+            "--report" => report_path = Some(take_value(&mut i)?),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                return None;
+            }
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    if positional.is_empty() || positional.len() > 2 {
+        return None;
+    }
+    let mut positional = positional.into_iter();
+    Some(ConvertArgs {
+        src: positional.next().expect("checked non-empty"),
+        dest: positional.next(),
+        report_path,
+        opts,
+    })
+}
+
+fn cmd_convert(args: ConvertArgs) -> ExitCode {
+    let (store, report) = match ingest_file(&args.src, &args.opts) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("cannot ingest {}: {e}", args.src);
+            return ExitCode::FAILURE;
+        }
+    };
+    let dest = args.dest.unwrap_or_else(|| {
+        let stem = std::path::Path::new(&args.src)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "ingested".to_string());
+        format!("{stem}.fets")
+    });
+    if let Err(e) = store.write_to(&dest) {
+        eprintln!("failed to write {dest}: {e}");
+        return ExitCode::FAILURE;
+    }
+    print_report(&report, &dest);
+    if let Some(path) = &args.report_path {
+        let mut text = report_json(&report, &dest).render();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(path: &str) -> ExitCode {
+    let store = match TraceStore::read_from(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let h = store.header();
+    println!("store {path}");
+    println!("  workload     {}", h.name);
+    if !store.provenance().is_empty() {
+        println!("  provenance   {}", store.provenance());
+    }
+    println!("  seed         {:#x}", h.seed);
+    println!("  records      {}", h.block_count);
+    println!("  instructions {}", h.instr_count);
+    println!(
+        "  chunks       {} of up to {} records",
+        store.chunk_count(),
+        store.chunk_records(),
+    );
+    let compressed = (0..store.chunk_count())
+        .filter(|&c| store.chunk_entry(c).is_some_and(|e| e.compressed))
+        .count();
+    println!(
+        "  payload      {} raw -> {} stored ({:.2}x, {compressed}/{} chunks compressed)",
+        store.raw_len(),
+        store.stored_len(),
+        store.raw_len() as f64 / store.stored_len().max(1) as f64,
+        store.chunk_count(),
+    );
+    println!(
+        "  program      {} blocks, digest {:#018x}{}",
+        h.fingerprint.blocks,
+        h.fingerprint.digest,
+        if h.fingerprint.is_unknown() {
+            " (unknown origin — imported)"
+        } else {
+            ""
+        },
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(path: &str) -> ExitCode {
+    // Reading already validates the container (magic, version, index
+    // arithmetic, whole-file checksum); re-ingesting the file then
+    // runs the full replay/seek/reconstruction verification.
+    let opts = IngestOptions::default();
+    match ingest_file(path, &opts) {
+        Ok((_, report)) => {
+            println!(
+                "{path}: ok — {} records, {} instructions, {} chunks, checksum and \
+                 replay round-trip verified",
+                report.records, report.instrs, report.chunks,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: FAILED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("convert") => match parse_convert(&args[1..]) {
+            Some(parsed) => cmd_convert(parsed),
+            None => usage(),
+        },
+        Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]),
+        Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
+        _ => usage(),
+    }
+}

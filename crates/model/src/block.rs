@@ -174,9 +174,12 @@ pub trait BlockSource {
     /// boundary at or past the target. Returns the instructions
     /// actually skipped (less than `min_instrs` only on exhaustion).
     ///
-    /// The default walks [`Self::next_block`]; seekable sources (a
-    /// trace replayer) override it to skip decode work — the sampled-
-    /// simulation fast-forward path.
+    /// The default walks [`Self::next_block`]; seekable sources
+    /// override it to skip decode work — the sampled-simulation
+    /// fast-forward path. `fe-trace`'s flat replayer skips records
+    /// without materializing blocks, and its chunked-store replayer
+    /// goes further: whole chunks inside the skip are passed over by
+    /// index arithmetic alone, without even decompressing them.
     fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         let mut skipped = 0;
         while skipped < min_instrs {

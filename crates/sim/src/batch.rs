@@ -31,8 +31,8 @@
 //!   ~10⁶-instruction chunks keep each cell's tables hot *and* still
 //!   bound the window.
 //! * Each cell runs with the batch accelerations armed: the TAGE fold
-//!   scratch ([`Tage::enable_fold_scratch`](fe_uarch::Tage::
-//!   enable_fold_scratch), O(1) folded-history maintenance instead of
+//!   scratch (`Tage::enable_fold_scratch` in `fe-uarch`, O(1)
+//!   folded-history maintenance instead of
 //!   per-lookup folding — the single hottest loop in the simulator)
 //!   and quiescent-span skipping
 //!   (`Simulator::try_skip_quiet_span`, bulk-accounting stretches
@@ -240,7 +240,7 @@ impl SharedCursor<'_> {
     }
 
     /// Fast-forwards this cursor; same contract as
-    /// [`BlockSource::skip_instrs`](fe_model::BlockSource::skip_instrs).
+    /// [`BlockSource::skip_instrs`].
     pub fn skip_instrs(&mut self, min_instrs: u64) -> u64 {
         self.inner.borrow_mut().skip_for(self.id, min_instrs)
     }

@@ -1,7 +1,8 @@
 //! The cycle-level decoupled front-end timing simulator — a thin
 //! per-cycle orchestrator over the staged pipeline in
-//! [`crate::pipeline`] (see that module's docs for the stage-by-stage
-//! model and the README's "Simulator pipeline" diagram).
+//! `crate::pipeline` (see that private module's docs for the
+//! stage-by-stage model and the README's "Simulator pipeline"
+//! diagram).
 
 use fe_cfg::{Executor, Program};
 use fe_model::{MachineConfig, SimStats};

@@ -774,17 +774,35 @@ impl Experiment {
 }
 
 /// Produces the replay trace for one workload: reuses a compatible
-/// recording from `dir` when present, otherwise records a fresh walk
-/// (and persists it when `dir` is set). A cached trace is compatible
-/// when its seed and program fingerprint match and it is at least as
-/// long as this sweep needs — longer recordings replay as a prefix, so
-/// shortening a sweep never invalidates the cache.
+/// recording from `dir` when present — an ingested v2 store
+/// (`.fets`, checked first) or a flat v1 trace (`.fetr`) — otherwise
+/// records a fresh walk (and persists it when `dir` is set). A cached
+/// trace is compatible when its seed and program fingerprint match and
+/// it is at least as long as this sweep needs — longer recordings
+/// replay as a prefix, so shortening a sweep never invalidates the
+/// cache. Stores are reconstructed to flat traces here (lossless, see
+/// [`fe_trace::TraceStore::to_trace`]) so every downstream path —
+/// batch, sampled, snapshot, content-addressed cache — works over an
+/// ingested workload unchanged.
 fn obtain_trace(
     program: &Program,
     seed: u64,
     needed_instrs: u64,
     dir: Option<&std::path::Path>,
 ) -> Trace {
+    let store_path = dir.map(|d| d.join(format!("{}-{seed:016x}.fets", program.name())));
+    if let Some(path) = &store_path {
+        if let Ok(store) = fe_trace::TraceStore::read_from(path) {
+            let trace = store.to_trace();
+            if trace.header().seed == seed
+                && trace.header().instr_count >= needed_instrs
+                && trace.matches(program)
+                && cached_trace_matches_live(&trace, program, seed)
+            {
+                return trace;
+            }
+        }
+    }
     let path = dir.map(|d| d.join(format!("{}-{seed:016x}.fetr", program.name())));
     if let Some(path) = &path {
         if let Ok(trace) = Trace::read_from(path) {

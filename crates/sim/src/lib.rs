@@ -63,7 +63,7 @@ pub use multi::{derive_ctx_seed, ContextStats, MultiSimulator, MultiStats};
 pub use report::{render_table, Series};
 pub use runner::{
     run_scheme, run_scheme_replayed, run_scheme_sampled, run_scheme_sampled_replayed,
-    run_scheme_sampled_replayed_snapshot, RunLength, SchemeSpec,
+    run_scheme_sampled_replayed_snapshot, run_scheme_store_replayed, RunLength, SchemeSpec,
 };
 pub use sampling::{CellSampling, MeanCi, SampledStats, SamplingSpec};
 pub use snapshot::{SnapshotKey, SnapshotStore, WarmSnapshot};

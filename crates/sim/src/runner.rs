@@ -4,7 +4,7 @@
 
 use fe_cfg::Program;
 use fe_model::{MachineConfig, SimStats};
-use fe_trace::Trace;
+use fe_trace::{Trace, TraceStore};
 use fe_uarch::MemorySystem;
 use shotgun::{RegionPolicy, ShotgunConfig, ShotgunPrefetcher};
 
@@ -171,7 +171,7 @@ impl RunLength {
 
     /// Long run for sampled simulation: 5M warmup + 60M measured —
     /// enough intervals for a stable confidence interval at the default
-    /// [`SamplingSpec`](crate::SamplingSpec) without trace sizes
+    /// [`SamplingSpec`] without trace sizes
     /// getting out of hand.
     pub const LONG: RunLength = RunLength {
         warmup: 5_000_000,
@@ -290,6 +290,45 @@ pub fn run_scheme_replayed(
     stats
 }
 
+/// [`run_scheme_replayed`], but replaying from a chunk-compressed v2
+/// [`TraceStore`] instead of a flat trace. Statistics are bit-identical
+/// to both [`run_scheme`] and [`run_scheme_replayed`] over the same
+/// recording — the store reproduces the identical retired stream — and
+/// warmup fast-forwarding seeks through the chunk index instead of
+/// decoding every record.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_scheme_replayed`]
+/// (mismatched `(program, seed)`, or the store running dry mid-run).
+pub fn run_scheme_store_replayed(
+    program: &Program,
+    store: &TraceStore,
+    spec: &SchemeSpec,
+    machine: &MachineConfig,
+    len: RunLength,
+    seed: u64,
+) -> SimStats {
+    assert_store_matches(store, program, seed);
+    let scheme = spec.build(machine);
+    let mem = MemorySystem::new(machine);
+    let mut sim = Simulator::with_source(
+        program,
+        machine.clone(),
+        scheme,
+        seed,
+        mem,
+        store.replayer(),
+    );
+    let stats = sim.run(len.warmup, len.measure);
+    assert!(
+        !sim.source_exhausted(),
+        "trace store `{}` ran dry mid-run — record at least RunLength::trace_instrs instructions",
+        store.header().name,
+    );
+    stats
+}
+
 pub(crate) fn assert_trace_matches(trace: &Trace, program: &Program, seed: u64) {
     assert_eq!(
         trace.header().seed,
@@ -301,6 +340,20 @@ pub(crate) fn assert_trace_matches(trace: &Trace, program: &Program, seed: u64) 
         trace.matches(program),
         "trace `{}` was recorded against a different program",
         trace.header().name,
+    );
+}
+
+pub(crate) fn assert_store_matches(store: &TraceStore, program: &Program, seed: u64) {
+    assert_eq!(
+        store.header().seed,
+        seed,
+        "trace store `{}` was recorded with a different seed",
+        store.header().name,
+    );
+    assert!(
+        store.matches(program),
+        "trace store `{}` was recorded against a different program",
+        store.header().name,
     );
 }
 

@@ -10,7 +10,7 @@
 
 use fe_cfg::Executor;
 use fe_model::{BlockSource, RetiredBlock};
-use fe_trace::TraceReplayer;
+use fe_trace::{StoreReplayer, TraceReplayer};
 
 use crate::batch::SharedCursor;
 
@@ -26,6 +26,10 @@ pub enum SourceKind<'p> {
     /// [`batch`](crate::batch) module): the underlying trace is decoded
     /// once for every cell of the batch.
     Shared(SharedCursor<'p>),
+    /// Replay of a chunk-compressed v2 trace store — same stream as
+    /// [`SourceKind::Replay`] over the same recording, but `skip_instrs`
+    /// seeks via the chunk index, decoding only the chunk it lands in.
+    Store(StoreReplayer<'p>),
     /// The extension seam: any other [`BlockSource`], dynamically
     /// dispatched exactly as the whole pipeline used to be.
     Other(Box<dyn BlockSource + 'p>),
@@ -38,6 +42,7 @@ impl BlockSource for SourceKind<'_> {
             SourceKind::Live(exec) => BlockSource::next_block(exec),
             SourceKind::Replay(replay) => replay.next_block(),
             SourceKind::Shared(cursor) => cursor.next_block(),
+            SourceKind::Store(replay) => replay.next_block(),
             SourceKind::Other(source) => source.next_block(),
         }
     }
@@ -48,6 +53,7 @@ impl BlockSource for SourceKind<'_> {
             SourceKind::Live(exec) => BlockSource::skip_instrs(exec, min_instrs),
             SourceKind::Replay(replay) => replay.skip_instrs(min_instrs),
             SourceKind::Shared(cursor) => cursor.skip_instrs(min_instrs),
+            SourceKind::Store(replay) => replay.skip_instrs(min_instrs),
             SourceKind::Other(source) => source.skip_instrs(min_instrs),
         }
     }
@@ -104,11 +110,17 @@ impl<'p> From<SharedCursor<'p>> for SourceKind<'p> {
     }
 }
 
+impl<'p> From<StoreReplayer<'p>> for SourceKind<'p> {
+    fn from(replay: StoreReplayer<'p>) -> Self {
+        SourceKind::Store(replay)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fe_cfg::workloads;
-    use fe_trace::Trace;
+    use fe_trace::{Trace, TraceStore};
 
     #[test]
     fn every_kind_yields_the_same_stream() {
@@ -136,5 +148,23 @@ mod tests {
         let mut replay = SourceKind::from(trace.replayer());
         assert_eq!(live.skip_instrs(1_234), replay.skip_instrs(1_234));
         assert_eq!(live.next_block(), replay.next_block());
+    }
+
+    #[test]
+    fn store_kind_replays_the_recorded_stream() {
+        let program = workloads::zeus().scaled(0.05).build();
+        let trace = Trace::record(&program, 11, 5_000);
+        let store = TraceStore::from_trace_with(&trace, "source test", 128);
+        let mut flat = SourceKind::from(trace.replayer());
+        let mut chunked = SourceKind::from(store.replayer());
+        assert!(matches!(chunked, SourceKind::Store(_)));
+        assert_eq!(flat.skip_instrs(2_000), chunked.skip_instrs(2_000));
+        loop {
+            let expected = flat.next_block();
+            assert_eq!(chunked.next_block(), expected);
+            if expected.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -163,6 +163,116 @@ pub(crate) fn encode_record(out: &mut Vec<u8>, rb: &RetiredBlock, prev_next: &mu
     *prev_next = rb.next_pc;
 }
 
+/// Decodes the next record from `bytes` at `*pos` against the decoder
+/// state `*prev_next`, advancing both on success. Free-function form so
+/// callers that own their byte buffer (the chunked store replayer, see
+/// [`crate::store`]) can decode without borrowing through a wrapper;
+/// [`RecordDecoder`] packages the same state for slice-backed callers.
+#[inline]
+pub(crate) fn decode_record(
+    bytes: &[u8],
+    pos: &mut usize,
+    prev_next: &mut Addr,
+) -> Result<RetiredBlock, RecordError> {
+    // Cursor state lives in locals so the optimizer keeps it in
+    // registers across the field reads.
+    let mut cur = Cursor { bytes, pos: *pos };
+    // Every record opens with the flags and count bytes: one
+    // bounds check covers both.
+    let Some(&[flags, instr_count]) = cur.bytes.get(cur.pos..cur.pos + 2) else {
+        return Err(RecordError::Truncated);
+    };
+    cur.pos += 2;
+    if flags & FLAG_RESERVED != 0 {
+        return Err(RecordError::ReservedFlag);
+    }
+    let kind = kind_from_code(flags & KIND_MASK)?;
+    if instr_count.wrapping_sub(1) >= BasicBlock::MAX_INSTRS {
+        return Err(RecordError::BadCount(instr_count));
+    }
+    let start = if flags & FLAG_CONTIGUOUS != 0 {
+        *prev_next
+    } else {
+        cur.addr_from(*prev_next)?
+    };
+    let target = if flags & FLAG_HAS_TARGET != 0 {
+        cur.addr_from(start)?
+    } else {
+        Addr::NULL
+    };
+    let block = BasicBlock {
+        start,
+        instr_count,
+        kind,
+        target,
+    };
+    let taken = flags & FLAG_TAKEN != 0;
+    let next_pc = if flags & FLAG_NEXT_IMPLIED != 0 {
+        implied_next(&block, taken).ok_or(RecordError::ImpliedReturn)?
+    } else {
+        cur.addr_from(block.fall_through())?
+    };
+    *pos = cur.pos;
+    *prev_next = next_pc;
+    Ok(RetiredBlock {
+        block,
+        taken,
+        next_pc,
+    })
+}
+
+/// Decodes past the next record without materializing it, returning
+/// its instruction count — the seekable-replay fast path. Only the
+/// address chain (`prev_next`) is reconstructed; block assembly,
+/// kind validation and the implied-target check are skipped, so the
+/// sampled-simulation fast-forward pays a fraction of
+/// [`decode_record`]'s work per record.
+#[inline]
+pub(crate) fn skip_record(
+    bytes: &[u8],
+    pos: &mut usize,
+    prev_next: &mut Addr,
+) -> Result<u64, RecordError> {
+    let mut cur = Cursor { bytes, pos: *pos };
+    let Some(&[flags, instr_count]) = cur.bytes.get(cur.pos..cur.pos + 2) else {
+        return Err(RecordError::Truncated);
+    };
+    cur.pos += 2;
+    if flags & FLAG_RESERVED != 0 {
+        return Err(RecordError::ReservedFlag);
+    }
+    if instr_count.wrapping_sub(1) >= BasicBlock::MAX_INSTRS {
+        return Err(RecordError::BadCount(instr_count));
+    }
+    let start = if flags & FLAG_CONTIGUOUS != 0 {
+        *prev_next
+    } else {
+        cur.addr_from(*prev_next)?
+    };
+    let target = if flags & FLAG_HAS_TARGET != 0 {
+        cur.addr_from(start)?
+    } else {
+        Addr::NULL
+    };
+    let fall_through = start + instr_count as u64 * fe_model::INSTR_BYTES;
+    *prev_next = if flags & FLAG_NEXT_IMPLIED != 0 {
+        if flags & FLAG_TAKEN != 0 {
+            // An implied taken next PC is the static target; a
+            // taken return (no static target) never sets the flag.
+            if target.is_null() {
+                return Err(RecordError::ImpliedReturn);
+            }
+            target
+        } else {
+            fall_through
+        }
+    } else {
+        cur.addr_from(fall_through)?
+    };
+    *pos = cur.pos;
+    Ok(instr_count as u64)
+}
+
 /// Incremental decoder over a record payload.
 pub(crate) struct RecordDecoder<'t> {
     bytes: &'t [u8],
@@ -199,105 +309,13 @@ impl<'t> RecordDecoder<'t> {
     /// Decodes the next record.
     #[inline]
     pub(crate) fn decode_record(&mut self) -> Result<RetiredBlock, RecordError> {
-        // Cursor state lives in locals so the optimizer keeps it in
-        // registers across the field reads.
-        let mut cur = Cursor {
-            bytes: self.bytes,
-            pos: self.pos,
-        };
-        // Every record opens with the flags and count bytes: one
-        // bounds check covers both.
-        let Some(&[flags, instr_count]) = cur.bytes.get(cur.pos..cur.pos + 2) else {
-            return Err(RecordError::Truncated);
-        };
-        cur.pos += 2;
-        if flags & FLAG_RESERVED != 0 {
-            return Err(RecordError::ReservedFlag);
-        }
-        let kind = kind_from_code(flags & KIND_MASK)?;
-        if instr_count.wrapping_sub(1) >= BasicBlock::MAX_INSTRS {
-            return Err(RecordError::BadCount(instr_count));
-        }
-        let start = if flags & FLAG_CONTIGUOUS != 0 {
-            self.prev_next
-        } else {
-            cur.addr_from(self.prev_next)?
-        };
-        let target = if flags & FLAG_HAS_TARGET != 0 {
-            cur.addr_from(start)?
-        } else {
-            Addr::NULL
-        };
-        let block = BasicBlock {
-            start,
-            instr_count,
-            kind,
-            target,
-        };
-        let taken = flags & FLAG_TAKEN != 0;
-        let next_pc = if flags & FLAG_NEXT_IMPLIED != 0 {
-            implied_next(&block, taken).ok_or(RecordError::ImpliedReturn)?
-        } else {
-            cur.addr_from(block.fall_through())?
-        };
-        self.pos = cur.pos;
-        self.prev_next = next_pc;
-        Ok(RetiredBlock {
-            block,
-            taken,
-            next_pc,
-        })
+        decode_record(self.bytes, &mut self.pos, &mut self.prev_next)
     }
 
-    /// Decodes past the next record without materializing it, returning
-    /// its instruction count — the seekable-replay fast path. Only the
-    /// address chain (`prev_next`) is reconstructed; block assembly,
-    /// kind validation and the implied-target check are skipped, so the
-    /// sampled-simulation fast-forward pays a fraction of
-    /// [`Self::decode_record`]'s work per record.
+    /// See [`skip_record`].
     #[inline]
     pub(crate) fn skip_record(&mut self) -> Result<u64, RecordError> {
-        let mut cur = Cursor {
-            bytes: self.bytes,
-            pos: self.pos,
-        };
-        let Some(&[flags, instr_count]) = cur.bytes.get(cur.pos..cur.pos + 2) else {
-            return Err(RecordError::Truncated);
-        };
-        cur.pos += 2;
-        if flags & FLAG_RESERVED != 0 {
-            return Err(RecordError::ReservedFlag);
-        }
-        if instr_count.wrapping_sub(1) >= BasicBlock::MAX_INSTRS {
-            return Err(RecordError::BadCount(instr_count));
-        }
-        let start = if flags & FLAG_CONTIGUOUS != 0 {
-            self.prev_next
-        } else {
-            cur.addr_from(self.prev_next)?
-        };
-        let target = if flags & FLAG_HAS_TARGET != 0 {
-            cur.addr_from(start)?
-        } else {
-            Addr::NULL
-        };
-        let fall_through = start + instr_count as u64 * fe_model::INSTR_BYTES;
-        self.prev_next = if flags & FLAG_NEXT_IMPLIED != 0 {
-            if flags & FLAG_TAKEN != 0 {
-                // An implied taken next PC is the static target; a
-                // taken return (no static target) never sets the flag.
-                if target.is_null() {
-                    return Err(RecordError::ImpliedReturn);
-                }
-                target
-            } else {
-                fall_through
-            }
-        } else {
-            cur.addr_from(fall_through)?
-        };
-        self.pos = cur.pos;
-        Ok(instr_count as u64)
+        skip_record(self.bytes, &mut self.pos, &mut self.prev_next)
     }
 }
 

@@ -5,7 +5,7 @@
 //! timing model. This module is the format bridge: it converts an
 //! external branch stream into the native record format. Imported
 //! traces carry a **content fingerprint** — an order-sensitive digest
-//! of the imported record stream itself (see [`ContentFingerprint`]) —
+//! of the imported record stream itself (the private `ContentFingerprint`) —
 //! so distinct captures are distinguishable and content-addressed
 //! tooling (result caches keyed by trace identity) works on them. They
 //! cannot yet drive the simulator, which needs a matching static
@@ -13,7 +13,8 @@
 //! footprints) that external traces do not ship; reconstructing a
 //! program skeleton from the trace itself is the planned follow-up.
 //!
-//! The accepted interchange format is textual, one branch record per
+//! Two interchange formats are accepted, carrying the same fields a
+//! CBP branch record does. The textual one is one branch record per
 //! line (`#` comments and blank lines ignored):
 //!
 //! ```text
@@ -21,9 +22,13 @@
 //! ```
 //!
 //! where `kind` is one of `C`onditional, `J`ump, ca`L`l, `R`eturn,
-//! `T`rap, trap-`E`xit, and `taken` is `0`/`1` — the fields a CBP
-//! branch record carries. Each branch becomes a single-instruction
-//! basic block (external traces do not delimit block starts).
+//! `T`rap, trap-`E`xit, and `taken` is `0`/`1`. The binary one (see
+//! [`import_cbp_binary`]) is a 5-byte header (`b"CBPB"` + version
+//! byte) followed by fixed 18-byte little-endian records. Either way,
+//! each branch becomes a single-instruction basic block (external
+//! traces do not delimit block starts), and both paths apply the same
+//! validation, so the same capture imports identically from both
+//! encodings.
 
 use fe_model::addr::VA_BITS;
 use fe_model::{Addr, BasicBlock, BranchKind, RetiredBlock, INSTR_BYTES};
@@ -142,27 +147,7 @@ fn parse_cbp_line(line: &str, lineno: usize) -> Result<Option<RetiredBlock>, Tra
             lineno + 1
         )));
     }
-    let block = BasicBlock::new(
-        Addr::new(pc),
-        1,
-        kind,
-        // Returns read the RAS, not a static target.
-        if kind.is_return() {
-            Addr::NULL
-        } else {
-            Addr::new(target)
-        },
-    );
-    let next_pc = if taken {
-        Addr::new(target)
-    } else {
-        Addr::new(pc + INSTR_BYTES)
-    };
-    Ok(Some(RetiredBlock {
-        block,
-        taken,
-        next_pc,
-    }))
+    Ok(Some(branch_record(pc, target, kind, taken)))
 }
 
 /// Imports a CBP-style textual branch trace (see module docs),
@@ -234,6 +219,186 @@ pub fn import_cbp_lossy(text: &str, name: &str) -> Result<ImportReport, TraceErr
         skipped,
         first_error,
     })
+}
+
+/// Magic bytes opening a binary CBP branch trace.
+pub const CBP_BINARY_MAGIC: [u8; 4] = *b"CBPB";
+/// Binary CBP format version this importer reads and writes.
+pub const CBP_BINARY_VERSION: u8 = 1;
+/// Serialized size of one binary CBP record.
+pub const CBP_BINARY_RECORD_LEN: usize = 18;
+
+/// Stable kind codes of the binary CBP record (match the letters of
+/// the textual format in order: C, J, L, R, T, E).
+fn kind_from_binary_code(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Trap,
+        5 => BranchKind::TrapReturn,
+        _ => return None,
+    })
+}
+
+fn kind_to_binary_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Trap => 4,
+        BranchKind::TrapReturn => 5,
+    }
+}
+
+/// Builds the [`RetiredBlock`] for one validated branch record —
+/// shared by the textual and binary parsers so both encodings import
+/// identically.
+fn branch_record(pc: u64, target: u64, kind: BranchKind, taken: bool) -> RetiredBlock {
+    let block = BasicBlock::new(
+        Addr::new(pc),
+        1,
+        kind,
+        // Returns read the RAS, not a static target.
+        if kind.is_return() {
+            Addr::NULL
+        } else {
+            Addr::new(target)
+        },
+    );
+    let next_pc = if taken {
+        Addr::new(target)
+    } else {
+        Addr::new(pc + INSTR_BYTES)
+    };
+    RetiredBlock {
+        block,
+        taken,
+        next_pc,
+    }
+}
+
+/// Imports a binary CBP branch trace: a 5-byte header
+/// ([`CBP_BINARY_MAGIC`] + version byte [`CBP_BINARY_VERSION`])
+/// followed by fixed 18-byte little-endian records — `pc: u64`,
+/// `target: u64`, `kind: u8` (0=C 1=J 2=L 3=R 4=T 5=E), `taken: u8`
+/// (0/1). Validation matches the textual importer exactly (address
+/// range, kind and taken codes, taken-return target), with errors
+/// naming the offending record index; a payload that is not a whole
+/// number of records is rejected as [`TraceError::Truncated`].
+///
+/// ```
+/// use fe_trace::import::{export_cbp_binary, import_cbp, import_cbp_binary};
+///
+/// let text = "0x1000 0x2000 L 1\n0x2000 0x0 C 0\n";
+/// let trace = import_cbp(text, "capture").unwrap();
+/// let binary = export_cbp_binary(trace.reader().map(|r| r.unwrap()));
+/// assert_eq!(import_cbp_binary(&binary, "capture").unwrap(), trace);
+/// ```
+pub fn import_cbp_binary(bytes: &[u8], name: &str) -> Result<Trace, TraceError> {
+    let header_len = CBP_BINARY_MAGIC.len() + 1;
+    if bytes.len() < header_len {
+        return Err(if bytes.starts_with(&CBP_BINARY_MAGIC) {
+            TraceError::Truncated {
+                expected: header_len as u64,
+                actual: bytes.len() as u64,
+            }
+        } else {
+            TraceError::BadMagic
+        });
+    }
+    if bytes[..4] != CBP_BINARY_MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = bytes[4];
+    if version != CBP_BINARY_VERSION {
+        return Err(TraceError::Corrupt(format!(
+            "binary CBP version {version} unsupported (importer is v{CBP_BINARY_VERSION})"
+        )));
+    }
+    let body = &bytes[header_len..];
+    if !body.len().is_multiple_of(CBP_BINARY_RECORD_LEN) {
+        return Err(TraceError::Truncated {
+            expected: (header_len
+                + body.len().div_ceil(CBP_BINARY_RECORD_LEN) * CBP_BINARY_RECORD_LEN)
+                as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let mut writer = TraceWriter::new(name, 0, ProgramFingerprint::UNKNOWN);
+    let mut fingerprint = ContentFingerprint::new();
+    for (i, rec) in body.chunks_exact(CBP_BINARY_RECORD_LEN).enumerate() {
+        let u64_at = |off: usize| {
+            u64::from_le_bytes(
+                rec[off..off + 8]
+                    .try_into()
+                    .expect("slice is exactly 8 bytes"),
+            )
+        };
+        let bad = |what: String| TraceError::Corrupt(format!("record {i}: {what}"));
+        let pc = u64_at(0);
+        let target = u64_at(8);
+        for (label, addr) in [("pc", pc), ("target", target)] {
+            if addr >= 1 << VA_BITS {
+                return Err(bad(format!(
+                    "{label} {addr:#x} exceeds the {VA_BITS}-bit address space"
+                )));
+            }
+        }
+        let kind = kind_from_binary_code(rec[16])
+            .ok_or_else(|| bad(format!("unknown branch-kind code {}", rec[16])))?;
+        let taken = match rec[17] {
+            0 => false,
+            1 => true,
+            other => return Err(bad(format!("taken must be 0 or 1, got {other}"))),
+        };
+        if taken && kind.is_return() && target == 0 {
+            return Err(bad("taken return needs its dynamic target".into()));
+        }
+        let rb = branch_record(pc, target, kind, taken);
+        writer.record(&rb);
+        fingerprint.fold(&rb);
+    }
+    if writer.block_count() == 0 {
+        return Err(TraceError::Corrupt(
+            "import contains no branch records".into(),
+        ));
+    }
+    Ok(writer.finish_with_fingerprint(fingerprint.finish()))
+}
+
+/// Serializes a branch stream into the binary CBP format
+/// [`import_cbp_binary`] reads — the fixture-generation and testing
+/// counterpart of the importer. Each block is flattened to its branch:
+/// the terminating instruction's PC, the target field as the textual
+/// format carries it (a taken return writes its dynamic target, other
+/// returns write zero), the kind code, and the outcome. Re-importing
+/// an exported single-instruction-block stream (any imported trace)
+/// reproduces it record for record.
+pub fn export_cbp_binary(records: impl IntoIterator<Item = RetiredBlock>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CBP_BINARY_MAGIC);
+    out.push(CBP_BINARY_VERSION);
+    for rb in records {
+        let b = &rb.block;
+        let branch_pc = b.start + (b.instr_count as u64 - 1) * INSTR_BYTES;
+        let target = if b.kind.is_return() {
+            if rb.taken {
+                rb.next_pc
+            } else {
+                Addr::NULL
+            }
+        } else {
+            b.target
+        };
+        out.extend_from_slice(&branch_pc.get().to_le_bytes());
+        out.extend_from_slice(&target.get().to_le_bytes());
+        out.push(kind_to_binary_code(b.kind));
+        out.push(rb.taken as u8);
+    }
+    out
 }
 
 fn parse_addr(field: &str, lineno: usize) -> Result<u64, TraceError> {
@@ -345,6 +510,83 @@ mod tests {
         let clean = "0x1000 0x2000 L 1\n0x2000 0x0 C 0\n0x2004 0x1004 R 1\n";
         let strict = import_cbp(clean, "dirty").expect("clean import");
         assert_eq!(report.trace, strict);
+    }
+
+    #[test]
+    fn binary_import_matches_textual_import() {
+        let text = "# capture\n\
+                    0x1000 0x2000 L 1\n\
+                    0x2000 0x0 C 0\n\
+                    0x2004 0x1004 R 1\n\
+                    0x1004 0x0 R 0\n";
+        let from_text = import_cbp(text, "cap").expect("text imports");
+        let binary = export_cbp_binary(from_text.reader().map(|r| r.expect("decodes")));
+        let from_binary = import_cbp_binary(&binary, "cap").expect("binary imports");
+        // Same records, same content fingerprint — the encodings are
+        // interchangeable views of one capture.
+        assert_eq!(from_binary, from_text);
+        assert_eq!(
+            binary.len(),
+            5 + 4 * CBP_BINARY_RECORD_LEN,
+            "header + fixed records"
+        );
+    }
+
+    #[test]
+    fn binary_import_rejects_malformed_input() {
+        let good = export_cbp_binary(
+            import_cbp("0x1000 0x2000 J 1\n", "one")
+                .unwrap()
+                .reader()
+                .map(|r| r.unwrap()),
+        );
+        assert!(import_cbp_binary(&good, "one").is_ok());
+
+        // Not the binary magic at all.
+        assert!(matches!(
+            import_cbp_binary(b"nope", "x"),
+            Err(TraceError::BadMagic)
+        ));
+        // Magic but missing the version byte.
+        assert!(matches!(
+            import_cbp_binary(b"CBPB", "x"),
+            Err(TraceError::Truncated { .. })
+        ));
+        // Unknown version.
+        let mut versioned = good.clone();
+        versioned[4] = 9;
+        let err = import_cbp_binary(&versioned, "x").expect_err("bad version");
+        assert!(err.to_string().contains("version 9"), "{err}");
+        // A partial trailing record is a truncation, not a silent drop.
+        assert!(matches!(
+            import_cbp_binary(&good[..good.len() - 7], "x"),
+            Err(TraceError::Truncated { .. })
+        ));
+        // Header only, no records.
+        assert!(import_cbp_binary(&good[..5], "x").is_err());
+        // Field validation names the record index.
+        let mut bad_kind = good.clone();
+        bad_kind[5 + 16] = 7;
+        let err = import_cbp_binary(&bad_kind, "x").expect_err("bad kind");
+        assert!(err.to_string().contains("record 0"), "{err}");
+        let mut bad_taken = good.clone();
+        bad_taken[5 + 17] = 2;
+        assert!(import_cbp_binary(&bad_taken, "x").is_err());
+        // Out-of-space address.
+        let mut huge_pc = good;
+        huge_pc[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = import_cbp_binary(&huge_pc, "x").expect_err("huge pc");
+        assert!(err.to_string().contains("address space"), "{err}");
+        // Taken return without its dynamic target.
+        let mut ret = Vec::new();
+        ret.extend_from_slice(&CBP_BINARY_MAGIC);
+        ret.push(CBP_BINARY_VERSION);
+        ret.extend_from_slice(&0x1000u64.to_le_bytes());
+        ret.extend_from_slice(&0u64.to_le_bytes());
+        ret.push(3); // Return
+        ret.push(1); // taken
+        let err = import_cbp_binary(&ret, "x").expect_err("taken return");
+        assert!(err.to_string().contains("dynamic target"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! The trace ingestion pipeline: external capture in, verified v2
+//! store out.
+//!
+//! [`ingest_bytes`] (and the file wrapper [`ingest_file`]) does the
+//! whole journey the `fe-bench` `ingest` binary exposes on the command
+//! line:
+//!
+//! 1. **Detect** the source format from its leading bytes
+//!    ([`SourceFormat`]) — a v1 `fe-trace` recording, a v2 store
+//!    (re-chunked/normalized), or a CBP-style branch capture (textual
+//!    or binary).
+//! 2. **Decode** it into a flat [`Trace`] via the format's importer,
+//!    applying that importer's full validation (and, for text captures
+//!    with [`IngestOptions::lossy`], its loss accounting).
+//! 3. **Convert** to a chunk-compressed, indexed [`TraceStore`]
+//!    carrying the caller's provenance string.
+//! 4. **Verify** losslessness before anything is written: the store is
+//!    serialized and re-parsed (exercising the whole-file checksum),
+//!    replayed record-for-record against the source stream — including
+//!    a mid-stream seek — and reconstructed back into a v1 trace that
+//!    must equal the source exactly. Any mismatch is a named
+//!    [`TraceError::VerifyFailed`], and nothing reaches disk.
+//! 5. **Report**: the returned [`IngestReport`] carries the counts,
+//!    sizes, fingerprint and loss accounting a caller needs to print
+//!    or emit as JSON.
+//!
+//! ```
+//! use fe_trace::{ingest_bytes, IngestOptions};
+//!
+//! let capture = "0x1000 0x2000 L 1\n0x2000 0x0 C 0\n0x2004 0x1004 R 1\n";
+//! let opts = IngestOptions {
+//!     provenance: "doctest capture".to_string(),
+//!     ..IngestOptions::default()
+//! };
+//! let (store, report) = ingest_bytes(capture.as_bytes(), "demo", &opts).unwrap();
+//! assert_eq!(report.records, 3);
+//! assert!(report.verified);
+//! assert_eq!(store.provenance(), "doctest capture");
+//! ```
+
+use std::path::Path;
+
+use fe_model::BlockSource;
+
+use crate::import::{import_cbp, import_cbp_binary, import_cbp_lossy, CBP_BINARY_MAGIC};
+use crate::store::{TraceStore, DEFAULT_CHUNK_RECORDS, STORE_VERSION};
+use crate::{ProgramFingerprint, Trace, TraceError, MAGIC, VERSION};
+
+/// The source encodings the ingest pipeline recognizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceFormat {
+    /// A v1 flat `fe-trace` recording (`b"FETR"`, version 1).
+    FetrV1,
+    /// A v2 chunked store (`b"FETR"`, version 2) — re-ingesting one
+    /// re-chunks it under the new options.
+    FetsV2,
+    /// A textual CBP-style branch capture (the fallback when no known
+    /// magic matches; the text parser reports garbage precisely).
+    CbpText,
+    /// A binary CBP-style branch capture (`b"CBPB"`).
+    CbpBinary,
+}
+
+impl SourceFormat {
+    /// Stable lower-case label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceFormat::FetrV1 => "fetr-v1",
+            SourceFormat::FetsV2 => "fets-v2",
+            SourceFormat::CbpText => "cbp-text",
+            SourceFormat::CbpBinary => "cbp-binary",
+        }
+    }
+}
+
+/// Detects the source format from the leading bytes. Unknown magic
+/// falls back to [`SourceFormat::CbpText`]: the textual parser is the
+/// one importer that can describe arbitrary garbage line-by-line.
+pub fn detect_format(bytes: &[u8]) -> SourceFormat {
+    if bytes.len() >= 6 && bytes[..4] == MAGIC {
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version == STORE_VERSION {
+            return SourceFormat::FetsV2;
+        }
+        if version == VERSION {
+            return SourceFormat::FetrV1;
+        }
+        // FETR magic with an unknown version: still one of ours, so
+        // let the v1 parser produce its named version error rather
+        // than misreading the file as text.
+        return SourceFormat::FetrV1;
+    }
+    if bytes.len() >= 4 && bytes[..4] == CBP_BINARY_MAGIC {
+        return SourceFormat::CbpBinary;
+    }
+    SourceFormat::CbpText
+}
+
+/// Knobs of one ingest run.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Workload name recorded in the store header. `None` keeps the
+    /// source's embedded name (v1/v2 sources) or uses the caller's
+    /// default (CBP captures, which carry no name).
+    pub name: Option<String>,
+    /// Free-form origin string stored with the trace (capture tool,
+    /// machine, date — whatever identifies the data's source).
+    pub provenance: String,
+    /// Records per chunk of the output store.
+    pub chunk_records: u32,
+    /// Tolerate malformed lines in textual captures, counting them in
+    /// the report instead of failing (see
+    /// [`import_cbp_lossy`]). Binary formats are
+    /// always strict — their records are self-delimiting, so a bad one
+    /// means a broken capture, not line noise.
+    pub lossy: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            name: None,
+            provenance: String::new(),
+            chunk_records: DEFAULT_CHUNK_RECORDS,
+            lossy: false,
+        }
+    }
+}
+
+/// What one ingest run did — the facts the `ingest` binary prints and
+/// emits as JSON.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Workload name recorded in the store header.
+    pub name: String,
+    /// Detected source encoding.
+    pub format: SourceFormat,
+    /// Source size in bytes.
+    pub source_bytes: u64,
+    /// Serialized store size in bytes.
+    pub store_bytes: u64,
+    /// Records (basic blocks) in the store.
+    pub records: u64,
+    /// Instructions across all records.
+    pub instrs: u64,
+    /// Chunks in the store.
+    pub chunks: u64,
+    /// Encoded payload bytes before chunk compression.
+    pub payload_raw_bytes: u64,
+    /// Stored payload bytes after chunk compression.
+    pub payload_stored_bytes: u64,
+    /// Malformed lines skipped (lossy text ingest only; always 0
+    /// otherwise).
+    pub skipped: u64,
+    /// First parse error of a lossy ingest, if any lines were skipped.
+    pub first_error: Option<String>,
+    /// Identity of the ingested stream (content fingerprint for
+    /// imports, program fingerprint for recordings).
+    pub fingerprint: ProgramFingerprint,
+    /// Whether post-conversion verification ran and passed (always
+    /// `true` on success — a failure is an error, not a flag).
+    pub verified: bool,
+}
+
+/// Ingests an in-memory source: detect, decode, convert, verify —
+/// returning the verified store and its report. See the module docs
+/// for the pipeline; `default_name` names the trace when the source
+/// carries no name of its own (CBP captures) and
+/// [`IngestOptions::name`] is unset.
+pub fn ingest_bytes(
+    bytes: &[u8],
+    default_name: &str,
+    opts: &IngestOptions,
+) -> Result<(TraceStore, IngestReport), TraceError> {
+    let format = detect_format(bytes);
+    let mut skipped = 0u64;
+    let mut first_error = None;
+    let trace = match format {
+        SourceFormat::FetrV1 => {
+            let trace = Trace::from_bytes(bytes)?;
+            match &opts.name {
+                Some(name) => trace.with_name(name),
+                None => trace,
+            }
+        }
+        SourceFormat::FetsV2 => {
+            let trace = TraceStore::from_bytes(bytes)?.to_trace();
+            match &opts.name {
+                Some(name) => trace.with_name(name),
+                None => trace,
+            }
+        }
+        SourceFormat::CbpText => {
+            let name = opts.name.as_deref().unwrap_or(default_name);
+            let text = std::str::from_utf8(bytes).map_err(|_| {
+                TraceError::Corrupt("source is neither a known binary format nor UTF-8".into())
+            })?;
+            if opts.lossy {
+                let report = import_cbp_lossy(text, name)?;
+                skipped = report.skipped;
+                first_error = report.first_error;
+                report.trace
+            } else {
+                import_cbp(text, name)?
+            }
+        }
+        SourceFormat::CbpBinary => {
+            let name = opts.name.as_deref().unwrap_or(default_name);
+            import_cbp_binary(bytes, name)?
+        }
+    };
+    let store = TraceStore::from_trace_with(&trace, &opts.provenance, opts.chunk_records);
+    let store_bytes = verify(&store, &trace)?;
+    let h = store.header();
+    let report = IngestReport {
+        name: h.name.clone(),
+        format,
+        source_bytes: bytes.len() as u64,
+        store_bytes,
+        records: h.block_count,
+        instrs: h.instr_count,
+        chunks: store.chunk_count() as u64,
+        payload_raw_bytes: store.raw_len() as u64,
+        payload_stored_bytes: store.stored_len() as u64,
+        skipped,
+        first_error,
+        fingerprint: h.fingerprint,
+        verified: true,
+    };
+    Ok((store, report))
+}
+
+/// [`ingest_bytes`] over a file, defaulting the trace name to the
+/// file stem.
+pub fn ingest_file(
+    path: impl AsRef<Path>,
+    opts: &IngestOptions,
+) -> Result<(TraceStore, IngestReport), TraceError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ingested".to_string());
+    ingest_bytes(&bytes, &stem, opts)
+}
+
+/// Proves the converted store reproduces `reference` exactly, before
+/// anything is written:
+///
+/// * container round-trip — serialize, re-parse (whole-file checksum
+///   and index validation run here);
+/// * replay round-trip — the re-parsed store's replayer must yield the
+///   source stream record for record, and a mid-stream seek must land
+///   exactly where the source's replayer lands;
+/// * lossless reconstruction — [`TraceStore::to_trace`] must serialize
+///   byte-identically to the source.
+///
+/// Returns the serialized store size. Failures are named
+/// [`TraceError::VerifyFailed`]s; they indicate a converter bug, not
+/// bad input.
+fn verify(store: &TraceStore, reference: &Trace) -> Result<u64, TraceError> {
+    let bytes = store.to_bytes();
+    let reparsed = TraceStore::from_bytes(&bytes).map_err(|e| {
+        TraceError::VerifyFailed(format!("serialized store fails to re-parse: {e}"))
+    })?;
+    if reparsed != *store {
+        return Err(TraceError::VerifyFailed(
+            "serialized store re-parses to a different value".into(),
+        ));
+    }
+    let mut replay = reparsed.replayer();
+    for (i, rb) in reference.reader().enumerate() {
+        let rb = rb?;
+        if replay.next_block() != Some(rb) {
+            return Err(TraceError::VerifyFailed(format!(
+                "replay diverges from the source at record {i}"
+            )));
+        }
+    }
+    if replay.next_block().is_some() {
+        return Err(TraceError::VerifyFailed(
+            "store replays more records than the source holds".into(),
+        ));
+    }
+    // Seek fidelity: fast-forward half the stream on both sides and
+    // compare landing positions and the next record.
+    let mut via_store = reparsed.replayer();
+    let mut via_trace = reference.replayer();
+    let target = reference.header().instr_count / 2;
+    if via_store.skip_instrs(target) != via_trace.skip_instrs(target)
+        || via_store.next_block() != via_trace.next_block()
+    {
+        return Err(TraceError::VerifyFailed(
+            "seek lands on a different stream position than flat replay".into(),
+        ));
+    }
+    if reparsed.to_trace().to_bytes() != reference.to_bytes() {
+        return Err(TraceError::VerifyFailed(
+            "reconstructed v1 trace is not byte-identical to the source".into(),
+        ));
+    }
+    Ok(bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::export_cbp_binary;
+    use fe_cfg::workloads;
+
+    const CAPTURE: &str = "# three-branch capture\n\
+                           0x1000 0x2000 L 1\n\
+                           0x2000 0x0 C 0\n\
+                           0x2004 0x1004 R 1\n";
+
+    #[test]
+    fn detects_every_format() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let trace = Trace::record(&program, 3, 2_000);
+        assert_eq!(detect_format(&trace.to_bytes()), SourceFormat::FetrV1);
+        let store = TraceStore::from_trace(&trace, "");
+        assert_eq!(detect_format(&store.to_bytes()), SourceFormat::FetsV2);
+        assert_eq!(detect_format(CAPTURE.as_bytes()), SourceFormat::CbpText);
+        let binary = export_cbp_binary(
+            import_cbp(CAPTURE, "cap")
+                .unwrap()
+                .reader()
+                .map(|r| r.unwrap()),
+        );
+        assert_eq!(detect_format(&binary), SourceFormat::CbpBinary);
+        assert_eq!(detect_format(b""), SourceFormat::CbpText, "text fallback");
+    }
+
+    #[test]
+    fn ingests_a_recorded_v1_trace() {
+        let program = workloads::zeus().scaled(0.05).build();
+        let trace = Trace::record(&program, 21, 30_000);
+        let opts = IngestOptions {
+            provenance: "recorded by unit test".into(),
+            chunk_records: 512,
+            ..IngestOptions::default()
+        };
+        let (store, report) =
+            ingest_bytes(&trace.to_bytes(), "ignored-default", &opts).expect("ingests");
+        assert_eq!(report.format, SourceFormat::FetrV1);
+        assert_eq!(report.name, "zeus", "embedded name wins over default");
+        assert_eq!(report.records, trace.header().block_count);
+        assert_eq!(report.instrs, trace.header().instr_count);
+        assert_eq!(report.fingerprint, trace.header().fingerprint);
+        assert!(report.verified);
+        assert!(report.chunks > 1);
+        assert_eq!(report.skipped, 0);
+        // The store losslessly reproduces the source.
+        assert_eq!(store.to_trace().to_bytes(), trace.to_bytes());
+        assert!(store.matches(&program));
+    }
+
+    #[test]
+    fn ingests_text_and_binary_captures_identically() {
+        let opts = IngestOptions {
+            provenance: "capture".into(),
+            ..IngestOptions::default()
+        };
+        let (text_store, text_report) =
+            ingest_bytes(CAPTURE.as_bytes(), "cap", &opts).expect("text ingests");
+        let binary = export_cbp_binary(
+            import_cbp(CAPTURE, "cap")
+                .unwrap()
+                .reader()
+                .map(|r| r.unwrap()),
+        );
+        let (bin_store, bin_report) = ingest_bytes(&binary, "cap", &opts).expect("binary ingests");
+        assert_eq!(text_report.format, SourceFormat::CbpText);
+        assert_eq!(bin_report.format, SourceFormat::CbpBinary);
+        assert_eq!(text_store, bin_store, "one capture, one store");
+        assert_eq!(text_report.fingerprint, bin_report.fingerprint);
+        assert!(
+            !text_report.fingerprint.is_unknown(),
+            "imports carry a content fingerprint"
+        );
+    }
+
+    #[test]
+    fn reingesting_a_store_rechunks_it() {
+        let program = workloads::apache().scaled(0.05).build();
+        let trace = Trace::record(&program, 5, 20_000);
+        let coarse = TraceStore::from_trace_with(&trace, "first pass", 4096);
+        let opts = IngestOptions {
+            provenance: "re-chunked".into(),
+            chunk_records: 128,
+            ..IngestOptions::default()
+        };
+        let (fine, report) = ingest_bytes(&coarse.to_bytes(), "x", &opts).expect("re-ingests");
+        assert_eq!(report.format, SourceFormat::FetsV2);
+        assert!(fine.chunk_count() > coarse.chunk_count());
+        assert_eq!(fine.provenance(), "re-chunked");
+        assert_eq!(fine.to_trace().to_bytes(), trace.to_bytes());
+    }
+
+    #[test]
+    fn name_override_applies_everywhere() {
+        let opts = IngestOptions {
+            name: Some("renamed".into()),
+            ..IngestOptions::default()
+        };
+        let (store, report) = ingest_bytes(CAPTURE.as_bytes(), "cap", &opts).expect("ingests");
+        assert_eq!(report.name, "renamed");
+        assert_eq!(store.header().name, "renamed");
+        // Renaming never changes content identity.
+        let (_, plain) =
+            ingest_bytes(CAPTURE.as_bytes(), "cap", &IngestOptions::default()).expect("ingests");
+        assert_eq!(report.fingerprint, plain.fingerprint);
+    }
+
+    #[test]
+    fn lossy_ingest_accounts_for_its_losses() {
+        let dirty = "0x1000 0x2000 L 1\ngarbage line\n0x2000 0x0 C 0\n";
+        let strict = ingest_bytes(dirty.as_bytes(), "cap", &IngestOptions::default());
+        assert!(strict.is_err(), "strict mode rejects the dirty capture");
+        let opts = IngestOptions {
+            lossy: true,
+            ..IngestOptions::default()
+        };
+        let (_, report) = ingest_bytes(dirty.as_bytes(), "cap", &opts).expect("lossy ingests");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.skipped, 1);
+        assert!(report.first_error.expect("kept").contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_damaged_sources_with_named_errors() {
+        let program = workloads::nutch().scaled(0.05).build();
+        let trace = Trace::record(&program, 3, 2_000);
+        let opts = IngestOptions::default();
+
+        // Truncated v1 recording.
+        let bytes = trace.to_bytes();
+        assert!(matches!(
+            ingest_bytes(&bytes[..bytes.len() - 3], "x", &opts),
+            Err(TraceError::Truncated { .. })
+        ));
+        // Bit-flipped v1 recording.
+        let mut flipped = bytes.clone();
+        flipped[40] ^= 1;
+        assert!(matches!(
+            ingest_bytes(&flipped, "x", &opts),
+            Err(TraceError::ChecksumMismatch)
+        ));
+        // FETR magic with a future version: named version error, not a
+        // text misparse.
+        let mut versioned = bytes.clone();
+        versioned[4] = 0x7f;
+        assert!(matches!(
+            ingest_bytes(&versioned, "x", &opts),
+            Err(TraceError::UnsupportedVersion(0x7f))
+        ));
+        // Damaged v2 store.
+        let store_bytes = TraceStore::from_trace(&trace, "p").to_bytes();
+        let mut store_flipped = store_bytes.clone();
+        let last = store_flipped.len() - 1;
+        store_flipped[last] ^= 0xff;
+        assert!(matches!(
+            ingest_bytes(&store_flipped, "x", &opts),
+            Err(TraceError::ChecksumMismatch)
+        ));
+        // Garbage text.
+        assert!(matches!(
+            ingest_bytes(b"not a capture at all", "x", &opts),
+            Err(TraceError::Corrupt(_))
+        ));
+        // Non-UTF-8 garbage that matches no magic.
+        assert!(matches!(
+            ingest_bytes(&[0x80, 0xfe, 0xff, 0x00, 0x01], "x", &opts),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn ingest_file_defaults_the_name_to_the_stem() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("fe_trace_ingest_stem_test.cbp");
+        std::fs::write(&path, CAPTURE).expect("write fixture");
+        let (store, report) = ingest_file(&path, &IngestOptions::default()).expect("ingests");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(report.name, "fe_trace_ingest_stem_test");
+        assert_eq!(store.header().name, "fe_trace_ingest_stem_test");
+    }
+}

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! # fe-trace — recorded control-flow traces
 //!
 //! The paper's methodology is trace-driven (§5.1): workloads are
@@ -21,8 +22,14 @@
 //! * [`TraceReplayer`] — the [`BlockSource`] adapter the simulator
 //!   consumes; replaying a trace is byte-identical to live execution
 //!   because the pipeline sees the same blocks in the same order.
-//! * [`import`] — bridge for external trace formats (CBP-style branch
-//!   traces), currently an experimental stub.
+//! * [`store`] — the v2 chunk-compressed, indexed on-disk format
+//!   ([`TraceStore`]): same record stream, re-packaged so seeking
+//!   decodes only the chunks it lands in.
+//! * [`import`] — decoders for external trace formats (CBP-style
+//!   branch traces, textual and binary).
+//! * [`ingest`] — the conversion pipeline tying those together:
+//!   autodetect an external format, convert to a [`TraceStore`],
+//!   verify losslessness, and report what happened.
 //!
 //! ```
 //! use fe_cfg::workloads;
@@ -39,12 +46,15 @@
 //! }
 //! ```
 //!
-//! ## Format (version 1)
+//! ## Formats
 //!
-//! Little-endian header, then the record payload:
+//! The byte-level specification of both on-disk formats lives in
+//! `docs/TRACE_FORMAT.md`. In brief, version 1 (this module's
+//! [`Trace`]) is a little-endian header followed by one flat record
+//! payload:
 //!
 //! ```text
-//! magic   b"FETR"        version u16    flags u16 (0)
+//! magic   b"FETR"        version u16 (1)        flags u16 (0)
 //! seed    u64            block_count u64        instr_count u64
 //! program_blocks u64     program_digest u64     (0,0 = unknown origin)
 //! payload_len u64        checksum u64 (FNV-1a)
@@ -60,6 +70,12 @@
 //! Records are delta-encoded against the previous record's `next_pc`
 //! with varint lengths — see [`codec`](self) module docs; a typical
 //! record is 2-4 bytes (~0.5-1 byte per instruction).
+//!
+//! Version 2 ([`TraceStore`]) shares the fixed header layout (version
+//! field = 2) and checksum rule, but splits the payload into
+//! independently decodable, LZ-compressed chunks behind a per-chunk
+//! index — see the [`store`] module docs. Each reader rejects the
+//! other version with a named [`TraceError::UnsupportedVersion`].
 
 use std::path::Path;
 
@@ -67,13 +83,21 @@ use fe_cfg::{Executor, Program};
 use fe_model::{Addr, BlockSource, RetiredBlock};
 
 mod codec;
+mod compress;
 pub mod import;
+pub mod ingest;
+pub mod store;
 
 use codec::{encode_record, fnv1a, fnv1a_update, RecordDecoder, FNV_OFFSET};
 
-/// Magic bytes opening every trace file.
+pub use ingest::{ingest_bytes, ingest_file, IngestOptions, IngestReport, SourceFormat};
+pub use store::{ChunkEntry, StoreReplayer, TraceStore, DEFAULT_CHUNK_RECORDS, STORE_VERSION};
+
+/// Magic bytes opening every trace file (v1 flat traces and v2 stores
+/// alike; the version field distinguishes them).
 pub const MAGIC: [u8; 4] = *b"FETR";
-/// Current format version.
+/// Format version of the flat [`Trace`] container ([`STORE_VERSION`]
+/// is the chunked store).
 pub const VERSION: u16 = 1;
 
 /// Why a trace could not be read or decoded.
@@ -97,6 +121,11 @@ pub enum TraceError {
     ChecksumMismatch,
     /// A structural decoding error (bad varint, invalid field, ...).
     Corrupt(String),
+    /// Post-conversion verification failed: the converted store does
+    /// not reproduce its source stream (see [`ingest`]). A correct
+    /// converter never produces this; it guards the ingest pipeline
+    /// against its own bugs before a bad file is ever written.
+    VerifyFailed(String),
 }
 
 impl std::fmt::Display for TraceError {
@@ -107,7 +136,9 @@ impl std::fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace format version {v} (reader is v{VERSION})"
+                    "unsupported trace format version {v} (flat traces are \
+                     v{VERSION}, chunked stores v{})",
+                    store::STORE_VERSION,
                 )
             }
             TraceError::Truncated { expected, actual } => {
@@ -118,6 +149,9 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::ChecksumMismatch => write!(f, "trace checksum mismatch"),
             TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::VerifyFailed(what) => {
+                write!(f, "ingest verification failed: {what}")
+            }
         }
     }
 }
@@ -193,11 +227,12 @@ pub struct TraceHeader {
 
 /// Fixed-size portion of the serialized header (magic, version, flags,
 /// seven u64 fields, name length), after which the name bytes and
-/// payload follow.
-const HEADER_FIXED_LEN: usize = 4 + 2 + 2 + 8 * 7 + 2;
+/// payload follow. Shared verbatim by the v2 store container (see
+/// [`store`]), which is why each version can reject the other cleanly.
+pub(crate) const HEADER_FIXED_LEN: usize = 4 + 2 + 2 + 8 * 7 + 2;
 
 /// Byte range of the checksum field within the serialized header.
-const CHECKSUM_RANGE: std::ops::Range<usize> = 56..64;
+pub(crate) const CHECKSUM_RANGE: std::ops::Range<usize> = 56..64;
 
 /// An immutable recorded control-flow trace.
 #[derive(Clone, Debug, PartialEq)]
@@ -251,6 +286,13 @@ impl Trace {
     /// fingerprint) — the precondition for faithful replay.
     pub fn matches(&self, program: &Program) -> bool {
         self.header.fingerprint == ProgramFingerprint::of(program)
+    }
+
+    /// The same trace under a new name (ingest renaming). Payload and
+    /// fingerprint are untouched — identity is content-derived.
+    pub(crate) fn with_name(mut self, name: &str) -> Trace {
+        self.header.name = name.to_string();
+        self
     }
 
     /// Serializes the trace (header + payload).

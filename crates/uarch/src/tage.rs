@@ -352,7 +352,7 @@ impl Tage {
     }
 
     /// Switches lookups to incrementally-maintained folded histories
-    /// (see [`FoldState`]): O(1) per history push instead of O(len/w)
+    /// (see the private `FoldState`): O(1) per history push instead of O(len/w)
     /// folds per table per lookup. Predictions and state remain
     /// bit-identical — the registers are a cached form of the same
     /// folds. The batch sweep engine enables this per cell; the serial
